@@ -1,0 +1,150 @@
+//! Breadth-first search as a standalone metered algorithm.
+//!
+//! BFS is the inner engine of both Brandes' forward pass and the
+//! renumbering scheme; exposing it directly gives a sixth, divergence-
+//! sensitive workload (the classic GPU-traversal benchmark, cf. Merrill et
+//! al., which the paper cites) and the simplest possible lens on each
+//! transform's effect: hop counts shrink exactly when shortcut edges were
+//! added.
+
+use crate::plan::{Plan, SimRun, Strategy};
+use crate::runner::Runner;
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use graffix_sim::{ArrayId, KernelStats, Lane};
+
+/// Runs simulated BFS from `source` (original id); returns per-original
+/// hop counts (`f64::INFINITY` for unreachable vertices).
+pub fn run_sim(plan: &Plan, source: NodeId) -> SimRun {
+    assert!((source as usize) < plan.num_original(), "source out of range");
+    let runner = Runner::new(plan);
+    let graph = &plan.graph;
+    let n_logical = plan.num_original();
+    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
+    let mut procs_of: Vec<Vec<NodeId>> = vec![Vec::new(); n_logical];
+    for v in 0..graph.num_nodes() as NodeId {
+        let l = lid(v);
+        if l != INVALID_NODE {
+            procs_of[l as usize].push(v);
+        }
+    }
+
+    let mut level = vec![u32::MAX; n_logical];
+    level[source as usize] = 0;
+    let mut frontier: Vec<NodeId> = procs_of[source as usize].clone();
+    let mut stats = KernelStats::default();
+    let mut iterations = 0usize;
+    let mut cur = 0u32;
+
+    while !frontier.is_empty() {
+        iterations += 1;
+        let mut next: Vec<NodeId> = Vec::new();
+        let outcome = runner.run_tiled_superstep(&frontier, |v, lane: &mut Lane| {
+            lane.read(ArrayId::OFFSETS, v as usize);
+            let mut changed = false;
+            for e in graph.edge_range(v) {
+                lane.read(ArrayId::EDGES, e);
+                let u = graph.edges_raw()[e];
+                let lu = lid(u) as usize;
+                lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                if level[lu] == u32::MAX {
+                    lane.write(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                    level[lu] = cur + 1;
+                    next.extend_from_slice(&procs_of[lu]);
+                    changed = true;
+                } else {
+                    lane.compute(1);
+                }
+            }
+            changed
+        });
+        stats += outcome.stats;
+        next.sort_unstable();
+        next.dedup();
+        if plan.strategy == Strategy::Frontier && !next.is_empty() {
+            let filter = runner.run_tiled_superstep(&next, |v, lane: &mut Lane| {
+                lane.read(ArrayId::FRONTIER, v as usize);
+                lane.write(ArrayId::WORKLIST, v as usize);
+                false
+            });
+            stats += filter.stats;
+        }
+        frontier = next;
+        cur += 1;
+    }
+
+    SimRun {
+        values: level
+            .into_iter()
+            .map(|l| if l == u32::MAX { f64::INFINITY } else { l as f64 })
+            .collect(),
+        stats,
+        iterations,
+    }
+}
+
+/// Exact CPU reference: hop counts from `source`.
+pub fn exact_cpu(g: &Csr, source: NodeId) -> Vec<f64> {
+    graffix_graph::traversal::bfs_levels(g, source)
+        .into_iter()
+        .map(|l| l.map_or(f64::INFINITY, |l| l as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::relative_l1;
+    use graffix_graph::generators::classic;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+    use graffix_sim::GpuConfig;
+
+    #[test]
+    fn sim_matches_reference_on_path() {
+        let g = classic::path(8);
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+        let run = run_sim(&plan, 0);
+        assert_eq!(run.values[7], 7.0);
+        assert_eq!(run.iterations, 8); // 7 expanding levels + drain
+        assert!(relative_l1(&run.values, &exact_cpu(&g, 0)) < 1e-12);
+    }
+
+    #[test]
+    fn sim_matches_reference_on_random_graphs() {
+        for seed in [1u64, 5] {
+            let g = GraphSpec::new(GraphKind::Random, 300, seed).generate();
+            let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Frontier);
+            let run = run_sim(&plan, 0);
+            assert!(relative_l1(&run.values, &exact_cpu(&g, 0)) < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shortcut_edges_shrink_hop_counts() {
+        use graffix_core::{latency, LatencyKnobs};
+        let g = GraphSpec::new(GraphKind::SocialLiveJournal, 600, 7).generate();
+        let gpu = GpuConfig::k40c();
+        let prepared = latency::transform(
+            &g,
+            &LatencyKnobs::for_kind(GraphKind::SocialLiveJournal),
+            &gpu,
+        );
+        let src = crate::sssp::default_source(&g);
+        let plan = Plan::from_prepared(&prepared, &gpu, Strategy::Topology);
+        let run = run_sim(&plan, src);
+        let reference = exact_cpu(&g, src);
+        for (v, (&a, &e)) in run.values.iter().zip(&reference).enumerate() {
+            if e.is_finite() {
+                assert!(a <= e + 1e-9, "node {v}: hops grew {a} > {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_stay_infinite() {
+        let g = classic::directed_chain(3, 1);
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+        let run = run_sim(&plan, 2);
+        assert!(run.values[0].is_infinite());
+        assert_eq!(run.values[2], 0.0);
+    }
+}

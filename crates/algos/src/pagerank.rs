@@ -1,0 +1,377 @@
+//! PageRank.
+//!
+//! Simulated GPU version: push-style synchronous PageRank (atomic-add
+//! accumulation into a `next` array, then an apply kernel), the structure
+//! of the LonestarGPU/Gunrock PR operators. The frontier variant is
+//! residual-based delta-PageRank (Gunrock's formulation). Tile phases run
+//! local push+apply rounds inside shared memory. Exact CPU reference:
+//! power iteration to tight tolerance.
+
+use crate::plan::{Plan, SimRun, Strategy};
+use crate::runner::Runner;
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use graffix_sim::{ArrayId, KernelStats, Lane};
+
+/// Damping factor used throughout (paper-era conventional value).
+pub const DAMPING: f64 = 0.85;
+
+/// Convergence tolerance on the per-iteration L1 rank delta, relative to
+/// the number of logical vertices.
+pub const TOLERANCE: f64 = 1e-9;
+
+/// Fixed iteration budget for the synchronous (topology-driven) kernel —
+/// the convention of the baseline GPU PR codes the paper measures, which
+/// run a fixed number of power iterations rather than to convergence.
+/// Exact and approximate runs execute the same budget; accuracy is judged
+/// against a fully converged CPU reference.
+pub const FIXED_ITERS: usize = 30;
+
+/// Hard iteration cap for the residual (frontier) variant.
+pub const MAX_ITERS: usize = 200;
+
+/// Runs simulated PageRank and returns per-original-vertex ranks.
+pub fn run_sim(plan: &Plan) -> SimRun {
+    match plan.strategy {
+        Strategy::Topology => run_topology(plan),
+        Strategy::Frontier => run_frontier(plan),
+    }
+}
+
+fn logical_n(plan: &Plan) -> f64 {
+    plan.num_original() as f64
+}
+
+/// Total out-degree of each attribute slot (sums virtual copies' slices;
+/// identical to the node degree for identity plans). Rank shares divide by
+/// this, so a split node still emits exactly `DAMPING × rank` in total.
+fn slot_degrees(plan: &Plan) -> Vec<usize> {
+    let mut deg = vec![0usize; plan.attr_len];
+    for v in 0..plan.graph.num_nodes() as NodeId {
+        deg[plan.slot(v) as usize] += plan.graph.degree(v);
+    }
+    deg
+}
+
+fn run_topology(plan: &Plan) -> SimRun {
+    let runner = Runner::new(plan);
+    let n = logical_n(plan);
+    let mut rank = vec![0.0f64; plan.attr_len];
+    let mut next = vec![0.0f64; plan.attr_len];
+    for (slot, &orig) in plan.to_original.iter().enumerate() {
+        if orig != INVALID_NODE {
+            rank[slot] = 1.0 / n;
+        }
+    }
+
+    let mut stats = KernelStats::default();
+    let mut iterations = 0usize;
+    let active = runner.active_nodes();
+    let slot_deg = slot_degrees(plan);
+
+    let mut prev_rank = rank.clone();
+    for iter in 0..FIXED_ITERS {
+        iterations = iter + 1;
+        // Push + apply, with tile nodes executing in their own blocks so
+        // intra-tile attribute traffic is priced at shared-memory latency
+        // (the latency transform's benefit, paper section 3).
+        stats += push_superstep(&runner, &active, &rank, &mut next, &slot_deg).stats;
+        let (apply_stats, _intra_delta) = apply_superstep(&runner, &active, &mut rank, &mut next, n);
+        stats += apply_stats;
+        // Confluence.
+        let (conf_stats, _) = runner.confluence(&mut rank);
+        stats += conf_stats;
+        // Converge on the *post-confluence* rank movement: with mean-merged
+        // replicas the intra-iteration delta settles into a limit cycle and
+        // never reaches zero, but the merged vector does.
+        let delta: f64 = rank
+            .iter()
+            .zip(&prev_rank)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        prev_rank.copy_from_slice(&rank);
+        // The fixed budget may end early only on exact stasis.
+        if delta == 0.0 {
+            break;
+        }
+    }
+
+    SimRun {
+        values: plan.map_back(&rank),
+        stats,
+        iterations,
+    }
+}
+
+/// One metered push superstep: every assigned node scatters
+/// `DAMPING × rank/outdeg` to its targets' `next` slots.
+fn push_superstep(
+    runner: &Runner<'_>,
+    assignment: &[NodeId],
+    rank: &[f64],
+    next: &mut [f64],
+    slot_deg: &[usize],
+) -> graffix_sim::SuperstepOutcome {
+    let plan = runner.plan;
+    let graph = &plan.graph;
+    runner.run_tiled_superstep(assignment, |v, lane: &mut Lane| {
+            let slot = plan.slot(v) as usize;
+            lane.read(ArrayId::OFFSETS, v as usize);
+            lane.read(ArrayId::NODE_ATTR, slot);
+            if graph.degree(v) == 0 || slot_deg[slot] == 0 {
+                return false;
+            }
+            let share = DAMPING * rank[slot] / slot_deg[slot] as f64;
+            for e in graph.edge_range(v) {
+                lane.read(ArrayId::EDGES, e);
+                let u = graph.edges_raw()[e];
+                let slot_u = plan.slot(u) as usize;
+                lane.atomic(ArrayId::NODE_ATTR_AUX, slot_u);
+                next[slot_u] += share;
+            }
+            true
+        })
+}
+
+/// One metered apply superstep: `rank = (1−d)/N + next`, zeroing `next`.
+/// Returns the stats and the L1 delta.
+fn apply_superstep(
+    runner: &Runner<'_>,
+    assignment: &[NodeId],
+    rank: &mut [f64],
+    next: &mut [f64],
+    n: f64,
+) -> (KernelStats, f64) {
+    let plan = runner.plan;
+    let base = (1.0 - DAMPING) / n;
+    let mut delta = 0.0f64;
+    let mut seen = vec![false; plan.attr_len];
+    let outcome = runner.run_tiled_superstep(assignment, |v, lane: &mut Lane| {
+            let slot = plan.slot(v) as usize;
+            if seen[slot] {
+                return false; // virtual copies apply once per slot
+            }
+            seen[slot] = true;
+            lane.read(ArrayId::NODE_ATTR_AUX, slot);
+            lane.write(ArrayId::NODE_ATTR, slot);
+            lane.write(ArrayId::NODE_ATTR_AUX, slot);
+            let new_rank = base + next[slot];
+            delta += (new_rank - rank[slot]).abs();
+            rank[slot] = new_rank;
+            next[slot] = 0.0;
+            true
+        });
+    (outcome.stats, delta)
+}
+
+fn run_frontier(plan: &Plan) -> SimRun {
+    // Residual-based delta-PageRank (Gunrock's push formulation): a node's
+    // unpropagated residual is flushed to its out-neighbors when the node
+    // is activated; a neighbor activates when its accumulated residual
+    // crosses the threshold. Under virtual splitting, the *first* copy of
+    // a slot seen in a superstep claims the residual and banks it in a
+    // per-superstep flush register that its sibling copies read, so every
+    // edge slice propagates the same flushed value exactly once.
+    let runner = Runner::new(plan);
+    let n = logical_n(plan);
+    let graph = &plan.graph;
+    let threshold = TOLERANCE;
+    let base = (1.0 - DAMPING) / n;
+    let slot_deg = slot_degrees(plan);
+
+    let rank = std::cell::RefCell::new(vec![0.0f64; plan.attr_len]);
+    let residual = std::cell::RefCell::new(vec![0.0f64; plan.attr_len]);
+    let flush_val = std::cell::RefCell::new(vec![0.0f64; plan.attr_len]);
+    let flush_epoch = std::cell::RefCell::new(vec![u64::MAX; plan.attr_len]);
+    let epoch = std::cell::Cell::new(0u64);
+    // Push-PR invariant: rank + (I − dMᵀ)⁻¹ residual = PageRank. Starting
+    // from rank = 0 and residual = (1−d)/N keeps it, so draining the
+    // residual converges rank to the true PageRank vector.
+    for (slot, &orig) in plan.to_original.iter().enumerate() {
+        if orig != INVALID_NODE {
+            residual.borrow_mut()[slot] = base;
+        }
+    }
+
+    // Inverse map for activations under splitting.
+    let procs_of_slot: Option<Vec<Vec<NodeId>>> = if plan.identity_attrs() {
+        None
+    } else {
+        let mut inv = vec![Vec::new(); plan.attr_len];
+        for v in 0..graph.num_nodes() as NodeId {
+            inv[plan.slot(v) as usize].push(v);
+        }
+        Some(inv)
+    };
+    let push_slot = |slot: usize, next: &mut Vec<NodeId>| match &procs_of_slot {
+        None => next.push(slot as NodeId),
+        Some(inv) => next.extend_from_slice(&inv[slot]),
+    };
+
+    let init = runner.active_nodes();
+    let (stats, iterations) = runner.frontier_loop(
+        init,
+        MAX_ITERS,
+        |v, lane, next_frontier| {
+            let slot = plan.slot(v) as usize;
+            lane.read(ArrayId::NODE_ATTR_AUX, slot);
+            let r = {
+                let mut fe = flush_epoch.borrow_mut();
+                if fe[slot] != epoch.get() {
+                    // First copy this superstep: claim the residual.
+                    fe[slot] = epoch.get();
+                    let mut res = residual.borrow_mut();
+                    let r = res[slot];
+                    res[slot] = 0.0;
+                    flush_val.borrow_mut()[slot] = r;
+                    if r > threshold {
+                        lane.write(ArrayId::NODE_ATTR_AUX, slot);
+                        lane.read(ArrayId::NODE_ATTR, slot);
+                        lane.write(ArrayId::NODE_ATTR, slot);
+                        rank.borrow_mut()[slot] += r;
+                    }
+                    r
+                } else {
+                    flush_val.borrow()[slot]
+                }
+            };
+            if r <= threshold || slot_deg[slot] == 0 {
+                return false;
+            }
+            let share = DAMPING * r / slot_deg[slot] as f64;
+            for e in graph.edge_range(v) {
+                lane.read(ArrayId::EDGES, e);
+                let u = graph.edges_raw()[e];
+                let slot_u = plan.slot(u) as usize;
+                lane.atomic(ArrayId::NODE_ATTR_AUX, slot_u);
+                let mut res = residual.borrow_mut();
+                res[slot_u] += share;
+                if res[slot_u] > threshold {
+                    push_slot(slot_u, next_frontier);
+                }
+            }
+            true
+        },
+        |_| {
+            epoch.set(epoch.get() + 1);
+            let mut r = rank.borrow_mut();
+            let (stats, _) = runner.confluence(&mut r);
+            stats
+        },
+    );
+
+    let final_rank = rank.into_inner();
+    SimRun {
+        values: plan.map_back(&final_rank),
+        stats,
+        iterations,
+    }
+}
+
+/// Exact CPU reference: synchronous power iteration at `DAMPING`, run to a
+/// much tighter tolerance than the simulated kernels.
+pub fn exact_cpu(g: &Csr) -> Vec<f64> {
+    let n = g.num_real_nodes().max(1) as f64;
+    let total = g.num_nodes();
+    let mut rank = vec![0.0f64; total];
+    for v in g.real_nodes() {
+        rank[v as usize] = 1.0 / n;
+    }
+    let base = (1.0 - DAMPING) / n;
+    let mut next = vec![0.0f64; total];
+    for _ in 0..2000 {
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for v in g.real_nodes() {
+            let deg = g.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = DAMPING * rank[v as usize] / deg as f64;
+            for &u in g.neighbors(v) {
+                next[u as usize] += share;
+            }
+        }
+        let mut delta = 0.0;
+        for v in g.real_nodes() {
+            let new_rank = base + next[v as usize];
+            delta += (new_rank - rank[v as usize]).abs();
+            rank[v as usize] = new_rank;
+        }
+        if delta < 1e-12 * n {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::relative_l1;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+    use graffix_graph::GraphBuilder;
+    use graffix_sim::GpuConfig;
+
+    #[test]
+    fn exact_cpu_sums_to_near_one_on_cycle() {
+        let mut b = GraphBuilder::new(4);
+        for v in 0..4u32 {
+            b.add_edge(v, (v + 1) % 4);
+        }
+        let g = b.build();
+        let pr = exact_cpu(&g);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        // Symmetric cycle: equal ranks.
+        for &r in &pr {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sim_topology_matches_reference() {
+        let g = GraphSpec::new(GraphKind::Random, 300, 2).generate();
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+        let run = run_sim(&plan);
+        let exact = exact_cpu(&g);
+        let err = relative_l1(&run.values, &exact);
+        assert!(err < 1e-4, "topology PR error {err}");
+        assert!(run.iterations > 3);
+    }
+
+    #[test]
+    fn sim_frontier_matches_reference() {
+        let g = GraphSpec::new(GraphKind::SocialLiveJournal, 300, 4).generate();
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Frontier);
+        let run = run_sim(&plan);
+        let exact = exact_cpu(&g);
+        let err = relative_l1(&run.values, &exact);
+        assert!(err < 1e-3, "frontier PR error {err}");
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2); // node 2 dangles
+        let g = b.build();
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+        let run = run_sim(&plan);
+        let exact = exact_cpu(&g);
+        assert!(relative_l1(&run.values, &exact) < 1e-6);
+    }
+
+    #[test]
+    fn transformed_graph_terminates_with_bounded_error() {
+        use graffix_core::{coalesce, CoalesceKnobs};
+        let g = GraphSpec::new(GraphKind::Rmat, 400, 6).generate();
+        let prepared = coalesce::transform(&g, &CoalesceKnobs::default());
+        let plan = Plan::from_prepared(&prepared, &GpuConfig::test_tiny(), Strategy::Topology);
+        let run = run_sim(&plan);
+        let exact = exact_cpu(&g);
+        let err = relative_l1(&run.values, &exact);
+        assert!(err < 0.6, "approximate PR error too large: {err}");
+        assert!(run.iterations < MAX_ITERS);
+    }
+}

@@ -1,0 +1,214 @@
+//! Execution plans: everything an algorithm needs to run on the simulator.
+
+use graffix_core::{ConfluenceOp, Prepared, Tile};
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use graffix_sim::{GpuConfig, KernelStats};
+
+/// Processing style of the executing framework.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Every (non-hole) vertex is processed each superstep until fixpoint —
+    /// LonestarGPU's topology-driven style (Baseline-I).
+    Topology,
+    /// Only active vertices are processed; a metered filter pass compacts
+    /// the next frontier — Gunrock's style (Baseline-III).
+    Frontier,
+}
+
+/// A fully-resolved execution plan. Owns its data so baseline conversions
+/// (e.g. Tigr's virtual split) can synthesize processing graphs that differ
+/// from the attribute space.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// GPU configuration.
+    pub cfg: GpuConfig,
+    /// Processing topology (may contain holes or virtual nodes).
+    pub graph: Csr,
+    /// Warp-order processing slots (`INVALID_NODE` = idle lane).
+    pub assignment: Vec<NodeId>,
+    /// processing node → attribute slot. Identity except under virtual
+    /// splitting, where all virtual copies of a real node share its slot.
+    pub attr_of: Vec<NodeId>,
+    /// Number of attribute slots.
+    pub attr_len: usize,
+    /// attribute slot → original vertex (`INVALID_NODE` for holes).
+    pub to_original: Vec<NodeId>,
+    /// original vertex → primary attribute slot.
+    pub primary: Vec<NodeId>,
+    /// Replica groups over attribute slots (confluence targets).
+    pub replica_groups: Vec<(NodeId, Vec<NodeId>)>,
+    /// Shared-memory tiles over attribute slots.
+    pub tiles: Vec<Tile>,
+    /// Replica merge operator.
+    pub confluence: ConfluenceOp,
+    /// Processing style.
+    pub strategy: Strategy,
+}
+
+impl Plan {
+    /// Builds a plan straight from a [`Prepared`] graph (identity attribute
+    /// mapping).
+    pub fn from_prepared(prepared: &Prepared, cfg: &GpuConfig, strategy: Strategy) -> Plan {
+        let n = prepared.graph.num_nodes();
+        Plan {
+            cfg: cfg.clone(),
+            graph: prepared.graph.clone(),
+            assignment: prepared.assignment.clone(),
+            attr_of: (0..n as NodeId).collect(),
+            attr_len: n,
+            to_original: prepared.to_original.clone(),
+            primary: prepared.primary.clone(),
+            replica_groups: prepared.replica_groups.clone(),
+            tiles: prepared.tiles.clone(),
+            confluence: prepared.confluence,
+            strategy,
+        }
+    }
+
+    /// Exact execution of an untransformed graph under the given strategy.
+    pub fn exact(graph: &Csr, cfg: &GpuConfig, strategy: Strategy) -> Plan {
+        Plan::from_prepared(&Prepared::exact(graph.clone()), cfg, strategy)
+    }
+
+    /// Attribute slot of processing node `v`.
+    #[inline]
+    pub fn slot(&self, v: NodeId) -> NodeId {
+        self.attr_of[v as usize]
+    }
+
+    /// Number of logical (original) vertices.
+    pub fn num_original(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// True when `attr_of` is the identity (no virtual splitting).
+    pub fn identity_attrs(&self) -> bool {
+        self.attr_of.len() == self.attr_len
+            && self
+                .attr_of
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| i as NodeId == a)
+    }
+
+    /// Maps an attribute vector (attr-slot space) back to original space
+    /// via each logical node's primary slot.
+    pub fn map_back(&self, attrs: &[f64]) -> Vec<f64> {
+        self.primary.iter().map(|&p| attrs[p as usize]).collect()
+    }
+
+    /// Processing nodes of each tile: identity plans use the tile's node
+    /// list; virtual-split plans expand each attribute slot to its virtual
+    /// copies.
+    pub fn tile_processing_nodes(&self, tile: &Tile) -> Vec<NodeId> {
+        if self.identity_attrs() {
+            return tile.nodes.clone();
+        }
+        let mut members = vec![false; self.attr_len];
+        for &a in &tile.nodes {
+            members[a as usize] = true;
+        }
+        (0..self.graph.num_nodes() as NodeId)
+            .filter(|&v| members[self.attr_of[v as usize] as usize])
+            .collect()
+    }
+
+    /// Consistency checks used by tests.
+    pub fn validate(&self) -> Result<(), String> {
+        self.graph.validate()?;
+        if self.attr_of.len() != self.graph.num_nodes() {
+            return Err("attr_of must cover processing nodes".into());
+        }
+        if self.to_original.len() != self.attr_len {
+            return Err("to_original must cover attribute slots".into());
+        }
+        for &a in &self.attr_of {
+            if a as usize >= self.attr_len {
+                return Err("attr slot out of range".into());
+            }
+        }
+        for &p in &self.primary {
+            if p == INVALID_NODE || p as usize >= self.attr_len {
+                return Err("primary out of range".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one simulated algorithm run.
+#[derive(Clone, Debug)]
+pub struct SimRun {
+    /// Per-original-vertex result values (distances, ranks, centralities,
+    /// component labels — algorithm-specific).
+    pub values: Vec<f64>,
+    /// Accumulated kernel statistics.
+    pub stats: KernelStats,
+    /// Fixpoint iterations (outermost loop count).
+    pub iterations: usize,
+}
+
+impl SimRun {
+    /// Elapsed simulated cycles under the plan's occupancy model.
+    pub fn elapsed_cycles(&self, cfg: &GpuConfig) -> u64 {
+        self.stats.elapsed_cycles(cfg)
+    }
+
+    /// Elapsed simulated seconds.
+    pub fn seconds(&self, cfg: &GpuConfig) -> f64 {
+        self.stats.elapsed_seconds(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graffix_graph::GraphBuilder;
+
+    fn graph() -> Csr {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn exact_plan_identity() {
+        let p = Plan::exact(&graph(), &GpuConfig::test_tiny(), Strategy::Topology);
+        p.validate().unwrap();
+        assert!(p.identity_attrs());
+        assert_eq!(p.num_original(), 4);
+        assert_eq!(p.slot(2), 2);
+    }
+
+    #[test]
+    fn map_back_identity() {
+        let p = Plan::exact(&graph(), &GpuConfig::test_tiny(), Strategy::Frontier);
+        assert_eq!(p.map_back(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn tile_processing_nodes_identity() {
+        let p = Plan::exact(&graph(), &GpuConfig::test_tiny(), Strategy::Topology);
+        let tile = Tile {
+            center: 1,
+            nodes: vec![1, 2],
+            iterations: 2,
+        };
+        assert_eq!(p.tile_processing_nodes(&tile), vec![1, 2]);
+    }
+
+    #[test]
+    fn tile_processing_nodes_virtual() {
+        let mut p = Plan::exact(&graph(), &GpuConfig::test_tiny(), Strategy::Topology);
+        // Pretend node 1 was split into processing nodes 1 and 3.
+        p.attr_of = vec![0, 1, 2, 1];
+        let tile = Tile {
+            center: 1,
+            nodes: vec![1],
+            iterations: 1,
+        };
+        assert_eq!(p.tile_processing_nodes(&tile), vec![1, 3]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Shared iteration machinery: topology fixpoints, frontier loops, tile
+//! phases, and metered confluence — the pieces every algorithm composes.
+
+use crate::plan::Plan;
+use graffix_core::confluence;
+use graffix_graph::{NodeId, INVALID_NODE};
+use graffix_sim::{run_blocks, run_superstep, ArrayId, Block, KernelStats, Lane, Superstep};
+
+/// Precomputed per-plan execution state (tile residency masks and tile
+/// processing assignments).
+pub struct Runner<'a> {
+    pub plan: &'a Plan,
+    tile_masks: Vec<Vec<bool>>,
+    tile_nodes: Vec<Vec<NodeId>>,
+    /// Tile index of each processing node (`u32::MAX` = untiled).
+    tile_of: Vec<u32>,
+}
+
+impl<'a> Runner<'a> {
+    /// Prepares runtime state for `plan`. Small tiles are *packed* into
+    /// shared superblocks (up to four warps of nodes each, capacity
+    /// permitting): a thread block's shared memory can host several small
+    /// tiles at once, and packing keeps warps full instead of fragmenting
+    /// the launch into under-populated blocks.
+    pub fn new(plan: &'a Plan) -> Self {
+        let mut tile_masks: Vec<Vec<bool>> = Vec::new();
+        let mut tile_nodes: Vec<Vec<NodeId>> = Vec::new();
+        let mut tile_of = vec![u32::MAX; plan.graph.num_nodes()];
+        let target = plan.cfg.warp_size * 4;
+        let capacity_nodes = plan.cfg.shared_mem_words / 4;
+        for tile in &plan.tiles {
+            let nodes = plan.tile_processing_nodes(tile);
+            let start_new = match tile_nodes.last() {
+                None => true,
+                Some(last) => {
+                    last.len() >= target || last.len() + nodes.len() > capacity_nodes
+                }
+            };
+            if start_new {
+                tile_masks.push(vec![false; plan.attr_len]);
+                tile_nodes.push(Vec::new());
+            }
+            let sb = tile_nodes.len() - 1;
+            for &a in &tile.nodes {
+                tile_masks[sb][a as usize] = true;
+            }
+            for &v in &nodes {
+                tile_of[v as usize] = sb as u32;
+            }
+            tile_nodes.last_mut().unwrap().extend_from_slice(&nodes);
+        }
+        Runner {
+            plan,
+            tile_masks,
+            tile_nodes,
+            tile_of,
+        }
+    }
+
+    /// Runs one launch over `assignment` with **block-accurate tile
+    /// pricing**: nodes belonging to a shared-memory tile execute in that
+    /// tile's block (their tile-resident attribute accesses cost shared
+    /// latency), everything else runs in untiled blocks at global prices.
+    /// Without tiles this is a plain superstep.
+    pub fn run_tiled_superstep<F>(&self, assignment: &[NodeId], kernel: F) -> graffix_sim::SuperstepOutcome
+    where
+        F: FnMut(NodeId, &mut Lane) -> bool,
+    {
+        if self.plan.tiles.is_empty() {
+            return run_superstep(
+                &self.plan.cfg,
+                Superstep {
+                    assignment,
+                    resident: None,
+                },
+                kernel,
+            );
+        }
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); self.tile_nodes.len()];
+        let mut rest: Vec<NodeId> = Vec::new();
+        for &v in assignment {
+            if v == INVALID_NODE {
+                rest.push(v);
+                continue;
+            }
+            match self.tile_of[v as usize] {
+                u32::MAX => rest.push(v),
+                t => groups[t as usize].push(v),
+            }
+        }
+        let mut blocks: Vec<Block<'_>> = Vec::with_capacity(groups.len() + 1);
+        let mut staged_words = 0u64;
+        for (t, g) in groups.iter().enumerate() {
+            if !g.is_empty() {
+                blocks.push(Block {
+                    assignment: g,
+                    resident: Some(&self.tile_masks[t]),
+                });
+                // Words staged into this superblock's shared memory: its
+                // CSR slice (offset + edges per node) plus attribute words
+                // per resident node — loaded before and written back after
+                // the block runs.
+                let edge_words: usize = g.iter().map(|&v| self.plan.graph.degree(v)).sum();
+                staged_words += (edge_words + 3 * g.len()) as u64;
+            }
+        }
+        if !rest.is_empty() {
+            blocks.push(Block {
+                assignment: &rest,
+                resident: None,
+            });
+        }
+        let mut outcome = run_blocks(&self.plan.cfg, &blocks, kernel);
+        if staged_words > 0 {
+            // Metered load + writeback: fully coalesced bulk transfers.
+            let tx = 2 * staged_words.div_ceil(self.plan.cfg.segment_words);
+            outcome.stats.global_transactions += tx;
+            outcome.stats.warp_cycles += self.plan.cfg.lat_global * tx;
+        }
+        outcome
+    }
+
+    /// Runs the shared-memory tile phase (§3) as a sequence of
+    /// block-structured launches: round `r` launches every tile that still
+    /// has inner iterations left (and reported changes), one block per tile
+    /// — a single kernel launch per round, as on a real GPU.
+    pub fn tile_phase<F>(&self, kernel: &mut F) -> (KernelStats, bool)
+    where
+        F: FnMut(NodeId, &mut Lane) -> bool,
+    {
+        self.tile_phase_capped(kernel, usize::MAX)
+    }
+
+    /// [`Runner::tile_phase`] with the round count additionally capped —
+    /// iterative algorithms run the full `t` rounds on their first outer
+    /// iteration (the §3 reuse) and a single refresh round afterwards.
+    pub fn tile_phase_capped<F>(&self, kernel: &mut F, cap: usize) -> (KernelStats, bool)
+    where
+        F: FnMut(NodeId, &mut Lane) -> bool,
+    {
+        let mut stats = KernelStats::default();
+        let mut changed = false;
+        if self.plan.tiles.is_empty() {
+            return (stats, changed);
+        }
+        let max_rounds = self
+            .plan
+            .tiles
+            .iter()
+            .map(|t| t.iterations)
+            .max()
+            .unwrap_or(0)
+            .min(cap);
+        let mut live: Vec<bool> = vec![true; self.tile_nodes.len()];
+        for round in 0..max_rounds {
+            let blocks: Vec<Block<'_>> = (0..self.tile_nodes.len())
+                .filter(|&i| live[i])
+                .map(|i| Block {
+                    assignment: &self.tile_nodes[i],
+                    resident: Some(&self.tile_masks[i]),
+                })
+                .collect();
+            let _ = round;
+            if blocks.is_empty() {
+                break;
+            }
+            // One launch covers every live tile this round. Change
+            // detection is launch-granular (per-tile convergence would need
+            // device-side flags, which real implementations also avoid).
+            let outcome = run_blocks(&self.plan.cfg, &blocks, &mut *kernel);
+            stats += outcome.stats;
+            changed |= outcome.changed;
+            if !outcome.changed {
+                for l in live.iter_mut() {
+                    *l = false;
+                }
+            }
+        }
+        (stats, changed)
+    }
+
+    /// Topology-driven fixpoint: tile phase (when tiles exist) followed by
+    /// a global superstep over the full assignment, then the caller's
+    /// `after_iteration` hook (confluence etc.). The hook returns its
+    /// kernel cost plus a *stop* flag — algorithms with replica confluence
+    /// use it to terminate on value stability, because mean-merging can
+    /// make the raw `changed` flag oscillate forever (a merged value gets
+    /// re-relaxed, re-merged, re-relaxed …).
+    pub fn fixpoint<F, H>(&self, max_iters: usize, mut kernel: F, mut after_iteration: H) -> (KernelStats, usize)
+    where
+        F: FnMut(NodeId, &mut Lane) -> bool,
+        H: FnMut() -> (KernelStats, bool),
+    {
+        let mut stats = KernelStats::default();
+        let mut iters = 0usize;
+        for iter in 0..max_iters {
+            let mut changed = false;
+            if !self.plan.tiles.is_empty() {
+                let (tile_stats, tile_changed) = self.tile_phase(&mut kernel);
+                stats += tile_stats;
+                changed |= tile_changed;
+            }
+            let outcome = self.run_tiled_superstep(&self.plan.assignment, &mut kernel);
+            stats += outcome.stats;
+            changed |= outcome.changed;
+            let (hook_stats, stop) = after_iteration();
+            stats += hook_stats;
+            iters = iter + 1;
+            if !changed || stop {
+                break;
+            }
+        }
+        (stats, iters)
+    }
+
+    /// Frontier-driven loop (Gunrock style): processes the current
+    /// frontier, meters a filter pass over the produced frontier, runs the
+    /// caller's hook (which may push extra nodes, e.g. replica activations),
+    /// and repeats until the frontier drains or `max_iters` is reached.
+    ///
+    /// The kernel pushes activated *processing* nodes into its third
+    /// argument; duplicates are fine (the filter dedups, host-side).
+    pub fn frontier_loop<F, H>(
+        &self,
+        init: Vec<NodeId>,
+        max_iters: usize,
+        mut kernel: F,
+        mut after_iteration: H,
+    ) -> (KernelStats, usize)
+    where
+        F: FnMut(NodeId, &mut Lane, &mut Vec<NodeId>) -> bool,
+        H: FnMut(&mut Vec<NodeId>) -> KernelStats,
+    {
+        let mut stats = KernelStats::default();
+        let mut frontier = init;
+        let mut iters = 0usize;
+        for iter in 0..max_iters {
+            if frontier.is_empty() {
+                break;
+            }
+            iters = iter + 1;
+            let mut next: Vec<NodeId> = Vec::new();
+            let outcome = self.run_tiled_superstep(&frontier, |v, lane| kernel(v, lane, &mut next));
+            stats += outcome.stats;
+            stats += after_iteration(&mut next);
+            // Filter pass: dedup/compact the frontier. Metered as one flag
+            // read + one compacted write per surviving element, mirroring
+            // Gunrock's filter operator.
+            next.sort_unstable();
+            next.dedup();
+            if !next.is_empty() {
+                let filter = run_superstep(
+                    &self.plan.cfg,
+                    Superstep {
+                        assignment: &next,
+                        resident: None,
+                    },
+                    |v, lane| {
+                        lane.read(ArrayId::FRONTIER, v as usize);
+                        lane.write(ArrayId::WORKLIST, v as usize);
+                        false
+                    },
+                );
+                stats += filter.stats;
+            }
+            frontier = next;
+        }
+        (stats, iters)
+    }
+
+    /// Metered confluence over the plan's replica groups; returns the
+    /// kernel cost and the attribute slots whose value changed (so frontier
+    /// algorithms can re-activate them).
+    pub fn confluence(&self, attrs: &mut [f64]) -> (KernelStats, Vec<NodeId>) {
+        if self.plan.replica_groups.is_empty() {
+            return (KernelStats::default(), Vec::new());
+        }
+        let before: Vec<(NodeId, f64)> = self
+            .plan
+            .replica_groups
+            .iter()
+            .flat_map(|(_, members)| members.iter().map(|&m| (m, attrs[m as usize])))
+            .collect();
+        let stats = confluence::merge_metered(
+            &self.plan.cfg,
+            &self.plan.replica_groups,
+            self.plan.confluence,
+            attrs,
+        );
+        let changed: Vec<NodeId> = before
+            .into_iter()
+            .filter(|&(m, v)| {
+                let now = attrs[m as usize];
+                now != v && !(now.is_nan() && v.is_nan())
+            })
+            .map(|(m, _)| m)
+            .collect();
+        (stats, changed)
+    }
+
+    /// All valid processing nodes (assignment minus idle slots).
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.plan
+            .assignment
+            .iter()
+            .copied()
+            .filter(|&v| v != INVALID_NODE)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Plan, Strategy};
+    use graffix_core::Tile;
+    use graffix_graph::GraphBuilder;
+    use graffix_sim::GpuConfig;
+
+    fn chain_plan(strategy: Strategy) -> Plan {
+        let mut b = GraphBuilder::new(6);
+        for v in 0..5u32 {
+            b.add_edge(v, v + 1);
+        }
+        Plan::exact(&b.build(), &GpuConfig::test_tiny(), strategy)
+    }
+
+    #[test]
+    fn fixpoint_converges() {
+        let plan = chain_plan(Strategy::Topology);
+        let runner = Runner::new(&plan);
+        // Distance-like propagation along a 6-chain needs 5 passes + 1.
+        let mut dist = [f64::INFINITY; 6];
+        dist[0] = 0.0;
+        let (stats, iters) = runner.fixpoint(
+            100,
+            |v, lane| {
+                lane.read(ArrayId::NODE_ATTR, v as usize);
+                let d = dist[v as usize];
+                let mut changed = false;
+                for &w in plan.graph.neighbors(v) {
+                    lane.read(ArrayId::NODE_ATTR, w as usize);
+                    if d + 1.0 < dist[w as usize] {
+                        lane.atomic(ArrayId::NODE_ATTR, w as usize);
+                        dist[w as usize] = d + 1.0;
+                        changed = true;
+                    }
+                }
+                changed
+            },
+            || (KernelStats::default(), false),
+        );
+        assert_eq!(dist[5], 5.0);
+        assert!((2..=7).contains(&iters));
+        assert!(stats.warp_cycles > 0);
+    }
+
+    #[test]
+    fn frontier_drains() {
+        let plan = chain_plan(Strategy::Frontier);
+        let runner = Runner::new(&plan);
+        let mut dist = [f64::INFINITY; 6];
+        dist[0] = 0.0;
+        let (stats, iters) = runner.frontier_loop(
+            vec![0],
+            100,
+            |v, lane, next| {
+                lane.read(ArrayId::NODE_ATTR, v as usize);
+                let d = dist[v as usize];
+                let mut changed = false;
+                for &w in plan.graph.neighbors(v) {
+                    if d + 1.0 < dist[w as usize] {
+                        lane.atomic(ArrayId::NODE_ATTR, w as usize);
+                        dist[w as usize] = d + 1.0;
+                        next.push(w);
+                        changed = true;
+                    }
+                }
+                changed
+            },
+            |_| KernelStats::default(),
+        );
+        assert_eq!(dist[5], 5.0);
+        assert_eq!(iters, 6); // node 5 activates once more with no outputs
+        assert!(stats.launches >= 6);
+    }
+
+    #[test]
+    fn tile_phase_runs_inner_iterations() {
+        let mut plan = chain_plan(Strategy::Topology);
+        plan.tiles = vec![Tile {
+            center: 1,
+            nodes: vec![0, 1, 2],
+            iterations: 3,
+        }];
+        let runner = Runner::new(&plan);
+        let mut hits = 0usize;
+        let mut budget = 2; // report change twice, then stable
+        let (stats, _) = runner.tile_phase(&mut |_, lane: &mut Lane| {
+            lane.read(ArrayId::NODE_ATTR, 0);
+            hits += 1;
+            if budget > 0 {
+                budget -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        // Inner loop stops early once stable: 3 nodes x at most 3 rounds.
+        assert!((6..=9).contains(&hits), "hits = {hits}");
+        assert!(stats.shared_accesses > 0, "tile accesses must be shared");
+    }
+
+    #[test]
+    fn confluence_reports_changes() {
+        let mut plan = chain_plan(Strategy::Topology);
+        plan.replica_groups = vec![(0, vec![0, 1])];
+        let runner = Runner::new(&plan);
+        let mut attrs = vec![2.0, 4.0, 0.0, 0.0, 0.0, 0.0];
+        let (stats, changed) = runner.confluence(&mut attrs);
+        assert_eq!(attrs[0], 3.0);
+        assert_eq!(attrs[1], 3.0);
+        assert_eq!(changed, vec![0, 1]);
+        assert!(stats.global_accesses > 0);
+    }
+
+    #[test]
+    fn confluence_noop_without_groups() {
+        let plan = chain_plan(Strategy::Topology);
+        let runner = Runner::new(&plan);
+        let mut attrs = vec![1.0; 6];
+        let (stats, changed) = runner.confluence(&mut attrs);
+        assert_eq!(stats, KernelStats::default());
+        assert!(changed.is_empty());
+    }
+}

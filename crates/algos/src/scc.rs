@@ -1,0 +1,344 @@
+//! Strongly connected components via FW–BW–Trim (the Baseline-I exact SCC
+//! of Devshatwar et al., itself a GPU adaptation of the Hong et al.
+//! algorithm the paper cites).
+//!
+//! Simulated GPU version: iterative rounds of (1) **trim** supersteps that
+//! peel vertices with no live in- or out-neighbors as singleton SCCs,
+//! (2) pivot selection (max live degree), (3) metered **forward** and
+//! **backward** reachability from the pivot, whose intersection is one SCC.
+//! Rounds repeat until every vertex is assigned.
+//!
+//! All SCC state lives in *logical* space: a replica or virtual copy shares
+//! its logical node's liveness/marks (the per-iteration confluence of
+//! §2.4), and every copy's edge slice participates in propagation — so the
+//! measured inaccuracy (the paper's metric: difference in component count)
+//! reflects the transform's structural changes (added shortcut edges
+//! merging or bridging components), not bookkeeping artifacts.
+
+use crate::plan::{Plan, SimRun, Strategy};
+use crate::runner::Runner;
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use graffix_sim::{ArrayId, KernelStats, Lane};
+
+/// Result of a simulated SCC run.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// Per-original-vertex component labels.
+    pub run: SimRun,
+    /// Number of strongly connected components found.
+    pub components: usize,
+}
+
+/// Runs simulated FW–BW–Trim SCC.
+pub fn run_sim(plan: &Plan) -> SccResult {
+    let runner = Runner::new(plan);
+    let graph = &plan.graph;
+    let transpose = graph.transpose();
+    let n_logical = plan.num_original();
+
+    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
+    let mut procs_of: Vec<Vec<NodeId>> = vec![Vec::new(); n_logical];
+    for v in 0..graph.num_nodes() as NodeId {
+        let l = lid(v);
+        if l != INVALID_NODE {
+            procs_of[l as usize].push(v);
+        }
+    }
+
+    let mut alive = vec![true; n_logical];
+    let mut comp = vec![f64::NAN; n_logical];
+    let mut components = 0usize;
+    let mut stats = KernelStats::default();
+    let mut iterations = 0usize;
+    let mut live_remaining = n_logical;
+
+    let all_nodes: Vec<NodeId> = runner.active_nodes();
+
+    while live_remaining > 0 {
+        // --- Trim: peel logical nodes with no live out- or in-neighbor.
+        loop {
+            iterations += 1;
+            // A copy's scan marks liveness evidence for its logical node.
+            let mut out_any = vec![false; n_logical];
+            let mut in_any = vec![false; n_logical];
+            let outcome = runner.run_tiled_superstep(&all_nodes, |v, lane: &mut Lane| {
+                let l = lid(v) as usize;
+                lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
+                if !alive[l] {
+                    return false;
+                }
+                for e in graph.edge_range(v) {
+                    lane.read(ArrayId::EDGES, e);
+                    let u = graph.edges_raw()[e];
+                    let lu = lid(u) as usize;
+                    lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                    if lu != l && alive[lu] {
+                        out_any[l] = true;
+                        break;
+                    }
+                }
+                for e in transpose.edge_range(v) {
+                    lane.read(ArrayId::EDGES, e);
+                    let u = transpose.edges_raw()[e];
+                    let lu = lid(u) as usize;
+                    lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                    if lu != l && alive[lu] {
+                        in_any[l] = true;
+                        break;
+                    }
+                }
+                false
+            });
+            stats += outcome.stats;
+            let mut trimmed = 0usize;
+            for l in 0..n_logical {
+                if alive[l] && (!out_any[l] || !in_any[l]) {
+                    alive[l] = false;
+                    comp[l] = l as f64;
+                    components += 1;
+                    trimmed += 1;
+                }
+            }
+            live_remaining -= trimmed;
+            if trimmed == 0 {
+                break;
+            }
+        }
+        if live_remaining == 0 {
+            break;
+        }
+
+        // --- Pivot: live logical node with the largest combined degree
+        // over its copies.
+        let pivot = (0..n_logical)
+            .filter(|&l| alive[l])
+            .max_by_key(|&l| {
+                let deg: usize = procs_of[l]
+                    .iter()
+                    .map(|&v| graph.degree(v) + transpose.degree(v))
+                    .sum();
+                (deg, std::cmp::Reverse(l))
+            })
+            .unwrap();
+
+        // --- Forward and backward reachability from the pivot.
+        let fwd = reach(&runner, graph, &procs_of, &alive, pivot, &mut stats, &mut iterations);
+        let bwd = reach(&runner, &transpose, &procs_of, &alive, pivot, &mut stats, &mut iterations);
+
+        // --- The intersection is one SCC.
+        let mut scc_size = 0usize;
+        for l in 0..n_logical {
+            if alive[l] && fwd[l] && bwd[l] {
+                alive[l] = false;
+                comp[l] = pivot as f64;
+                scc_size += 1;
+            }
+        }
+        debug_assert!(scc_size >= 1, "pivot must reach itself");
+        live_remaining -= scc_size;
+        components += 1;
+    }
+
+    SccResult {
+        run: SimRun {
+            values: comp,
+            stats,
+            iterations,
+        },
+        components,
+    }
+}
+
+/// Metered frontier reachability over live logical nodes from `pivot`.
+fn reach(
+    runner: &Runner<'_>,
+    graph: &Csr,
+    procs_of: &[Vec<NodeId>],
+    alive: &[bool],
+    pivot: usize,
+    stats: &mut KernelStats,
+    iterations: &mut usize,
+) -> Vec<bool> {
+    let plan = runner.plan;
+    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
+    let mut mark = vec![false; procs_of.len()];
+    mark[pivot] = true;
+    let mut frontier: Vec<NodeId> = procs_of[pivot].clone();
+    while !frontier.is_empty() {
+        *iterations += 1;
+        let mut next: Vec<NodeId> = Vec::new();
+        let outcome = runner.run_tiled_superstep(&frontier, |v, lane: &mut Lane| {
+            lane.read(ArrayId::OFFSETS, v as usize);
+            let mut changed = false;
+            for e in graph.edge_range(v) {
+                lane.read(ArrayId::EDGES, e);
+                let u = graph.edges_raw()[e];
+                let lu = lid(u) as usize;
+                lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                if alive[lu] && !mark[lu] {
+                    lane.write(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                    mark[lu] = true;
+                    next.extend_from_slice(&procs_of[lu]);
+                    changed = true;
+                } else {
+                    lane.compute(1);
+                }
+            }
+            changed
+        });
+        *stats += outcome.stats;
+        next.sort_unstable();
+        next.dedup();
+        if plan.strategy == Strategy::Frontier && !next.is_empty() {
+            let filter = runner.run_tiled_superstep(&next, |v, lane: &mut Lane| {
+                lane.read(ArrayId::FRONTIER, v as usize);
+                lane.write(ArrayId::WORKLIST, v as usize);
+                false
+            });
+            *stats += filter.stats;
+        }
+        frontier = next;
+    }
+    mark
+}
+
+/// Exact CPU reference: Tarjan's algorithm (iterative), returning the
+/// number of SCCs over non-hole vertices.
+pub fn exact_cpu_count(g: &Csr) -> usize {
+    let n = g.num_nodes();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0usize;
+
+    // Iterative Tarjan with an explicit call stack: (node, edge cursor).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+    for root in g.real_nodes() {
+        if index[root as usize] != u32::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            if *cursor == 0 {
+                index[v as usize] = next_index;
+                low[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let nbrs = g.neighbors(v);
+            let mut descended = false;
+            while *cursor < nbrs.len() {
+                let u = nbrs[*cursor];
+                *cursor += 1;
+                if index[u as usize] == u32::MAX {
+                    call.push((u, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[u as usize] {
+                    low[v as usize] = low[v as usize].min(index[u as usize]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            call.pop();
+            if let Some(&(parent, _)) = call.last() {
+                low[parent as usize] = low[parent as usize].min(low[v as usize]);
+            }
+            if low[v as usize] == index[v as usize] {
+                count += 1;
+                while let Some(w) = stack.pop() {
+                    on_stack[w as usize] = false;
+                    if w == v {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+    use graffix_graph::GraphBuilder;
+    use graffix_sim::GpuConfig;
+
+    fn two_cycles() -> Csr {
+        // Cycle {0,1,2}, cycle {3,4}, bridge 2 -> 3, isolated 5.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(3, 4);
+        b.add_edge(4, 3);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn tarjan_counts_components() {
+        let g = two_cycles();
+        assert_eq!(exact_cpu_count(&g), 3); // {0,1,2}, {3,4}, {5}
+    }
+
+    #[test]
+    fn sim_matches_tarjan_on_exact_plan() {
+        let g = two_cycles();
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+        let result = run_sim(&plan);
+        assert_eq!(result.components, 3);
+    }
+
+    #[test]
+    fn sim_matches_tarjan_on_random_graphs() {
+        for seed in [1u64, 2, 3] {
+            let g = GraphSpec::new(GraphKind::Random, 200, seed).generate();
+            let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+            let result = run_sim(&plan);
+            assert_eq!(
+                result.components,
+                exact_cpu_count(&g),
+                "seed {seed} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_graph_has_wcc_equal_scc() {
+        let g = GraphSpec::new(GraphKind::Road, 400, 5).generate();
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+        let result = run_sim(&plan);
+        assert_eq!(result.components, exact_cpu_count(&g));
+    }
+
+    #[test]
+    fn component_labels_partition_members() {
+        let g = two_cycles();
+        let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
+        let result = run_sim(&plan);
+        let v = &result.run.values;
+        assert_eq!(v[0], v[1]);
+        assert_eq!(v[1], v[2]);
+        assert_eq!(v[3], v[4]);
+        assert_ne!(v[0], v[3]);
+        assert_ne!(v[5], v[0]);
+    }
+
+    #[test]
+    fn transformed_count_close() {
+        use graffix_core::{coalesce, CoalesceKnobs};
+        let g = GraphSpec::new(GraphKind::Rmat, 300, 4).generate();
+        let exact = exact_cpu_count(&g) as f64;
+        let prepared = coalesce::transform(&g, &CoalesceKnobs::default());
+        let plan = Plan::from_prepared(&prepared, &GpuConfig::test_tiny(), Strategy::Topology);
+        let result = run_sim(&plan);
+        let err = crate::accuracy::scalar_inaccuracy(result.components as f64, exact);
+        assert!(err < 0.25, "SCC count error {err}");
+    }
+}

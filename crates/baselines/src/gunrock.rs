@@ -1,0 +1,40 @@
+//! Baseline-III: Gunrock-style frontier execution.
+//!
+//! Gunrock structures computation as advance (expand the frontier along
+//! edges) + filter (compact out inactive items). The algorithms in
+//! `graffix-algos` implement exactly that shape under
+//! [`Strategy::Frontier`], including a metered filter pass per iteration.
+
+use graffix_algos::{Plan, Strategy};
+use graffix_core::Prepared;
+use graffix_sim::GpuConfig;
+
+/// Builds the Baseline-III plan for a (possibly transformed) graph.
+pub fn plan(prepared: &Prepared, cfg: &GpuConfig) -> Plan {
+    Plan::from_prepared(prepared, cfg, Strategy::Frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graffix_algos::sssp;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+
+    #[test]
+    fn frontier_strategy_selected() {
+        let g = GraphSpec::new(GraphKind::Random, 200, 1).generate();
+        let p = plan(&Prepared::exact(g), &GpuConfig::k40c());
+        assert_eq!(p.strategy, Strategy::Frontier);
+    }
+
+    #[test]
+    fn produces_same_sssp_results_as_lonestar() {
+        let g = GraphSpec::new(GraphKind::SocialLiveJournal, 250, 4).generate();
+        let src = sssp::default_source(&g);
+        let cfg = GpuConfig::k40c();
+        let prepared = Prepared::exact(g);
+        let gun = sssp::run_sim(&plan(&prepared, &cfg), src);
+        let lone = sssp::run_sim(&crate::lonestar::plan(&prepared, &cfg), src);
+        assert_eq!(gun.values, lone.values);
+    }
+}

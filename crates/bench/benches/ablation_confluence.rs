@@ -1,0 +1,63 @@
+//! Ablation: the confluence design choices DESIGN.md calls out —
+//! algorithm-agnostic mean (paper default) vs. algorithm-aware min, and
+//! every-iteration merging vs. none.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_algos::{sssp, Plan, Strategy};
+use graffix_baselines::Baseline;
+use graffix_core::{coalesce, CoalesceKnobs, ConfluenceOp};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_sim::GpuConfig;
+use std::hint::black_box;
+
+fn bench_confluence_ops(c: &mut Criterion) {
+    let g = GraphSpec::new(GraphKind::Rmat, 768, 3).generate();
+    let gpu = GpuConfig::k40c();
+    let prepared = coalesce::transform(&g, &CoalesceKnobs::for_kind(GraphKind::Rmat));
+    let src = sssp::default_source(&g);
+
+    let mut group = c.benchmark_group("ablation/confluence-operator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (label, op) in [
+        ("mean-paper-default", ConfluenceOp::Mean),
+        ("min-algorithm-aware", ConfluenceOp::Min),
+        ("max", ConfluenceOp::Max),
+    ] {
+        let p = prepared.clone().with_confluence(op);
+        let plan = Baseline::Lonestar.plan(&p, &gpu);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
+            b.iter(|| black_box(sssp::run_sim(plan, src).stats.warp_cycles));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_cadence(c: &mut Criterion) {
+    // Every-iteration merging (paper) vs. a plan with the replica groups
+    // stripped (end-only semantics approximated by "never merge": the
+    // replicas then behave as independent vertices).
+    let g = GraphSpec::new(GraphKind::SocialTwitter, 768, 9).generate();
+    let gpu = GpuConfig::k40c();
+    let prepared = coalesce::transform(&g, &CoalesceKnobs::for_kind(GraphKind::SocialTwitter));
+    let src = sssp::default_source(&g);
+
+    let mut group = c.benchmark_group("ablation/confluence-cadence");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let merged = Plan::from_prepared(&prepared, &gpu, Strategy::Topology);
+    group.bench_function("merge-every-iteration", |b| {
+        b.iter(|| black_box(sssp::run_sim(&merged, src).stats.warp_cycles));
+    });
+    let mut unmerged = Plan::from_prepared(&prepared, &gpu, Strategy::Topology);
+    unmerged.replica_groups.clear();
+    group.bench_function("no-merging", |b| {
+        b.iter(|| black_box(sssp::run_sim(&unmerged, src).stats.warp_cycles));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_confluence_ops, bench_merge_cadence);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablations of the transforms' components (DESIGN.md §7):
+//! renumbering alone vs. renumbering+replication, bucket-sort alone vs.
+//! bucket+fill, and the shared-memory iteration factor `t`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_algos::{pagerank, sssp};
+use graffix_baselines::Baseline;
+use graffix_core::{coalesce, divergence, latency, CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_sim::GpuConfig;
+use std::hint::black_box;
+
+fn bench_coalesce_parts(c: &mut Criterion) {
+    let g = GraphSpec::new(GraphKind::Rmat, 768, 3).generate();
+    let gpu = GpuConfig::k40c();
+    let mut group = c.benchmark_group("ablation/coalesce-parts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    // Renumber-only (threshold > 1 disables replication) vs. the full
+    // transform.
+    for (label, thr) in [("renumber-only", 1.5f64), ("renumber+replicate", 0.6)] {
+        let p = coalesce::transform(&g, &CoalesceKnobs::default().with_threshold(thr));
+        let plan = Baseline::Lonestar.plan(&p, &gpu);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
+            b.iter(|| black_box(pagerank::run_sim(plan).stats.warp_cycles));
+        });
+    }
+    group.finish();
+}
+
+fn bench_divergence_parts(c: &mut Criterion) {
+    let g = GraphSpec::new(GraphKind::Rmat, 768, 5).generate();
+    let gpu = GpuConfig::k40c();
+    let src = sssp::default_source(&g);
+    let mut group = c.benchmark_group("ablation/divergence-parts");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (label, thr) in [("bucket-only", 0.0f64), ("bucket+fill", 0.3)] {
+        let p = divergence::transform(
+            &g,
+            &DivergenceKnobs::default().with_threshold(thr),
+            gpu.warp_size,
+        );
+        let plan = Baseline::Lonestar.plan(&p, &gpu);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &plan, |b, plan| {
+            b.iter(|| black_box(sssp::run_sim(plan, src).stats.warp_cycles));
+        });
+    }
+    group.finish();
+}
+
+fn bench_latency_t_factor(c: &mut Criterion) {
+    let g = GraphSpec::new(GraphKind::SocialLiveJournal, 768, 7).generate();
+    let gpu = GpuConfig::k40c();
+    let src = sssp::default_source(&g);
+    let mut group = c.benchmark_group("ablation/latency-t-factor");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for t in [1usize, 2, 4] {
+        let knobs = LatencyKnobs {
+            t_diameter_factor: t,
+            ..LatencyKnobs::for_kind(GraphKind::SocialLiveJournal)
+        };
+        let p = latency::transform(&g, &knobs, &gpu);
+        let plan = Baseline::Lonestar.plan(&p, &gpu);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}x-diam")), &plan, |b, plan| {
+            b.iter(|| black_box(sssp::run_sim(plan, src).stats.warp_cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coalesce_parts,
+    bench_divergence_parts,
+    bench_latency_t_factor
+);
+criterion_main!(benches);

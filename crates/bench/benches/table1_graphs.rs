@@ -1,0 +1,53 @@
+//! Table 1 bench: generation throughput of every input-graph family at the
+//! bench scale, plus the structural summaries the table reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_graph::properties;
+use std::hint::black_box;
+
+const NODES: usize = 1024;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/generate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in [
+        GraphKind::Rmat,
+        GraphKind::Random,
+        GraphKind::SocialLiveJournal,
+        GraphKind::Road,
+        GraphKind::SocialTwitter,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.paper_name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(GraphSpec::new(kind, NODES, 1).generate()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_summaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/summarize");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in [GraphKind::Rmat, GraphKind::Road] {
+        let g = GraphSpec::new(kind, NODES, 1).generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.paper_name()),
+            &g,
+            |b, g| {
+                b.iter(|| black_box(properties::summarize(g, 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_summaries);
+criterion_main!(benches);

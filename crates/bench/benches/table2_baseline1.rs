@@ -1,0 +1,53 @@
+//! Table 2 bench: exact execution of all five algorithms under Baseline-I
+//! (LonestarGPU-style topology-driven) on each graph family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_baselines::Baseline;
+use graffix_bench::experiments::{run_algo, Algo, ALL_ALGOS};
+use graffix_bench::suite::{Suite, SuiteOptions};
+use graffix_core::Technique;
+use std::hint::black_box;
+
+fn suite() -> Suite {
+    Suite::new(SuiteOptions {
+        nodes: 768,
+        seed: 2020,
+        bc_sources: 2,
+    })
+}
+
+fn bench_exact_runs(c: &mut Criterion) {
+    let suite = suite();
+    let mut group = c.benchmark_group("table2/exact-baseline1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for gi in 0..suite.len() {
+        let prepared = suite.prepared(gi, Technique::Exact);
+        let plan = Baseline::Lonestar.plan(&prepared, &suite.cfg);
+        for algo in ALL_ALGOS {
+            let id = format!("{}/{}", suite.kind(gi).paper_name(), algo.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &algo, |b, &algo| {
+                b.iter(|| black_box(run_algo(&suite, &plan, algo, suite.graph(gi)).cycles));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reference_cpu(c: &mut Criterion) {
+    let suite = suite();
+    let mut group = c.benchmark_group("table2/cpu-references");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for algo in [Algo::Sssp, Algo::Scc, Algo::Mst] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
+            b.iter(|| black_box(graffix_bench::experiments::cpu_reference(&suite, 0, algo)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_runs, bench_reference_cpu);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Tables 3–4 bench: exact SSSP/PR/BC under the Tigr (virtual splitting)
+//! and Gunrock (frontier) baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_baselines::Baseline;
+use graffix_bench::experiments::{run_algo, CORE_ALGOS};
+use graffix_bench::suite::{Suite, SuiteOptions};
+use graffix_core::Technique;
+use std::hint::black_box;
+
+fn bench_tigr_gunrock(c: &mut Criterion) {
+    let suite = Suite::new(SuiteOptions {
+        nodes: 768,
+        seed: 2020,
+        bc_sources: 2,
+    });
+    for (table, baseline) in [(3usize, Baseline::Tigr), (4, Baseline::Gunrock)] {
+        let mut group = c.benchmark_group(format!("table{table}/{}", match baseline {
+            Baseline::Tigr => "tigr",
+            _ => "gunrock",
+        }));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(1500));
+        for gi in [0usize, 3] {
+            let prepared = suite.prepared(gi, Technique::Exact);
+            let plan = baseline.plan(&prepared, &suite.cfg);
+            for algo in CORE_ALGOS {
+                let id = format!("{}/{}", suite.kind(gi).paper_name(), algo.label());
+                group.bench_with_input(BenchmarkId::from_parameter(id), &algo, |b, &algo| {
+                    b.iter(|| black_box(run_algo(&suite, &plan, algo, suite.graph(gi)).cycles));
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_tigr_gunrock);
+criterion_main!(benches);

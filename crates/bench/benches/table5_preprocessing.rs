@@ -1,0 +1,60 @@
+//! Table 5 bench: preprocessing cost of each transform on each family —
+//! the one-time host-side work the paper amortizes over repeated runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_core::{coalesce, divergence, latency, CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_sim::GpuConfig;
+use std::hint::black_box;
+
+const NODES: usize = 1024;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let gpu = GpuConfig::k40c();
+    let kinds = [GraphKind::Rmat, GraphKind::SocialLiveJournal, GraphKind::Road];
+
+    let mut group = c.benchmark_group("table5/coalescing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in kinds {
+        let g = GraphSpec::new(kind, NODES, 5).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.paper_name()), &g, |b, g| {
+            b.iter(|| black_box(coalesce::transform(g, &CoalesceKnobs::for_kind(kind))));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table5/latency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in kinds {
+        let g = GraphSpec::new(kind, NODES, 5).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.paper_name()), &g, |b, g| {
+            b.iter(|| black_box(latency::transform(g, &LatencyKnobs::for_kind(kind), &gpu)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table5/divergence");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for kind in kinds {
+        let g = GraphSpec::new(kind, NODES, 5).generate();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.paper_name()), &g, |b, g| {
+            b.iter(|| {
+                black_box(divergence::transform(
+                    g,
+                    &DivergenceKnobs::for_kind(kind),
+                    gpu.warp_size,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

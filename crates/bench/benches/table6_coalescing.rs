@@ -1,0 +1,33 @@
+//! Table 6 bench: the coalescing transform's approximate execution versus
+//! the exact Baseline-I run, per algorithm (the measurement behind each
+//! speedup cell).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_baselines::Baseline;
+use graffix_bench::experiments::{run_algo, ALL_ALGOS};
+use graffix_bench::suite::{Suite, SuiteOptions};
+use graffix_core::Technique;
+use std::hint::black_box;
+
+fn bench_table6(c: &mut Criterion) {
+    let suite = Suite::new(SuiteOptions { nodes: 768, seed: 2020, bc_sources: 2 });
+    let mut group = c.benchmark_group("table6/coalescing-vs-baseline1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let gi = 0; // rmat
+    for technique in [Technique::Exact, Technique::Coalescing] {
+        let prepared = suite.prepared(gi, technique);
+        let plan = Baseline::Lonestar.plan(&prepared, &suite.cfg);
+        for algo in ALL_ALGOS {
+            let id = format!("{:?}/{}", technique, algo.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &algo, |b, &algo| {
+                b.iter(|| black_box(run_algo(&suite, &plan, algo, suite.graph(gi)).cycles));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 7 bench: the latency (shared-memory tile) transform's approximate
+//! execution versus the exact Baseline-I run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_baselines::Baseline;
+use graffix_bench::experiments::{run_algo, ALL_ALGOS};
+use graffix_bench::suite::{Suite, SuiteOptions};
+use graffix_core::Technique;
+use std::hint::black_box;
+
+fn bench_table7(c: &mut Criterion) {
+    let suite = Suite::new(SuiteOptions { nodes: 768, seed: 2020, bc_sources: 2 });
+    let mut group = c.benchmark_group("table7/latency-vs-baseline1");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let gi = 2; // LiveJournal (clustered: the transform's home turf)
+    for technique in [Technique::Exact, Technique::Latency] {
+        let prepared = suite.prepared(gi, technique);
+        let plan = Baseline::Lonestar.plan(&prepared, &suite.cfg);
+        for algo in ALL_ALGOS {
+            let id = format!("{:?}/{}", technique, algo.label());
+            group.bench_with_input(BenchmarkId::from_parameter(id), &algo, |b, &algo| {
+                b.iter(|| black_box(run_algo(&suite, &plan, algo, suite.graph(gi)).cycles));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

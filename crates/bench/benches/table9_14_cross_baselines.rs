@@ -1,0 +1,41 @@
+//! Tables 9–14 bench: each transform executed under the Tigr and Gunrock
+//! baselines (approximate Graffix *through* the competing frameworks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_baselines::Baseline;
+use graffix_bench::experiments::{run_algo, CORE_ALGOS};
+use graffix_bench::suite::{Suite, SuiteOptions};
+use graffix_core::Technique;
+use std::hint::black_box;
+
+fn bench_cross(c: &mut Criterion) {
+    let suite = Suite::new(SuiteOptions { nodes: 768, seed: 2020, bc_sources: 2 });
+    let gi = 0; // rmat
+    for (label, baseline) in [("tigr", Baseline::Tigr), ("gunrock", Baseline::Gunrock)] {
+        let mut group = c.benchmark_group(format!("table9-14/{label}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+        for technique in [
+            Technique::Exact,
+            Technique::Coalescing,
+            Technique::Latency,
+            Technique::Divergence,
+        ] {
+            let prepared = suite.prepared(gi, technique);
+            let plan = baseline.plan(&prepared, &suite.cfg);
+            for algo in CORE_ALGOS {
+                let id = format!("{:?}/{}", technique, algo.label());
+                group.bench_with_input(BenchmarkId::from_parameter(id), &algo, |b, &algo| {
+                    b.iter(|| black_box(run_algo(&suite, &plan, algo, suite.graph(gi)).cycles));
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_cross);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Regenerates the paper's knob-sweep figures (7, 8, 9) as threshold →
+//! (speedup, inaccuracy) series, with an ASCII rendering and CSV output.
+//!
+//! ```text
+//! figures [--figure N | --all] [--nodes N] [--seed S] [--out DIR]
+//! ```
+
+use graffix_bench::report::{self, SweepPoint};
+use graffix_bench::suite::{Suite, SuiteOptions};
+use std::path::PathBuf;
+
+struct Args {
+    figures: Vec<usize>,
+    nodes: Option<usize>,
+    seed: Option<u64>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        figures: Vec::new(),
+        nodes: None,
+        seed: None,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--figure" => args
+                .figures
+                .push(it.next().expect("--figure needs 7|8|9").parse().unwrap()),
+            "--all" => args.figures = vec![7, 8, 9],
+            "--nodes" => args.nodes = Some(it.next().unwrap().parse().unwrap()),
+            "--seed" => args.seed = Some(it.next().unwrap().parse().unwrap()),
+            "--out" => args.out = PathBuf::from(it.next().unwrap()),
+            "--help" | "-h" => {
+                eprintln!("usage: figures [--figure 7|8|9]... [--all] [--nodes N] [--seed S]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if args.figures.is_empty() {
+        args.figures = vec![7, 8, 9];
+    }
+    args
+}
+
+/// ASCII dual-series plot: speedup as `*`, inaccuracy as `o`.
+fn ascii_plot(points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    let max_speed = points.iter().map(|p| p.speedup).fold(1.0f64, f64::max);
+    let max_err = points
+        .iter()
+        .map(|p| p.inaccuracy)
+        .fold(1e-6f64, f64::max);
+    out.push_str("  thr   speedup (*)                inaccuracy (o)\n");
+    for p in points {
+        let sw = ((p.speedup / max_speed) * 24.0).round() as usize;
+        let ew = ((p.inaccuracy / max_err) * 24.0).round() as usize;
+        out.push_str(&format!(
+            "  {:>4.2}  {:<26} {:<26}\n",
+            p.threshold,
+            format!("{}{:.2}x", "*".repeat(sw.max(1)), p.speedup),
+            format!("{}{:.1}%", "o".repeat(ew.max(1)), p.inaccuracy * 100.0),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut options = SuiteOptions::from_env();
+    if let Some(n) = args.nodes {
+        options.nodes = n;
+    }
+    if let Some(s) = args.seed {
+        options.seed = s;
+    }
+    let suite = Suite::new(options);
+
+    for &f in &args.figures {
+        let thresholds: Vec<f64> = match f {
+            7 => (1..=9).map(|i| i as f64 / 10.0).collect(),
+            8 => vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95],
+            9 => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+            _ => panic!("figures are 7, 8, 9"),
+        };
+        let start = std::time::Instant::now();
+        let (table, points) = report::figure_sweep(&suite, f, &thresholds);
+        println!("{}", table.render());
+        println!("{}", ascii_plot(&points));
+        if let Err(e) = table.save_csv(&args.out, &format!("figure{f:02}")) {
+            eprintln!("warning: could not save CSV for figure {f}: {e}");
+        }
+        eprintln!("  [figure {f} in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

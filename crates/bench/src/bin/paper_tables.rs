@@ -1,0 +1,102 @@
+//! Regenerates every table of the paper's evaluation section.
+//!
+//! ```text
+//! paper_tables [--table N | --all] [--nodes N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Scale defaults to 4096 vertices per graph (`GRAFFIX_NODES` / `--nodes`
+//! override); the paper's absolute sizes are scaled down uniformly, so
+//! compare *shapes* (who wins, by what factor), not raw seconds.
+
+use graffix_baselines::Baseline;
+use graffix_bench::report;
+use graffix_bench::suite::{Suite, SuiteOptions};
+use graffix_bench::tables::TextTable;
+use graffix_core::Technique;
+use std::path::PathBuf;
+
+struct Args {
+    tables: Vec<usize>,
+    nodes: Option<usize>,
+    seed: Option<u64>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tables: Vec::new(),
+        nodes: None,
+        seed: None,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => {
+                let v = it.next().expect("--table needs a number");
+                args.tables.push(v.parse().expect("bad table number"));
+            }
+            "--all" => args.tables = (1..=14).collect(),
+            "--nodes" => args.nodes = Some(it.next().unwrap().parse().expect("bad --nodes")),
+            "--seed" => args.seed = Some(it.next().unwrap().parse().expect("bad --seed")),
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a dir")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: paper_tables [--table N]... [--all] [--nodes N] [--seed S] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if args.tables.is_empty() {
+        args.tables = (1..=14).collect();
+    }
+    args
+}
+
+fn build(suite: &Suite, n: usize) -> TextTable {
+    match n {
+        1 => report::table1(suite),
+        2 => report::exact_times(suite, Baseline::Lonestar, 2),
+        3 => report::exact_times(suite, Baseline::Tigr, 3),
+        4 => report::exact_times(suite, Baseline::Gunrock, 4),
+        5 => report::table5(suite),
+        6 => report::technique_vs_baseline(suite, Technique::Coalescing, Baseline::Lonestar, 6),
+        7 => report::technique_vs_baseline(suite, Technique::Latency, Baseline::Lonestar, 7),
+        8 => report::technique_vs_baseline(suite, Technique::Divergence, Baseline::Lonestar, 8),
+        9 => report::technique_vs_baseline(suite, Technique::Coalescing, Baseline::Tigr, 9),
+        10 => report::technique_vs_baseline(suite, Technique::Latency, Baseline::Tigr, 10),
+        11 => report::technique_vs_baseline(suite, Technique::Divergence, Baseline::Tigr, 11),
+        12 => report::technique_vs_baseline(suite, Technique::Coalescing, Baseline::Gunrock, 12),
+        13 => report::technique_vs_baseline(suite, Technique::Latency, Baseline::Gunrock, 13),
+        14 => report::technique_vs_baseline(suite, Technique::Divergence, Baseline::Gunrock, 14),
+        _ => panic!("tables run 1..=14"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut options = SuiteOptions::from_env();
+    if let Some(n) = args.nodes {
+        options.nodes = n;
+    }
+    if let Some(s) = args.seed {
+        options.seed = s;
+    }
+    eprintln!(
+        "generating suite: {} nodes/graph, seed {} ...",
+        options.nodes, options.seed
+    );
+    let suite = Suite::new(options);
+
+    for &n in &args.tables {
+        let start = std::time::Instant::now();
+        let table = build(&suite, n);
+        println!("{}", table.render());
+        if let Err(e) = table.save_csv(&args.out, &format!("table{n:02}")) {
+            eprintln!("warning: could not save CSV for table {n}: {e}");
+        }
+        eprintln!("  [table {n} in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,19 @@
+//! # graffix-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation (§5): workload construction (Table 1), exact
+//! baseline timings (Tables 2–4), preprocessing overheads (Table 5), the
+//! speedup/inaccuracy grids for each transform against each baseline
+//! (Tables 6–14), and the three knob-sweep figures (Figures 7–9).
+//!
+//! The `paper_tables` and `figures` binaries drive this library; the
+//! Criterion benches reuse the same entry points at reduced scale.
+
+pub mod experiments;
+pub mod report;
+pub mod suite;
+pub mod tables;
+
+pub use experiments::{measure, run_algo, Algo, Measurement, ALL_ALGOS, CORE_ALGOS};
+pub use suite::{Suite, SuiteOptions};
+pub use tables::TextTable;

@@ -1,0 +1,209 @@
+//! Builders for every table and figure of the paper.
+
+use crate::experiments::{cpu_reference, inaccuracy, measure, measure_prepared, run_algo, Algo, ALL_ALGOS, CORE_ALGOS};
+use crate::suite::Suite;
+use crate::tables::{fmt_inaccuracy, fmt_seconds, fmt_speedup, TextTable};
+use graffix_algos::accuracy::geomean;
+use graffix_baselines::Baseline;
+use graffix_core::Technique;
+use graffix_graph::properties;
+
+/// Table 1: the input-graph suite.
+pub fn table1(suite: &Suite) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 1: Input graphs (scaled; see DESIGN.md substitutions)",
+        &["Graph", "|V|", "|E|", "Graph type", "Max deg", "Avg CC", "Diam est"],
+    );
+    for (kind, g) in &suite.graphs {
+        let s = properties::summarize(g, suite.options.seed);
+        let family = match kind {
+            graffix_graph::GraphKind::Rmat => "R-MAT (GTgraph model)",
+            graffix_graph::GraphKind::Random => "Random graph (GTgraph model)",
+            graffix_graph::GraphKind::SocialLiveJournal => "Social network, small diameter",
+            graffix_graph::GraphKind::Road => "Road network, large diameter",
+            graffix_graph::GraphKind::SocialTwitter => "Social network (dense, skewed)",
+        };
+        t.row(vec![
+            kind.paper_name().into(),
+            s.nodes.to_string(),
+            s.edges.to_string(),
+            family.into(),
+            s.max_degree.to_string(),
+            format!("{:.3}", s.avg_clustering),
+            s.diameter_estimate.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Tables 2–4: exact execution times under each baseline.
+pub fn exact_times(suite: &Suite, baseline: Baseline, table_no: usize) -> TextTable {
+    let algos: &[Algo] = match baseline {
+        Baseline::Lonestar => &ALL_ALGOS,
+        _ => &CORE_ALGOS,
+    };
+    let mut headers: Vec<&str> = vec!["Graph"];
+    headers.extend(algos.iter().map(|a| a.label()));
+    let mut t = TextTable::new(
+        format!(
+            "Table {table_no}: {} — exact execution time (simulated sec)",
+            baseline.label()
+        ),
+        &headers,
+    );
+    for gi in 0..suite.len() {
+        let prepared = suite.prepared(gi, Technique::Exact);
+        let plan = baseline.plan(&prepared, &suite.cfg);
+        let mut row = vec![suite.kind(gi).paper_name().to_string()];
+        for &algo in algos {
+            let run = run_algo(suite, &plan, algo, suite.graph(gi));
+            row.push(fmt_seconds(run.seconds));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Table 5: preprocessing overhead (time + additional space) per technique.
+pub fn table5(suite: &Suite) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 5: Preprocessing overhead",
+        &["Technique", "Graph", "Time (sec)", "Additional space"],
+    );
+    for technique in [Technique::Coalescing, Technique::Latency, Technique::Divergence] {
+        for gi in 0..suite.len() {
+            let p = suite.prepared(gi, technique);
+            t.row(vec![
+                technique.label().into(),
+                suite.kind(gi).paper_name().into(),
+                format!("{:.3}", p.report.preprocess_seconds),
+                format!("{:.1}%", p.report.space_overhead * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Tables 6–14: one transform against one baseline — speedup and
+/// inaccuracy per (algorithm, graph), with the geomean row.
+pub fn technique_vs_baseline(
+    suite: &Suite,
+    technique: Technique,
+    baseline: Baseline,
+    table_no: usize,
+) -> TextTable {
+    let algos: &[Algo] = match baseline {
+        Baseline::Lonestar => &ALL_ALGOS,
+        _ => &CORE_ALGOS,
+    };
+    let mut t = TextTable::new(
+        format!(
+            "Table {table_no}: Effect of {} — approximate Graffix vs exact {}",
+            technique.label(),
+            baseline.label()
+        ),
+        &["Algo", "Graph", "Speedup", "Inaccuracy"],
+    );
+    let mut speedups = Vec::new();
+    let mut inaccuracies = Vec::new();
+    for &algo in algos {
+        for gi in 0..suite.len() {
+            let m = measure(suite, gi, technique, baseline, algo);
+            speedups.push(m.speedup);
+            inaccuracies.push(m.inaccuracy.max(1e-6));
+            t.row(vec![
+                algo.label().into(),
+                suite.kind(gi).paper_name().into(),
+                fmt_speedup(m.speedup),
+                fmt_inaccuracy(m.inaccuracy),
+            ]);
+        }
+    }
+    t.row(vec![
+        "Geomean".into(),
+        "-".into(),
+        fmt_speedup(geomean(&speedups)),
+        fmt_inaccuracy(geomean(&inaccuracies)),
+    ]);
+    t
+}
+
+/// A figure sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    pub threshold: f64,
+    pub speedup: f64,
+    pub inaccuracy: f64,
+}
+
+/// Figures 7–9: knob sweeps on the rmat graph (the paper plots rmat-style
+/// behaviour), geomean over SSSP/PR/BC against Baseline-I.
+pub fn figure_sweep(suite: &Suite, figure: usize, thresholds: &[f64]) -> (TextTable, Vec<SweepPoint>) {
+    let gi = 0; // rmat
+    let (name, maker): (&str, Box<dyn Fn(f64) -> graffix_core::Prepared + '_>) = match figure {
+        7 => (
+            "Figure 7: connectedness threshold (node replication)",
+            Box::new(|thr| suite.prepared_coalescing_with(gi, thr)),
+        ),
+        8 => (
+            "Figure 8: clustering-coefficient threshold",
+            Box::new(|thr| suite.prepared_latency_with(gi, thr)),
+        ),
+        9 => (
+            "Figure 9: degreeSim threshold (degree normalization)",
+            Box::new(|thr| suite.prepared_divergence_with(gi, thr)),
+        ),
+        _ => panic!("unknown figure {figure}"),
+    };
+    let mut t = TextTable::new(name, &["Threshold", "Speedup", "Inaccuracy"]);
+    let exact = suite.prepared(gi, Technique::Exact);
+    let mut points = Vec::new();
+    for &thr in thresholds {
+        let approx = maker(thr);
+        let mut speeds = Vec::new();
+        let mut errs = Vec::new();
+        for algo in CORE_ALGOS {
+            let m = measure_prepared(suite, gi, &exact, &approx, Baseline::Lonestar, algo);
+            speeds.push(m.speedup);
+            errs.push(m.inaccuracy.max(1e-6));
+        }
+        let p = SweepPoint {
+            threshold: thr,
+            speedup: geomean(&speeds),
+            inaccuracy: geomean(&errs),
+        };
+        points.push(p);
+        t.row(vec![
+            format!("{thr:.2}"),
+            fmt_speedup(p.speedup),
+            fmt_inaccuracy(p.inaccuracy),
+        ]);
+    }
+    (t, points)
+}
+
+/// Consistency helper for tests and EXPERIMENTS.md: recompute the geomean
+/// speedup of a technique over Baseline-I across all five algorithms.
+pub fn geomean_speedup(suite: &Suite, technique: Technique, baseline: Baseline) -> f64 {
+    let algos: &[Algo] = match baseline {
+        Baseline::Lonestar => &ALL_ALGOS,
+        _ => &CORE_ALGOS,
+    };
+    let mut speeds = Vec::new();
+    for &algo in algos {
+        for gi in 0..suite.len() {
+            speeds.push(measure(suite, gi, technique, baseline, algo).speedup);
+        }
+    }
+    geomean(&speeds)
+}
+
+/// Sanity accessor used by tests: inaccuracy of a single cell.
+pub fn cell(suite: &Suite, gi: usize, technique: Technique, baseline: Baseline, algo: Algo) -> crate::experiments::Measurement {
+    measure(suite, gi, technique, baseline, algo)
+}
+
+/// Exposes the reference machinery for external consumers (examples).
+pub fn reference_inaccuracy(suite: &Suite, gi: usize, algo: Algo, run: &crate::experiments::AlgoValue) -> f64 {
+    inaccuracy(run, &cpu_reference(suite, gi, algo))
+}

@@ -1,0 +1,202 @@
+//! The input suite and transform cache shared by all experiments.
+
+use graffix_core::{coalesce, divergence, latency, CoalesceKnobs, DivergenceKnobs, LatencyKnobs, Prepared, Technique};
+use graffix_graph::generators::{paper_suite, GraphKind};
+use graffix_graph::Csr;
+use graffix_sim::GpuConfig;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Suite construction options.
+#[derive(Clone, Debug)]
+pub struct SuiteOptions {
+    /// Vertices per generated graph (the paper's graphs are scaled down
+    /// uniformly — see DESIGN.md).
+    pub nodes: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// BC source-sample size.
+    pub bc_sources: usize,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            nodes: 4096,
+            seed: 2020,
+            bc_sources: 4,
+        }
+    }
+}
+
+impl SuiteOptions {
+    /// Reads `GRAFFIX_NODES`, `GRAFFIX_SEED`, and `GRAFFIX_BC_SOURCES` from
+    /// the environment, falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut o = SuiteOptions::default();
+        if let Ok(n) = std::env::var("GRAFFIX_NODES") {
+            if let Ok(n) = n.parse() {
+                o.nodes = n;
+            }
+        }
+        if let Ok(s) = std::env::var("GRAFFIX_SEED") {
+            if let Ok(s) = s.parse() {
+                o.seed = s;
+            }
+        }
+        if let Ok(s) = std::env::var("GRAFFIX_BC_SOURCES") {
+            if let Ok(s) = s.parse() {
+                o.bc_sources = s;
+            }
+        }
+        o
+    }
+}
+
+/// The five paper graphs plus caches for prepared (transformed) versions.
+pub struct Suite {
+    pub options: SuiteOptions,
+    pub cfg: GpuConfig,
+    pub graphs: Vec<(GraphKind, Csr)>,
+    prepared: RefCell<HashMap<(usize, Technique), Rc<Prepared>>>,
+}
+
+impl Suite {
+    /// Generates the suite at the given options on the K40C configuration.
+    pub fn new(options: SuiteOptions) -> Self {
+        let graphs = paper_suite(options.nodes, options.seed);
+        Suite {
+            options,
+            cfg: GpuConfig::k40c(),
+            graphs,
+            prepared: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Suite from environment options.
+    pub fn from_env() -> Self {
+        Suite::new(SuiteOptions::from_env())
+    }
+
+    /// Number of graphs (always 5).
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the suite is empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Graph `gi`'s kind.
+    pub fn kind(&self, gi: usize) -> GraphKind {
+        self.graphs[gi].0
+    }
+
+    /// Graph `gi`'s CSR.
+    pub fn graph(&self, gi: usize) -> &Csr {
+        &self.graphs[gi].1
+    }
+
+    /// The prepared (possibly transformed) version of graph `gi` under
+    /// `technique`, using the paper's per-family knob guidelines. Cached.
+    pub fn prepared(&self, gi: usize, technique: Technique) -> Rc<Prepared> {
+        if let Some(p) = self.prepared.borrow().get(&(gi, technique)) {
+            return Rc::clone(p);
+        }
+        let (kind, g) = &self.graphs[gi];
+        let p = Rc::new(match technique {
+            Technique::Exact => Prepared::exact(g.clone()),
+            Technique::Coalescing => coalesce::transform(g, &CoalesceKnobs::for_kind(*kind)),
+            Technique::Latency => latency::transform(g, &LatencyKnobs::for_kind(*kind), &self.cfg),
+            Technique::Divergence => {
+                divergence::transform(g, &DivergenceKnobs::for_kind(*kind), self.cfg.warp_size)
+            }
+            Technique::Combined => graffix_core::Pipeline::all_defaults().apply(g, &self.cfg),
+        });
+        self.prepared
+            .borrow_mut()
+            .insert((gi, technique), Rc::clone(&p));
+        p
+    }
+
+    /// Prepared graph with explicit coalescing knobs (Figure 7 sweeps).
+    pub fn prepared_coalescing_with(&self, gi: usize, threshold: f64) -> Prepared {
+        let (kind, g) = &self.graphs[gi];
+        coalesce::transform(g, &CoalesceKnobs::for_kind(*kind).with_threshold(threshold))
+    }
+
+    /// Prepared graph with explicit CC threshold (Figure 8 sweeps).
+    pub fn prepared_latency_with(&self, gi: usize, threshold: f64) -> Prepared {
+        let (kind, g) = &self.graphs[gi];
+        latency::transform(
+            g,
+            &LatencyKnobs::for_kind(*kind).with_threshold(threshold),
+            &self.cfg,
+        )
+    }
+
+    /// Prepared graph with explicit degreeSim threshold (Figure 9 sweeps).
+    pub fn prepared_divergence_with(&self, gi: usize, threshold: f64) -> Prepared {
+        let (kind, g) = &self.graphs[gi];
+        divergence::transform(
+            g,
+            &DivergenceKnobs::for_kind(*kind).with_threshold(threshold),
+            self.cfg.warp_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> Suite {
+        Suite::new(SuiteOptions {
+            nodes: 300,
+            seed: 7,
+            bc_sources: 2,
+        })
+    }
+
+    #[test]
+    fn suite_has_five_paper_graphs() {
+        let s = tiny_suite();
+        assert_eq!(s.len(), 5);
+        let names: Vec<_> = s.graphs.iter().map(|(k, _)| k.paper_name()).collect();
+        assert!(names.contains(&"rmat26"));
+        assert!(names.contains(&"USA-road"));
+    }
+
+    #[test]
+    fn prepared_is_cached() {
+        let s = tiny_suite();
+        let a = s.prepared(0, Technique::Coalescing);
+        let b = s.prepared(0, Technique::Coalescing);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn all_techniques_prepare_all_graphs() {
+        let s = tiny_suite();
+        for gi in 0..s.len() {
+            for t in [
+                Technique::Exact,
+                Technique::Coalescing,
+                Technique::Latency,
+                Technique::Divergence,
+            ] {
+                let p = s.prepared(gi, t);
+                p.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn env_options_fall_back_to_defaults() {
+        let o = SuiteOptions::default();
+        assert_eq!(o.nodes, 4096);
+        assert_eq!(o.bc_sources, 4);
+    }
+}

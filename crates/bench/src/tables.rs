@@ -1,0 +1,137 @@
+//! Plain-text table rendering plus CSV emission — the harness prints the
+//! same rows the paper's tables report.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table with a title.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, " {:width$} |", c, width = widths[i]);
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.headers);
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV next to `dir` as `<slug>.csv`.
+    pub fn save_csv(&self, dir: &std::path::Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+}
+
+/// Formats a speedup like the paper ("1.16 x").
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.2}x")
+}
+
+/// Formats an inaccuracy like the paper ("10%").
+pub fn fmt_inaccuracy(i: f64) -> String {
+    format!("{:.1}%", i * 100.0)
+}
+
+/// Formats simulated seconds with sensible precision.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 10.0 {
+        format!("{s:.0}")
+    } else if s >= 0.1 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Demo", &["Graph", "Speedup"]);
+        t.row(vec!["rmat26".into(), "1.22x".into()]);
+        t.row(vec!["USA-road".into(), "1.15x".into()]);
+        let r = t.render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("| rmat26"));
+        assert!(r.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut t = TextTable::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("1,2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_enforced() {
+        let mut t = TextTable::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_speedup(1.157), "1.16x");
+        assert_eq!(fmt_inaccuracy(0.104), "10.4%");
+        assert_eq!(fmt_seconds(123.4), "123");
+        assert_eq!(fmt_seconds(1.234), "1.23");
+        assert_eq!(fmt_seconds(0.01234), "0.0123");
+    }
+}

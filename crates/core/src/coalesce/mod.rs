@@ -1,0 +1,152 @@
+//! §2 — the coalescing transform: BFS-forest renumbering with chunk-aligned
+//! levels (creating holes), followed by connectedness-driven node
+//! replication into the holes (Algorithm 2 of the paper).
+
+pub mod renumber;
+pub mod replicate;
+
+use crate::knobs::CoalesceKnobs;
+use crate::prepared::{Prepared, Technique, TransformReport};
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use std::time::Instant;
+
+pub use renumber::{renumber, Renumbering};
+pub use replicate::{replicate, ReplicationResult};
+
+/// Applies the full coalescing transform (renumber + replicate) and returns
+/// a [`Prepared`] graph whose warp assignment follows the new numbering, so
+/// each warp covers one aligned run of chunks.
+pub fn transform(g: &Csr, knobs: &CoalesceKnobs) -> Prepared {
+    let start = Instant::now();
+    let ren = renumber(g, knobs.chunk_size);
+    let rep = replicate(g, &ren, knobs);
+    let preprocess_seconds = start.elapsed().as_secs_f64();
+
+    let n_new = rep.graph.num_nodes();
+    let assignment: Vec<NodeId> = (0..n_new as NodeId)
+        .map(|v| if rep.graph.is_hole(v) { INVALID_NODE } else { v })
+        .collect();
+    let primary: Vec<NodeId> = ren.new_of_old.clone();
+
+    let old_fp = g.footprint_bytes().max(1);
+    let report = TransformReport {
+        technique_label: Technique::Coalescing.label().to_string(),
+        preprocess_seconds,
+        original_nodes: g.num_nodes(),
+        original_edges: g.num_edges(),
+        new_nodes: n_new,
+        new_edges: rep.graph.num_edges(),
+        holes_created: ren.holes_created,
+        holes_filled: rep.holes_filled,
+        replicas: rep.replicas,
+        edges_added: rep.edges_added,
+        space_overhead: rep.graph.footprint_bytes() as f64 / old_fp as f64 - 1.0,
+    };
+
+    let prepared = Prepared {
+        graph: rep.graph,
+        assignment,
+        to_original: rep.to_original,
+        primary,
+        replica_groups: rep.replica_groups,
+        tiles: Vec::new(),
+        confluence: Default::default(),
+        technique: Technique::Coalescing,
+        report,
+    };
+    debug_assert_eq!(prepared.validate(), Ok(()));
+    prepared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+    use graffix_graph::GraphBuilder;
+
+    /// The paper's Figure 1 example graph.
+    pub(crate) fn figure1_graph() -> Csr {
+        let mut b = GraphBuilder::new(20);
+        for d in [4, 5, 6, 7, 8, 13, 14] {
+            b.add_edge(0, d);
+        }
+        b.add_edge(4, 15);
+        b.add_edge(5, 17);
+        for d in [10, 12, 18, 15, 17] {
+            b.add_edge(1, d);
+        }
+        for d in [11, 19] {
+            b.add_edge(2, d);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn figure1_transform_is_consistent() {
+        let g = figure1_graph();
+        let p = transform(&g, &CoalesceKnobs::default().with_threshold(0.6));
+        p.validate().unwrap();
+        assert_eq!(p.num_original_nodes(), 20);
+        assert!(p.report.holes_created > 0, "k-alignment must create holes");
+    }
+
+    #[test]
+    fn every_original_edge_survives_possibly_via_replica() {
+        // Each original arc u -> v must exist from *some* copy of u to
+        // *some* copy of v in the transformed graph.
+        let g = GraphSpec::new(GraphKind::Rmat, 300, 3).generate();
+        let p = transform(&g, &CoalesceKnobs::default());
+        p.validate().unwrap();
+        // copies-of map.
+        let mut copies: Vec<Vec<NodeId>> = vec![Vec::new(); g.num_nodes()];
+        for (new_id, &orig) in p.to_original.iter().enumerate() {
+            if orig != INVALID_NODE {
+                copies[orig as usize].push(new_id as NodeId);
+            }
+        }
+        for (u, v, _) in g.edge_triples() {
+            let found = copies[u as usize].iter().any(|&cu| {
+                p.graph
+                    .neighbors(cu)
+                    .iter()
+                    .any(|&d| p.to_original[d as usize] == v)
+            });
+            assert!(found, "edge {u}->{v} lost by the transform");
+        }
+    }
+
+    #[test]
+    fn higher_threshold_adds_fewer_edges() {
+        let g = GraphSpec::new(GraphKind::Rmat, 500, 5).generate();
+        let low = transform(&g, &CoalesceKnobs::default().with_threshold(0.1));
+        let high = transform(&g, &CoalesceKnobs::default().with_threshold(0.9));
+        assert!(
+            low.report.replicas >= high.report.replicas,
+            "low threshold should replicate at least as much ({} vs {})",
+            low.report.replicas,
+            high.report.replicas
+        );
+        assert!(low.report.edges_added >= high.report.edges_added);
+    }
+
+    #[test]
+    fn assignment_skips_only_holes() {
+        let g = figure1_graph();
+        let p = transform(&g, &CoalesceKnobs::default());
+        for (slot, &a) in p.assignment.iter().enumerate() {
+            if a == INVALID_NODE {
+                assert!(p.graph.is_hole(slot as NodeId));
+            } else {
+                assert_eq!(a as usize, slot);
+            }
+        }
+    }
+
+    #[test]
+    fn report_space_overhead_nonnegative() {
+        let g = GraphSpec::new(GraphKind::SocialLiveJournal, 400, 9).generate();
+        let p = transform(&g, &CoalesceKnobs::default());
+        assert!(p.report.space_overhead >= 0.0);
+        assert_eq!(p.report.original_nodes, 400);
+    }
+}

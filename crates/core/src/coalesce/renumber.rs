@@ -1,0 +1,255 @@
+//! The Graffix renumbering scheme (paper §2.2, Algorithm 2's
+//! `RenumberVertex`).
+//!
+//! Nodes are renumbered level-by-level over the BFS forest (roots chosen in
+//! decreasing out-degree order). Within a level, ids are handed out in
+//! round-robin neighbor order: the first unnumbered neighbor of each
+//! level-`i` node (in new-id order), then every second neighbor, and so on —
+//! so consecutive warp-threads at level `i` find their j-th neighbors at
+//! consecutive new ids. Each level's numbering starts at a multiple of the
+//! chunk size `k`, which creates **holes** wherever a level's population is
+//! not a multiple of `k`.
+
+use graffix_graph::traversal::bfs_forest;
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use std::ops::Range;
+
+/// Output of the renumbering step.
+#[derive(Clone, Debug)]
+pub struct Renumbering {
+    /// old id → new id.
+    pub new_of_old: Vec<NodeId>,
+    /// new id → old id (`INVALID_NODE` for holes).
+    pub old_of_new: Vec<NodeId>,
+    /// New-id span of each BFS level (starts are multiples of `k`; the span
+    /// includes the level's trailing holes).
+    pub level_ranges: Vec<Range<usize>>,
+    /// Level of each new slot (holes carry their level too).
+    pub level_of_new: Vec<u32>,
+    /// Holes created by the alignment.
+    pub holes_created: usize,
+    /// Chunk size used.
+    pub k: usize,
+}
+
+/// Renumbers `g` with chunk size `k` (`k ≥ 1`).
+pub fn renumber(g: &Csr, k: usize) -> Renumbering {
+    assert!(k >= 1, "chunk size must be positive");
+    let n = g.num_nodes();
+    let forest = bfs_forest(g);
+    let by_level = forest.nodes_by_level();
+    let num_levels = by_level.len();
+
+    let mut new_of_old = vec![INVALID_NODE; n];
+    let align = |x: usize| x.div_ceil(k) * k;
+
+    // Level 0 = the BFS roots, numbered in discovery order (decreasing
+    // degree), exactly as Algorithm 2's L0 loop.
+    let mut g_id: usize = 0;
+    let mut level_starts = Vec::with_capacity(num_levels);
+    if num_levels > 0 {
+        level_starts.push(0usize);
+        for &r in &forest.roots {
+            new_of_old[r as usize] = g_id as NodeId;
+            g_id += 1;
+        }
+    }
+
+    // Subsequent levels: round-robin over the j-th neighbors of the
+    // previous level's nodes, visited in new-id order.
+    for i in 0..num_levels.saturating_sub(1) {
+        g_id = align(g_id);
+        level_starts.push(g_id);
+        // L_i in new-id order.
+        let mut li: Vec<NodeId> = by_level[i].clone();
+        li.sort_by_key(|&v| new_of_old[v as usize]);
+        let max_deg = li.iter().map(|&v| g.degree(v)).max().unwrap_or(0);
+        for j in 0..max_deg {
+            for &nd in &li {
+                let nbrs = g.neighbors(nd);
+                if nbrs.len() > j {
+                    let nb = nbrs[j];
+                    if forest.level[nb as usize] == (i + 1) as u32
+                        && new_of_old[nb as usize] == INVALID_NODE
+                    {
+                        new_of_old[nb as usize] = g_id as NodeId;
+                        g_id += 1;
+                    }
+                }
+            }
+        }
+        // Safety net: any level-(i+1) node not reached through the j-loop
+        // (cannot happen for a proper BFS forest, but keeps the transform
+        // total for adversarial inputs) is appended in id order.
+        for &v in &by_level[i + 1] {
+            if new_of_old[v as usize] == INVALID_NODE {
+                new_of_old[v as usize] = g_id as NodeId;
+                g_id += 1;
+            }
+        }
+    }
+
+    // Pad the final level to a full chunk so the node array length is a
+    // multiple of k (the paper's Figure 3 shows trailing holes 22, 23).
+    let total = align(g_id);
+    let holes_created = total - n;
+
+    let mut old_of_new = vec![INVALID_NODE; total];
+    for (old, &new) in new_of_old.iter().enumerate() {
+        debug_assert_ne!(new, INVALID_NODE, "node {old} was not renumbered");
+        old_of_new[new as usize] = old as NodeId;
+    }
+
+    // Level ranges and per-slot levels.
+    let mut level_ranges = Vec::with_capacity(num_levels);
+    let mut level_of_new = vec![0u32; total];
+    for (i, &start) in level_starts.iter().enumerate() {
+        let end = if i + 1 < level_starts.len() {
+            level_starts[i + 1]
+        } else {
+            total
+        };
+        level_ranges.push(start..end);
+        level_of_new[start..end].fill(i as u32);
+    }
+
+    Renumbering {
+        new_of_old,
+        old_of_new,
+        level_ranges,
+        level_of_new,
+        holes_created,
+        k,
+    }
+}
+
+/// Rebuilds `g` under the renumbering: the returned CSR has `total` slots,
+/// holes flagged, edges remapped to new ids, neighbor lists sorted.
+pub fn apply_renumbering(g: &Csr, ren: &Renumbering) -> Csr {
+    let total = ren.old_of_new.len();
+    let weighted = g.is_weighted();
+    let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); total];
+    for old_u in 0..g.num_nodes() as NodeId {
+        let new_u = ren.new_of_old[old_u as usize] as usize;
+        for e in g.edge_range(old_u) {
+            let old_v = g.edges_raw()[e];
+            let w = g.weight_at(e);
+            adj[new_u].push((ren.new_of_old[old_v as usize], w));
+        }
+        adj[new_u].sort_unstable();
+    }
+    let mut lists = Vec::with_capacity(total);
+    let mut wlists = if weighted { Some(Vec::with_capacity(total)) } else { None };
+    for l in &adj {
+        lists.push(l.iter().map(|p| p.0).collect::<Vec<_>>());
+        if let Some(w) = &mut wlists {
+            w.push(l.iter().map(|p| p.1).collect::<Vec<_>>());
+        }
+    }
+    let mut out = Csr::from_adjacency(lists, wlists);
+    let mask: Vec<bool> = ren.old_of_new.iter().map(|&o| o == INVALID_NODE).collect();
+    out.set_hole_mask(mask);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::tests::figure1_graph;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+
+    #[test]
+    fn figure2_level_alignment() {
+        // With k = 8, the paper's example puts the six level-0 roots at ids
+        // 0..5, leaves holes 6-7, and starts level 1 at id 8.
+        let g = figure1_graph();
+        let ren = renumber(&g, 8);
+        assert_eq!(ren.level_ranges[0], 0..8);
+        assert_eq!(ren.level_ranges[1].start, 8);
+        // 6 roots at level 0 -> ids 0..=5; slots 6, 7 are holes.
+        assert_eq!(ren.old_of_new[6], INVALID_NODE);
+        assert_eq!(ren.old_of_new[7], INVALID_NODE);
+        // 14 level-1 nodes at 8..=21; 22, 23 are trailing holes (Figure 3).
+        assert_eq!(ren.old_of_new.len(), 24);
+        assert_eq!(ren.old_of_new[22], INVALID_NODE);
+        assert_eq!(ren.old_of_new[23], INVALID_NODE);
+        assert_eq!(ren.holes_created, 4);
+    }
+
+    #[test]
+    fn figure2_round_robin_first_neighbors() {
+        // Paper: "node 8 is the first unnumbered neighbor of node 0, while
+        // node 9 is the first unnumbered neighbor of node 1".
+        let g = figure1_graph();
+        let ren = renumber(&g, 8);
+        // Old node 0 is the max-degree root -> new id 0. Its first neighbor
+        // (old 4) becomes new id 8.
+        assert_eq!(ren.new_of_old[0], 0);
+        assert_eq!(ren.new_of_old[4], 8);
+        // Old node 1 is the second root -> new id 1; its first unnumbered
+        // neighbor (old 10, its lowest-id level-1 neighbor) -> new id 9.
+        assert_eq!(ren.new_of_old[1], 1);
+        assert_eq!(ren.new_of_old[10], 9);
+    }
+
+    #[test]
+    fn renumbering_is_a_bijection_onto_non_holes() {
+        let g = GraphSpec::new(GraphKind::Rmat, 700, 1).generate();
+        let ren = renumber(&g, 16);
+        let mut seen = vec![false; ren.old_of_new.len()];
+        for &new in &ren.new_of_old {
+            assert!(!seen[new as usize], "new id reused");
+            seen[new as usize] = true;
+        }
+        for (slot, &old) in ren.old_of_new.iter().enumerate() {
+            assert_eq!(seen[slot], old != INVALID_NODE);
+        }
+    }
+
+    #[test]
+    fn level_starts_are_aligned() {
+        let g = GraphSpec::new(GraphKind::SocialLiveJournal, 500, 2).generate();
+        let k = 16;
+        let ren = renumber(&g, k);
+        for r in &ren.level_ranges {
+            assert_eq!(r.start % k, 0, "level start {} not aligned", r.start);
+        }
+        assert_eq!(ren.old_of_new.len() % k, 0);
+    }
+
+    #[test]
+    fn apply_preserves_edge_multiset_modulo_renaming() {
+        let g = GraphSpec::new(GraphKind::Random, 300, 4).generate();
+        let ren = renumber(&g, 16);
+        let h = apply_renumbering(&g, &ren);
+        h.validate().unwrap();
+        assert_eq!(h.num_edges(), g.num_edges());
+        for (u, v, w) in g.edge_triples() {
+            let nu = ren.new_of_old[u as usize];
+            let nv = ren.new_of_old[v as usize];
+            assert!(h.has_edge(nu, nv), "edge {u}->{v} missing after rename");
+            if g.is_weighted() {
+                let pos = h.neighbors(nu).binary_search(&nv).unwrap();
+                assert_eq!(h.edge_weights(nu)[pos], w);
+            }
+        }
+    }
+
+    #[test]
+    fn k_one_creates_only_isomorphism() {
+        // k = 1 means every level start is already aligned: no holes beyond
+        // zero padding.
+        let g = figure1_graph();
+        let ren = renumber(&g, 1);
+        assert_eq!(ren.holes_created, 0);
+        assert_eq!(ren.old_of_new.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn hole_levels_recorded() {
+        let g = figure1_graph();
+        let ren = renumber(&g, 8);
+        assert_eq!(ren.level_of_new[6], 0);
+        assert_eq!(ren.level_of_new[23], 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Replica confluence (§2.4): after every kernel iteration the attribute
+//! values of a logical node's copies are merged. The paper's default is the
+//! algorithm-agnostic arithmetic mean; algorithm-aware operators (min for
+//! distances, sum for counts) are provided as the extension the paper
+//! mentions ("one can easily redefine the merging").
+
+use graffix_graph::NodeId;
+use graffix_sim::{run_superstep, ArrayId, GpuConfig, KernelStats, Lane, Superstep};
+use serde::{Deserialize, Serialize};
+
+/// How to merge the attribute values of a node's copies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfluenceOp {
+    /// Arithmetic mean — the paper's algorithm-agnostic default.
+    #[default]
+    Mean,
+    /// Minimum — algorithm-aware choice for distance-like attributes.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum — algorithm-aware choice for count-like attributes.
+    Sum,
+}
+
+impl ConfluenceOp {
+    /// Merges a non-empty value slice into a single value.
+    pub fn merge(self, values: &[f64]) -> f64 {
+        debug_assert!(!values.is_empty());
+        match self {
+            ConfluenceOp::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            ConfluenceOp::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            ConfluenceOp::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            ConfluenceOp::Sum => values.iter().sum(),
+        }
+    }
+}
+
+/// Applies confluence to `attrs` in place on the host (no cost accounting).
+/// `groups` are `(original, member-new-ids)` pairs as stored in
+/// `Prepared::replica_groups`.
+pub fn merge_host(groups: &[(NodeId, Vec<NodeId>)], op: ConfluenceOp, attrs: &mut [f64]) {
+    let mut scratch = Vec::new();
+    for (_, members) in groups {
+        scratch.clear();
+        scratch.extend(members.iter().map(|&m| attrs[m as usize]));
+        // Infinities stay infinite under Mean (e.g. unreached distances):
+        // averaging a finite value with +inf would erase real information,
+        // so Mean over any +inf member ignores the infinite copies.
+        let merged = if op == ConfluenceOp::Mean && scratch.iter().any(|v| v.is_infinite()) {
+            let finite: Vec<f64> = scratch.iter().copied().filter(|v| v.is_finite()).collect();
+            if finite.is_empty() {
+                f64::INFINITY
+            } else {
+                op.merge(&finite)
+            }
+        } else {
+            op.merge(&scratch)
+        };
+        for &m in members {
+            attrs[m as usize] = merged;
+        }
+    }
+}
+
+/// Runs the confluence as a metered GPU superstep (one lane per replica
+/// group: read every member, write every member) and applies it to `attrs`.
+/// Returns the kernel cost so algorithm totals include the merge overhead,
+/// exactly as the paper's measured times do.
+pub fn merge_metered(
+    cfg: &GpuConfig,
+    groups: &[(NodeId, Vec<NodeId>)],
+    op: ConfluenceOp,
+    attrs: &mut [f64],
+) -> KernelStats {
+    if groups.is_empty() {
+        return KernelStats::default();
+    }
+    // One simulated lane per group; the assignment is the group index.
+    let ids: Vec<NodeId> = (0..groups.len() as NodeId).collect();
+    let outcome = run_superstep(
+        cfg,
+        Superstep {
+            assignment: &ids,
+            resident: None,
+        },
+        |g, lane: &mut Lane| {
+            let (_, members) = &groups[g as usize];
+            for &m in members {
+                lane.read(ArrayId::NODE_ATTR, m as usize);
+            }
+            lane.compute(1);
+            for &m in members {
+                lane.write(ArrayId::NODE_ATTR, m as usize);
+            }
+            true
+        },
+    );
+    merge_host(groups, op, attrs);
+    outcome.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((ConfluenceOp::Mean.merge(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(ConfluenceOp::Min.merge(&v), 1.0);
+        assert_eq!(ConfluenceOp::Max.merge(&v), 3.0);
+        assert_eq!(ConfluenceOp::Sum.merge(&v), 6.0);
+    }
+
+    #[test]
+    fn merge_host_equalizes_members() {
+        let groups = vec![(0, vec![0, 2])];
+        let mut attrs = vec![4.0, 9.0, 8.0];
+        merge_host(&groups, ConfluenceOp::Mean, &mut attrs);
+        assert_eq!(attrs, vec![6.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_ignores_infinite_copies() {
+        let groups = vec![(0, vec![0, 1])];
+        let mut attrs = vec![f64::INFINITY, 10.0];
+        merge_host(&groups, ConfluenceOp::Mean, &mut attrs);
+        assert_eq!(attrs, vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn mean_of_all_infinite_stays_infinite() {
+        let groups = vec![(0, vec![0, 1])];
+        let mut attrs = vec![f64::INFINITY, f64::INFINITY];
+        merge_host(&groups, ConfluenceOp::Mean, &mut attrs);
+        assert!(attrs.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn min_keeps_best_distance() {
+        let groups = vec![(0, vec![0, 1])];
+        let mut attrs = vec![f64::INFINITY, 3.0];
+        merge_host(&groups, ConfluenceOp::Min, &mut attrs);
+        assert_eq!(attrs, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn metered_merge_costs_and_applies() {
+        let cfg = GpuConfig::test_tiny();
+        let groups = vec![(0, vec![0, 1]), (5, vec![2, 3])];
+        let mut attrs = vec![2.0, 4.0, 10.0, 30.0];
+        let stats = merge_metered(&cfg, &groups, ConfluenceOp::Mean, &mut attrs);
+        assert_eq!(attrs, vec![3.0, 3.0, 20.0, 20.0]);
+        assert_eq!(stats.global_accesses, 8); // 2 reads + 2 writes per group
+        assert!(stats.warp_cycles > 0);
+    }
+
+    #[test]
+    fn metered_merge_empty_groups_free() {
+        let cfg = GpuConfig::test_tiny();
+        let mut attrs = vec![1.0];
+        let stats = merge_metered(&cfg, &[], ConfluenceOp::Mean, &mut attrs);
+        assert_eq!(stats, KernelStats::default());
+    }
+}

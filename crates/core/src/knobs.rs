@@ -1,0 +1,178 @@
+//! Tunable knobs for the three transforms — the paper's central theme is
+//! that each technique exposes one knob controlling the injected
+//! approximation (connectedness threshold, CC threshold, degreeSim
+//! threshold).
+
+use graffix_graph::GraphKind;
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the coalescing transform (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoalesceKnobs {
+    /// Chunk size `k` (`1 ≤ k ≤ warp-size`); every BFS level starts at a
+    /// multiple of `k` and replication operates on `k`-sized chunks. The
+    /// paper uses 16.
+    pub chunk_size: usize,
+    /// Connectedness threshold for replication — *the* knob (Figure 7).
+    /// Paper guidance: 0.6 for power-law graphs, 0.4 for road networks.
+    pub threshold: f64,
+    /// Upper bound on replicas per logical node (keeps confluence cheap;
+    /// the paper bounds replication implicitly through hole scarcity).
+    pub max_replicas_per_node: usize,
+}
+
+impl Default for CoalesceKnobs {
+    fn default() -> Self {
+        CoalesceKnobs {
+            chunk_size: 16,
+            threshold: 0.6,
+            max_replicas_per_node: 4,
+        }
+    }
+}
+
+impl CoalesceKnobs {
+    /// Paper-recommended knobs for a graph family (§5.2 guidelines).
+    pub fn for_kind(kind: GraphKind) -> Self {
+        CoalesceKnobs {
+            threshold: if kind.is_power_law() { 0.6 } else { 0.4 },
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the connectedness threshold.
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        self.threshold = t;
+        self
+    }
+}
+
+/// Knobs for the latency (shared-memory) transform (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyKnobs {
+    /// Clustering-coefficient threshold above which a node (with its 1-hop
+    /// neighborhood) is tiled into shared memory — the knob (Figure 8).
+    /// The paper recommends keeping it "relatively high".
+    pub cc_threshold: f64,
+    /// Nodes with CC within `margin` *below* the threshold get boosted by
+    /// 2-hop edge insertion (scenario 1 of §3).
+    pub margin: f64,
+    /// Global cap on inserted edges as a fraction of |E| ("we maintain a
+    /// global limit for the number of edges added").
+    pub edge_budget_frac: f64,
+    /// Multiplier on tile diameter for the shared-memory iteration count
+    /// (`t ~ 2 × diameter` per the paper).
+    pub t_diameter_factor: usize,
+}
+
+impl Default for LatencyKnobs {
+    fn default() -> Self {
+        LatencyKnobs {
+            cc_threshold: 0.7,
+            margin: 0.2,
+            edge_budget_frac: 0.02,
+            t_diameter_factor: 2,
+        }
+    }
+}
+
+impl LatencyKnobs {
+    /// Paper guideline: the threshold is based on the graph's average CC —
+    /// high for all graphs, slightly lower for families with low ambient
+    /// clustering so *some* tiles qualify.
+    pub fn for_kind(kind: GraphKind) -> Self {
+        let cc_threshold = match kind {
+            GraphKind::Road => 0.3,
+            GraphKind::Random => 0.5,
+            GraphKind::Rmat => 0.3,
+            GraphKind::SocialLiveJournal | GraphKind::SocialTwitter => 0.4,
+        };
+        LatencyKnobs {
+            cc_threshold,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the CC threshold.
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        self.cc_threshold = t;
+        self
+    }
+}
+
+/// Knobs for the divergence transform (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceKnobs {
+    /// degreeSim threshold: nodes whose degree deficit
+    /// `1 − deg/maxWarpDeg` is at most this get filled — the knob
+    /// (Figure 9).
+    pub degree_sim_threshold: f64,
+    /// Fill target as a fraction of the warp's max degree (paper: "the
+    /// node degree is made 85 % of the warp's max-degree").
+    pub fill_fraction: f64,
+    /// Global cap on inserted edges as a fraction of |E|.
+    pub edge_budget_frac: f64,
+}
+
+impl Default for DivergenceKnobs {
+    fn default() -> Self {
+        DivergenceKnobs {
+            degree_sim_threshold: 0.3,
+            fill_fraction: 0.85,
+            edge_budget_frac: 0.04,
+        }
+    }
+}
+
+impl DivergenceKnobs {
+    /// Paper guideline (§5.4): low threshold (< 0.4) when bucket degrees
+    /// are close to the bucket max — true for all our families at the
+    /// default bucketing, so the default is uniform.
+    pub fn for_kind(_kind: GraphKind) -> Self {
+        DivergenceKnobs::default()
+    }
+
+    /// Overrides the degreeSim threshold.
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        self.degree_sim_threshold = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = CoalesceKnobs::default();
+        assert_eq!(c.chunk_size, 16);
+        assert!((c.threshold - 0.6).abs() < 1e-12);
+        let d = DivergenceKnobs::default();
+        assert!((d.fill_fraction - 0.85).abs() < 1e-12);
+        let l = LatencyKnobs::default();
+        assert_eq!(l.t_diameter_factor, 2);
+    }
+
+    #[test]
+    fn kind_guidelines_follow_paper() {
+        assert!(
+            CoalesceKnobs::for_kind(GraphKind::Rmat).threshold
+                > CoalesceKnobs::for_kind(GraphKind::Road).threshold
+        );
+        assert!(
+            LatencyKnobs::for_kind(GraphKind::SocialTwitter).cc_threshold
+                > LatencyKnobs::for_kind(GraphKind::Road).cc_threshold
+        );
+    }
+
+    #[test]
+    fn with_threshold_builders() {
+        assert!((CoalesceKnobs::default().with_threshold(0.3).threshold - 0.3).abs() < 1e-12);
+        assert!((LatencyKnobs::default().with_threshold(0.9).cc_threshold - 0.9).abs() < 1e-12);
+        assert!(
+            (DivergenceKnobs::default().with_threshold(0.5).degree_sim_threshold - 0.5).abs()
+                < 1e-12
+        );
+    }
+}

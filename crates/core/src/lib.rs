@@ -1,0 +1,46 @@
+//! # graffix-core
+//!
+//! The paper's primary contribution: three approximate, GPU-oriented graph
+//! transformations, each with a tunable knob trading accuracy for speed.
+//!
+//! * [`coalesce`] — §2: BFS-forest renumbering with chunk-aligned levels
+//!   (creating *holes*), plus connectedness-driven node replication into the
+//!   holes, with per-iteration replica confluence.
+//! * [`latency`] — §3: clustering-coefficient-driven shared-memory tiles,
+//!   densified by 2-hop edge insertion under a global budget, processed for
+//!   `t ≈ 2 × tile-diameter` iterations inside shared memory.
+//! * [`divergence`] — §4: degree bucket-sort warp assignment plus degreeSim-
+//!   thresholded 2-hop edge-filling (sum-rule weights) to normalize
+//!   intra-warp degrees.
+//!
+//! All three produce a [`Prepared`] graph: the transformed CSR, the warp
+//! assignment order, old↔new id mappings, replica groups (for confluence),
+//! shared-memory tiles, and a [`TransformReport`] with the preprocessing
+//! cost and space overhead that Table 5 reports.
+
+pub mod coalesce;
+pub mod confluence;
+pub mod divergence;
+pub mod knobs;
+pub mod latency;
+pub mod pipeline;
+pub mod prepared;
+pub mod tuning;
+
+pub use confluence::ConfluenceOp;
+pub use knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
+pub use pipeline::Pipeline;
+pub use tuning::{auto_tune, GraphProfile, TunedKnobs};
+pub use prepared::{Prepared, Technique, Tile, TransformReport};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::coalesce;
+    pub use crate::confluence::ConfluenceOp;
+    pub use crate::divergence;
+    pub use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
+    pub use crate::latency;
+    pub use crate::pipeline::Pipeline;
+    pub use crate::tuning::{auto_tune, GraphProfile, TunedKnobs};
+    pub use crate::prepared::{Prepared, Technique, Tile, TransformReport};
+}

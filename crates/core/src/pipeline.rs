@@ -1,0 +1,210 @@
+//! Transform composition — the paper's "they can be combined for improved
+//! benefits" (§1, contributions).
+//!
+//! The composition order is fixed to coalescing → latency → divergence:
+//! renumbering must run first (it owns the id space), tile selection runs on
+//! the renumbered graph, and degree normalization runs last so it sees the
+//! final edge set.
+
+use crate::coalesce;
+use crate::divergence::normalize_degrees;
+use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
+use crate::latency::{boost_edges, select_tiles};
+use crate::prepared::{Prepared, Technique};
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use graffix_sim::GpuConfig;
+use std::time::Instant;
+
+/// A configurable composition of the three transforms.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    pub coalesce: Option<CoalesceKnobs>,
+    pub latency: Option<LatencyKnobs>,
+    pub divergence: Option<DivergenceKnobs>,
+}
+
+impl Pipeline {
+    /// All three transforms with paper-default knobs.
+    pub fn all_defaults() -> Self {
+        Pipeline {
+            coalesce: Some(CoalesceKnobs::default()),
+            latency: Some(LatencyKnobs::default()),
+            divergence: Some(DivergenceKnobs::default()),
+        }
+    }
+
+    /// Enables the coalescing stage.
+    pub fn with_coalesce(mut self, k: CoalesceKnobs) -> Self {
+        self.coalesce = Some(k);
+        self
+    }
+
+    /// Enables the latency stage.
+    pub fn with_latency(mut self, k: LatencyKnobs) -> Self {
+        self.latency = Some(k);
+        self
+    }
+
+    /// Enables the divergence stage.
+    pub fn with_divergence(mut self, k: DivergenceKnobs) -> Self {
+        self.divergence = Some(k);
+        self
+    }
+
+    /// Applies the enabled stages in order and returns the combined
+    /// preparation.
+    pub fn apply(&self, g: &Csr, cfg: &GpuConfig) -> Prepared {
+        // A divergence-only pipeline is exactly the standalone transform
+        // (which renumbers physically); delegate so both paths agree.
+        if self.coalesce.is_none() && self.latency.is_none() {
+            if let Some(k) = &self.divergence {
+                return crate::divergence::transform(g, k, cfg.warp_size);
+            }
+        }
+        let start = Instant::now();
+        // Stage 1: coalescing (or identity).
+        let mut prepared = match &self.coalesce {
+            Some(k) => coalesce::transform(g, k),
+            None => Prepared::exact(g.clone()),
+        };
+
+        // Stage 2: latency — boost edges and select tiles on the current
+        // graph (ids unchanged).
+        if let Some(k) = &self.latency {
+            let boost = boost_edges(&prepared.graph, k);
+            let selection = select_tiles(&boost.graph, &boost.clustering, k, cfg);
+            prepared.report.edges_added += boost.edges_added;
+            prepared.report.new_edges = boost.graph.num_edges();
+            prepared.graph = boost.graph;
+            prepared.tiles = selection.tiles;
+            // Without a coalescing stage the assignment is free to be
+            // tile-major; with one, chunk alignment wins and tiles are used
+            // only for residency.
+            if self.coalesce.is_none() {
+                let n = prepared.graph.num_nodes();
+                let mut assigned = vec![false; n];
+                let mut assignment = Vec::with_capacity(n);
+                for tile in &prepared.tiles {
+                    for &v in &tile.nodes {
+                        if !assigned[v as usize] {
+                            assigned[v as usize] = true;
+                            assignment.push(v);
+                        }
+                    }
+                }
+                for v in 0..n as NodeId {
+                    if !assigned[v as usize] {
+                        assignment.push(v);
+                    }
+                }
+                prepared.assignment = assignment;
+            }
+        }
+
+        // Stage 3: divergence — normalize warp degrees along the current
+        // assignment order.
+        if let Some(k) = &self.divergence {
+            let order: Vec<NodeId> = prepared
+                .assignment
+                .iter()
+                .copied()
+                .filter(|&v| v != INVALID_NODE)
+                .collect();
+            let norm = normalize_degrees(&prepared.graph, &order, k, cfg.warp_size);
+            prepared.report.edges_added += norm.edges_added;
+            prepared.report.new_edges = norm.graph.num_edges();
+            prepared.graph = norm.graph;
+        }
+
+        let stages = [
+            self.coalesce.is_some(),
+            self.latency.is_some(),
+            self.divergence.is_some(),
+        ]
+        .iter()
+        .filter(|&&s| s)
+        .count();
+        prepared.technique = match (stages, &self.coalesce, &self.latency, &self.divergence) {
+            (0, ..) => Technique::Exact,
+            (1, Some(_), _, _) => Technique::Coalescing,
+            (1, _, Some(_), _) => Technique::Latency,
+            (1, _, _, Some(_)) => Technique::Divergence,
+            _ => Technique::Combined,
+        };
+        prepared.report.technique_label = prepared.technique.label().to_string();
+        prepared.report.preprocess_seconds = start.elapsed().as_secs_f64();
+        let old_fp = g.footprint_bytes().max(1);
+        prepared.report.space_overhead =
+            prepared.graph.footprint_bytes() as f64 / old_fp as f64 - 1.0;
+        debug_assert_eq!(prepared.validate(), Ok(()));
+        prepared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+
+    fn graph() -> Csr {
+        GraphSpec::new(GraphKind::SocialLiveJournal, 500, 17).generate()
+    }
+
+    #[test]
+    fn empty_pipeline_is_exact() {
+        let g = graph();
+        let p = Pipeline::default().apply(&g, &GpuConfig::k40c());
+        assert_eq!(p.technique, Technique::Exact);
+        assert_eq!(p.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn single_stage_labels() {
+        let g = graph();
+        let cfg = GpuConfig::k40c();
+        let c = Pipeline::default()
+            .with_coalesce(CoalesceKnobs::default())
+            .apply(&g, &cfg);
+        assert_eq!(c.technique, Technique::Coalescing);
+        let l = Pipeline::default()
+            .with_latency(LatencyKnobs::default())
+            .apply(&g, &cfg);
+        assert_eq!(l.technique, Technique::Latency);
+        let d = Pipeline::default()
+            .with_divergence(DivergenceKnobs::default())
+            .apply(&g, &cfg);
+        assert_eq!(d.technique, Technique::Divergence);
+    }
+
+    #[test]
+    fn combined_pipeline_validates_and_accumulates() {
+        let g = graph();
+        let p = Pipeline::all_defaults().apply(&g, &GpuConfig::k40c());
+        assert_eq!(p.technique, Technique::Combined);
+        p.validate().unwrap();
+        assert!(p.report.new_edges >= g.num_edges());
+        // Coalescing ran, so mappings are non-trivial.
+        assert_eq!(p.primary.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn combined_keeps_chunk_assignment() {
+        let g = graph();
+        let p = Pipeline::all_defaults().apply(&g, &GpuConfig::k40c());
+        // Chunk-aligned assignment: slot i is i or INVALID.
+        for (i, &a) in p.assignment.iter().enumerate() {
+            assert!(a == INVALID_NODE || a as usize == i);
+        }
+    }
+
+    #[test]
+    fn latency_then_divergence_without_coalesce() {
+        let g = graph();
+        let p = Pipeline::default()
+            .with_latency(LatencyKnobs::default().with_threshold(0.4))
+            .with_divergence(DivergenceKnobs::default())
+            .apply(&g, &GpuConfig::k40c());
+        assert_eq!(p.technique, Technique::Combined);
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,263 @@
+//! `graffix` — command-line front end for the library.
+//!
+//! ```text
+//! graffix generate --kind rmat --nodes 4096 --seed 1 --out g.gfx
+//! graffix convert  --in graph.txt --out graph.gfx          # edge list/DIMACS -> binary
+//! graffix profile  --in g.gfx                              # structure + recommended knobs
+//! graffix transform --in g.gfx --technique coalescing --out t.gfx
+//! graffix run      --in g.gfx --algo sssp [--technique coalescing] [--baseline lonestar]
+//! ```
+//!
+//! Graph files: `.gfx` (binary GFX1), `.gr` (DIMACS), anything else is read
+//! as a whitespace edge list.
+
+use graffix::prelude::*;
+use graffix_graph::{io as gio, serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graffix <generate|convert|profile|transform|run> [--key value]...\n\
+         \n\
+         generate  --kind rmat|random|livejournal|twitter|road [--nodes N] [--seed S] --out FILE\n\
+         convert   --in FILE --out FILE\n\
+         profile   --in FILE [--seed S]\n\
+         transform --in FILE --technique coalescing|latency|divergence|combined [--threshold T] --out FILE\n\
+         run       --in FILE --algo sssp|bfs|pr|bc|scc|mst|wcc [--technique ...] [--baseline lonestar|tigr|gunrock]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        };
+        let Some(value) = it.next() else {
+            eprintln!("--{key} needs a value");
+            usage();
+        };
+        flags.insert(key.to_string(), value.clone());
+    }
+    flags
+}
+
+fn load(path: &str) -> Csr {
+    let p = Path::new(path);
+    let result = match p.extension().and_then(|e| e.to_str()) {
+        Some("gfx") => serialize::load_binary(p),
+        Some("gr") => std::fs::File::open(p).and_then(gio::read_dimacs),
+        _ => gio::load_edge_list(p),
+    };
+    match result {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn save(g: &Csr, path: &str) {
+    let p = Path::new(path);
+    let result = match p.extension().and_then(|e| e.to_str()) {
+        Some("gfx") => serialize::save_binary(g, p),
+        Some("gr") => std::fs::File::create(p).and_then(|f| gio::write_dimacs(g, f)),
+        _ => gio::save_edge_list(g, p),
+    };
+    if let Err(e) = result {
+        eprintln!("could not write {path}: {e}");
+        exit(1);
+    }
+}
+
+fn kind_of(name: &str) -> GraphKind {
+    match name {
+        "rmat" => GraphKind::Rmat,
+        "random" => GraphKind::Random,
+        "livejournal" => GraphKind::SocialLiveJournal,
+        "twitter" => GraphKind::SocialTwitter,
+        "road" => GraphKind::Road,
+        other => {
+            eprintln!("unknown kind: {other}");
+            usage();
+        }
+    }
+}
+
+fn prepare(g: &Csr, technique: Option<&str>, threshold: Option<f64>, gpu: &GpuConfig) -> Prepared {
+    let tuned = auto_tune(g, 7);
+    match technique {
+        None | Some("exact") => Prepared::exact(g.clone()),
+        Some("coalescing") => {
+            let mut k = tuned.coalesce;
+            if let Some(t) = threshold {
+                k.threshold = t;
+            }
+            coalesce::transform(g, &k)
+        }
+        Some("latency") => {
+            let mut k = tuned.latency;
+            if let Some(t) = threshold {
+                k.cc_threshold = t;
+            }
+            latency::transform(g, &k, gpu)
+        }
+        Some("divergence") => {
+            let mut k = tuned.divergence;
+            if let Some(t) = threshold {
+                k.degree_sim_threshold = t;
+            }
+            divergence::transform(g, &k, gpu.warp_size)
+        }
+        Some("combined") => Pipeline {
+            coalesce: Some(tuned.coalesce),
+            latency: Some(tuned.latency),
+            divergence: Some(tuned.divergence),
+        }
+        .apply(g, gpu),
+        Some(other) => {
+            eprintln!("unknown technique: {other}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = parse_flags(rest);
+    let get = |key: &str| -> &str {
+        flags.get(key).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("missing --{key}");
+            usage();
+        })
+    };
+    let gpu = GpuConfig::k40c();
+
+    match cmd.as_str() {
+        "generate" => {
+            let kind = kind_of(get("kind"));
+            let nodes = flags.get("nodes").map_or(4096, |n| n.parse().expect("bad --nodes"));
+            let seed = flags.get("seed").map_or(1, |s| s.parse().expect("bad --seed"));
+            let g = GraphSpec::new(kind, nodes, seed).generate();
+            save(&g, get("out"));
+            println!(
+                "wrote {} ({} nodes, {} edges)",
+                get("out"),
+                g.num_nodes(),
+                g.num_edges()
+            );
+        }
+        "convert" => {
+            let g = load(get("in"));
+            save(&g, get("out"));
+            println!("converted {} -> {}", get("in"), get("out"));
+        }
+        "profile" => {
+            let g = load(get("in"));
+            let seed = flags.get("seed").map_or(7, |s| s.parse().expect("bad --seed"));
+            let tuned = auto_tune(&g, seed);
+            let p = tuned.profile;
+            println!("nodes           {}", p.nodes);
+            println!("edges           {}", p.edges);
+            println!("max degree      {}", p.max_degree);
+            println!("mean degree     {:.2}", p.mean_degree);
+            println!("degree skew     {:.1} ({})", p.skew, if p.power_law_like { "power-law-like" } else { "near-uniform" });
+            println!("avg clustering  {:.4}", p.avg_clustering);
+            println!();
+            println!("recommended knobs (paper section 5 guidelines):");
+            println!("  coalescing  connectedness threshold {:.2}, k {}", tuned.coalesce.threshold, tuned.coalesce.chunk_size);
+            println!("  latency     CC threshold {:.2}, edge budget {:.0}%", tuned.latency.cc_threshold, tuned.latency.edge_budget_frac * 100.0);
+            println!("  divergence  degreeSim threshold {:.2}, fill {:.0}%", tuned.divergence.degree_sim_threshold, tuned.divergence.fill_fraction * 100.0);
+        }
+        "transform" => {
+            let g = load(get("in"));
+            let threshold = flags.get("threshold").map(|t| t.parse().expect("bad --threshold"));
+            let prepared = prepare(&g, Some(get("technique")), threshold, &gpu);
+            save(&prepared.graph, get("out"));
+            let r = &prepared.report;
+            println!("technique        {}", r.technique_label);
+            println!("preprocess       {:.3}s", r.preprocess_seconds);
+            println!("nodes            {} -> {}", r.original_nodes, r.new_nodes);
+            println!("edges            {} -> {} (+{})", r.original_edges, r.new_edges, r.edges_added);
+            println!("replicas         {} (holes {}/{})", r.replicas, r.holes_filled, r.holes_created);
+            println!("space overhead   {:.1}%", r.space_overhead * 100.0);
+            println!("wrote {}", get("out"));
+        }
+        "run" => {
+            let g = load(get("in"));
+            let threshold = flags.get("threshold").map(|t| t.parse().expect("bad --threshold"));
+            let prepared = prepare(&g, flags.get("technique").map(String::as_str), threshold, &gpu);
+            let baseline = match flags.get("baseline").map(String::as_str) {
+                None | Some("lonestar") => Baseline::Lonestar,
+                Some("tigr") => Baseline::Tigr,
+                Some("gunrock") => Baseline::Gunrock,
+                Some(other) => {
+                    eprintln!("unknown baseline: {other}");
+                    usage();
+                }
+            };
+            let plan = baseline.plan(&prepared, &gpu);
+            let (stats, summary) = match get("algo") {
+                "sssp" => {
+                    let src = sssp::default_source(&g);
+                    let run = sssp::run_sim(&plan, src);
+                    let err = relative_l1(&run.values, &sssp::exact_cpu(&g, src));
+                    (run.stats, format!("source {src}, inaccuracy {:.2}%", err * 100.0))
+                }
+                "bfs" => {
+                    let src = sssp::default_source(&g);
+                    let run = bfs::run_sim(&plan, src);
+                    let err = relative_l1(&run.values, &bfs::exact_cpu(&g, src));
+                    (run.stats, format!("source {src}, inaccuracy {:.2}%", err * 100.0))
+                }
+                "pr" => {
+                    let run = pagerank::run_sim(&plan);
+                    let err = relative_l1(&run.values, &pagerank::exact_cpu(&g));
+                    (run.stats, format!("inaccuracy {:.2}%", err * 100.0))
+                }
+                "bc" => {
+                    let sources = bc::sample_sources(&g, 4);
+                    let run = bc::run_sim(&plan, &sources);
+                    let err = relative_l1(&run.values, &bc::exact_cpu(&g, &sources));
+                    (run.stats, format!("{} sources, inaccuracy {:.2}%", sources.len(), err * 100.0))
+                }
+                "scc" => {
+                    let r = scc::run_sim(&plan);
+                    let exact = scc::exact_cpu_count(&g);
+                    (r.run.stats, format!("{} components (exact {exact})", r.components))
+                }
+                "mst" => {
+                    let r = mst::run_sim(&plan);
+                    let (w, _) = mst::exact_cpu(&g);
+                    (r.run.stats, format!("forest weight {} (exact {w})", r.weight))
+                }
+                "wcc" => {
+                    let r = wcc::run_sim(&plan);
+                    let exact = wcc::exact_cpu_count(&g);
+                    (r.run.stats, format!("{} components (exact {exact})", r.components))
+                }
+                other => {
+                    eprintln!("unknown algo: {other}");
+                    usage();
+                }
+            };
+            println!("{summary}");
+            println!(
+                "elapsed {} simulated cycles ({:.6} simulated s)",
+                stats.elapsed_cycles(&gpu),
+                stats.elapsed_seconds(&gpu)
+            );
+            print!("{}", CostBreakdown::attribute(&stats, &gpu));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,485 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! The CSR used throughout Graffix differs from a textbook CSR in one way:
+//! the node array may contain **holes** — node slots that carry no edges and
+//! no logical vertex. Holes arise from the Graffix renumbering scheme, where
+//! every BFS level begins at a multiple of the chunk size `k` (paper §2.2),
+//! and are later filled by node replicas (paper §2.3). A hole is encoded as
+//! a zero-degree node whose bit is set in [`Csr::hole_mask`].
+
+use serde::{Deserialize, Serialize};
+
+/// Dense node identifier. The paper's graphs use numeric vertex ids; `u32`
+/// covers every graph the harness generates while halving index memory
+/// compared to `usize` (a deliberate HPC choice: smaller indices mean fewer
+/// memory transactions in the simulator and the host alike).
+pub type NodeId = u32;
+
+/// Index into the edge array.
+pub type EdgeId = usize;
+
+/// Sentinel for "no node" (used by traversals and transforms).
+pub const INVALID_NODE: NodeId = u32::MAX;
+
+/// A directed graph in CSR form with optional edge weights and hole support.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` spans `v`'s out-edges. Length `n + 1`.
+    offsets: Vec<EdgeId>,
+    /// Flat destination array.
+    edges: Vec<NodeId>,
+    /// Parallel weight array; empty for unweighted graphs.
+    weights: Vec<u32>,
+    /// `hole_mask[v]` is true when slot `v` is a renumbering hole rather
+    /// than a logical vertex. Empty when the graph has no holes.
+    hole_mask: Vec<bool>,
+}
+
+impl Csr {
+    /// Builds a CSR from per-node adjacency lists. Weighted lists must have
+    /// the same shape as `adj`.
+    pub fn from_adjacency(adj: Vec<Vec<NodeId>>, weights: Option<Vec<Vec<u32>>>) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut edges = Vec::with_capacity(total);
+        let mut flat_weights = Vec::new();
+        if weights.is_some() {
+            flat_weights.reserve(total);
+        }
+        offsets.push(0);
+        for (v, nbrs) in adj.iter().enumerate() {
+            edges.extend_from_slice(nbrs);
+            if let Some(w) = &weights {
+                assert_eq!(
+                    w[v].len(),
+                    nbrs.len(),
+                    "weight list shape must match adjacency shape"
+                );
+                flat_weights.extend_from_slice(&w[v]);
+            }
+            offsets.push(edges.len());
+        }
+        Csr {
+            offsets,
+            edges,
+            weights: flat_weights,
+            hole_mask: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR directly from raw parts. Panics when the invariants do
+    /// not hold (monotone offsets, edge targets in range, weight shape).
+    pub fn from_parts(
+        offsets: Vec<EdgeId>,
+        edges: Vec<NodeId>,
+        weights: Vec<u32>,
+        hole_mask: Vec<bool>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        let n = offsets.len() - 1;
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(*offsets.last().unwrap(), edges.len());
+        assert!(
+            edges.iter().all(|&d| (d as usize) < n),
+            "edge destination out of range"
+        );
+        assert!(
+            weights.is_empty() || weights.len() == edges.len(),
+            "weights must be empty or parallel to edges"
+        );
+        assert!(
+            hole_mask.is_empty() || hole_mask.len() == n,
+            "hole mask must be empty or cover every node slot"
+        );
+        Csr {
+            offsets,
+            edges,
+            weights,
+            hole_mask,
+        }
+    }
+
+    /// Number of node slots, including holes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of logical (non-hole) vertices.
+    pub fn num_real_nodes(&self) -> usize {
+        if self.hole_mask.is_empty() {
+            self.num_nodes()
+        } else {
+            self.hole_mask.iter().filter(|&&h| !h).count()
+        }
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph carries edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Edge-array range for `v`'s out-edges.
+    #[inline]
+    pub fn edge_range(&self, v: NodeId) -> std::ops::Range<EdgeId> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// Out-neighbors of `v` as a slice.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.edges[self.edge_range(v)]
+    }
+
+    /// Weights parallel to [`Csr::neighbors`]. Panics on unweighted graphs.
+    #[inline]
+    pub fn edge_weights(&self, v: NodeId) -> &[u32] {
+        assert!(self.is_weighted(), "graph is unweighted");
+        &self.weights[self.edge_range(v)]
+    }
+
+    /// Weight of the edge at flat index `e` (1 for unweighted graphs, so
+    /// unweighted algorithms can treat every arc as unit length).
+    #[inline]
+    pub fn weight_at(&self, e: EdgeId) -> u32 {
+        if self.weights.is_empty() {
+            1
+        } else {
+            self.weights[e]
+        }
+    }
+
+    /// Raw offsets array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[EdgeId] {
+        &self.offsets
+    }
+
+    /// Raw edge array.
+    #[inline]
+    pub fn edges_raw(&self) -> &[NodeId] {
+        &self.edges
+    }
+
+    /// Raw weights array (empty when unweighted).
+    #[inline]
+    pub fn weights_raw(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// True when slot `v` is a hole.
+    #[inline]
+    pub fn is_hole(&self, v: NodeId) -> bool {
+        !self.hole_mask.is_empty() && self.hole_mask[v as usize]
+    }
+
+    /// Whether the CSR contains any holes.
+    pub fn has_holes(&self) -> bool {
+        self.hole_mask.iter().any(|&h| h)
+    }
+
+    /// Number of hole slots.
+    pub fn num_holes(&self) -> usize {
+        self.hole_mask.iter().filter(|&&h| h).count()
+    }
+
+    /// Iterator over logical (non-hole) node ids.
+    pub fn real_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as NodeId).filter(move |&v| !self.is_hole(v))
+    }
+
+    /// Iterator over every node slot id (including holes).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over all `(src, dst, weight)` triples.
+    pub fn edge_triples(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.node_ids().flat_map(move |v| {
+            self.edge_range(v).map(move |e| {
+                let w = self.weight_at(e);
+                (v, self.edges[e], w)
+            })
+        })
+    }
+
+    /// Builds the transpose (reverse) graph. Holes are carried over so slot
+    /// numbering is preserved.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut in_deg = vec![0usize; n];
+        for &d in &self.edges {
+            in_deg[d as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + in_deg[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0 as NodeId; self.edges.len()];
+        let mut weights = if self.is_weighted() {
+            vec![0u32; self.edges.len()]
+        } else {
+            Vec::new()
+        };
+        for v in 0..n as NodeId {
+            for e in self.edge_range(v) {
+                let d = self.edges[e] as usize;
+                let slot = cursor[d];
+                cursor[d] += 1;
+                edges[slot] = v;
+                if !weights.is_empty() {
+                    weights[slot] = self.weights[e];
+                }
+            }
+        }
+        Csr {
+            offsets,
+            edges,
+            weights,
+            hole_mask: self.hole_mask.clone(),
+        }
+    }
+
+    /// Builds the undirected closure: for every arc `u -> v` the result also
+    /// contains `v -> u` (duplicates removed). Used by clustering-coefficient
+    /// analysis, which the paper computes on the undirected view (§3).
+    pub fn to_undirected(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
+        for (u, v, w) in self.edge_triples() {
+            if u != v {
+                adj[u as usize].push((v, w));
+                adj[v as usize].push((u, w));
+            }
+        }
+        let weighted = self.is_weighted();
+        let mut lists = Vec::with_capacity(n);
+        let mut wlists = if weighted {
+            Some(Vec::with_capacity(n))
+        } else {
+            None
+        };
+        for l in adj.iter_mut() {
+            l.sort_unstable();
+            l.dedup_by_key(|p| p.0);
+            lists.push(l.iter().map(|p| p.0).collect::<Vec<_>>());
+            if let Some(w) = &mut wlists {
+                w.push(l.iter().map(|p| p.1).collect::<Vec<_>>());
+            }
+        }
+        let mut g = Csr::from_adjacency(lists, wlists);
+        g.hole_mask = self.hole_mask.clone();
+        g
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        if *self.offsets.last().unwrap() != self.edges.len() {
+            return Err("last offset does not match edge count".into());
+        }
+        if let Some(&bad) = self.edges.iter().find(|&&d| d as usize >= n) {
+            return Err(format!("edge destination {bad} out of range (n = {n})"));
+        }
+        if !self.weights.is_empty() && self.weights.len() != self.edges.len() {
+            return Err("weights not parallel to edges".into());
+        }
+        if !self.hole_mask.is_empty() {
+            if self.hole_mask.len() != n {
+                return Err("hole mask length mismatch".into());
+            }
+            for v in 0..n as NodeId {
+                if self.is_hole(v) && self.degree(v) != 0 {
+                    return Err(format!("hole {v} has nonzero degree"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets the hole mask. Panics when a marked hole carries edges.
+    pub fn set_hole_mask(&mut self, mask: Vec<bool>) {
+        assert_eq!(mask.len(), self.num_nodes());
+        for v in 0..self.num_nodes() as NodeId {
+            assert!(
+                !mask[v as usize] || self.degree(v) == 0,
+                "hole {v} must not carry edges"
+            );
+        }
+        self.hole_mask = mask;
+    }
+
+    /// Memory footprint of the CSR arrays in bytes (offsets + edges +
+    /// weights + mask). Used to report the paper's "additional space"
+    /// preprocessing overhead (Table 5).
+    pub fn footprint_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<EdgeId>()
+            + self.edges.len() * std::mem::size_of::<NodeId>()
+            + self.weights.len() * std::mem::size_of::<u32>()
+            + self.hole_mask.len()
+    }
+
+    /// True when `u -> v` exists (binary search when the list is sorted,
+    /// falls back to linear scan otherwise).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let nbrs = self.neighbors(u);
+        if nbrs.windows(2).all(|w| w[0] <= w[1]) {
+            nbrs.binary_search(&v).is_ok()
+        } else {
+            nbrs.contains(&v)
+        }
+    }
+
+    /// Maximum out-degree over non-hole nodes (0 for empty graphs).
+    pub fn max_degree(&self) -> usize {
+        self.real_nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Mean out-degree over non-hole nodes.
+    pub fn mean_degree(&self) -> f64 {
+        let n = self.num_real_nodes();
+        if n == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_adjacency(vec![vec![1, 2], vec![3], vec![3], vec![]], None)
+    }
+
+    #[test]
+    fn adjacency_roundtrip() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[NodeId]);
+        assert_eq!(g.degree(0), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn weighted_construction() {
+        let g = Csr::from_adjacency(
+            vec![vec![1], vec![0]],
+            Some(vec![vec![7], vec![9]]),
+        );
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weights(0), &[7]);
+        assert_eq!(g.weight_at(1), 9);
+    }
+
+    #[test]
+    fn unweighted_weight_is_unit() {
+        let g = diamond();
+        assert_eq!(g.weight_at(0), 1);
+    }
+
+    #[test]
+    fn transpose_inverts_arcs() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[NodeId]);
+        assert_eq!(t.num_edges(), g.num_edges());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_preserves_weights() {
+        let g = Csr::from_adjacency(
+            vec![vec![1, 2], vec![], vec![]],
+            Some(vec![vec![5, 6], vec![], vec![]]),
+        );
+        let t = g.transpose();
+        assert_eq!(t.edge_weights(1), &[5]);
+        assert_eq!(t.edge_weights(2), &[6]);
+    }
+
+    #[test]
+    fn undirected_closure_symmetric() {
+        let g = diamond();
+        let u = g.to_undirected();
+        for (a, b, _) in u.edge_triples().collect::<Vec<_>>() {
+            assert!(u.has_edge(b, a), "missing reverse arc {b}->{a}");
+        }
+        assert_eq!(u.neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn hole_mask_tracks_holes() {
+        let mut g = Csr::from_adjacency(vec![vec![1], vec![], vec![]], None);
+        g.set_hole_mask(vec![false, false, true]);
+        assert!(g.is_hole(2));
+        assert!(!g.is_hole(0));
+        assert_eq!(g.num_real_nodes(), 2);
+        assert_eq!(g.num_holes(), 1);
+        assert_eq!(g.real_nodes().collect::<Vec<_>>(), vec![0, 1]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must not carry edges")]
+    fn hole_with_edges_rejected() {
+        let mut g = diamond();
+        g.set_hole_mask(vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let g = Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![], vec![]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_bad_destination() {
+        Csr::from_parts(vec![0, 1], vec![5], vec![], vec![]);
+    }
+
+    #[test]
+    fn edge_triples_cover_all_edges() {
+        let g = diamond();
+        let triples: Vec<_> = g.edge_triples().collect();
+        assert_eq!(triples, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = diamond();
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 1.0).abs() < 1e-12);
+    }
+}

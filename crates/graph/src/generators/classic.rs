@@ -1,0 +1,163 @@
+//! Deterministic classic topologies: paths, cycles, stars, grids, cliques,
+//! and complete binary trees. These are the workhorses of the test suites
+//! (their structural properties are known in closed form) and useful
+//! calibration inputs for the simulator.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+
+/// Undirected path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_undirected_edge((v - 1) as NodeId, v as NodeId);
+    }
+    b.build()
+}
+
+/// Undirected cycle of length `n`.
+pub fn cycle(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 {
+        for v in 0..n {
+            b.add_undirected_edge(v as NodeId, ((v + 1) % n) as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Undirected star: center 0 connected to `n - 1` leaves.
+pub fn star(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_undirected_edge(0, v as NodeId);
+    }
+    b.build()
+}
+
+/// Undirected `rows × cols` grid (no diagonals).
+pub fn grid(rows: usize, cols: usize) -> Csr {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_undirected_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_undirected_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete graph K_n (undirected: both arcs of every pair).
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for a in 0..n {
+        for c in (a + 1)..n {
+            b.add_undirected_edge(a as NodeId, c as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `n` nodes, arcs parent → child plus the
+/// reverse (undirected), node 0 as the root.
+pub fn binary_tree(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_undirected_edge(((v - 1) / 2) as NodeId, v as NodeId);
+    }
+    b.build()
+}
+
+/// Directed chain `0 -> 1 -> … -> (n-1)` with unit-ish weights; handy for
+/// iteration-count assertions.
+pub fn directed_chain(n: usize, weight: u32) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_weighted_edge((v - 1) as NodeId, v as NodeId, weight);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 8); // 4 undirected edges
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(properties::estimate_diameter(&g, 2, 1), 4);
+    }
+
+    #[test]
+    fn cycle_is_regular() {
+        let g = cycle(6);
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(properties::connected_components(&g), 1);
+    }
+
+    #[test]
+    fn cycle_degenerate_sizes() {
+        assert_eq!(cycle(0).num_edges(), 0);
+        assert_eq!(cycle(1).num_edges(), 0);
+        // Two nodes: single undirected edge (dedup removes the doubled arc).
+        assert_eq!(cycle(2).num_edges(), 2);
+    }
+
+    #[test]
+    fn star_center_has_max_degree() {
+        let g = star(9);
+        assert_eq!(g.degree(0), 8);
+        for v in 1..9 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn complete_clustering_is_one() {
+        let g = complete(6);
+        let ccs = properties::clustering_coefficients(&g);
+        for cc in ccs {
+            assert!((cc - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(g.num_edges(), 6 * 5);
+    }
+
+    #[test]
+    fn binary_tree_has_no_cycles() {
+        let g = binary_tree(15);
+        // Tree: |undirected edges| = n - 1.
+        assert_eq!(g.num_edges(), 2 * 14);
+        assert_eq!(properties::connected_components(&g), 1);
+        // Leaves have degree 1, root degree 2.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1);
+    }
+
+    #[test]
+    fn directed_chain_weights() {
+        let g = directed_chain(4, 7);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weights(0), &[7]);
+        assert_eq!(g.degree(3), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Erdős–Rényi G(n, m) generator, matching GTgraph's "random" mode used for
+//! the paper's `random26` input: `m` arcs drawn uniformly at random over all
+//! ordered vertex pairs.
+
+use super::rng_for;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use rand::Rng;
+
+/// Generates a uniform random directed graph with `nodes` vertices and
+/// ~`edges` arcs (parallel duplicates and self-loops are dropped).
+pub fn generate(nodes: usize, edges: usize, seed: u64) -> Csr {
+    let nodes = super::at_least_one(nodes);
+    let mut rng = rng_for(seed, 0xE2);
+    let mut builder = GraphBuilder::new(nodes);
+    for _ in 0..edges {
+        let src = rng.random_range(0..nodes) as NodeId;
+        let dst = rng.random_range(0..nodes) as NodeId;
+        builder.add_edge(src, dst);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximate_edge_count() {
+        let g = generate(2000, 32000, 4);
+        assert_eq!(g.num_nodes(), 2000);
+        // Collisions are rare at this density; expect > 95 % survival.
+        assert!(g.num_edges() > 30_000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_are_concentrated() {
+        let g = generate(4000, 64000, 8);
+        let mean = g.mean_degree();
+        let max = g.max_degree() as f64;
+        // Poisson-like: the max degree stays within a small factor of the
+        // mean, unlike R-MAT.
+        assert!(max < 4.0 * mean, "unexpected skew: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(300, 2000, 77).edges_raw(),
+            generate(300, 2000, 77).edges_raw()
+        );
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = generate(1, 10, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0); // only self-loops possible; dropped
+    }
+}

@@ -1,0 +1,125 @@
+//! R-MAT generator (Chakrabarti, Zhan, Faloutsos), as used by GTgraph for
+//! the paper's `rmat26` input. Each edge is placed by recursively descending
+//! into one of four adjacency-matrix quadrants with probabilities
+//! `(a, b, c, d)`; GTgraph's defaults `(0.57, 0.19, 0.19, 0.05)` yield a
+//! heavily skewed, scale-free-like degree distribution.
+
+use super::rng_for;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use rand::Rng;
+
+/// GTgraph default quadrant probabilities.
+pub const GTGRAPH_PROBS: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+/// Generates an R-MAT graph with `nodes` vertices (rounded up to the next
+/// power of two internally, then trimmed) and ~`edges` arcs.
+pub fn generate(nodes: usize, edges: usize, seed: u64) -> Csr {
+    generate_with_probs(nodes, edges, GTGRAPH_PROBS, seed)
+}
+
+/// R-MAT with explicit quadrant probabilities (must sum to ~1).
+pub fn generate_with_probs(
+    nodes: usize,
+    edges: usize,
+    (a, b, c, d): (f64, f64, f64, f64),
+    seed: u64,
+) -> Csr {
+    let nodes = super::at_least_one(nodes);
+    assert!(
+        (a + b + c + d - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1"
+    );
+    let scale = (nodes as f64).log2().ceil() as u32;
+    let side = 1usize << scale;
+    let mut rng = rng_for(seed, 0xA1);
+    let mut builder = GraphBuilder::new(nodes);
+    // GTgraph adds noise to the probabilities at each level to avoid
+    // artificial self-similarity; we follow the same recipe.
+    for _ in 0..edges {
+        let (mut lo_r, mut hi_r) = (0usize, side);
+        let (mut lo_c, mut hi_c) = (0usize, side);
+        while hi_r - lo_r > 1 {
+            let noise = |rng: &mut rand_chacha::ChaCha8Rng| 0.95 + 0.1 * rng.random::<f64>();
+            let (na, nb, nc, nd) = (
+                a * noise(&mut rng),
+                b * noise(&mut rng),
+                c * noise(&mut rng),
+                d * noise(&mut rng),
+            );
+            let total = na + nb + nc + nd;
+            let p = rng.random::<f64>() * total;
+            let (row_hi, col_hi) = if p < na {
+                (false, false)
+            } else if p < na + nb {
+                (false, true)
+            } else if p < na + nb + nc {
+                (true, false)
+            } else {
+                (true, true)
+            };
+            let mid_r = (lo_r + hi_r) / 2;
+            let mid_c = (lo_c + hi_c) / 2;
+            if row_hi {
+                lo_r = mid_r;
+            } else {
+                hi_r = mid_r;
+            }
+            if col_hi {
+                lo_c = mid_c;
+            } else {
+                hi_c = mid_c;
+            }
+        }
+        let (src, dst) = (lo_r, lo_c);
+        if src < nodes && dst < nodes {
+            builder.add_edge(src as NodeId, dst as NodeId);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_shape() {
+        let g = generate(1 << 10, 1 << 14, 5);
+        assert_eq!(g.num_nodes(), 1 << 10);
+        // Dedup and out-of-range trims lose some edges, but most survive.
+        assert!(g.num_edges() > (1 << 13), "too few edges: {}", g.num_edges());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = generate(1 << 11, 1 << 15, 9);
+        let max = g.max_degree() as f64;
+        let mean = g.mean_degree();
+        assert!(
+            max > 6.0 * mean,
+            "R-MAT should be skewed: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(512, 4096, 3);
+        let b = generate(512, 4096, 3);
+        assert_eq!(a.edges_raw(), b.edges_raw());
+    }
+
+    #[test]
+    fn non_power_of_two_node_count() {
+        let g = generate(1000, 8000, 2);
+        assert_eq!(g.num_nodes(), 1000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probs() {
+        generate_with_probs(64, 64, (0.5, 0.5, 0.5, 0.5), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Road-network generator standing in for the paper's USA-road input
+//! (DIMACS dataset, unavailable offline).
+//!
+//! Model: a 2-D grid where each intersection connects to its lattice
+//! neighbors, with (a) a small fraction of missing segments (rivers, parks),
+//! and (b) sparse diagonal shortcuts (highways). The result matches the
+//! structural traits the paper's threshold guidelines rely on: near-uniform
+//! small degrees (2–4), negligible clustering, and a diameter of
+//! `Θ(sqrt(V))` — orders of magnitude beyond the social graphs.
+
+use super::rng_for;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use rand::Rng;
+
+/// Generates a road network with roughly `nodes` vertices (rounded to a
+/// `side × side` grid). Arcs are bidirectional.
+pub fn generate(nodes: usize, seed: u64) -> Csr {
+    let nodes = super::at_least_one(nodes);
+    let side = (nodes as f64).sqrt().round().max(1.0) as usize;
+    let n = side * side;
+    let mut rng = rng_for(seed, 0x0AD);
+    let mut builder = GraphBuilder::new(n);
+    let id = |r: usize, c: usize| (r * side + c) as NodeId;
+    for r in 0..side {
+        for c in 0..side {
+            // Lattice segments, each kept with probability 0.93.
+            if c + 1 < side && rng.random::<f64>() < 0.93 {
+                builder.add_undirected_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < side && rng.random::<f64>() < 0.93 {
+                builder.add_undirected_edge(id(r, c), id(r + 1, c));
+            }
+            // Occasional diagonal shortcut.
+            if r + 1 < side && c + 1 < side && rng.random::<f64>() < 0.03 {
+                builder.add_undirected_edge(id(r, c), id(r + 1, c + 1));
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use crate::traversal;
+
+    #[test]
+    fn grid_shape() {
+        let g = generate(1024, 3);
+        assert_eq!(g.num_nodes(), 1024); // 32 x 32
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_are_uniform_and_small() {
+        let g = generate(2500, 5);
+        assert!(g.max_degree() <= 8, "road max degree {}", g.max_degree());
+        let mean = g.mean_degree();
+        assert!((2.0..=5.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn diameter_is_large() {
+        let road = generate(1600, 2);
+        let social = super::super::social::generate(1600, 8, 0.3, 2);
+        let d_road = properties::estimate_diameter(&road, 4, 2);
+        let d_social = properties::estimate_diameter(&social, 4, 2);
+        assert!(
+            d_road > 3 * d_social.max(1),
+            "road diameter {d_road} should dwarf social {d_social}"
+        );
+    }
+
+    #[test]
+    fn mostly_connected() {
+        let g = generate(900, 7);
+        let levels = traversal::bfs_levels(&g, 0);
+        let reached = levels.iter().filter(|l| l.is_some()).count();
+        assert!(
+            reached > g.num_nodes() * 9 / 10,
+            "only {reached} reachable from 0"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(400, 9).edges_raw(), generate(400, 9).edges_raw());
+    }
+}

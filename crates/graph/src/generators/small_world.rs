@@ -1,0 +1,114 @@
+//! Watts–Strogatz small-world generator — an extra graph family beyond the
+//! paper's Table 1 suite, useful for probing the latency transform: the
+//! rewiring probability `beta` interpolates between a high-clustering ring
+//! lattice (`beta = 0`) and an Erdős–Rényi-like graph (`beta = 1`), so it
+//! sweeps exactly the clustering-coefficient axis that §3's knob keys off.
+
+use super::rng_for;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use rand::Rng;
+
+/// Generates a Watts–Strogatz graph: `n` nodes on a ring, each connected to
+/// its `k` nearest neighbors per side, each edge rewired with probability
+/// `beta`. The result is undirected (both arcs stored).
+pub fn generate(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
+    let n = super::at_least_one(n);
+    let k = k.max(1).min(n.saturating_sub(1) / 2).max(1);
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = rng_for(seed, 0x5A11);
+    let mut b = GraphBuilder::new(n);
+    if n < 3 {
+        if n == 2 {
+            b.add_undirected_edge(0, 1);
+        }
+        return b.build();
+    }
+    for v in 0..n {
+        for j in 1..=k {
+            let mut target = (v + j) % n;
+            if rng.random::<f64>() < beta {
+                // Rewire to a uniform random non-self target.
+                let mut attempts = 0;
+                loop {
+                    let cand = rng.random_range(0..n);
+                    if cand != v || attempts > 8 {
+                        target = cand;
+                        break;
+                    }
+                    attempts += 1;
+                }
+                if target == v {
+                    continue; // give up on this edge rather than self-loop
+                }
+            }
+            b.add_undirected_edge(v as NodeId, target as NodeId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn zero_beta_is_a_ring_lattice() {
+        let g = generate(40, 2, 0.0, 1);
+        // Every node keeps exactly 2k undirected neighbors.
+        for v in 0..40 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        // Ring lattices with k = 2 have CC = 0.5.
+        let cc = properties::average_clustering_coefficient(&g, 40, 1);
+        assert!((cc - 0.5).abs() < 0.05, "lattice CC = {cc}");
+    }
+
+    #[test]
+    fn rewiring_lowers_clustering() {
+        let ordered = generate(300, 3, 0.0, 7);
+        let random = generate(300, 3, 1.0, 7);
+        let cc_ordered = properties::average_clustering_coefficient(&ordered, 200, 2);
+        let cc_random = properties::average_clustering_coefficient(&random, 200, 2);
+        assert!(
+            cc_ordered > 2.0 * cc_random,
+            "rewiring should destroy clustering: {cc_ordered} vs {cc_random}"
+        );
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let ordered = generate(400, 2, 0.0, 3);
+        let small_world = generate(400, 2, 0.2, 3);
+        let d_ordered = properties::estimate_diameter(&ordered, 3, 1);
+        let d_small = properties::estimate_diameter(&small_world, 3, 1);
+        assert!(
+            d_small < d_ordered,
+            "shortcuts must shrink the diameter: {d_small} vs {d_ordered}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(100, 2, 0.3, 9).edges_raw(),
+            generate(100, 2, 0.3, 9).edges_raw()
+        );
+    }
+
+    #[test]
+    fn tiny_inputs_survive() {
+        for n in [1, 2, 3] {
+            let g = generate(n, 2, 0.5, 1);
+            assert_eq!(g.num_nodes(), n);
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_beta() {
+        generate(10, 2, 1.5, 1);
+    }
+}

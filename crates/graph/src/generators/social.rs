@@ -1,0 +1,127 @@
+//! Social-network generator standing in for the paper's LiveJournal and
+//! twitter snapshots (SNAP datasets, unavailable offline).
+//!
+//! Model: Holme–Kim style *preferential attachment with triangle closure*.
+//! Each new vertex attaches `m` out-edges; each edge either closes a
+//! triangle with probability `closure_p` (connecting to a random neighbor of
+//! the previously chosen target — this is what drives the clustering
+//! coefficient up, the property §3's latency transform keys off) or attaches
+//! preferentially by degree (driving the power-law tail that §2's
+//! replication and §4's divergence transform key off). Finally, edges are
+//! made partially reciprocal, as in real social graphs.
+
+use super::rng_for;
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, NodeId};
+use rand::Rng;
+
+/// Generates a social-style graph with `nodes` vertices, ~`m` out-edges per
+/// vertex and triangle-closure probability `closure_p`.
+///
+/// * LiveJournal preset: `closure_p = 0.35` (high CC, moderate density).
+/// * twitter preset: `closure_p = 0.15` (heavier tail, denser).
+pub fn generate(nodes: usize, m: usize, closure_p: f64, seed: u64) -> Csr {
+    let nodes = super::at_least_one(nodes);
+    let m = m.max(1);
+    let mut rng = rng_for(seed, 0x50);
+    // `targets` is the preferential-attachment urn: each vertex appears once
+    // per incident edge endpoint, so sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(nodes * m * 2);
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); nodes];
+
+    let seed_core = m.min(nodes);
+    // Seed clique over the first few vertices so the urn is never empty.
+    for (a, adj_a) in adj.iter_mut().enumerate().take(seed_core) {
+        for b in 0..seed_core {
+            if a != b {
+                adj_a.push(b as NodeId);
+                urn.push(b as NodeId);
+            }
+        }
+    }
+
+    for v in seed_core..nodes {
+        let mut last_target: Option<NodeId> = None;
+        let mut added: Vec<NodeId> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let candidate = if let (Some(prev), true) = (last_target, rng.random::<f64>() < closure_p)
+            {
+                // Triangle closure: pick a random out-neighbor of the
+                // previous target.
+                let nbrs = &adj[prev as usize];
+                if nbrs.is_empty() {
+                    urn[rng.random_range(0..urn.len())]
+                } else {
+                    nbrs[rng.random_range(0..nbrs.len())]
+                }
+            } else {
+                urn[rng.random_range(0..urn.len())]
+            };
+            if candidate as usize != v && !added.contains(&candidate) {
+                added.push(candidate);
+                last_target = Some(candidate);
+            }
+        }
+        for &t in &added {
+            adj[v].push(t);
+            urn.push(t);
+            urn.push(v as NodeId);
+        }
+    }
+
+    // Partial reciprocity: social graphs have many mutual follows.
+    let mut builder = GraphBuilder::new(nodes);
+    for (v, nbrs) in adj.iter().enumerate() {
+        for &t in nbrs {
+            builder.add_edge(v as NodeId, t);
+            if rng.random::<f64>() < 0.4 {
+                builder.add_edge(t, v as NodeId);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn power_law_tail() {
+        let g = generate(3000, 10, 0.3, 6);
+        let max = g.max_degree() as f64;
+        let mean = g.mean_degree();
+        assert!(max > 5.0 * mean, "expected hub nodes: max {max} mean {mean}");
+    }
+
+    #[test]
+    fn triangle_closure_raises_clustering() {
+        let low = generate(1500, 8, 0.0, 6);
+        let high = generate(1500, 8, 0.6, 6);
+        let cc_low = properties::average_clustering_coefficient(&low, 400, 9);
+        let cc_high = properties::average_clustering_coefficient(&high, 400, 9);
+        assert!(
+            cc_high > cc_low,
+            "closure should raise CC: {cc_high} vs {cc_low}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(800, 6, 0.3, 12).edges_raw(),
+            generate(800, 6, 0.3, 12).edges_raw()
+        );
+    }
+
+    #[test]
+    fn small_graphs_survive() {
+        for n in [1, 2, 3, 5, 10] {
+            let g = generate(n, 4, 0.3, 1);
+            assert_eq!(g.num_nodes(), n);
+            g.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # graffix-graph
+//!
+//! Graph substrate for the Graffix reproduction: a CSR representation with
+//! explicit *hole* support (as produced by the Graffix renumbering scheme),
+//! an edge-list builder, synthetic graph generators mirroring the paper's
+//! input suite (Table 1), text/DIMACS I/O, structural property analyses
+//! (degree distribution, clustering coefficient, diameter estimation), and
+//! BFS/DFS traversal utilities used by the transforms.
+//!
+//! All node ids are dense `u32` indices. Edges are directed; undirected
+//! graphs are represented by storing both arcs.
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod properties;
+pub mod serialize;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, EdgeId, NodeId, INVALID_NODE};
+pub use generators::{GraphKind, GraphSpec};
+
+/// Convenience prelude bringing the most common items into scope.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::csr::{Csr, EdgeId, NodeId, INVALID_NODE};
+    pub use crate::generators::{GraphKind, GraphSpec};
+    pub use crate::properties;
+    pub use crate::traversal;
+}

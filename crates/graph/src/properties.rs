@@ -1,0 +1,238 @@
+//! Structural graph properties: degree statistics, clustering coefficient
+//! (the knob driver for the latency transform, paper §3), diameter
+//! estimation (sets the shared-memory iteration count `t ≈ 2 × diameter`),
+//! and undirected connectivity.
+
+use crate::csr::{Csr, NodeId};
+use crate::traversal::bfs_levels;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Histogram of out-degrees: `hist[d]` = number of nodes with out-degree `d`.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.real_nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of `v` in the *undirected* graph `und`
+/// (whose neighbor lists must be sorted, as produced by
+/// [`Csr::to_undirected`]): the fraction of neighbor pairs that are
+/// themselves connected. 0 for degree < 2.
+pub fn local_clustering_coefficient(und: &Csr, v: NodeId) -> f64 {
+    let nbrs = und.neighbors(v);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        let a_nbrs = und.neighbors(a);
+        for &b in &nbrs[i + 1..] {
+            if a_nbrs.binary_search(&b).is_ok() {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Local clustering coefficients for every node slot of `g` (holes get 0),
+/// computed on the undirected view in parallel.
+pub fn clustering_coefficients(g: &Csr) -> Vec<f64> {
+    let und = g.to_undirected();
+    (0..g.num_nodes() as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            if und.is_hole(v) {
+                0.0
+            } else {
+                local_clustering_coefficient(&und, v)
+            }
+        })
+        .collect()
+}
+
+/// Sampled average clustering coefficient (cheap estimate used by tests and
+/// the threshold-guideline heuristics).
+pub fn average_clustering_coefficient(g: &Csr, samples: usize, seed: u64) -> f64 {
+    let und = g.to_undirected();
+    let real: Vec<NodeId> = und.real_nodes().collect();
+    if real.is_empty() {
+        return 0.0;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let samples = samples.min(real.len()).max(1);
+    let total: f64 = (0..samples)
+        .map(|_| {
+            let v = real[rng.random_range(0..real.len())];
+            local_clustering_coefficient(&und, v)
+        })
+        .sum();
+    total / samples as f64
+}
+
+/// Diameter estimate via repeated double-sweep BFS on the undirected view:
+/// run BFS from a random node, then from the farthest node found; the
+/// farthest distance of the second sweep lower-bounds the diameter and is
+/// usually tight on real graphs. Returns the max over `sweeps` repetitions.
+pub fn estimate_diameter(g: &Csr, sweeps: usize, seed: u64) -> usize {
+    let und = g.to_undirected();
+    let real: Vec<NodeId> = und.real_nodes().collect();
+    if real.is_empty() {
+        return 0;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut best = 0usize;
+    for _ in 0..sweeps.max(1) {
+        let start = real[rng.random_range(0..real.len())];
+        let first = bfs_levels(&und, start);
+        let far = first
+            .iter()
+            .enumerate()
+            .filter_map(|(v, l)| l.map(|l| (l, v)))
+            .max()
+            .map(|(_, v)| v as NodeId)
+            .unwrap_or(start);
+        let second = bfs_levels(&und, far);
+        let ecc = second.iter().flatten().copied().max().unwrap_or(0) as usize;
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Number of weakly connected components over non-hole nodes (union-find
+/// with path halving).
+pub fn connected_components(g: &Csr) -> usize {
+    let n = g.num_nodes();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (u, v, _) in g.edge_triples() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    let mut count = 0usize;
+    for v in g.real_nodes() {
+        if find(&mut parent, v) == v {
+            count += 1;
+        }
+    }
+    // Roots of hole-only trees are not counted because holes are excluded
+    // from `real_nodes`; a hole is never linked by an edge (invariant).
+    count
+}
+
+/// Summary row used by the Table 1 harness.
+#[derive(Clone, Debug)]
+pub struct GraphSummary {
+    pub nodes: usize,
+    pub edges: usize,
+    pub max_degree: usize,
+    pub mean_degree: f64,
+    pub avg_clustering: f64,
+    pub diameter_estimate: usize,
+}
+
+/// Computes the Table 1 summary for `g`.
+pub fn summarize(g: &Csr, seed: u64) -> GraphSummary {
+    GraphSummary {
+        nodes: g.num_real_nodes(),
+        edges: g.num_edges(),
+        max_degree: g.max_degree(),
+        mean_degree: g.mean_degree(),
+        avg_clustering: average_clustering_coefficient(g, 500, seed),
+        diameter_estimate: estimate_diameter(g, 2, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_tail() -> Csr {
+        // Triangle 0-1-2 plus a tail 2-3.
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(1, 2);
+        b.add_undirected_edge(0, 2);
+        b.add_undirected_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn clustering_of_triangle_nodes() {
+        let g = triangle_plus_tail();
+        let und = g.to_undirected();
+        assert!((local_clustering_coefficient(&und, 0) - 1.0).abs() < 1e-12);
+        // Node 2 has neighbors {0, 1, 3}; only pair (0,1) is linked: 1/3.
+        assert!((local_clustering_coefficient(&und, 2) - 1.0 / 3.0).abs() < 1e-12);
+        // Degree-1 node has CC 0.
+        assert_eq!(local_clustering_coefficient(&und, 3), 0.0);
+    }
+
+    #[test]
+    fn clustering_vector_matches_local() {
+        let g = triangle_plus_tail();
+        let ccs = clustering_coefficients(&g);
+        let und = g.to_undirected();
+        for v in 0..4 {
+            assert!((ccs[v as usize] - local_clustering_coefficient(&und, v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let mut b = GraphBuilder::new(6);
+        for v in 0..5u32 {
+            b.add_undirected_edge(v, v + 1);
+        }
+        let g = b.build();
+        assert_eq!(estimate_diameter(&g, 3, 1), 5);
+    }
+
+    #[test]
+    fn component_count() {
+        let mut b = GraphBuilder::new(5);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(2, 3);
+        let g = b.build();
+        assert_eq!(connected_components(&g), 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = triangle_plus_tail();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.num_nodes());
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let g = triangle_plus_tail();
+        let s = summarize(&g, 4);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, g.num_edges());
+        assert!(s.avg_clustering > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(connected_components(&g), 0);
+        assert_eq!(estimate_diameter(&g, 2, 1), 0);
+        assert_eq!(average_clustering_coefficient(&g, 10, 1), 0.0);
+    }
+}

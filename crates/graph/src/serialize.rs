@@ -1,0 +1,260 @@
+//! Compact binary graph format ("GFX1").
+//!
+//! Edge-list text and DIMACS are interchange formats; for the repeated
+//! preprocessing-then-query workflow the paper motivates, a transformed
+//! graph is written once and memory-loaded many times, so a dense binary
+//! layout matters. Layout (all little-endian):
+//!
+//! ```text
+//! magic  "GFX1"            4 bytes
+//! flags  u32               bit 0 = weighted, bit 1 = has hole mask
+//! n      u64               node slots
+//! m      u64               edges
+//! offsets  (n+1) × u64
+//! edges    m × u32
+//! weights  m × u32          (iff weighted)
+//! holes    ceil(n/8) bytes  (iff hole mask, bit-packed)
+//! ```
+
+use crate::csr::Csr;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GFX1";
+const FLAG_WEIGHTED: u32 = 1;
+const FLAG_HOLES: u32 = 2;
+
+/// Serializes `g` into a fresh byte buffer.
+pub fn to_bytes(g: &Csr) -> Bytes {
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let weighted = g.is_weighted();
+    let has_holes = g.has_holes();
+    let mut buf = BytesMut::with_capacity(24 + (n + 1) * 8 + m * 8 + n / 8);
+    buf.put_slice(MAGIC);
+    let mut flags = 0u32;
+    if weighted {
+        flags |= FLAG_WEIGHTED;
+    }
+    if has_holes {
+        flags |= FLAG_HOLES;
+    }
+    buf.put_u32_le(flags);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    for &o in g.offsets() {
+        buf.put_u64_le(o as u64);
+    }
+    for &e in g.edges_raw() {
+        buf.put_u32_le(e);
+    }
+    if weighted {
+        for &w in g.weights_raw() {
+            buf.put_u32_le(w);
+        }
+    }
+    if has_holes {
+        let mut byte = 0u8;
+        for v in 0..n {
+            if g.is_hole(v as u32) {
+                byte |= 1 << (v % 8);
+            }
+            if v % 8 == 7 {
+                buf.put_u8(byte);
+                byte = 0;
+            }
+        }
+        if !n.is_multiple_of(8) {
+            buf.put_u8(byte);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from `bytes`, validating the structure.
+pub fn from_bytes(mut bytes: Bytes) -> io::Result<Csr> {
+    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if bytes.remaining() < 24 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic (not a GFX1 file)"));
+    }
+    let flags = bytes.get_u32_le();
+    if flags & !(FLAG_WEIGHTED | FLAG_HOLES) != 0 {
+        return Err(err("unknown flags"));
+    }
+    let n = bytes.get_u64_le() as usize;
+    let m = bytes.get_u64_le() as usize;
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let has_holes = flags & FLAG_HOLES != 0;
+
+    let need = (n + 1) * 8
+        + m * 4
+        + if weighted { m * 4 } else { 0 }
+        + if has_holes { n.div_ceil(8) } else { 0 };
+    if bytes.remaining() < need {
+        return Err(err("truncated body"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(bytes.get_u64_le() as usize);
+    }
+    if *offsets.last().unwrap() != m {
+        return Err(err("offset/edge-count mismatch"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(err("offsets not monotone"));
+    }
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let e = bytes.get_u32_le();
+        if e as usize >= n {
+            return Err(err("edge destination out of range"));
+        }
+        edges.push(e);
+    }
+    let weights = if weighted {
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            w.push(bytes.get_u32_le());
+        }
+        w
+    } else {
+        Vec::new()
+    };
+    let hole_mask = if has_holes {
+        let mut mask = Vec::with_capacity(n);
+        let mut byte = 0u8;
+        for v in 0..n {
+            if v % 8 == 0 {
+                byte = bytes.get_u8();
+            }
+            mask.push(byte & (1 << (v % 8)) != 0);
+        }
+        mask
+    } else {
+        Vec::new()
+    };
+    // from_parts asserts the remaining invariants (including hole degrees).
+    let g = Csr::from_parts(offsets, edges, weights, Vec::new());
+    let mut g = g;
+    if !hole_mask.is_empty() {
+        for (v, &h) in hole_mask.iter().enumerate() {
+            if h && g.degree(v as u32) != 0 {
+                return Err(err("hole slot carries edges"));
+            }
+        }
+        g.set_hole_mask(hole_mask);
+    }
+    Ok(g)
+}
+
+/// Writes `g` in GFX1 format.
+pub fn write_binary<W: Write>(g: &Csr, mut out: W) -> io::Result<()> {
+    out.write_all(&to_bytes(g))
+}
+
+/// Reads a GFX1 graph.
+pub fn read_binary<R: Read>(mut input: R) -> io::Result<Csr> {
+    let mut data = Vec::new();
+    input.read_to_end(&mut data)?;
+    from_bytes(Bytes::from(data))
+}
+
+/// Convenience: saves to `path`.
+pub fn save_binary<P: AsRef<Path>>(g: &Csr, path: P) -> io::Result<()> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: loads from `path`.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{GraphKind, GraphSpec};
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = GraphSpec::new(GraphKind::Rmat, 300, 4).generate();
+        let g2 = from_bytes(to_bytes(&g)).unwrap();
+        assert_eq!(g.offsets(), g2.offsets());
+        assert_eq!(g.edges_raw(), g2.edges_raw());
+        assert_eq!(g.weights_raw(), g2.weights_raw());
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = GraphSpec::new(GraphKind::Road, 200, 1)
+            .with_max_weight(0)
+            .generate();
+        let g2 = from_bytes(to_bytes(&g)).unwrap();
+        assert!(!g2.is_weighted());
+        assert_eq!(g.edges_raw(), g2.edges_raw());
+    }
+
+    #[test]
+    fn roundtrip_with_holes() {
+        let mut b = GraphBuilder::new(10);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let mut g = b.build();
+        let mut mask = vec![false; 10];
+        mask[7] = true;
+        mask[9] = true;
+        g.set_hole_mask(mask);
+        let g2 = from_bytes(to_bytes(&g)).unwrap();
+        assert!(g2.is_hole(7) && g2.is_hole(9));
+        assert!(!g2.is_hole(0));
+        assert_eq!(g2.num_holes(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut data = to_bytes(&GraphBuilder::new(2).build()).to_vec();
+        data[0] = b'X';
+        assert!(from_bytes(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let data = to_bytes(&GraphSpec::new(GraphKind::Random, 50, 2).generate());
+        for cut in [3usize, 20, data.len() / 2] {
+            let sliced = data.slice(0..cut);
+            assert!(from_bytes(sliced).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let g = {
+            let mut b = GraphBuilder::new(3);
+            b.add_edge(0, 2);
+            b.build()
+        };
+        let mut data = to_bytes(&g).to_vec();
+        // Edge array starts after magic(4)+flags(4)+n(8)+m(8)+offsets(4*8).
+        let edge_pos = 4 + 4 + 8 + 8 + 4 * 8;
+        data[edge_pos..edge_pos + 4].copy_from_slice(&100u32.to_le_bytes());
+        assert!(from_bytes(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("graffix-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.gfx");
+        let g = GraphSpec::new(GraphKind::SocialLiveJournal, 150, 8).generate();
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        assert_eq!(g.edges_raw(), g2.edges_raw());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,239 @@
+//! BFS/DFS traversal utilities.
+//!
+//! [`bfs_forest`] implements the exact traversal the Graffix renumbering
+//! scheme is built on (paper §2.2, Algorithm 2 lines 3–6): sources are
+//! picked in decreasing out-degree order among unvisited nodes, and when a
+//! later BFS reaches an already-visited node at a *lower* level, the level
+//! is reduced.
+
+use crate::csr::{Csr, NodeId, INVALID_NODE};
+use std::collections::VecDeque;
+
+/// BFS levels from `src`; `None` for unreachable nodes (and holes).
+pub fn bfs_levels(g: &Csr, src: NodeId) -> Vec<Option<u32>> {
+    let mut level = vec![None; g.num_nodes()];
+    if g.is_hole(src) {
+        return level;
+    }
+    let mut queue = VecDeque::new();
+    level[src as usize] = Some(0);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let next = level[v as usize].unwrap() + 1;
+        for &w in g.neighbors(v) {
+            if level[w as usize].is_none() {
+                level[w as usize] = Some(next);
+                queue.push_back(w);
+            }
+        }
+    }
+    level
+}
+
+/// Result of the multi-source BFS used by the renumbering scheme.
+#[derive(Clone, Debug)]
+pub struct BfsForest {
+    /// Final (minimized) BFS level of every node; `u32::MAX` for holes.
+    pub level: Vec<u32>,
+    /// BFS parent (`INVALID_NODE` for roots/holes).
+    pub parent: Vec<NodeId>,
+    /// Roots in the order they were expanded (decreasing out-degree among
+    /// the then-unvisited nodes).
+    pub roots: Vec<NodeId>,
+}
+
+impl BfsForest {
+    /// Number of levels (max level + 1); 0 for an empty forest.
+    pub fn num_levels(&self) -> usize {
+        self.level
+            .iter()
+            .filter(|&&l| l != u32::MAX)
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Nodes grouped by level, each level in ascending node-id order.
+    pub fn nodes_by_level(&self) -> Vec<Vec<NodeId>> {
+        let mut levels = vec![Vec::new(); self.num_levels()];
+        for (v, &l) in self.level.iter().enumerate() {
+            if l != u32::MAX {
+                levels[l as usize].push(v as NodeId);
+            }
+        }
+        levels
+    }
+}
+
+/// Builds the BFS forest per Algorithm 2: repeatedly start a BFS from the
+/// highest-out-degree unvisited node; relax levels of already-visited nodes
+/// downwards when a later traversal reaches them more cheaply.
+pub fn bfs_forest(g: &Csr) -> BfsForest {
+    let n = g.num_nodes();
+    let mut level = vec![u32::MAX; n];
+    let mut parent = vec![INVALID_NODE; n];
+    let mut roots = Vec::new();
+
+    // Nodes ordered by decreasing out-degree (stable on id for determinism).
+    let mut order: Vec<NodeId> = g.real_nodes().collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+
+    let mut queue = VecDeque::new();
+    for &s in &order {
+        if level[s as usize] != u32::MAX {
+            continue;
+        }
+        roots.push(s);
+        level[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            let next = level[v as usize] + 1;
+            for &w in g.neighbors(v) {
+                if g.is_hole(w) {
+                    continue;
+                }
+                // Standard visit, or level reduction of an earlier visit.
+                if level[w as usize] > next {
+                    level[w as usize] = next;
+                    parent[w as usize] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    BfsForest {
+        level,
+        parent,
+        roots,
+    }
+}
+
+/// Iterative DFS preorder from `src` (used by tests and by the shared-memory
+/// scheduler's subgraph walks).
+pub fn dfs_preorder(g: &Csr, src: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    while let Some(v) = stack.pop() {
+        if seen[v as usize] || g.is_hole(v) {
+            continue;
+        }
+        seen[v as usize] = true;
+        out.push(v);
+        // Reverse push so neighbors come out in natural order.
+        for &w in g.neighbors(v).iter().rev() {
+            if !seen[w as usize] {
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// The paper's Figure 1 example graph (20 nodes).
+    pub fn figure1_graph() -> Csr {
+        let mut b = GraphBuilder::new(20);
+        // Node 0 has the highest out-degree (7): the paper says BFS from 0
+        // visits {0,4,5,6,7,8,13,14,15,17}.
+        for d in [4, 5, 6, 7, 8, 13, 14] {
+            b.add_edge(0, d);
+        }
+        b.add_edge(4, 15);
+        b.add_edge(5, 17);
+        // BFS from 1 covers {10, 12, 18} and re-reaches 15, 17 at level 1.
+        for d in [10, 12, 18, 15, 17] {
+            b.add_edge(1, d);
+        }
+        // BFS from 2 covers {11, 19}.
+        for d in [11, 19] {
+            b.add_edge(2, d);
+        }
+        // 3, 9, 16 are isolated sources.
+        b.build()
+    }
+
+    #[test]
+    fn bfs_levels_simple_path() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let l = bfs_levels(&g, 0);
+        assert_eq!(l, vec![Some(0), Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn forest_matches_paper_example() {
+        let g = figure1_graph();
+        let f = bfs_forest(&g);
+        // Paper: vertices 0, 1, 2, 3, 9, 16 end at level 0, all others at 1
+        // (levels of 15 and 17 are *reduced* to 1 by the BFS from 1).
+        for root in [0, 1, 2, 3, 9, 16] {
+            assert_eq!(f.level[root], 0, "node {root} should be a root");
+        }
+        for v in [4, 5, 6, 7, 8, 10, 11, 12, 13, 14, 15, 17, 18, 19] {
+            assert_eq!(f.level[v], 1, "node {v} should be level 1");
+        }
+        assert_eq!(f.roots[0], 0, "first root is the max-degree node");
+        assert_eq!(f.num_levels(), 2);
+    }
+
+    #[test]
+    fn forest_covers_every_real_node() {
+        let g = figure1_graph();
+        let f = bfs_forest(&g);
+        assert!(f.level.iter().all(|&l| l != u32::MAX));
+    }
+
+    #[test]
+    fn level_reduction_on_later_bfs() {
+        // 0 -> 1 -> 2; 3 -> 2 with deg(0)=1 but deg(3)=... make 0 higher
+        // degree so it runs first, putting 2 at level 2; then BFS from 3
+        // reduces 2 to level 1.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(0, 4);
+        b.add_edge(1, 2);
+        b.add_edge(3, 2);
+        let g = b.build();
+        let f = bfs_forest(&g);
+        assert_eq!(f.level[0], 0);
+        assert_eq!(f.level[3], 0);
+        assert_eq!(f.level[2], 1, "level of 2 must be reduced by BFS from 3");
+    }
+
+    #[test]
+    fn nodes_by_level_partition() {
+        let g = figure1_graph();
+        let f = bfs_forest(&g);
+        let by_level = f.nodes_by_level();
+        let total: usize = by_level.iter().map(Vec::len).sum();
+        assert_eq!(total, g.num_nodes());
+        assert_eq!(by_level[0], vec![0, 1, 2, 3, 9, 16]);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_component() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        let g = b.build();
+        assert_eq!(dfs_preorder(&g, 0), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn bfs_skips_holes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let mut g = b.build();
+        g.set_hole_mask(vec![false, false, true]);
+        let f = bfs_forest(&g);
+        assert_eq!(f.level[2], u32::MAX);
+    }
+}

@@ -1,0 +1,98 @@
+//! Memory/compute events recorded by lanes and replayed in warp lockstep.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a simulated device array (distance array, edge array, …).
+/// Each array lives in its own address region, so accesses to different
+/// arrays never share a coalescing segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArrayId(pub u16);
+
+impl ArrayId {
+    /// Conventional ids used by the algorithm kernels. Purely cosmetic —
+    /// any distinct ids work — but naming them keeps kernels readable.
+    pub const OFFSETS: ArrayId = ArrayId(0);
+    pub const EDGES: ArrayId = ArrayId(1);
+    pub const EDGE_WEIGHTS: ArrayId = ArrayId(2);
+    pub const NODE_ATTR: ArrayId = ArrayId(3);
+    pub const NODE_ATTR_AUX: ArrayId = ArrayId(4);
+    pub const FRONTIER: ArrayId = ArrayId(5);
+    pub const WORKLIST: ArrayId = ArrayId(6);
+}
+
+/// What a lane did at one lockstep position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    Read,
+    Write,
+    /// Atomic read-modify-write; serializes on same-address collisions.
+    Atomic,
+    /// Pure ALU work (no memory traffic), `ops` issue slots wide.
+    Compute,
+}
+
+/// Address space of an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Space {
+    Global,
+    Shared,
+}
+
+/// One recorded lane event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemEvent {
+    pub array: ArrayId,
+    pub index: u64,
+    pub kind: AccessKind,
+    pub space: Space,
+}
+
+impl MemEvent {
+    /// Flat device address: array id in the high bits, element index below.
+    /// 2^44 words per array keeps regions disjoint for any realistic graph.
+    #[inline]
+    pub fn address(&self) -> u64 {
+        ((self.array.0 as u64) << 44) | self.index
+    }
+
+    /// Aligned coalescing segment of this address.
+    #[inline]
+    pub fn segment(&self, segment_words: u64) -> u64 {
+        self.address() / segment_words.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_of_distinct_arrays_never_collide() {
+        let a = MemEvent {
+            array: ArrayId(1),
+            index: 0,
+            kind: AccessKind::Read,
+            space: Space::Global,
+        };
+        let b = MemEvent {
+            array: ArrayId(2),
+            index: 0,
+            kind: AccessKind::Read,
+            space: Space::Global,
+        };
+        assert_ne!(a.address(), b.address());
+        assert_ne!(a.segment(32), b.segment(32));
+    }
+
+    #[test]
+    fn segment_groups_nearby_indices() {
+        let ev = |i| MemEvent {
+            array: ArrayId(3),
+            index: i,
+            kind: AccessKind::Read,
+            space: Space::Global,
+        };
+        assert_eq!(ev(0).segment(4), ev(3).segment(4));
+        assert_ne!(ev(3).segment(4), ev(4).segment(4));
+    }
+}

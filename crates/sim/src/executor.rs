@@ -1,0 +1,275 @@
+//! Superstep executor: partitions a vertex assignment into warps, runs the
+//! vertex program per lane (functionally, while recording traces), then
+//! replays each warp in lockstep for cost accounting.
+
+use crate::config::GpuConfig;
+use crate::lane::Lane;
+use crate::stats::KernelStats;
+use crate::warp::replay_warp;
+use graffix_graph::{NodeId, INVALID_NODE};
+
+/// Description of one kernel launch.
+#[derive(Clone, Copy, Debug)]
+pub struct Superstep<'a> {
+    /// Vertices in warp order: consecutive entries share a warp, so the
+    /// *ordering* is part of the experiment (renumbering changes it).
+    /// `INVALID_NODE` entries are empty slots (e.g. unfilled holes).
+    pub assignment: &'a [NodeId],
+    /// Shared-memory residency mask over node ids (None = nothing tiled).
+    pub resident: Option<&'a [bool]>,
+}
+
+/// Result of one kernel launch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SuperstepOutcome {
+    pub stats: KernelStats,
+    /// Whether any lane reported an update (fixpoint detection).
+    pub changed: bool,
+}
+
+/// Runs one superstep. The kernel receives each assigned vertex and its
+/// [`Lane`]; it must mirror every memory access it performs and return
+/// whether it changed any state.
+pub fn run_superstep<F>(cfg: &GpuConfig, step: Superstep<'_>, kernel: F) -> SuperstepOutcome
+where
+    F: FnMut(NodeId, &mut Lane) -> bool,
+{
+    run_blocks(
+        cfg,
+        &[Block {
+            assignment: step.assignment,
+            resident: step.resident,
+        }],
+        kernel,
+    )
+}
+
+/// One thread block of a block-structured launch: its vertex assignment
+/// and its shared-memory residency mask (e.g. one Graffix tile).
+#[derive(Clone, Copy, Debug)]
+pub struct Block<'a> {
+    pub assignment: &'a [NodeId],
+    pub resident: Option<&'a [bool]>,
+}
+
+/// Runs many blocks as **one** kernel launch (one launch overhead total):
+/// the GPU schedules one block per shared-memory tile, so processing all
+/// tiles is a single launch, not one launch per tile.
+pub fn run_blocks<F>(cfg: &GpuConfig, blocks: &[Block<'_>], mut kernel: F) -> SuperstepOutcome
+where
+    F: FnMut(NodeId, &mut Lane) -> bool,
+{
+    let mut stats = KernelStats {
+        launches: 1,
+        ..Default::default()
+    };
+    let mut changed = false;
+    let mut lanes: Vec<Lane> = (0..cfg.warp_size).map(|_| Lane::new()).collect();
+    for block in blocks {
+        for warp_nodes in block.assignment.chunks(cfg.warp_size) {
+            for (i, &v) in warp_nodes.iter().enumerate() {
+                lanes[i].reset();
+                if v == INVALID_NODE {
+                    continue;
+                }
+                lanes[i].set_resident_mask(block.resident);
+                changed |= kernel(v, &mut lanes[i]);
+            }
+            let traces: Vec<&[_]> = lanes[..warp_nodes.len()].iter().map(|l| l.trace()).collect();
+            replay_warp(cfg, &traces, &mut stats);
+        }
+    }
+    SuperstepOutcome { stats, changed }
+}
+
+/// Runs supersteps until no lane reports a change (or `max_iters` is hit),
+/// re-invoking `kernel` with the iteration number. Returns accumulated
+/// stats and the number of iterations executed. This is the fixpoint shape
+/// shared by all topology-driven algorithms in the paper's Baseline-I.
+pub fn run_to_fixpoint<F>(
+    cfg: &GpuConfig,
+    step: Superstep<'_>,
+    max_iters: usize,
+    mut kernel: F,
+) -> (KernelStats, usize)
+where
+    F: FnMut(usize, NodeId, &mut Lane) -> bool,
+{
+    let mut total = KernelStats::default();
+    let mut iters = 0;
+    for iter in 0..max_iters {
+        let outcome = run_superstep(cfg, step, |v, lane| kernel(iter, v, lane));
+        total += outcome.stats;
+        iters = iter + 1;
+        if !outcome.changed {
+            break;
+        }
+    }
+    (total, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ArrayId;
+
+    fn tiny() -> GpuConfig {
+        GpuConfig::test_tiny()
+    }
+
+    #[test]
+    fn assignment_order_controls_warp_grouping() {
+        // 8 vertices, warp size 4. With ids in order, lanes read
+        // consecutive attr slots -> coalesced (2 transactions total).
+        let cfg = tiny();
+        let ordered: Vec<NodeId> = (0..8).collect();
+        let out = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &ordered,
+                resident: None,
+            },
+            |v, lane| {
+                lane.read(ArrayId::NODE_ATTR, v as usize);
+                false
+            },
+        );
+        assert_eq!(out.stats.global_transactions, 2);
+
+        // Widely spaced ids scatter each warp over distinct segments.
+        let scattered: Vec<NodeId> = vec![0, 8, 16, 24, 4, 12, 20, 28];
+        let out2 = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &scattered,
+                resident: None,
+            },
+            |v, lane| {
+                lane.read(ArrayId::NODE_ATTR, v as usize);
+                false
+            },
+        );
+        assert!(out2.stats.global_transactions > out.stats.global_transactions);
+    }
+
+    #[test]
+    fn invalid_slots_idle() {
+        let cfg = tiny();
+        let assignment = vec![0, INVALID_NODE, INVALID_NODE, INVALID_NODE];
+        let out = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &assignment,
+                resident: None,
+            },
+            |v, lane| {
+                lane.read(ArrayId::NODE_ATTR, v as usize);
+                false
+            },
+        );
+        assert_eq!(out.stats.divergent_slots, 3);
+        assert_eq!(out.stats.global_transactions, 1);
+    }
+
+    #[test]
+    fn changed_flag_propagates() {
+        let cfg = tiny();
+        let assignment = vec![0, 1];
+        let out = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &assignment,
+                resident: None,
+            },
+            |v, _| v == 1,
+        );
+        assert!(out.changed);
+        let out2 = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &assignment,
+                resident: None,
+            },
+            |_, _| false,
+        );
+        assert!(!out2.changed);
+    }
+
+    #[test]
+    fn fixpoint_stops_when_stable() {
+        let cfg = tiny();
+        let assignment = vec![0];
+        let mut countdown = 3;
+        let (stats, iters) = run_to_fixpoint(
+            &cfg,
+            Superstep {
+                assignment: &assignment,
+                resident: None,
+            },
+            100,
+            |_, _, lane| {
+                lane.compute(1);
+                if countdown > 0 {
+                    countdown -= 1;
+                    true
+                } else {
+                    false
+                }
+            },
+        );
+        assert_eq!(iters, 4); // 3 changing iterations + 1 stable
+        assert_eq!(stats.launches, 4);
+    }
+
+    #[test]
+    fn fixpoint_respects_max_iters() {
+        let cfg = tiny();
+        let assignment = vec![0];
+        let (_, iters) = run_to_fixpoint(
+            &cfg,
+            Superstep {
+                assignment: &assignment,
+                resident: None,
+            },
+            5,
+            |_, _, _| true,
+        );
+        assert_eq!(iters, 5);
+    }
+
+    #[test]
+    fn resident_mask_reaches_lanes() {
+        let cfg = tiny();
+        let resident = vec![true, false];
+        let assignment = vec![0, 1];
+        let out = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &assignment,
+                resident: Some(&resident),
+            },
+            |v, lane| {
+                lane.read(ArrayId::NODE_ATTR, v as usize);
+                false
+            },
+        );
+        assert_eq!(out.stats.shared_accesses, 1);
+        assert_eq!(out.stats.global_accesses, 1);
+    }
+
+    #[test]
+    fn empty_assignment_is_free_except_launch() {
+        let cfg = tiny();
+        let out = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &[],
+                resident: None,
+            },
+            |_, _| true,
+        );
+        assert_eq!(out.stats.warp_cycles, 0);
+        assert!(!out.changed);
+        assert_eq!(out.stats.launches, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-lane event recorder handed to vertex programs.
+
+use crate::event::{AccessKind, ArrayId, MemEvent, Space};
+
+/// Records the memory/compute trace of one SIMT lane while the vertex
+/// program executes functionally. The kernel performs its *real* reads and
+/// writes on host data structures and mirrors each of them through the lane
+/// so the warp cost model can replay them in lockstep.
+#[derive(Debug, Default)]
+pub struct Lane {
+    trace: Vec<MemEvent>,
+    /// Residency predicate installed by the shared-memory scheduler: node-
+    /// attribute accesses whose index is resident are recorded as
+    /// [`Space::Shared`].
+    resident: Option<*const [bool]>,
+}
+
+// SAFETY-free design note: `resident` is only set through
+// `set_resident_mask` with a slice that the executor keeps alive for the
+// whole superstep; we store a raw pointer merely to avoid threading a
+// lifetime through every kernel signature. Access is read-only.
+impl Lane {
+    pub(crate) fn new() -> Self {
+        Lane::default()
+    }
+
+    pub(crate) fn set_resident_mask(&mut self, mask: Option<&[bool]>) {
+        self.resident = mask.map(|m| m as *const [bool]);
+    }
+
+    #[inline]
+    fn space_for(&self, array: ArrayId, index: u64) -> Space {
+        // Inside a tile block (paper §3) the whole tile subgraph — its CSR
+        // slice and its nodes' attributes — is staged in shared memory, so
+        // every access is shared *except* attribute accesses that escape
+        // the tile (edges to non-resident nodes), which still go to global
+        // memory. Outside tile blocks everything is global. (See
+        // EXPERIMENTS.md for how this staging model relates to the paper's
+        // Figure 8 shape.)
+        let Some(ptr) = self.resident else {
+            return Space::Global;
+        };
+        if matches!(array, ArrayId::NODE_ATTR | ArrayId::NODE_ATTR_AUX) {
+            // SAFETY: the executor guarantees the mask outlives the lane.
+            let mask = unsafe { &*ptr };
+            if (index as usize) < mask.len() && mask[index as usize] {
+                Space::Shared
+            } else {
+                Space::Global
+            }
+        } else {
+            Space::Shared
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, array: ArrayId, index: u64, kind: AccessKind, space: Space) {
+        self.trace.push(MemEvent {
+            array,
+            index,
+            kind,
+            space,
+        });
+    }
+
+    /// Records a read of `array[index]` (space chosen by residency).
+    #[inline]
+    pub fn read(&mut self, array: ArrayId, index: usize) {
+        let space = self.space_for(array, index as u64);
+        self.push(array, index as u64, AccessKind::Read, space);
+    }
+
+    /// Records a write of `array[index]`.
+    #[inline]
+    pub fn write(&mut self, array: ArrayId, index: usize) {
+        let space = self.space_for(array, index as u64);
+        self.push(array, index as u64, AccessKind::Write, space);
+    }
+
+    /// Records an atomic RMW of `array[index]`.
+    #[inline]
+    pub fn atomic(&mut self, array: ArrayId, index: usize) {
+        let space = self.space_for(array, index as u64);
+        self.push(array, index as u64, AccessKind::Atomic, space);
+    }
+
+    /// Records `slots` pure-compute lockstep positions.
+    #[inline]
+    pub fn compute(&mut self, slots: usize) {
+        for _ in 0..slots {
+            self.push(ArrayId(u16::MAX), 0, AccessKind::Compute, Space::Global);
+        }
+    }
+
+    /// Trace length so far (number of lockstep positions).
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the lane recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    pub(crate) fn trace(&self) -> &[MemEvent] {
+        &self.trace
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.trace.clear();
+        self.resident = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut lane = Lane::new();
+        lane.read(ArrayId::NODE_ATTR, 7);
+        lane.write(ArrayId::NODE_ATTR, 7);
+        lane.atomic(ArrayId::NODE_ATTR_AUX, 3);
+        lane.compute(2);
+        assert_eq!(lane.len(), 5);
+        assert_eq!(lane.trace()[0].kind, AccessKind::Read);
+        assert_eq!(lane.trace()[1].kind, AccessKind::Write);
+        assert_eq!(lane.trace()[2].kind, AccessKind::Atomic);
+        assert_eq!(lane.trace()[3].kind, AccessKind::Compute);
+    }
+
+    #[test]
+    fn residency_switches_space() {
+        let mask = vec![false, true];
+        let mut lane = Lane::new();
+        lane.set_resident_mask(Some(&mask));
+        // Non-resident node attribute escapes to global memory.
+        lane.read(ArrayId::NODE_ATTR, 0);
+        // Resident node attribute is shared.
+        lane.read(ArrayId::NODE_ATTR, 1);
+        // The tile's CSR slice is staged in shared memory too.
+        lane.read(ArrayId::EDGES, 1);
+        assert_eq!(lane.trace()[0].space, Space::Global);
+        assert_eq!(lane.trace()[1].space, Space::Shared);
+        assert_eq!(lane.trace()[2].space, Space::Shared);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mask = vec![true];
+        let mut lane = Lane::new();
+        lane.set_resident_mask(Some(&mask));
+        lane.read(ArrayId::NODE_ATTR, 0);
+        lane.reset();
+        assert!(lane.is_empty());
+        lane.read(ArrayId::NODE_ATTR, 0);
+        assert_eq!(lane.trace()[0].space, Space::Global);
+    }
+
+    #[test]
+    fn out_of_mask_indices_stay_global() {
+        let mask = vec![true];
+        let mut lane = Lane::new();
+        lane.set_resident_mask(Some(&mask));
+        lane.read(ArrayId::NODE_ATTR, 5);
+        assert_eq!(lane.trace()[0].space, Space::Global);
+    }
+}

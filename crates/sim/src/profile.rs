@@ -1,0 +1,136 @@
+//! Cost-breakdown reporting: decomposes a [`KernelStats`] into the three
+//! dimensions the paper optimizes (memory transactions, shared traffic,
+//! divergence/issue) so users can see *where* a transform helped.
+
+use crate::config::GpuConfig;
+use crate::stats::KernelStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cycle attribution of one run under a given configuration. Components
+/// sum to the pre-parallelism warp-cycle total.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Issue/ALU cycles (lockstep steps × issue cost).
+    pub issue_cycles: u64,
+    /// Global read/write transaction cycles.
+    pub global_cycles: u64,
+    /// Shared-memory cycles (including bank-conflict serialization).
+    pub shared_cycles: u64,
+    /// Atomic cycles (segment round trips + collision serialization).
+    pub atomic_cycles: u64,
+    /// Total warp cycles actually accumulated by the replay (the ground
+    /// truth; the component model above approximates its split).
+    pub total_warp_cycles: u64,
+    /// Elapsed cycles after the occupancy divide and launch overheads.
+    pub elapsed_cycles: u64,
+}
+
+impl CostBreakdown {
+    /// Attributes `stats`' cycles to components. The per-component figures
+    /// are reconstructed from the counters with the same constants the
+    /// replay used, so they sum to within rounding of the true total.
+    pub fn attribute(stats: &KernelStats, cfg: &GpuConfig) -> CostBreakdown {
+        let issue = stats.steps * cfg.issue_cycles;
+        // Atomic segment transactions are tracked separately (they are a
+        // subset of global_transactions), so the split is exact.
+        let atomic = cfg.lat_atomic * (stats.atomic_transactions + stats.atomic_collisions);
+        let global = cfg
+            .lat_global
+            .saturating_mul(stats.global_transactions.saturating_sub(stats.atomic_transactions));
+        let shared = cfg.lat_shared * (stats.shared_accesses + stats.bank_conflicts);
+        CostBreakdown {
+            issue_cycles: issue,
+            global_cycles: global,
+            shared_cycles: shared,
+            atomic_cycles: atomic,
+            total_warp_cycles: stats.warp_cycles,
+            elapsed_cycles: stats.elapsed_cycles(cfg),
+        }
+    }
+
+    /// Fraction of the modeled cycles spent in global memory traffic.
+    pub fn memory_bound_fraction(&self) -> f64 {
+        let modeled = self.modeled_total().max(1);
+        (self.global_cycles + self.atomic_cycles) as f64 / modeled as f64
+    }
+
+    fn modeled_total(&self) -> u64 {
+        self.issue_cycles + self.global_cycles + self.shared_cycles + self.atomic_cycles
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.modeled_total().max(1) as f64;
+        writeln!(f, "cost breakdown (modeled {} warp cycles):", self.modeled_total())?;
+        let mut row = |label: &str, v: u64| {
+            writeln!(f, "  {:<18} {:>14}  {:>5.1}%", label, v, 100.0 * v as f64 / total)
+        };
+        row("issue/ALU", self.issue_cycles)?;
+        row("global memory", self.global_cycles)?;
+        row("shared memory", self.shared_cycles)?;
+        row("atomics", self.atomic_cycles)?;
+        writeln!(f, "  {:<18} {:>14}", "elapsed (occup.)", self.elapsed_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> KernelStats {
+        KernelStats {
+            warp_cycles: 100_000,
+            steps: 1_000,
+            global_accesses: 500,
+            global_transactions: 400,
+            shared_accesses: 200,
+            bank_conflicts: 10,
+            atomic_ops: 100,
+            atomic_transactions: 60,
+            atomic_collisions: 5,
+            launches: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn components_are_positive_and_consistent() {
+        let cfg = GpuConfig::k40c();
+        let b = CostBreakdown::attribute(&sample_stats(), &cfg);
+        assert!(b.issue_cycles > 0);
+        assert!(b.global_cycles > 0);
+        assert!(b.shared_cycles > 0);
+        assert!(b.atomic_cycles > 0);
+        assert_eq!(b.total_warp_cycles, 100_000);
+    }
+
+    #[test]
+    fn memory_fraction_in_unit_interval() {
+        let cfg = GpuConfig::k40c();
+        let b = CostBreakdown::attribute(&sample_stats(), &cfg);
+        let f = b.memory_bound_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction = {f}");
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let cfg = GpuConfig::k40c();
+        let b = CostBreakdown::attribute(&sample_stats(), &cfg);
+        let s = b.to_string();
+        assert!(s.contains("issue/ALU"));
+        assert!(s.contains("global memory"));
+        assert!(s.contains("shared memory"));
+        assert!(s.contains("atomics"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let cfg = GpuConfig::k40c();
+        let b = CostBreakdown::attribute(&KernelStats::default(), &cfg);
+        assert_eq!(b.memory_bound_fraction(), 0.0);
+        let _ = b.to_string();
+    }
+}

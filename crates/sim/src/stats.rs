@@ -1,0 +1,160 @@
+//! Aggregated kernel execution statistics and the elapsed-cycle model.
+
+use crate::config::GpuConfig;
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counters accumulated over one or more kernel launches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Sum of per-warp lockstep cycles (before the parallelism divide).
+    pub warp_cycles: u64,
+    /// Lockstep steps executed across all warps.
+    pub steps: u64,
+    /// Warps that executed at least one step.
+    pub warps: u64,
+    /// Individual global-memory accesses issued by lanes.
+    pub global_accesses: u64,
+    /// Coalesced global transactions actually paid for.
+    pub global_transactions: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Extra serialized shared accesses due to bank conflicts.
+    pub bank_conflicts: u64,
+    /// Atomic operations issued.
+    pub atomic_ops: u64,
+    /// Coalesced atomic segment transactions (subset of
+    /// `global_transactions`).
+    pub atomic_transactions: u64,
+    /// Extra serialized atomics due to same-address collisions.
+    pub atomic_collisions: u64,
+    /// Issue slots wasted because a lane had no work while its warp ran.
+    pub divergent_slots: u64,
+    /// Kernel launches (supersteps) folded into this value.
+    pub launches: u64,
+}
+
+impl AddAssign for KernelStats {
+    fn add_assign(&mut self, rhs: KernelStats) {
+        self.warp_cycles += rhs.warp_cycles;
+        self.steps += rhs.steps;
+        self.warps += rhs.warps;
+        self.global_accesses += rhs.global_accesses;
+        self.global_transactions += rhs.global_transactions;
+        self.shared_accesses += rhs.shared_accesses;
+        self.bank_conflicts += rhs.bank_conflicts;
+        self.atomic_ops += rhs.atomic_ops;
+        self.atomic_transactions += rhs.atomic_transactions;
+        self.atomic_collisions += rhs.atomic_collisions;
+        self.divergent_slots += rhs.divergent_slots;
+        self.launches += rhs.launches;
+    }
+}
+
+impl KernelStats {
+    /// Elapsed cycles after dividing warp work across SMs with latency
+    /// hiding (deterministic occupancy model). Each launch additionally
+    /// pays a fixed kernel-launch overhead.
+    pub fn elapsed_cycles(&self, cfg: &GpuConfig) -> u64 {
+        const LAUNCH_OVERHEAD_CYCLES: u64 = 2_000;
+        self.warp_cycles / cfg.parallelism() + self.launches * LAUNCH_OVERHEAD_CYCLES
+    }
+
+    /// Elapsed seconds at the configured clock.
+    pub fn elapsed_seconds(&self, cfg: &GpuConfig) -> f64 {
+        cfg.cycles_to_seconds(self.elapsed_cycles(cfg))
+    }
+
+    /// Mean coalescing efficiency: accesses served per transaction
+    /// (1.0 = fully scattered, `warp_size` = perfectly coalesced).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.global_transactions == 0 {
+            0.0
+        } else {
+            self.global_accesses as f64 / self.global_transactions as f64
+        }
+    }
+
+    /// Fraction of issue slots wasted to divergence.
+    pub fn divergence_waste(&self) -> f64 {
+        let total_slots = self.divergent_slots + self.useful_slots();
+        if total_slots == 0 {
+            0.0
+        } else {
+            self.divergent_slots as f64 / total_slots as f64
+        }
+    }
+
+    fn useful_slots(&self) -> u64 {
+        // Every counted access or compute slot was useful; approximate with
+        // the sum of access counters (compute slots are not individually
+        // counted, so this is a lower bound — fine for relative reporting).
+        self.global_accesses + self.shared_accesses + self.atomic_ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = KernelStats {
+            warp_cycles: 10,
+            steps: 1,
+            launches: 1,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            warp_cycles: 5,
+            steps: 2,
+            launches: 1,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.warp_cycles, 15);
+        assert_eq!(a.steps, 3);
+        assert_eq!(a.launches, 2);
+    }
+
+    #[test]
+    fn elapsed_divides_by_parallelism() {
+        let cfg = GpuConfig::k40c(); // parallelism 120
+        let s = KernelStats {
+            warp_cycles: 1_200_000,
+            ..Default::default()
+        };
+        assert_eq!(s.elapsed_cycles(&cfg), 10_000);
+    }
+
+    #[test]
+    fn launch_overhead_counts() {
+        let cfg = GpuConfig::test_tiny();
+        let s = KernelStats {
+            launches: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.elapsed_cycles(&cfg), 4_000);
+    }
+
+    #[test]
+    fn coalescing_efficiency_ratio() {
+        let s = KernelStats {
+            global_accesses: 64,
+            global_transactions: 2,
+            ..Default::default()
+        };
+        assert!((s.coalescing_efficiency() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_waste_bounded() {
+        let s = KernelStats {
+            divergent_slots: 10,
+            global_accesses: 30,
+            ..Default::default()
+        };
+        let w = s.divergence_waste();
+        assert!(w > 0.0 && w < 1.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Warp lockstep replay: turns a set of lane traces into cycle costs.
+
+use crate::config::GpuConfig;
+use crate::event::{AccessKind, MemEvent, Space};
+use crate::stats::KernelStats;
+
+/// Replays the traces of one warp's lanes in lockstep and accumulates cost
+/// into `stats`. `traces[i]` is lane `i`'s event sequence; lanes may have
+/// different lengths (divergence).
+pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelStats) {
+    if traces.is_empty() {
+        return;
+    }
+    let max_len = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    if max_len == 0 {
+        return;
+    }
+    stats.warps += 1;
+    stats.steps += max_len as u64;
+
+    // Scratch buffers reused across steps.
+    let mut segments: Vec<u64> = Vec::with_capacity(traces.len());
+    let mut atomic_addrs: Vec<u64> = Vec::with_capacity(traces.len());
+    let mut atomic_segments: Vec<u64> = Vec::with_capacity(traces.len());
+    let mut banks: Vec<u64> = Vec::with_capacity(traces.len());
+
+    for step in 0..max_len {
+        let mut cycles = cfg.issue_cycles;
+        segments.clear();
+        atomic_addrs.clear();
+        atomic_segments.clear();
+        banks.clear();
+        let mut active = 0usize;
+        for t in traces {
+            let Some(ev) = t.get(step) else { continue };
+            active += 1;
+            match (ev.kind, ev.space) {
+                (AccessKind::Compute, _) => {}
+                (AccessKind::Atomic, Space::Shared) => {
+                    // Shared-memory atomics: bank traffic plus collision
+                    // serialization below.
+                    stats.atomic_ops += 1;
+                    atomic_addrs.push(ev.address());
+                    banks.push(ev.address() % cfg.shared_banks.max(1));
+                }
+                (AccessKind::Atomic, Space::Global) => {
+                    // Global atomics execute in L2: a warp's atomics to the
+                    // same cache segment batch into one round trip (same
+                    // coalescing rule as plain accesses), while same-address
+                    // collisions serialize (counted below).
+                    stats.atomic_ops += 1;
+                    atomic_addrs.push(ev.address());
+                    atomic_segments.push(ev.segment(cfg.segment_words));
+                }
+                (_, Space::Global) => {
+                    stats.global_accesses += 1;
+                    segments.push(ev.segment(cfg.segment_words));
+                }
+                (_, Space::Shared) => {
+                    stats.shared_accesses += 1;
+                    banks.push(ev.address() % cfg.shared_banks.max(1));
+                }
+            }
+        }
+        // Divergence: slots the warp issues but no lane fills. Warps are
+        // padded to full width conceptually; lanes never launched (tail
+        // warps) are not charged.
+        let width = traces.len();
+        stats.divergent_slots += (width - active) as u64;
+
+        // Coalescing: one transaction per distinct segment.
+        if !segments.is_empty() {
+            segments.sort_unstable();
+            segments.dedup();
+            stats.global_transactions += segments.len() as u64;
+            cycles += cfg.lat_global * segments.len() as u64;
+        }
+        // Shared memory: base latency plus bank-conflict serialization
+        // (largest same-bank group issues serially).
+        if !banks.is_empty() {
+            banks.sort_unstable();
+            let mut worst = 1u64;
+            let mut run = 1u64;
+            for w in banks.windows(2) {
+                if w[0] == w[1] {
+                    run += 1;
+                    worst = worst.max(run);
+                } else {
+                    run = 1;
+                }
+            }
+            stats.bank_conflicts += worst - 1;
+            cycles += cfg.lat_shared * worst;
+        }
+        // Atomics: one L2 round trip per distinct segment, plus the largest
+        // same-address collision group serializing on top.
+        if !atomic_addrs.is_empty() {
+            atomic_segments.sort_unstable();
+            atomic_segments.dedup();
+            let tx = atomic_segments.len().max(1) as u64;
+            stats.global_transactions += atomic_segments.len() as u64;
+            stats.atomic_transactions += atomic_segments.len() as u64;
+            atomic_addrs.sort_unstable();
+            let mut worst = 1u64;
+            let mut run = 1u64;
+            for w in atomic_addrs.windows(2) {
+                if w[0] == w[1] {
+                    run += 1;
+                    worst = worst.max(run);
+                } else {
+                    run = 1;
+                }
+            }
+            stats.atomic_collisions += worst - 1;
+            cycles += cfg.lat_atomic * (tx + worst - 1);
+        }
+        stats.warp_cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ArrayId, MemEvent};
+
+    fn read(idx: u64) -> MemEvent {
+        MemEvent {
+            array: ArrayId::NODE_ATTR,
+            index: idx,
+            kind: AccessKind::Read,
+            space: Space::Global,
+        }
+    }
+
+    fn shared_read(idx: u64) -> MemEvent {
+        MemEvent {
+            array: ArrayId::NODE_ATTR,
+            index: idx,
+            kind: AccessKind::Read,
+            space: Space::Shared,
+        }
+    }
+
+    fn atomic(idx: u64) -> MemEvent {
+        MemEvent {
+            array: ArrayId::NODE_ATTR,
+            index: idx,
+            kind: AccessKind::Atomic,
+            space: Space::Global,
+        }
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::test_tiny() // 4-lane warps, 4-word segments, lat 100/10/20
+    }
+
+    #[test]
+    fn fully_coalesced_step_is_one_transaction() {
+        let t0 = [read(0)];
+        let t1 = [read(1)];
+        let t2 = [read(2)];
+        let t3 = [read(3)];
+        let traces = [&t0[..], &t1[..], &t2[..], &t3[..]];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &traces, &mut stats);
+        assert_eq!(stats.global_transactions, 1);
+        assert_eq!(stats.warp_cycles, 1 + 100);
+        assert_eq!(stats.divergent_slots, 0);
+    }
+
+    #[test]
+    fn scattered_step_pays_per_segment() {
+        // The paper's motivating example: lanes touch attr[4], attr[0],
+        // attr[11], attr[19] — four distinct 4-word chunks.
+        let t0 = [read(4)];
+        let t1 = [read(0)];
+        let t2 = [read(11)];
+        let t3 = [read(19)];
+        let traces = [&t0[..], &t1[..], &t2[..], &t3[..]];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &traces, &mut stats);
+        assert_eq!(stats.global_transactions, 4);
+        assert_eq!(stats.warp_cycles, 1 + 4 * 100);
+    }
+
+    #[test]
+    fn divergence_counts_idle_slots_and_max_length_rules() {
+        let long = [read(0), read(1), read(2)];
+        let short = [read(4)];
+        let traces = [&long[..], &short[..]];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &traces, &mut stats);
+        assert_eq!(stats.steps, 3);
+        // Steps 2 and 3: one of two lanes idle.
+        assert_eq!(stats.divergent_slots, 2);
+    }
+
+    #[test]
+    fn shared_access_is_cheaper_than_global() {
+        let g = [read(0)];
+        let s = [shared_read(0)];
+        let mut global_stats = KernelStats::default();
+        replay_warp(&cfg(), &[&g[..]], &mut global_stats);
+        let mut shared_stats = KernelStats::default();
+        replay_warp(&cfg(), &[&s[..]], &mut shared_stats);
+        assert!(shared_stats.warp_cycles < global_stats.warp_cycles);
+        assert_eq!(shared_stats.shared_accesses, 1);
+    }
+
+    #[test]
+    fn bank_conflicts_serialize() {
+        // Bank count is 4 in the tiny config; indices 0 and 4 share bank 0.
+        let a = [shared_read(0)];
+        let b = [shared_read(4)];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &[&a[..], &b[..]], &mut stats);
+        assert_eq!(stats.bank_conflicts, 1);
+        assert_eq!(stats.warp_cycles, 1 + 2 * 10);
+    }
+
+    #[test]
+    fn atomic_collisions_serialize() {
+        let a = [atomic(5)];
+        let b = [atomic(5)];
+        let c = [atomic(6)];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &[&a[..], &b[..], &c[..]], &mut stats);
+        assert_eq!(stats.atomic_ops, 3);
+        assert_eq!(stats.atomic_collisions, 1);
+        // Addresses 5, 5, 6 share one 4-word segment (1 tx); the same-
+        // address pair serializes one extra round: 1 + 20 * (1 + 1).
+        assert_eq!(stats.warp_cycles, 1 + 2 * 20);
+        assert_eq!(stats.global_transactions, 1);
+    }
+
+    #[test]
+    fn scattered_atomics_pay_per_segment() {
+        let a = [atomic(0)];
+        let b = [atomic(16)];
+        let mut near_stats = KernelStats::default();
+        let a2 = [atomic(0)];
+        let b2 = [atomic(1)];
+        replay_warp(&cfg(), &[&a[..], &b[..]], &mut near_stats);
+        let mut coal_stats = KernelStats::default();
+        replay_warp(&cfg(), &[&a2[..], &b2[..]], &mut coal_stats);
+        assert!(
+            coal_stats.warp_cycles < near_stats.warp_cycles,
+            "same-segment atomics must batch: {} vs {}",
+            coal_stats.warp_cycles,
+            near_stats.warp_cycles
+        );
+    }
+
+    #[test]
+    fn empty_traces_cost_nothing() {
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &[&[][..], &[][..]], &mut stats);
+        assert_eq!(stats.warp_cycles, 0);
+        assert_eq!(stats.warps, 0);
+    }
+
+    #[test]
+    fn compute_only_step_costs_issue() {
+        let t = [MemEvent {
+            array: ArrayId(u16::MAX),
+            index: 0,
+            kind: AccessKind::Compute,
+            space: Space::Global,
+        }];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &[&t[..]], &mut stats);
+        assert_eq!(stats.warp_cycles, 1);
+    }
+}

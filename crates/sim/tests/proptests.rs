@@ -1,0 +1,148 @@
+//! Property-based tests of the SIMT cost model: bounds that must hold for
+//! arbitrary access patterns.
+
+use graffix_graph::NodeId;
+use graffix_sim::{run_superstep, ArrayId, GpuConfig, Lane, Superstep};
+use proptest::prelude::*;
+
+fn cfg() -> GpuConfig {
+    GpuConfig::test_tiny() // 4 lanes, 4-word segments
+}
+
+proptest! {
+    #[test]
+    fn transactions_bounded_by_accesses(indices in prop::collection::vec(0usize..256, 1..64)) {
+        let cfg = cfg();
+        let assignment: Vec<NodeId> = (0..indices.len() as NodeId).collect();
+        let out = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: None },
+            |v, lane: &mut Lane| {
+                lane.read(ArrayId::NODE_ATTR, indices[v as usize]);
+                false
+            },
+        );
+        // Each warp step coalesces at best warp_size accesses into 1
+        // transaction and at worst 1:1.
+        prop_assert!(out.stats.global_transactions <= out.stats.global_accesses);
+        prop_assert!(
+            out.stats.global_transactions
+                >= out.stats.global_accesses.div_ceil(cfg.warp_size as u64)
+        );
+    }
+
+    #[test]
+    fn consecutive_indices_never_cost_more_than_scattered(
+        base in 0usize..64,
+        stride in 1usize..32,
+        lanes in 2usize..4,
+    ) {
+        let cfg = cfg();
+        let assignment: Vec<NodeId> = (0..lanes as NodeId).collect();
+        let consecutive = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: None },
+            |v, lane: &mut Lane| {
+                lane.read(ArrayId::NODE_ATTR, base + v as usize);
+                false
+            },
+        );
+        let scattered = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: None },
+            |v, lane: &mut Lane| {
+                lane.read(ArrayId::NODE_ATTR, base + v as usize * stride * 4);
+                false
+            },
+        );
+        prop_assert!(
+            consecutive.stats.global_transactions <= scattered.stats.global_transactions
+        );
+        prop_assert!(consecutive.stats.warp_cycles <= scattered.stats.warp_cycles);
+    }
+
+    #[test]
+    fn replay_is_deterministic(indices in prop::collection::vec(0usize..512, 1..48)) {
+        let cfg = cfg();
+        let assignment: Vec<NodeId> = (0..indices.len() as NodeId).collect();
+        let run = || {
+            run_superstep(
+                &cfg,
+                Superstep { assignment: &assignment, resident: None },
+                |v, lane: &mut Lane| {
+                    lane.read(ArrayId::EDGES, indices[v as usize]);
+                    lane.atomic(ArrayId::NODE_ATTR, indices[v as usize] / 2);
+                    false
+                },
+            )
+        };
+        prop_assert_eq!(run().stats, run().stats);
+    }
+
+    #[test]
+    fn shared_accesses_cost_at_most_global(indices in prop::collection::vec(0usize..32, 1..32)) {
+        let cfg = cfg();
+        let assignment: Vec<NodeId> = (0..indices.len() as NodeId).collect();
+        let resident = vec![true; 32];
+        let shared = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: Some(&resident) },
+            |v, lane: &mut Lane| {
+                lane.read(ArrayId::NODE_ATTR, indices[v as usize]);
+                false
+            },
+        );
+        let global = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: None },
+            |v, lane: &mut Lane| {
+                lane.read(ArrayId::NODE_ATTR, indices[v as usize]);
+                false
+            },
+        );
+        prop_assert!(shared.stats.warp_cycles <= global.stats.warp_cycles);
+        prop_assert_eq!(shared.stats.global_accesses, 0);
+    }
+
+    #[test]
+    fn divergent_slots_match_trace_length_gaps(lens in prop::collection::vec(0usize..16, 1..4)) {
+        let cfg = cfg();
+        let assignment: Vec<NodeId> = (0..lens.len() as NodeId).collect();
+        let out = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: None },
+            |v, lane: &mut Lane| {
+                lane.compute(lens[v as usize]);
+                false
+            },
+        );
+        let max = *lens.iter().max().unwrap();
+        let expected: usize = lens.iter().map(|&l| max - l).sum();
+        prop_assert_eq!(out.stats.divergent_slots, expected as u64);
+        prop_assert_eq!(out.stats.steps, max as u64);
+    }
+
+    #[test]
+    fn elapsed_cycles_monotone_in_work(extra in 1usize..32) {
+        let cfg = cfg();
+        let assignment: Vec<NodeId> = vec![0, 1];
+        let small = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: None },
+            |_, lane: &mut Lane| {
+                lane.read(ArrayId::NODE_ATTR, 0);
+                false
+            },
+        );
+        let big = run_superstep(
+            &cfg,
+            Superstep { assignment: &assignment, resident: None },
+            |v, lane: &mut Lane| {
+                lane.read(ArrayId::NODE_ATTR, 0);
+                lane.compute(extra + v as usize);
+                false
+            },
+        );
+        prop_assert!(big.stats.warp_cycles > small.stats.warp_cycles);
+    }
+}

@@ -1,0 +1,97 @@
+//! Accuracy-focused integration tests: the paper's central claim is that
+//! inaccuracy is *controlled* — monotone in the knobs and bounded.
+
+use graffix::prelude::*;
+
+fn graph() -> Csr {
+    GraphSpec::new(GraphKind::Rmat, 1500, 13).generate()
+}
+
+#[test]
+fn exact_plans_have_zero_inaccuracy_for_deterministic_algorithms() {
+    let g = graph();
+    let gpu = GpuConfig::k40c();
+    let plan = Baseline::Lonestar.plan(&Prepared::exact(g.clone()), &gpu);
+    let src = sssp::default_source(&g);
+    assert_eq!(
+        relative_l1(&sssp::run_sim(&plan, src).values, &sssp::exact_cpu(&g, src)),
+        0.0
+    );
+    let sources = bc::sample_sources(&g, 3);
+    assert!(relative_l1(&bc::run_sim(&plan, &sources).values, &bc::exact_cpu(&g, &sources)) < 1e-9);
+    assert_eq!(scc::run_sim(&plan).components, scc::exact_cpu_count(&g));
+    assert!((mst::run_sim(&plan).weight - mst::exact_cpu(&g).0).abs() < 1e-9);
+}
+
+#[test]
+fn latency_inaccuracy_monotone_in_edge_budget() {
+    let g = GraphSpec::new(GraphKind::SocialLiveJournal, 1200, 4).generate();
+    let gpu = GpuConfig::k40c();
+    let reference = pagerank::exact_cpu(&g);
+    let mut last_err = 0.0f64;
+    let mut errs = Vec::new();
+    for budget in [0.0, 0.02, 0.10] {
+        let knobs = LatencyKnobs {
+            edge_budget_frac: budget,
+            ..LatencyKnobs::for_kind(GraphKind::SocialLiveJournal)
+        };
+        let prepared = latency::transform(&g, &knobs, &gpu);
+        let run = pagerank::run_sim(&Baseline::Lonestar.plan(&prepared, &gpu));
+        let err = relative_l1(&run.values, &reference);
+        errs.push(err);
+        last_err = err;
+    }
+    let _ = last_err;
+    // Budget 0 must be the most accurate of the three.
+    assert!(
+        errs[0] <= errs[1] + 1e-9 && errs[0] <= errs[2] + 1e-9,
+        "no-budget run must be the most accurate: {errs:?}"
+    );
+}
+
+#[test]
+fn inaccuracy_metric_semantics() {
+    // Sanity of the measurement machinery itself on hand-built cases.
+    assert_eq!(relative_l1(&[2.0, 2.0], &[2.0, 2.0]), 0.0);
+    assert!((relative_l1(&[2.2, 1.8], &[2.0, 2.0]) - 0.1).abs() < 1e-12);
+    assert_eq!(scalar_inaccuracy(12.0, 10.0), 0.2);
+    assert!((geomean(&[1.1, 1.2, 1.3]) - 1.197_f64).abs() < 1e-2);
+}
+
+#[test]
+fn top_k_sets_are_robust_to_small_value_errors() {
+    // The §1 use case: approximate BC preserves the identity of the most
+    // central vertices even when raw values drift.
+    let g = GraphSpec::new(GraphKind::SocialTwitter, 1200, 8).generate();
+    let gpu = GpuConfig::k40c();
+    let sources = bc::sample_sources(&g, 6);
+    let reference = bc::exact_cpu(&g, &sources);
+    let prepared = coalesce::transform(&g, &CoalesceKnobs::for_kind(GraphKind::SocialTwitter));
+    let run = bc::run_sim(&Baseline::Lonestar.plan(&prepared, &gpu), &sources);
+
+    let k = 10;
+    let exact_top: std::collections::HashSet<NodeId> =
+        bc::top_k(&reference, k).into_iter().collect();
+    let approx_top: std::collections::HashSet<NodeId> =
+        bc::top_k(&run.values, k).into_iter().collect();
+    let overlap = exact_top.intersection(&approx_top).count();
+    assert!(
+        overlap * 2 >= k,
+        "top-{k} overlap collapsed: {overlap}/{k}"
+    );
+}
+
+#[test]
+fn unreachable_nodes_counted_properly() {
+    // Mixed reachability: the metric must skip both-unreachable nodes and
+    // penalize newly-reachable ones.
+    let mut b = GraphBuilder::new(4);
+    b.add_weighted_edge(0, 1, 3);
+    let g = b.build();
+    let gpu = GpuConfig::k40c();
+    let plan = Baseline::Lonestar.plan(&Prepared::exact(g.clone()), &gpu);
+    let run = sssp::run_sim(&plan, 0);
+    let reference = sssp::exact_cpu(&g, 0);
+    assert_eq!(relative_l1(&run.values, &reference), 0.0);
+    assert!(run.values[2].is_infinite() && run.values[3].is_infinite());
+}
