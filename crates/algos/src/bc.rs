@@ -17,13 +17,18 @@
 //! Sources are sampled deterministically (highest-degree vertices),
 //! identically for the simulated and exact runs.
 
-use crate::plan::{Plan, SimRun, Strategy};
-use crate::runner::Runner;
+use crate::plan::{Plan, SimRun};
+use crate::runner::{Runner, VertexProgram};
 use graffix_graph::{Csr, NodeId};
-use graffix_sim::{ArrayId, KernelStats, Lane};
+use graffix_sim::{ArrayId, AtomicF64Array, AtomicU32Array, FixedPointF64Array, KernelStats, Lane};
 
 /// Default number of BC source samples.
 pub const DEFAULT_SOURCES: usize = 8;
+
+/// Fixed-point fraction bits for the δ accumulator: ulp 2⁻⁴⁴ ≈ 5.7e-14
+/// keeps the identity-plan run within the exact reference's 1e-9 band,
+/// while the 2¹⁹ integer range comfortably holds δ ≤ n−1 per source.
+const DELTA_FRAC_BITS: u32 = 44;
 
 /// Deterministic source sample: the `k` highest-out-degree original
 /// vertices (ties by id).
@@ -34,135 +39,148 @@ pub fn sample_sources(g: &Csr, k: usize) -> Vec<NodeId> {
     nodes
 }
 
+/// The forward pass: level-synchronous BFS building the shortest-path DAG
+/// while counting paths. Discovery branches on the previous wave's
+/// committed levels (never this wave's concurrent stores), so traces are
+/// deterministic; σ folds through exact commutative f64 adds (path counts
+/// are integers), levels through atomic min.
+struct BcForward<'p> {
+    plan: &'p Plan,
+    /// Committed per-logical-vertex BFS levels (previous waves).
+    level_prev: Vec<u32>,
+    /// This wave's discoveries (atomic min over concurrent finders).
+    level_next: AtomicU32Array,
+    /// Shortest-path counts per logical vertex.
+    sigma: AtomicF64Array,
+    cur: u32,
+    /// Every processed frontier, recorded for the backward walk.
+    levels: Vec<Vec<NodeId>>,
+}
+
+impl VertexProgram for BcForward<'_> {
+    fn begin_iteration(&mut self, iter: usize) {
+        self.cur = iter as u32;
+    }
+
+    fn begin_superstep(&mut self, frontier: &[NodeId]) {
+        self.levels.push(frontier.to_vec());
+    }
+
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let graph = &plan.graph;
+        lane.read(ArrayId::OFFSETS, v as usize);
+        lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
+        // σ(v) was finalized when v's wave committed; this wave's adds only
+        // target still-undiscovered vertices, so the read is race-free.
+        let sv = self.sigma.load(plan.logical_of(v) as usize);
+        let mut changed = false;
+        for e in graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = graph.edges_raw()[e];
+            let lu = plan.logical_of(u) as usize;
+            // Fixed event shape per edge: level read, then either the σ
+            // atomic or a masked (no-op) slot — keeping warp traces aligned
+            // like real SIMT execution.
+            lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+            if self.level_prev[lu] == u32::MAX {
+                // u joins the next wave; every frontier edge into it adds
+                // its source's σ (in-place kernels spread these adds over
+                // the discovering and confirming branches — the totals and
+                // event shapes are identical).
+                lane.atomic(ArrayId::NODE_ATTR_AUX, plan.slot(u) as usize);
+                self.level_next.fetch_min(lu, self.cur + 1);
+                self.sigma.fetch_add(lu, sv);
+                plan.activate_logical(lu as NodeId, lane);
+                changed = true;
+            } else {
+                lane.compute(1);
+            }
+        }
+        changed
+    }
+
+    fn after_iteration(
+        &mut self,
+        _runner: &Runner<'_>,
+        _next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        self.level_prev.copy_from_slice(&self.level_next.to_vec());
+        (KernelStats::default(), false)
+    }
+}
+
 /// Runs simulated BC over the given original-vertex sources.
 pub fn run_sim(plan: &Plan, sources: &[NodeId]) -> SimRun {
     let runner = Runner::new(plan);
     let graph = &plan.graph;
-    let n_proc = graph.num_nodes();
     let n_logical = plan.num_original();
     let mut bc = vec![0.0f64; n_logical];
     let mut stats = KernelStats::default();
     let mut iterations = 0usize;
-
-    // Logical id of a processing node.
-    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
-    // Processing copies of each logical node.
-    let mut procs_of: Vec<Vec<NodeId>> = vec![Vec::new(); n_logical];
-    for v in 0..n_proc as NodeId {
-        let l = lid(v);
-        if l != graffix_graph::INVALID_NODE {
-            procs_of[l as usize].push(v);
-        }
-    }
-
-    // Per-source traversal state, in logical space.
-    let mut level = vec![u32::MAX; n_logical];
-    let mut sigma = vec![0.0f64; n_logical];
-    let mut delta = vec![0.0f64; n_logical];
     let all: Vec<NodeId> = runner.active_nodes();
 
     for &src in sources {
         // Reset kernel (one attribute write per node — the paper includes
-        // attribute initialization in the measured time).
-        let seen = std::cell::RefCell::new(vec![false; n_logical]);
+        // attribute initialization in the measured time). State itself is
+        // rebuilt host-side per source.
         let reset = runner.run_tiled_superstep(&all, |v, lane: &mut Lane| {
             lane.write(ArrayId::NODE_ATTR, plan.slot(v) as usize);
-            let l = lid(v) as usize;
-            if !seen.borrow()[l] {
-                seen.borrow_mut()[l] = true;
-                level[l] = u32::MAX;
-                sigma[l] = 0.0;
-                delta[l] = 0.0;
-            }
             false
         });
         stats += reset.stats;
 
-        level[src as usize] = 0;
-        sigma[src as usize] = 1.0;
-        let mut frontier: Vec<NodeId> = procs_of[src as usize].clone();
-
         // Forward pass: level-synchronous BFS building the DAG. Each
         // frontier entry is a processing copy; all copies of a logical
         // node expand (covering replica-moved edge slices).
-        let mut levels: Vec<Vec<NodeId>> = vec![frontier.clone()];
-        let mut cur = 0u32;
-        while !frontier.is_empty() {
-            iterations += 1;
-            let mut next: Vec<NodeId> = Vec::new();
-            let outcome = runner.run_tiled_superstep(&frontier, |v, lane: &mut Lane| {
-                lane.read(ArrayId::OFFSETS, v as usize);
-                lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
-                let sv = sigma[lid(v) as usize];
-                let mut changed = false;
-                for e in graph.edge_range(v) {
-                    lane.read(ArrayId::EDGES, e);
-                    let u = graph.edges_raw()[e];
-                    let lu = lid(u) as usize;
-                    // Fixed event shape per edge: level read, then either
-                    // the σ atomic or a masked (no-op) slot — keeping warp
-                    // traces aligned like real SIMT execution.
-                    lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                    if level[lu] == u32::MAX {
-                        level[lu] = cur + 1;
-                        next.extend_from_slice(&procs_of[lu]);
-                        changed = true;
-                    }
-                    if level[lu] == cur + 1 {
-                        lane.atomic(ArrayId::NODE_ATTR_AUX, plan.slot(u) as usize);
-                        sigma[lu] += sv;
-                        changed = true;
-                    } else {
-                        lane.compute(1);
-                    }
-                }
-                changed
-            });
-            stats += outcome.stats;
-            next.sort_unstable();
-            next.dedup();
-            if plan.strategy == Strategy::Frontier && !next.is_empty() {
-                // Gunrock-style filter pass on the new frontier.
-                let filter = runner.run_tiled_superstep(&next, |v, lane: &mut Lane| {
-                    lane.read(ArrayId::FRONTIER, v as usize);
-                    lane.write(ArrayId::WORKLIST, v as usize);
-                    false
-                });
-                stats += filter.stats;
-            }
-            frontier = next;
-            if !frontier.is_empty() {
-                levels.push(frontier.clone());
-            }
-            cur += 1;
-        }
+        let mut level = vec![u32::MAX; n_logical];
+        level[src as usize] = 0;
+        let sigma = AtomicF64Array::new(n_logical, 0.0);
+        sigma.store(src as usize, 1.0);
+        let mut fwd = BcForward {
+            plan,
+            level_next: AtomicU32Array::from_slice(&level),
+            level_prev: level,
+            sigma,
+            cur: 0,
+            levels: Vec::new(),
+        };
+        let init = plan.procs_of_logical()[src as usize].clone();
+        let (fwd_stats, fwd_iters) = runner.frontier_loop(init, usize::MAX, &mut fwd);
+        stats += fwd_stats;
+        iterations += fwd_iters;
 
         // Backward pass: δ_v = Σ_{w ∈ succ(v), lvl(w) = lvl(v)+1}
         // σ_v/σ_w (1 + δ_w), walking levels deepest-first. σ of a copy is
         // counted once per logical edge because copies own disjoint slices.
-        for lvl_nodes in levels.iter().rev().skip(1) {
+        // Copies of the same logical node fold their slice contributions
+        // through commutative fixed-point adds; the δ values a superstep
+        // *reads* belong to deeper, already-finalized levels.
+        let level = fwd.level_prev;
+        let sigma = fwd.sigma.to_vec();
+        let delta = FixedPointF64Array::with_frac_bits(n_logical, DELTA_FRAC_BITS);
+        for lvl_nodes in fwd.levels.iter().rev().skip(1) {
             iterations += 1;
             let outcome = runner.run_tiled_superstep(lvl_nodes, |v, lane: &mut Lane| {
                 lane.read(ArrayId::OFFSETS, v as usize);
-                let lv = lid(v) as usize;
+                let lv = plan.logical_of(v) as usize;
                 let vl = level[lv];
                 let sv = sigma[lv];
                 let mut acc = 0.0;
                 for e in graph.edge_range(v) {
                     lane.read(ArrayId::EDGES, e);
                     let w = graph.edges_raw()[e];
-                    let lw = lid(w) as usize;
+                    let lw = plan.logical_of(w) as usize;
                     lane.read(ArrayId::NODE_ATTR, plan.slot(w) as usize);
                     // Masked multiply-add slot (same shape for every lane).
                     lane.compute(1);
                     if level[lw] == vl + 1 && sigma[lw] > 0.0 {
-                        acc += sv / sigma[lw] * (1.0 + delta[lw]);
+                        acc += sv / sigma[lw] * (1.0 + delta.get(lw));
                     }
                 }
                 if acc > 0.0 {
                     lane.write(ArrayId::NODE_ATTR_AUX, plan.slot(v) as usize);
-                    // Copies contribute their own disjoint successor slices.
-                    delta[lv] += acc;
+                    delta.add(lv, acc);
                     true
                 } else {
                     false
@@ -171,9 +189,10 @@ pub fn run_sim(plan: &Plan, sources: &[NodeId]) -> SimRun {
             stats += outcome.stats;
         }
 
-        for l in 0..n_logical {
-            if l != src as usize && delta[l] > 0.0 {
-                bc[l] += delta[l];
+        for (l, score) in bc.iter_mut().enumerate().take(n_logical) {
+            let d = delta.get(l);
+            if l != src as usize && d > 0.0 {
+                *score += d;
             }
         }
     }
@@ -251,6 +270,7 @@ pub fn top_k(values: &[f64], k: usize) -> Vec<NodeId> {
 mod tests {
     use super::*;
     use crate::accuracy::relative_l1;
+    use crate::plan::Strategy;
     use graffix_graph::generators::{GraphKind, GraphSpec};
     use graffix_graph::GraphBuilder;
     use graffix_sim::GpuConfig;

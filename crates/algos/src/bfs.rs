@@ -7,75 +7,94 @@
 //! transform's effect: hop counts shrink exactly when shortcut edges were
 //! added.
 
-use crate::plan::{Plan, SimRun, Strategy};
-use crate::runner::Runner;
-use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{ArrayId, KernelStats, Lane};
+use crate::plan::{Plan, SimRun};
+use crate::runner::{Runner, VertexProgram};
+use graffix_graph::{Csr, NodeId};
+use graffix_sim::{ArrayId, AtomicU32Array, KernelStats, Lane};
+
+/// Level-synchronous BFS expansion. Discovery branches on the previous
+/// wave's committed levels (`prev`), never on this wave's concurrent
+/// writes, so every lane's trace — and therefore the warp cost — is
+/// schedule-independent; concurrent discoveries of the same node fold
+/// through an atomic min and dedup in the frontier filter.
+struct BfsProgram<'p> {
+    plan: &'p Plan,
+    /// Committed per-logical-vertex levels (previous waves).
+    prev: Vec<u32>,
+    /// This wave's discoveries (atomic min over concurrent finders).
+    next: AtomicU32Array,
+    cur: u32,
+}
+
+impl VertexProgram for BfsProgram<'_> {
+    fn begin_iteration(&mut self, iter: usize) {
+        self.cur = iter as u32;
+    }
+
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let graph = &plan.graph;
+        lane.read(ArrayId::OFFSETS, v as usize);
+        let mut changed = false;
+        for e in graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = graph.edges_raw()[e];
+            let lu = plan.logical_of(u) as usize;
+            lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+            if self.prev[lu] == u32::MAX {
+                lane.write(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                self.next.fetch_min(lu, self.cur + 1);
+                plan.activate_logical(lu as NodeId, lane);
+                changed = true;
+            } else {
+                lane.compute(1);
+            }
+        }
+        changed
+    }
+
+    fn after_iteration(
+        &mut self,
+        _runner: &Runner<'_>,
+        _next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        self.prev.copy_from_slice(&self.next.to_vec());
+        (KernelStats::default(), false)
+    }
+}
 
 /// Runs simulated BFS from `source` (original id); returns per-original
 /// hop counts (`f64::INFINITY` for unreachable vertices).
 pub fn run_sim(plan: &Plan, source: NodeId) -> SimRun {
-    assert!((source as usize) < plan.num_original(), "source out of range");
+    assert!(
+        (source as usize) < plan.num_original(),
+        "source out of range"
+    );
     let runner = Runner::new(plan);
-    let graph = &plan.graph;
     let n_logical = plan.num_original();
-    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
-    let mut procs_of: Vec<Vec<NodeId>> = vec![Vec::new(); n_logical];
-    for v in 0..graph.num_nodes() as NodeId {
-        let l = lid(v);
-        if l != INVALID_NODE {
-            procs_of[l as usize].push(v);
-        }
-    }
 
     let mut level = vec![u32::MAX; n_logical];
     level[source as usize] = 0;
-    let mut frontier: Vec<NodeId> = procs_of[source as usize].clone();
-    let mut stats = KernelStats::default();
-    let mut iterations = 0usize;
-    let mut cur = 0u32;
-
-    while !frontier.is_empty() {
-        iterations += 1;
-        let mut next: Vec<NodeId> = Vec::new();
-        let outcome = runner.run_tiled_superstep(&frontier, |v, lane: &mut Lane| {
-            lane.read(ArrayId::OFFSETS, v as usize);
-            let mut changed = false;
-            for e in graph.edge_range(v) {
-                lane.read(ArrayId::EDGES, e);
-                let u = graph.edges_raw()[e];
-                let lu = lid(u) as usize;
-                lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                if level[lu] == u32::MAX {
-                    lane.write(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                    level[lu] = cur + 1;
-                    next.extend_from_slice(&procs_of[lu]);
-                    changed = true;
-                } else {
-                    lane.compute(1);
-                }
-            }
-            changed
-        });
-        stats += outcome.stats;
-        next.sort_unstable();
-        next.dedup();
-        if plan.strategy == Strategy::Frontier && !next.is_empty() {
-            let filter = runner.run_tiled_superstep(&next, |v, lane: &mut Lane| {
-                lane.read(ArrayId::FRONTIER, v as usize);
-                lane.write(ArrayId::WORKLIST, v as usize);
-                false
-            });
-            stats += filter.stats;
-        }
-        frontier = next;
-        cur += 1;
-    }
+    let init = plan.procs_of_logical()[source as usize].clone();
+    let mut prog = BfsProgram {
+        plan,
+        next: AtomicU32Array::from_slice(&level),
+        prev: level,
+        cur: 0,
+    };
+    let (stats, iterations) = runner.frontier_loop(init, usize::MAX, &mut prog);
 
     SimRun {
-        values: level
+        values: prog
+            .prev
             .into_iter()
-            .map(|l| if l == u32::MAX { f64::INFINITY } else { l as f64 })
+            .map(|l| {
+                if l == u32::MAX {
+                    f64::INFINITY
+                } else {
+                    l as f64
+                }
+            })
             .collect(),
         stats,
         iterations,
@@ -94,6 +113,7 @@ pub fn exact_cpu(g: &Csr, source: NodeId) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::accuracy::relative_l1;
+    use crate::plan::Strategy;
     use graffix_graph::generators::classic;
     use graffix_graph::generators::{GraphKind, GraphSpec};
     use graffix_sim::GpuConfig;
@@ -114,7 +134,10 @@ mod tests {
             let g = GraphSpec::new(GraphKind::Random, 300, seed).generate();
             let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Frontier);
             let run = run_sim(&plan, 0);
-            assert!(relative_l1(&run.values, &exact_cpu(&g, 0)) < 1e-12, "seed {seed}");
+            assert!(
+                relative_l1(&run.values, &exact_cpu(&g, 0)) < 1e-12,
+                "seed {seed}"
+            );
         }
     }
 

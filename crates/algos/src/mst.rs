@@ -9,6 +9,11 @@
 //! a metered **pointer-jumping** superstep compressing component labels.
 //! Rounds repeat until no component proposes — `O(log V)` rounds.
 //!
+//! The propose kernel branches only on the component roots snapshotted
+//! host-side before the launch, and folds candidates through an atomic min
+//! over `(weight, edge id)` keys — so both results and traces are
+//! deterministic under parallel warp execution.
+//!
 //! Replica copies are *not* pre-unioned: a transformed graph's forest must
 //! connect each replica through real edges, which is exactly the
 //! approximation cost the paper's MST inaccuracy measures. The accuracy
@@ -17,7 +22,7 @@
 use crate::plan::{Plan, SimRun};
 use crate::runner::Runner;
 use graffix_graph::{Csr, NodeId};
-use graffix_sim::{ArrayId, KernelStats, Lane};
+use graffix_sim::{ArrayId, AtomicU64Array, KernelStats, Lane};
 
 /// Result of a simulated MST run.
 #[derive(Clone, Debug)]
@@ -73,38 +78,52 @@ pub fn run_sim(plan: &Plan) -> MstResult {
     let mut iterations = 0usize;
     let active = runner.active_nodes();
 
+    // Source processing node of each edge id (decodes winning proposals).
+    let mut src_of_edge = vec![0 as NodeId; graph.edges_raw().len()];
+    for &v in &active {
+        for e in graph.edge_range(v) {
+            src_of_edge[e] = v;
+        }
+    }
+
     loop {
         iterations += 1;
         // --- Propose: per component, the minimum-weight outgoing edge.
-        // (weight, edge id, src slot, dst slot), keyed by component root.
-        let mut best: Vec<Option<(u32, usize, u32, u32)>> = vec![None; plan.attr_len];
+        // Candidates fold through an atomic min over `(weight, edge id)`
+        // keys, keyed by the host-snapshotted component root of each slot —
+        // lower edge id breaks weight ties, so the winner is unique and
+        // schedule-independent.
+        let root_of: Vec<u32> = {
+            let mut r = vec![0u32; plan.attr_len];
+            for (s, slot_root) in r.iter_mut().enumerate() {
+                *slot_root = dsu.find(s as u32);
+            }
+            r
+        };
+        let best = AtomicU64Array::new(plan.attr_len, u64::MAX);
         let outcome = runner.run_tiled_superstep(&active, |v, lane: &mut Lane| {
-                let slot = plan.slot(v);
-                lane.read(ArrayId::NODE_ATTR, slot as usize);
-                let root_v = dsu.find(slot);
-                let mut proposed = false;
-                for e in graph.edge_range(v) {
-                    lane.read(ArrayId::EDGES, e);
-                    let u = graph.edges_raw()[e];
-                    let su = plan.slot(u);
-                    lane.read(ArrayId::NODE_ATTR, su as usize);
-                    let root_u = dsu.find(su);
-                    if root_u == root_v {
-                        continue;
-                    }
-                    let w = graph.weight_at(e);
-                    let cand = (w, e, slot, su);
-                    for root in [root_v, root_u] {
-                        let cur = &mut best[root as usize];
-                        if cur.is_none_or(|c| cand < c) {
-                            lane.atomic(ArrayId::NODE_ATTR_AUX, root as usize);
-                            *cur = Some(cand);
-                            proposed = true;
-                        }
-                    }
+            let slot = plan.slot(v);
+            lane.read(ArrayId::NODE_ATTR, slot as usize);
+            let root_v = root_of[slot as usize];
+            let mut proposed = false;
+            for e in graph.edge_range(v) {
+                lane.read(ArrayId::EDGES, e);
+                let u = graph.edges_raw()[e];
+                let su = plan.slot(u);
+                lane.read(ArrayId::NODE_ATTR, su as usize);
+                let root_u = root_of[su as usize];
+                if root_u == root_v {
+                    continue;
                 }
-                proposed
-            });
+                let key = ((graph.weight_at(e) as u64) << 32) | e as u64;
+                for root in [root_v, root_u] {
+                    lane.atomic(ArrayId::NODE_ATTR_AUX, root as usize);
+                    best.fetch_min(root as usize, key);
+                }
+                proposed = true;
+            }
+            proposed
+        });
         stats += outcome.stats;
         if !outcome.changed {
             break;
@@ -113,13 +132,20 @@ pub fn run_sim(plan: &Plan) -> MstResult {
         // --- Merge: contract proposed edges (metered one read + one write
         // per proposing component, mirroring the device's component-merge
         // kernel).
-        let proposals: Vec<(u32, usize, u32, u32)> = best.iter().flatten().copied().collect();
-        let roots: Vec<NodeId> = best
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.is_some())
-            .map(|(i, _)| i as NodeId)
-            .collect();
+        let mut proposals: Vec<(u32, usize, u32, u32)> = Vec::new();
+        let mut roots: Vec<NodeId> = Vec::new();
+        for r in 0..plan.attr_len {
+            let key = best.load(r);
+            if key == u64::MAX {
+                continue;
+            }
+            roots.push(r as NodeId);
+            let e = (key & u32::MAX as u64) as usize;
+            let w = (key >> 32) as u32;
+            let slot = plan.slot(src_of_edge[e]);
+            let su = plan.slot(graph.edges_raw()[e]);
+            proposals.push((w, e, slot, su));
+        }
         let merge = runner.run_tiled_superstep(&roots, |r, lane: &mut Lane| {
             lane.read(ArrayId::NODE_ATTR_AUX, r as usize);
             lane.write(ArrayId::NODE_ATTR, r as usize);
@@ -143,15 +169,17 @@ pub fn run_sim(plan: &Plan) -> MstResult {
         }
 
         // --- Pointer jumping: compress labels (metered read+write per
-        // slot).
+        // slot; the union-find paths compress host-side after the launch).
         let compress = runner.run_tiled_superstep(&active, |v, lane: &mut Lane| {
             let slot = plan.slot(v);
             lane.read(ArrayId::NODE_ATTR, slot as usize);
             lane.write(ArrayId::NODE_ATTR, slot as usize);
-            dsu.find(slot);
             false
         });
         stats += compress.stats;
+        for s in 0..plan.attr_len as u32 {
+            dsu.find(s);
+        }
     }
 
     let labels: Vec<f64> = (0..plan.attr_len as u32)

@@ -3,14 +3,15 @@
 //! Simulated GPU version: push-style synchronous PageRank (atomic-add
 //! accumulation into a `next` array, then an apply kernel), the structure
 //! of the LonestarGPU/Gunrock PR operators. The frontier variant is
-//! residual-based delta-PageRank (Gunrock's formulation). Tile phases run
-//! local push+apply rounds inside shared memory. Exact CPU reference:
-//! power iteration to tight tolerance.
+//! residual-based delta-PageRank (Gunrock's formulation). Fractional
+//! accumulators use fixed-point atomics so concurrent adds commute exactly
+//! and results are bit-identical at any host thread count. Exact CPU
+//! reference: power iteration to tight tolerance.
 
 use crate::plan::{Plan, SimRun, Strategy};
-use crate::runner::Runner;
+use crate::runner::{Runner, VertexProgram};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{ArrayId, KernelStats, Lane};
+use graffix_sim::{ArrayId, AtomicF64Array, FixedPointF64Array, KernelStats, Lane};
 
 /// Damping factor used throughout (paper-era conventional value).
 pub const DAMPING: f64 = 0.85;
@@ -28,6 +29,11 @@ pub const FIXED_ITERS: usize = 30;
 
 /// Hard iteration cap for the residual (frontier) variant.
 pub const MAX_ITERS: usize = 200;
+
+/// Fraction bits of the fixed-point accumulators: resolution 2^-48
+/// (≈3.6e-15, far below [`TOLERANCE`]) with ±2^15 range — rank shares and
+/// residuals are probability mass, bounded by 1.
+const PR_FRAC_BITS: u32 = 48;
 
 /// Runs simulated PageRank and returns per-original-vertex ranks.
 pub fn run_sim(plan: &Plan) -> SimRun {
@@ -52,216 +58,246 @@ fn slot_degrees(plan: &Plan) -> Vec<usize> {
     deg
 }
 
+/// First processing copy of each slot in assignment order: the lane that
+/// performs the apply for that slot. Host-precomputed so the apply kernel's
+/// trace never depends on execution schedule.
+fn appliers(plan: &Plan, active: &[NodeId]) -> Vec<bool> {
+    let mut applier = vec![false; plan.graph.num_nodes()];
+    let mut seen = vec![false; plan.attr_len];
+    for &v in active {
+        let slot = plan.slot(v) as usize;
+        if !seen[slot] {
+            seen[slot] = true;
+            applier[v as usize] = true;
+        }
+    }
+    applier
+}
+
+/// Synchronous push+apply PageRank. One outer iteration = a push superstep
+/// (the `process` kernel, scattering `DAMPING × rank/outdeg` into the
+/// fixed-point `next` accumulator) followed in `after_iteration` by a
+/// metered apply superstep (`rank = (1−d)/N + next`) and confluence. The
+/// two-superstep iteration cannot cascade within a tile round, so the
+/// program opts out of the tile phase; tile nodes still execute in their
+/// own blocks at shared-memory prices in both supersteps.
+struct PrTopology<'p> {
+    plan: &'p Plan,
+    rank: AtomicF64Array,
+    next: FixedPointF64Array,
+    applier: Vec<bool>,
+    active: Vec<NodeId>,
+    slot_deg: Vec<usize>,
+    base: f64,
+    prev_rank: Vec<f64>,
+}
+
+impl VertexProgram for PrTopology<'_> {
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let graph = &plan.graph;
+        let slot = plan.slot(v) as usize;
+        lane.read(ArrayId::OFFSETS, v as usize);
+        lane.read(ArrayId::NODE_ATTR, slot);
+        if graph.degree(v) == 0 || self.slot_deg[slot] == 0 {
+            return false;
+        }
+        let share = DAMPING * self.rank.load(slot) / self.slot_deg[slot] as f64;
+        for e in graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = graph.edges_raw()[e];
+            let slot_u = plan.slot(u) as usize;
+            lane.atomic(ArrayId::NODE_ATTR_AUX, slot_u);
+            self.next.add(slot_u, share);
+        }
+        true
+    }
+
+    fn tile_rounds(&self) -> bool {
+        false
+    }
+
+    fn after_iteration(
+        &mut self,
+        runner: &Runner<'_>,
+        _next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        // Apply: the designated copy folds the accumulator into the rank.
+        let outcome = runner.run_tiled_superstep(&self.active, |v, lane: &mut Lane| {
+            let slot = self.plan.slot(v) as usize;
+            if !self.applier[v as usize] {
+                return false; // virtual copies apply once per slot
+            }
+            lane.read(ArrayId::NODE_ATTR_AUX, slot);
+            lane.write(ArrayId::NODE_ATTR, slot);
+            lane.write(ArrayId::NODE_ATTR_AUX, slot);
+            self.rank.store(slot, self.base + self.next.get(slot));
+            true
+        });
+        let mut stats = outcome.stats;
+        self.next.clear();
+        // Confluence, then converge on the *post-confluence* rank movement:
+        // with mean-merged replicas the intra-iteration delta settles into
+        // a limit cycle and never reaches zero, but the merged vector does.
+        let mut r = self.rank.to_vec();
+        let (conf_stats, _) = runner.confluence(&mut r);
+        stats += conf_stats;
+        self.rank.copy_from(&r);
+        let delta: f64 = r
+            .iter()
+            .zip(&self.prev_rank)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        self.prev_rank.copy_from_slice(&r);
+        // The fixed budget may end early only on exact stasis.
+        (stats, delta == 0.0)
+    }
+}
+
 fn run_topology(plan: &Plan) -> SimRun {
     let runner = Runner::new(plan);
     let n = logical_n(plan);
     let mut rank = vec![0.0f64; plan.attr_len];
-    let mut next = vec![0.0f64; plan.attr_len];
     for (slot, &orig) in plan.to_original.iter().enumerate() {
         if orig != INVALID_NODE {
             rank[slot] = 1.0 / n;
         }
     }
-
-    let mut stats = KernelStats::default();
-    let mut iterations = 0usize;
     let active = runner.active_nodes();
-    let slot_deg = slot_degrees(plan);
-
-    let mut prev_rank = rank.clone();
-    for iter in 0..FIXED_ITERS {
-        iterations = iter + 1;
-        // Push + apply, with tile nodes executing in their own blocks so
-        // intra-tile attribute traffic is priced at shared-memory latency
-        // (the latency transform's benefit, paper section 3).
-        stats += push_superstep(&runner, &active, &rank, &mut next, &slot_deg).stats;
-        let (apply_stats, _intra_delta) = apply_superstep(&runner, &active, &mut rank, &mut next, n);
-        stats += apply_stats;
-        // Confluence.
-        let (conf_stats, _) = runner.confluence(&mut rank);
-        stats += conf_stats;
-        // Converge on the *post-confluence* rank movement: with mean-merged
-        // replicas the intra-iteration delta settles into a limit cycle and
-        // never reaches zero, but the merged vector does.
-        let delta: f64 = rank
-            .iter()
-            .zip(&prev_rank)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
-        prev_rank.copy_from_slice(&rank);
-        // The fixed budget may end early only on exact stasis.
-        if delta == 0.0 {
-            break;
-        }
-    }
-
+    let mut prog = PrTopology {
+        plan,
+        rank: AtomicF64Array::from_slice(&rank),
+        next: FixedPointF64Array::with_frac_bits(plan.attr_len, PR_FRAC_BITS),
+        applier: appliers(plan, &active),
+        active,
+        slot_deg: slot_degrees(plan),
+        base: (1.0 - DAMPING) / n,
+        prev_rank: rank,
+    };
+    let (stats, iterations) = runner.fixpoint(FIXED_ITERS, &mut prog);
     SimRun {
-        values: plan.map_back(&rank),
+        values: plan.map_back(&prog.rank.to_vec()),
         stats,
         iterations,
     }
 }
 
-/// One metered push superstep: every assigned node scatters
-/// `DAMPING × rank/outdeg` to its targets' `next` slots.
-fn push_superstep(
-    runner: &Runner<'_>,
-    assignment: &[NodeId],
-    rank: &[f64],
-    next: &mut [f64],
-    slot_deg: &[usize],
-) -> graffix_sim::SuperstepOutcome {
-    let plan = runner.plan;
-    let graph = &plan.graph;
-    runner.run_tiled_superstep(assignment, |v, lane: &mut Lane| {
-            let slot = plan.slot(v) as usize;
-            lane.read(ArrayId::OFFSETS, v as usize);
-            lane.read(ArrayId::NODE_ATTR, slot);
-            if graph.degree(v) == 0 || slot_deg[slot] == 0 {
-                return false;
-            }
-            let share = DAMPING * rank[slot] / slot_deg[slot] as f64;
-            for e in graph.edge_range(v) {
-                lane.read(ArrayId::EDGES, e);
-                let u = graph.edges_raw()[e];
-                let slot_u = plan.slot(u) as usize;
-                lane.atomic(ArrayId::NODE_ATTR_AUX, slot_u);
-                next[slot_u] += share;
-            }
-            true
-        })
+/// Residual-based delta-PageRank (Gunrock's push formulation): a node's
+/// unpropagated residual is flushed to its out-neighbors when the node is
+/// activated; a neighbor activates when its accumulated residual crosses
+/// the threshold. Under virtual splitting, one copy of each slot in the
+/// frontier — host-designated in `begin_superstep`, so the trace is
+/// schedule-independent — claims the residual and banks it in a flush
+/// register that its sibling copies read, so every edge slice propagates
+/// the same flushed value exactly once.
+struct PrFrontier<'p> {
+    plan: &'p Plan,
+    rank: AtomicF64Array,
+    residual: FixedPointF64Array,
+    /// Per-slot value flushed this superstep (host-written).
+    flush: Vec<f64>,
+    flush_epoch: Vec<u64>,
+    epoch: u64,
+    /// Which frontier node performs the claim for its slot this superstep.
+    claimant: Vec<bool>,
+    claimed_nodes: Vec<NodeId>,
+    slot_deg: Vec<usize>,
+    threshold: f64,
 }
 
-/// One metered apply superstep: `rank = (1−d)/N + next`, zeroing `next`.
-/// Returns the stats and the L1 delta.
-fn apply_superstep(
-    runner: &Runner<'_>,
-    assignment: &[NodeId],
-    rank: &mut [f64],
-    next: &mut [f64],
-    n: f64,
-) -> (KernelStats, f64) {
-    let plan = runner.plan;
-    let base = (1.0 - DAMPING) / n;
-    let mut delta = 0.0f64;
-    let mut seen = vec![false; plan.attr_len];
-    let outcome = runner.run_tiled_superstep(assignment, |v, lane: &mut Lane| {
-            let slot = plan.slot(v) as usize;
-            if seen[slot] {
-                return false; // virtual copies apply once per slot
+impl VertexProgram for PrFrontier<'_> {
+    fn begin_superstep(&mut self, frontier: &[NodeId]) {
+        self.epoch += 1;
+        for &v in &self.claimed_nodes {
+            self.claimant[v as usize] = false;
+        }
+        self.claimed_nodes.clear();
+        for &v in frontier {
+            let slot = self.plan.slot(v) as usize;
+            if self.flush_epoch[slot] != self.epoch {
+                // First copy this superstep: claim the residual.
+                self.flush_epoch[slot] = self.epoch;
+                self.claimant[v as usize] = true;
+                self.claimed_nodes.push(v);
+                let r = self.residual.get(slot);
+                self.residual.set(slot, 0.0);
+                self.flush[slot] = r;
             }
-            seen[slot] = true;
-            lane.read(ArrayId::NODE_ATTR_AUX, slot);
-            lane.write(ArrayId::NODE_ATTR, slot);
-            lane.write(ArrayId::NODE_ATTR_AUX, slot);
-            let new_rank = base + next[slot];
-            delta += (new_rank - rank[slot]).abs();
-            rank[slot] = new_rank;
-            next[slot] = 0.0;
-            true
-        });
-    (outcome.stats, delta)
-}
-
-fn run_frontier(plan: &Plan) -> SimRun {
-    // Residual-based delta-PageRank (Gunrock's push formulation): a node's
-    // unpropagated residual is flushed to its out-neighbors when the node
-    // is activated; a neighbor activates when its accumulated residual
-    // crosses the threshold. Under virtual splitting, the *first* copy of
-    // a slot seen in a superstep claims the residual and banks it in a
-    // per-superstep flush register that its sibling copies read, so every
-    // edge slice propagates the same flushed value exactly once.
-    let runner = Runner::new(plan);
-    let n = logical_n(plan);
-    let graph = &plan.graph;
-    let threshold = TOLERANCE;
-    let base = (1.0 - DAMPING) / n;
-    let slot_deg = slot_degrees(plan);
-
-    let rank = std::cell::RefCell::new(vec![0.0f64; plan.attr_len]);
-    let residual = std::cell::RefCell::new(vec![0.0f64; plan.attr_len]);
-    let flush_val = std::cell::RefCell::new(vec![0.0f64; plan.attr_len]);
-    let flush_epoch = std::cell::RefCell::new(vec![u64::MAX; plan.attr_len]);
-    let epoch = std::cell::Cell::new(0u64);
-    // Push-PR invariant: rank + (I − dMᵀ)⁻¹ residual = PageRank. Starting
-    // from rank = 0 and residual = (1−d)/N keeps it, so draining the
-    // residual converges rank to the true PageRank vector.
-    for (slot, &orig) in plan.to_original.iter().enumerate() {
-        if orig != INVALID_NODE {
-            residual.borrow_mut()[slot] = base;
         }
     }
 
-    // Inverse map for activations under splitting.
-    let procs_of_slot: Option<Vec<Vec<NodeId>>> = if plan.identity_attrs() {
-        None
-    } else {
-        let mut inv = vec![Vec::new(); plan.attr_len];
-        for v in 0..graph.num_nodes() as NodeId {
-            inv[plan.slot(v) as usize].push(v);
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let graph = &plan.graph;
+        let slot = plan.slot(v) as usize;
+        lane.read(ArrayId::NODE_ATTR_AUX, slot);
+        let r = self.flush[slot];
+        if self.claimant[v as usize] && r > self.threshold {
+            lane.write(ArrayId::NODE_ATTR_AUX, slot);
+            lane.read(ArrayId::NODE_ATTR, slot);
+            lane.write(ArrayId::NODE_ATTR, slot);
+            self.rank.fetch_add(slot, r);
         }
-        Some(inv)
-    };
-    let push_slot = |slot: usize, next: &mut Vec<NodeId>| match &procs_of_slot {
-        None => next.push(slot as NodeId),
-        Some(inv) => next.extend_from_slice(&inv[slot]),
-    };
+        if r <= self.threshold || self.slot_deg[slot] == 0 {
+            return false;
+        }
+        let share = DAMPING * r / self.slot_deg[slot] as f64;
+        for e in graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = graph.edges_raw()[e];
+            let slot_u = plan.slot(u) as usize;
+            lane.atomic(ArrayId::NODE_ATTR_AUX, slot_u);
+            // Same-signed fixed-point adds: the slot's final residual
+            // crosses the threshold iff some lane's post-add value does,
+            // so the activation set is schedule-independent.
+            if self.residual.add_returning(slot_u, share) > self.threshold {
+                plan.activate_slot(slot_u as NodeId, lane);
+            }
+        }
+        true
+    }
 
+    fn after_iteration(
+        &mut self,
+        runner: &Runner<'_>,
+        _next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        let mut r = self.rank.to_vec();
+        let (stats, _) = runner.confluence(&mut r);
+        self.rank.copy_from(&r);
+        (stats, false)
+    }
+}
+
+fn run_frontier(plan: &Plan) -> SimRun {
+    let runner = Runner::new(plan);
+    let n = logical_n(plan);
+    let base = (1.0 - DAMPING) / n;
+    // Push-PR invariant: rank + (I − dMᵀ)⁻¹ residual = PageRank. Starting
+    // from rank = 0 and residual = (1−d)/N keeps it, so draining the
+    // residual converges rank to the true PageRank vector.
+    let residual = FixedPointF64Array::with_frac_bits(plan.attr_len, PR_FRAC_BITS);
+    for (slot, &orig) in plan.to_original.iter().enumerate() {
+        if orig != INVALID_NODE {
+            residual.set(slot, base);
+        }
+    }
+    let mut prog = PrFrontier {
+        plan,
+        rank: AtomicF64Array::new(plan.attr_len, 0.0),
+        residual,
+        flush: vec![0.0; plan.attr_len],
+        flush_epoch: vec![0; plan.attr_len],
+        epoch: 0,
+        claimant: vec![false; plan.graph.num_nodes()],
+        claimed_nodes: Vec::new(),
+        slot_deg: slot_degrees(plan),
+        threshold: TOLERANCE,
+    };
     let init = runner.active_nodes();
-    let (stats, iterations) = runner.frontier_loop(
-        init,
-        MAX_ITERS,
-        |v, lane, next_frontier| {
-            let slot = plan.slot(v) as usize;
-            lane.read(ArrayId::NODE_ATTR_AUX, slot);
-            let r = {
-                let mut fe = flush_epoch.borrow_mut();
-                if fe[slot] != epoch.get() {
-                    // First copy this superstep: claim the residual.
-                    fe[slot] = epoch.get();
-                    let mut res = residual.borrow_mut();
-                    let r = res[slot];
-                    res[slot] = 0.0;
-                    flush_val.borrow_mut()[slot] = r;
-                    if r > threshold {
-                        lane.write(ArrayId::NODE_ATTR_AUX, slot);
-                        lane.read(ArrayId::NODE_ATTR, slot);
-                        lane.write(ArrayId::NODE_ATTR, slot);
-                        rank.borrow_mut()[slot] += r;
-                    }
-                    r
-                } else {
-                    flush_val.borrow()[slot]
-                }
-            };
-            if r <= threshold || slot_deg[slot] == 0 {
-                return false;
-            }
-            let share = DAMPING * r / slot_deg[slot] as f64;
-            for e in graph.edge_range(v) {
-                lane.read(ArrayId::EDGES, e);
-                let u = graph.edges_raw()[e];
-                let slot_u = plan.slot(u) as usize;
-                lane.atomic(ArrayId::NODE_ATTR_AUX, slot_u);
-                let mut res = residual.borrow_mut();
-                res[slot_u] += share;
-                if res[slot_u] > threshold {
-                    push_slot(slot_u, next_frontier);
-                }
-            }
-            true
-        },
-        |_| {
-            epoch.set(epoch.get() + 1);
-            let mut r = rank.borrow_mut();
-            let (stats, _) = runner.confluence(&mut r);
-            stats
-        },
-    );
-
-    let final_rank = rank.into_inner();
+    let (stats, iterations) = runner.frontier_loop(init, MAX_ITERS, &mut prog);
     SimRun {
-        values: plan.map_back(&final_rank),
+        values: plan.map_back(&prog.rank.to_vec()),
         stats,
         iterations,
     }

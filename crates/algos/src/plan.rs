@@ -2,7 +2,8 @@
 
 use graffix_core::{ConfluenceOp, Prepared, Tile};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{GpuConfig, KernelStats};
+use graffix_sim::{GpuConfig, KernelStats, Lane};
+use std::sync::OnceLock;
 
 /// Processing style of the executing framework.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -43,6 +44,28 @@ pub struct Plan {
     pub confluence: ConfluenceOp,
     /// Processing style.
     pub strategy: Strategy,
+    /// Lazily-derived execution maps (see [`PlanDerived`]).
+    pub derived: PlanDerived,
+}
+
+/// Slot/logical → processing-copy inversions, shared by every algorithm
+/// (hoisted out of the per-algorithm files). Computed once on first use —
+/// after any test-side tweaking of `attr_of` — and reset when the plan is
+/// cloned.
+#[derive(Debug, Default)]
+pub struct PlanDerived {
+    /// attribute slot → processing copies (`None` for identity plans).
+    procs_of_slot: OnceLock<Option<Vec<Vec<NodeId>>>>,
+    /// logical (original) vertex → processing copies.
+    procs_of_logical: OnceLock<Vec<Vec<NodeId>>>,
+}
+
+impl Clone for PlanDerived {
+    fn clone(&self) -> Self {
+        // Caches are plan-shape-dependent; a clone may be mutated before
+        // use, so it starts cold.
+        PlanDerived::default()
+    }
 }
 
 impl Plan {
@@ -62,6 +85,7 @@ impl Plan {
             tiles: prepared.tiles.clone(),
             confluence: prepared.confluence,
             strategy,
+            derived: PlanDerived::default(),
         }
     }
 
@@ -111,6 +135,75 @@ impl Plan {
         (0..self.graph.num_nodes() as NodeId)
             .filter(|&v| members[self.attr_of[v as usize] as usize])
             .collect()
+    }
+
+    /// Processing copies of each attribute slot, or `None` for identity
+    /// plans (where slot == processing node and no expansion is needed).
+    pub fn procs_of_slot(&self) -> Option<&[Vec<NodeId>]> {
+        self.derived
+            .procs_of_slot
+            .get_or_init(|| {
+                if self.identity_attrs() {
+                    return None;
+                }
+                let mut procs: Vec<Vec<NodeId>> = vec![Vec::new(); self.attr_len];
+                for (v, &a) in self.attr_of.iter().enumerate() {
+                    procs[a as usize].push(v as NodeId);
+                }
+                Some(procs)
+            })
+            .as_deref()
+    }
+
+    /// Processing copies of each logical (original) vertex.
+    pub fn procs_of_logical(&self) -> &[Vec<NodeId>] {
+        self.derived.procs_of_logical.get_or_init(|| {
+            let mut procs: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_original()];
+            for (v, &a) in self.attr_of.iter().enumerate() {
+                let orig = self.to_original[a as usize];
+                if orig != INVALID_NODE {
+                    procs[orig as usize].push(v as NodeId);
+                }
+            }
+            procs
+        })
+    }
+
+    /// Logical (original) vertex of processing node `v` (`INVALID_NODE` for
+    /// holes).
+    #[inline]
+    pub fn logical_of(&self, v: NodeId) -> NodeId {
+        self.to_original[self.attr_of[v as usize] as usize]
+    }
+
+    /// Activates every processing copy of attribute slot `slot` on `lane`.
+    #[inline]
+    pub fn activate_slot(&self, slot: NodeId, lane: &mut Lane) {
+        match self.procs_of_slot() {
+            None => lane.activate(slot),
+            Some(procs) => {
+                for &c in &procs[slot as usize] {
+                    lane.activate(c);
+                }
+            }
+        }
+    }
+
+    /// Activates every processing copy of logical vertex `l` on `lane`.
+    #[inline]
+    pub fn activate_logical(&self, l: NodeId, lane: &mut Lane) {
+        for &c in &self.procs_of_logical()[l as usize] {
+            lane.activate(c);
+        }
+    }
+
+    /// Pushes every processing copy of attribute slot `slot` into `out`
+    /// (host-side variant of [`Plan::activate_slot`]).
+    pub fn push_slot_copies(&self, slot: NodeId, out: &mut Vec<NodeId>) {
+        match self.procs_of_slot() {
+            None => out.push(slot),
+            Some(procs) => out.extend_from_slice(&procs[slot as usize]),
+        }
     }
 
     /// Consistency checks used by tests.
@@ -197,6 +290,27 @@ mod tests {
             iterations: 2,
         };
         assert_eq!(p.tile_processing_nodes(&tile), vec![1, 2]);
+    }
+
+    #[test]
+    fn derived_maps_invert_attr_of() {
+        let p = Plan::exact(&graph(), &GpuConfig::test_tiny(), Strategy::Topology);
+        assert!(p.procs_of_slot().is_none());
+        assert_eq!(p.procs_of_logical()[2], vec![2]);
+        assert_eq!(p.logical_of(3), 3);
+
+        let mut split = Plan::exact(&graph(), &GpuConfig::test_tiny(), Strategy::Topology);
+        // Pretend node 1 was split into processing nodes 1 and 3.
+        split.attr_of = vec![0, 1, 2, 1];
+        assert_eq!(split.procs_of_slot().unwrap()[1], vec![1, 3]);
+        assert_eq!(split.procs_of_logical()[1], vec![1, 3]);
+        assert_eq!(split.logical_of(3), 1);
+        let mut out = Vec::new();
+        split.push_slot_copies(1, &mut out);
+        assert_eq!(out, vec![1, 3]);
+        // Clones reset the caches, so they may be mutated before use.
+        let clone = split.clone();
+        assert_eq!(clone.procs_of_slot().unwrap()[1], vec![1, 3]);
     }
 
     #[test]

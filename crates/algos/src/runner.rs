@@ -1,10 +1,67 @@
-//! Shared iteration machinery: topology fixpoints, frontier loops, tile
-//! phases, and metered confluence — the pieces every algorithm composes.
+//! Shared iteration machinery: the [`VertexProgram`] engine plus the
+//! topology fixpoint, frontier loop, tile phase, and metered confluence
+//! drivers every algorithm composes.
+//!
+//! Kernels execute in parallel on the host (see `graffix_sim::executor`),
+//! so a program's `process` takes `&self` and mutates attribute state only
+//! through the commutative atomic arrays in `graffix_sim::attrs` (or other
+//! interior-mutable state). The `&mut self` hooks run host-side between
+//! supersteps, where exclusive access is safe.
 
-use crate::plan::Plan;
+use crate::plan::{Plan, Strategy};
 use graffix_core::confluence;
 use graffix_graph::{NodeId, INVALID_NODE};
-use graffix_sim::{run_blocks, run_superstep, ArrayId, Block, KernelStats, Lane, Superstep};
+use graffix_sim::{
+    run_blocks, run_superstep, ArrayId, Block, KernelStats, Lane, Superstep, SuperstepOutcome,
+};
+
+/// A vertex-centric algorithm, expressed as a kernel over processing nodes
+/// plus host-side hooks around each superstep. Programs own their attribute
+/// state; the [`Runner`] owns iteration structure (tiling, frontiers,
+/// launch metering), so an algorithm is just an implementation of this
+/// trait plus a result extraction.
+pub trait VertexProgram: Sync {
+    /// Called at the top of each outer iteration (0-based).
+    fn begin_iteration(&mut self, _iter: usize) {}
+
+    /// Called right before a frontier superstep with the deduped frontier
+    /// that is about to run (frontier loops only).
+    fn begin_superstep(&mut self, _frontier: &[NodeId]) {}
+
+    /// The vertex kernel. Runs *functionally* against the program's state
+    /// while mirroring every memory access on `lane`; returns whether it
+    /// changed any state. Executed concurrently — shared state must go
+    /// through commutative atomics, and the recorded trace must not depend
+    /// on concurrently-mutated values (branch on host-owned or
+    /// previous-buffer snapshots only) so warp costs stay deterministic.
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool;
+
+    /// Whether the §3 shared-memory tile phase applies to this program.
+    /// Multi-superstep iterations (e.g. PageRank's push/apply pair) opt
+    /// out: their updates cannot cascade within a tile round.
+    fn tile_rounds(&self) -> bool {
+        true
+    }
+
+    /// Called between tile rounds so double-buffered programs can commit
+    /// (tile round `r+1` must observe round `r`'s writes).
+    fn end_tile_round(&mut self) {}
+
+    /// Called after the global superstep of each iteration: confluence,
+    /// buffer commits, convergence checks, extra activations (pushed into
+    /// `next`, which frontier loops merge before dedup). Returns the hook's
+    /// metered kernel cost plus a *stop* flag — algorithms with replica
+    /// confluence terminate on value stability, because mean-merging can
+    /// make the raw `changed` flag oscillate forever (a merged value gets
+    /// re-relaxed, re-merged, re-relaxed …).
+    fn after_iteration(
+        &mut self,
+        _runner: &Runner<'_>,
+        _next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        (KernelStats::default(), false)
+    }
+}
 
 /// Precomputed per-plan execution state (tile residency masks and tile
 /// processing assignments).
@@ -32,9 +89,7 @@ impl<'a> Runner<'a> {
             let nodes = plan.tile_processing_nodes(tile);
             let start_new = match tile_nodes.last() {
                 None => true,
-                Some(last) => {
-                    last.len() >= target || last.len() + nodes.len() > capacity_nodes
-                }
+                Some(last) => last.len() >= target || last.len() + nodes.len() > capacity_nodes,
             };
             if start_new {
                 tile_masks.push(vec![false; plan.attr_len]);
@@ -62,9 +117,9 @@ impl<'a> Runner<'a> {
     /// tile's block (their tile-resident attribute accesses cost shared
     /// latency), everything else runs in untiled blocks at global prices.
     /// Without tiles this is a plain superstep.
-    pub fn run_tiled_superstep<F>(&self, assignment: &[NodeId], kernel: F) -> graffix_sim::SuperstepOutcome
+    pub fn run_tiled_superstep<F>(&self, assignment: &[NodeId], kernel: F) -> SuperstepOutcome
     where
-        F: FnMut(NodeId, &mut Lane) -> bool,
+        F: Fn(NodeId, &mut Lane) -> bool + Sync,
     {
         if self.plan.tiles.is_empty() {
             return run_superstep(
@@ -120,24 +175,33 @@ impl<'a> Runner<'a> {
         outcome
     }
 
+    /// One tiled superstep driving a [`VertexProgram`]'s kernel.
+    pub fn run_program<P: VertexProgram>(
+        &self,
+        assignment: &[NodeId],
+        prog: &P,
+    ) -> SuperstepOutcome {
+        self.run_tiled_superstep(assignment, |v, lane| prog.process(v, lane))
+    }
+
     /// Runs the shared-memory tile phase (§3) as a sequence of
     /// block-structured launches: round `r` launches every tile that still
     /// has inner iterations left (and reported changes), one block per tile
-    /// — a single kernel launch per round, as on a real GPU.
-    pub fn tile_phase<F>(&self, kernel: &mut F) -> (KernelStats, bool)
-    where
-        F: FnMut(NodeId, &mut Lane) -> bool,
-    {
-        self.tile_phase_capped(kernel, usize::MAX)
+    /// — a single kernel launch per round, as on a real GPU. The program's
+    /// [`VertexProgram::end_tile_round`] hook runs between rounds so
+    /// double-buffered state cascades.
+    pub fn tile_phase<P: VertexProgram>(&self, prog: &mut P) -> (KernelStats, bool) {
+        self.tile_phase_capped(prog, usize::MAX)
     }
 
     /// [`Runner::tile_phase`] with the round count additionally capped —
     /// iterative algorithms run the full `t` rounds on their first outer
     /// iteration (the §3 reuse) and a single refresh round afterwards.
-    pub fn tile_phase_capped<F>(&self, kernel: &mut F, cap: usize) -> (KernelStats, bool)
-    where
-        F: FnMut(NodeId, &mut Lane) -> bool,
-    {
+    pub fn tile_phase_capped<P: VertexProgram>(
+        &self,
+        prog: &mut P,
+        cap: usize,
+    ) -> (KernelStats, bool) {
         let mut stats = KernelStats::default();
         let mut changed = false;
         if self.plan.tiles.is_empty() {
@@ -151,59 +215,54 @@ impl<'a> Runner<'a> {
             .max()
             .unwrap_or(0)
             .min(cap);
-        let mut live: Vec<bool> = vec![true; self.tile_nodes.len()];
-        for round in 0..max_rounds {
-            let blocks: Vec<Block<'_>> = (0..self.tile_nodes.len())
-                .filter(|&i| live[i])
-                .map(|i| Block {
-                    assignment: &self.tile_nodes[i],
-                    resident: Some(&self.tile_masks[i]),
-                })
-                .collect();
-            let _ = round;
-            if blocks.is_empty() {
-                break;
-            }
+        let blocks: Vec<Block<'_>> = (0..self.tile_nodes.len())
+            .map(|i| Block {
+                assignment: &self.tile_nodes[i],
+                resident: Some(&self.tile_masks[i]),
+            })
+            .collect();
+        for _round in 0..max_rounds {
             // One launch covers every live tile this round. Change
             // detection is launch-granular (per-tile convergence would need
             // device-side flags, which real implementations also avoid).
-            let outcome = run_blocks(&self.plan.cfg, &blocks, &mut *kernel);
+            let p: &P = prog;
+            let outcome = run_blocks(&self.plan.cfg, &blocks, |v, lane| p.process(v, lane));
             stats += outcome.stats;
             changed |= outcome.changed;
+            prog.end_tile_round();
             if !outcome.changed {
-                for l in live.iter_mut() {
-                    *l = false;
-                }
+                break;
             }
         }
         (stats, changed)
     }
 
-    /// Topology-driven fixpoint: tile phase (when tiles exist) followed by
-    /// a global superstep over the full assignment, then the caller's
-    /// `after_iteration` hook (confluence etc.). The hook returns its
-    /// kernel cost plus a *stop* flag — algorithms with replica confluence
-    /// use it to terminate on value stability, because mean-merging can
-    /// make the raw `changed` flag oscillate forever (a merged value gets
-    /// re-relaxed, re-merged, re-relaxed …).
-    pub fn fixpoint<F, H>(&self, max_iters: usize, mut kernel: F, mut after_iteration: H) -> (KernelStats, usize)
-    where
-        F: FnMut(NodeId, &mut Lane) -> bool,
-        H: FnMut() -> (KernelStats, bool),
-    {
+    /// Topology-driven fixpoint: tile phase (when tiles exist and the
+    /// program opts in) followed by a global superstep over the full
+    /// assignment, then the program's `after_iteration` hook. The first
+    /// iteration runs the full tile-round budget (the §3 reuse); later
+    /// iterations take a single refresh round.
+    pub fn fixpoint<P: VertexProgram>(
+        &self,
+        max_iters: usize,
+        prog: &mut P,
+    ) -> (KernelStats, usize) {
         let mut stats = KernelStats::default();
         let mut iters = 0usize;
         for iter in 0..max_iters {
+            prog.begin_iteration(iter);
             let mut changed = false;
-            if !self.plan.tiles.is_empty() {
-                let (tile_stats, tile_changed) = self.tile_phase(&mut kernel);
+            if !self.plan.tiles.is_empty() && prog.tile_rounds() {
+                let cap = if iter == 0 { usize::MAX } else { 1 };
+                let (tile_stats, tile_changed) = self.tile_phase_capped(prog, cap);
                 stats += tile_stats;
                 changed |= tile_changed;
             }
-            let outcome = self.run_tiled_superstep(&self.plan.assignment, &mut kernel);
+            let outcome = self.run_program(&self.plan.assignment, prog);
             stats += outcome.stats;
             changed |= outcome.changed;
-            let (hook_stats, stop) = after_iteration();
+            let mut extra = Vec::new();
+            let (hook_stats, stop) = prog.after_iteration(self, &mut extra);
             stats += hook_stats;
             iters = iter + 1;
             if !changed || stop {
@@ -214,23 +273,17 @@ impl<'a> Runner<'a> {
     }
 
     /// Frontier-driven loop (Gunrock style): processes the current
-    /// frontier, meters a filter pass over the produced frontier, runs the
-    /// caller's hook (which may push extra nodes, e.g. replica activations),
-    /// and repeats until the frontier drains or `max_iters` is reached.
-    ///
-    /// The kernel pushes activated *processing* nodes into its third
-    /// argument; duplicates are fine (the filter dedups, host-side).
-    pub fn frontier_loop<F, H>(
+    /// frontier, collects the kernel's [`Lane::activate`] requests (in
+    /// deterministic assignment order), lets the program's hook push extra
+    /// nodes (e.g. replica activations), dedups, meters a filter pass under
+    /// [`Strategy::Frontier`] plans, and repeats until the frontier drains
+    /// or `max_iters` is reached.
+    pub fn frontier_loop<P: VertexProgram>(
         &self,
         init: Vec<NodeId>,
         max_iters: usize,
-        mut kernel: F,
-        mut after_iteration: H,
-    ) -> (KernelStats, usize)
-    where
-        F: FnMut(NodeId, &mut Lane, &mut Vec<NodeId>) -> bool,
-        H: FnMut(&mut Vec<NodeId>) -> KernelStats,
-    {
+        prog: &mut P,
+    ) -> (KernelStats, usize) {
         let mut stats = KernelStats::default();
         let mut frontier = init;
         let mut iters = 0usize;
@@ -239,16 +292,20 @@ impl<'a> Runner<'a> {
                 break;
             }
             iters = iter + 1;
-            let mut next: Vec<NodeId> = Vec::new();
-            let outcome = self.run_tiled_superstep(&frontier, |v, lane| kernel(v, lane, &mut next));
+            prog.begin_iteration(iter);
+            prog.begin_superstep(&frontier);
+            let outcome = self.run_program(&frontier, prog);
             stats += outcome.stats;
-            stats += after_iteration(&mut next);
+            let mut next = outcome.activated;
+            let (hook_stats, stop) = prog.after_iteration(self, &mut next);
+            stats += hook_stats;
             // Filter pass: dedup/compact the frontier. Metered as one flag
             // read + one compacted write per surviving element, mirroring
-            // Gunrock's filter operator.
+            // Gunrock's filter operator. Topology-style plans reusing this
+            // loop (e.g. level-synchronous phases) skip the filter cost.
             next.sort_unstable();
             next.dedup();
-            if !next.is_empty() {
+            if self.plan.strategy == Strategy::Frontier && !next.is_empty() {
                 let filter = run_superstep(
                     &self.plan.cfg,
                     Superstep {
@@ -264,6 +321,9 @@ impl<'a> Runner<'a> {
                 stats += filter.stats;
             }
             frontier = next;
+            if stop {
+                break;
+            }
         }
         (stats, iters)
     }
@@ -315,7 +375,8 @@ mod tests {
     use crate::plan::{Plan, Strategy};
     use graffix_core::Tile;
     use graffix_graph::GraphBuilder;
-    use graffix_sim::GpuConfig;
+    use graffix_sim::{DoubleBuffered, GpuConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn chain_plan(strategy: Strategy) -> Plan {
         let mut b = GraphBuilder::new(6);
@@ -325,32 +386,68 @@ mod tests {
         Plan::exact(&b.build(), &GpuConfig::test_tiny(), strategy)
     }
 
+    /// Distance-like Jacobi propagation used by the fixpoint/frontier
+    /// tests: relaxes `dist[w] = min(dist[w], dist[v] + 1)` against the
+    /// previous iteration's snapshot.
+    struct DistProgram<'p> {
+        plan: &'p Plan,
+        dist: DoubleBuffered,
+        frontier_mode: bool,
+    }
+
+    impl VertexProgram for DistProgram<'_> {
+        fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+            lane.read(ArrayId::NODE_ATTR, v as usize);
+            let d = self.dist.read(v as usize);
+            if !d.is_finite() {
+                return false;
+            }
+            let mut changed = false;
+            for &w in self.plan.graph.neighbors(v) {
+                lane.read(ArrayId::NODE_ATTR, w as usize);
+                if d + 1.0 < self.dist.fetch_min_next(w as usize, d + 1.0) {
+                    lane.atomic(ArrayId::NODE_ATTR, w as usize);
+                    if self.frontier_mode {
+                        lane.activate(w);
+                    }
+                    changed = true;
+                }
+            }
+            changed
+        }
+
+        fn end_tile_round(&mut self) {
+            self.dist.commit();
+        }
+
+        fn after_iteration(
+            &mut self,
+            _runner: &Runner<'_>,
+            _next: &mut Vec<NodeId>,
+        ) -> (KernelStats, bool) {
+            self.dist.commit();
+            (KernelStats::default(), false)
+        }
+    }
+
+    fn dist_program(plan: &Plan, frontier_mode: bool) -> DistProgram<'_> {
+        let mut init = vec![f64::INFINITY; plan.graph.num_nodes()];
+        init[0] = 0.0;
+        DistProgram {
+            plan,
+            dist: DoubleBuffered::new(init),
+            frontier_mode,
+        }
+    }
+
     #[test]
     fn fixpoint_converges() {
         let plan = chain_plan(Strategy::Topology);
         let runner = Runner::new(&plan);
         // Distance-like propagation along a 6-chain needs 5 passes + 1.
-        let mut dist = [f64::INFINITY; 6];
-        dist[0] = 0.0;
-        let (stats, iters) = runner.fixpoint(
-            100,
-            |v, lane| {
-                lane.read(ArrayId::NODE_ATTR, v as usize);
-                let d = dist[v as usize];
-                let mut changed = false;
-                for &w in plan.graph.neighbors(v) {
-                    lane.read(ArrayId::NODE_ATTR, w as usize);
-                    if d + 1.0 < dist[w as usize] {
-                        lane.atomic(ArrayId::NODE_ATTR, w as usize);
-                        dist[w as usize] = d + 1.0;
-                        changed = true;
-                    }
-                }
-                changed
-            },
-            || (KernelStats::default(), false),
-        );
-        assert_eq!(dist[5], 5.0);
+        let mut prog = dist_program(&plan, false);
+        let (stats, iters) = runner.fixpoint(100, &mut prog);
+        assert_eq!(prog.dist.read(5), 5.0);
         assert!((2..=7).contains(&iters));
         assert!(stats.warp_cycles > 0);
     }
@@ -359,30 +456,28 @@ mod tests {
     fn frontier_drains() {
         let plan = chain_plan(Strategy::Frontier);
         let runner = Runner::new(&plan);
-        let mut dist = [f64::INFINITY; 6];
-        dist[0] = 0.0;
-        let (stats, iters) = runner.frontier_loop(
-            vec![0],
-            100,
-            |v, lane, next| {
-                lane.read(ArrayId::NODE_ATTR, v as usize);
-                let d = dist[v as usize];
-                let mut changed = false;
-                for &w in plan.graph.neighbors(v) {
-                    if d + 1.0 < dist[w as usize] {
-                        lane.atomic(ArrayId::NODE_ATTR, w as usize);
-                        dist[w as usize] = d + 1.0;
-                        next.push(w);
-                        changed = true;
-                    }
-                }
-                changed
-            },
-            |_| KernelStats::default(),
-        );
-        assert_eq!(dist[5], 5.0);
+        let mut prog = dist_program(&plan, true);
+        let (stats, iters) = runner.frontier_loop(vec![0], 100, &mut prog);
+        assert_eq!(prog.dist.read(5), 5.0);
         assert_eq!(iters, 6); // node 5 activates once more with no outputs
         assert!(stats.launches >= 6);
+    }
+
+    /// Counts kernel invocations and reports "changed" a fixed number of
+    /// times — exercises the tile phase's round/convergence structure.
+    struct CountingProgram {
+        hits: AtomicUsize,
+        budget: AtomicUsize,
+    }
+
+    impl VertexProgram for CountingProgram {
+        fn process(&self, _v: NodeId, lane: &mut Lane) -> bool {
+            lane.read(ArrayId::NODE_ATTR, 0);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok()
+        }
     }
 
     #[test]
@@ -394,19 +489,13 @@ mod tests {
             iterations: 3,
         }];
         let runner = Runner::new(&plan);
-        let mut hits = 0usize;
-        let mut budget = 2; // report change twice, then stable
-        let (stats, _) = runner.tile_phase(&mut |_, lane: &mut Lane| {
-            lane.read(ArrayId::NODE_ATTR, 0);
-            hits += 1;
-            if budget > 0 {
-                budget -= 1;
-                true
-            } else {
-                false
-            }
-        });
+        let mut prog = CountingProgram {
+            hits: AtomicUsize::new(0),
+            budget: AtomicUsize::new(2), // report change twice, then stable
+        };
+        let (stats, _) = runner.tile_phase(&mut prog);
         // Inner loop stops early once stable: 3 nodes x at most 3 rounds.
+        let hits = prog.hits.load(Ordering::Relaxed);
         assert!((6..=9).contains(&hits), "hits = {hits}");
         assert!(stats.shared_accesses > 0, "tile accesses must be shared");
     }

@@ -15,10 +15,10 @@
 //! reflects the transform's structural changes (added shortcut edges
 //! merging or bridging components), not bookkeeping artifacts.
 
-use crate::plan::{Plan, SimRun, Strategy};
-use crate::runner::Runner;
-use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{ArrayId, KernelStats, Lane};
+use crate::plan::{Plan, SimRun};
+use crate::runner::{Runner, VertexProgram};
+use graffix_graph::{Csr, NodeId};
+use graffix_sim::{ArrayId, AtomicU32Array, KernelStats, Lane};
 
 /// Result of a simulated SCC run.
 #[derive(Clone, Debug)]
@@ -29,21 +29,104 @@ pub struct SccResult {
     pub components: usize,
 }
 
+/// One trim superstep: every copy scans its out- and in-slices for live
+/// neighbors and flags liveness evidence for its logical node. Branches
+/// only on the host-fixed `alive` snapshot, so traces are deterministic;
+/// the evidence flags fold through idempotent atomic stores.
+struct TrimProgram<'a> {
+    plan: &'a Plan,
+    transpose: &'a Csr,
+    alive: &'a [bool],
+    out_any: AtomicU32Array,
+    in_any: AtomicU32Array,
+}
+
+impl VertexProgram for TrimProgram<'_> {
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let graph = &plan.graph;
+        let l = plan.logical_of(v) as usize;
+        lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
+        if !self.alive[l] {
+            return false;
+        }
+        for e in graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = graph.edges_raw()[e];
+            let lu = plan.logical_of(u) as usize;
+            lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+            if lu != l && self.alive[lu] {
+                self.out_any.store(l, 1);
+                break;
+            }
+        }
+        for e in self.transpose.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = self.transpose.edges_raw()[e];
+            let lu = plan.logical_of(u) as usize;
+            lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+            if lu != l && self.alive[lu] {
+                self.in_any.store(l, 1);
+                break;
+            }
+        }
+        false
+    }
+}
+
+/// Frontier reachability over live logical nodes. Discovery branches on the
+/// previous wave's committed `prev_mark` snapshot (never this wave's
+/// concurrent stores); duplicate same-wave discoveries fold through the
+/// idempotent store and dedup in the frontier filter.
+struct ReachProgram<'a> {
+    plan: &'a Plan,
+    /// The traversal topology: the processing graph or its transpose.
+    graph: &'a Csr,
+    alive: &'a [bool],
+    prev_mark: Vec<bool>,
+    next_mark: AtomicU32Array,
+}
+
+impl VertexProgram for ReachProgram<'_> {
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        lane.read(ArrayId::OFFSETS, v as usize);
+        let mut changed = false;
+        for e in self.graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = self.graph.edges_raw()[e];
+            let lu = plan.logical_of(u) as usize;
+            lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+            if self.alive[lu] && !self.prev_mark[lu] {
+                lane.write(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                self.next_mark.store(lu, 1);
+                plan.activate_logical(lu as NodeId, lane);
+                changed = true;
+            } else {
+                lane.compute(1);
+            }
+        }
+        changed
+    }
+
+    fn after_iteration(
+        &mut self,
+        _runner: &Runner<'_>,
+        _next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        for (l, m) in self.prev_mark.iter_mut().enumerate() {
+            *m = self.next_mark.load(l) != 0;
+        }
+        (KernelStats::default(), false)
+    }
+}
+
 /// Runs simulated FW–BW–Trim SCC.
 pub fn run_sim(plan: &Plan) -> SccResult {
     let runner = Runner::new(plan);
     let graph = &plan.graph;
     let transpose = graph.transpose();
     let n_logical = plan.num_original();
-
-    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
-    let mut procs_of: Vec<Vec<NodeId>> = vec![Vec::new(); n_logical];
-    for v in 0..graph.num_nodes() as NodeId {
-        let l = lid(v);
-        if l != INVALID_NODE {
-            procs_of[l as usize].push(v);
-        }
-    }
 
     let mut alive = vec![true; n_logical];
     let mut comp = vec![f64::NAN; n_logical];
@@ -58,41 +141,21 @@ pub fn run_sim(plan: &Plan) -> SccResult {
         // --- Trim: peel logical nodes with no live out- or in-neighbor.
         loop {
             iterations += 1;
-            // A copy's scan marks liveness evidence for its logical node.
-            let mut out_any = vec![false; n_logical];
-            let mut in_any = vec![false; n_logical];
-            let outcome = runner.run_tiled_superstep(&all_nodes, |v, lane: &mut Lane| {
-                let l = lid(v) as usize;
-                lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
-                if !alive[l] {
-                    return false;
-                }
-                for e in graph.edge_range(v) {
-                    lane.read(ArrayId::EDGES, e);
-                    let u = graph.edges_raw()[e];
-                    let lu = lid(u) as usize;
-                    lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                    if lu != l && alive[lu] {
-                        out_any[l] = true;
-                        break;
-                    }
-                }
-                for e in transpose.edge_range(v) {
-                    lane.read(ArrayId::EDGES, e);
-                    let u = transpose.edges_raw()[e];
-                    let lu = lid(u) as usize;
-                    lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                    if lu != l && alive[lu] {
-                        in_any[l] = true;
-                        break;
-                    }
-                }
-                false
-            });
+            let prog = TrimProgram {
+                plan,
+                transpose: &transpose,
+                alive: &alive,
+                out_any: AtomicU32Array::new(n_logical, 0),
+                in_any: AtomicU32Array::new(n_logical, 0),
+            };
+            let outcome = runner.run_program(&all_nodes, &prog);
             stats += outcome.stats;
+            let TrimProgram {
+                out_any, in_any, ..
+            } = prog;
             let mut trimmed = 0usize;
             for l in 0..n_logical {
-                if alive[l] && (!out_any[l] || !in_any[l]) {
+                if alive[l] && (out_any.load(l) == 0 || in_any.load(l) == 0) {
                     alive[l] = false;
                     comp[l] = l as f64;
                     components += 1;
@@ -113,7 +176,7 @@ pub fn run_sim(plan: &Plan) -> SccResult {
         let pivot = (0..n_logical)
             .filter(|&l| alive[l])
             .max_by_key(|&l| {
-                let deg: usize = procs_of[l]
+                let deg: usize = plan.procs_of_logical()[l]
                     .iter()
                     .map(|&v| graph.degree(v) + transpose.degree(v))
                     .sum();
@@ -122,8 +185,15 @@ pub fn run_sim(plan: &Plan) -> SccResult {
             .unwrap();
 
         // --- Forward and backward reachability from the pivot.
-        let fwd = reach(&runner, graph, &procs_of, &alive, pivot, &mut stats, &mut iterations);
-        let bwd = reach(&runner, &transpose, &procs_of, &alive, pivot, &mut stats, &mut iterations);
+        let fwd = reach(&runner, graph, &alive, pivot, &mut stats, &mut iterations);
+        let bwd = reach(
+            &runner,
+            &transpose,
+            &alive,
+            pivot,
+            &mut stats,
+            &mut iterations,
+        );
 
         // --- The intersection is one SCC.
         let mut scc_size = 0usize;
@@ -153,53 +223,29 @@ pub fn run_sim(plan: &Plan) -> SccResult {
 fn reach(
     runner: &Runner<'_>,
     graph: &Csr,
-    procs_of: &[Vec<NodeId>],
     alive: &[bool],
     pivot: usize,
     stats: &mut KernelStats,
     iterations: &mut usize,
 ) -> Vec<bool> {
     let plan = runner.plan;
-    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
-    let mut mark = vec![false; procs_of.len()];
-    mark[pivot] = true;
-    let mut frontier: Vec<NodeId> = procs_of[pivot].clone();
-    while !frontier.is_empty() {
-        *iterations += 1;
-        let mut next: Vec<NodeId> = Vec::new();
-        let outcome = runner.run_tiled_superstep(&frontier, |v, lane: &mut Lane| {
-            lane.read(ArrayId::OFFSETS, v as usize);
-            let mut changed = false;
-            for e in graph.edge_range(v) {
-                lane.read(ArrayId::EDGES, e);
-                let u = graph.edges_raw()[e];
-                let lu = lid(u) as usize;
-                lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                if alive[lu] && !mark[lu] {
-                    lane.write(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                    mark[lu] = true;
-                    next.extend_from_slice(&procs_of[lu]);
-                    changed = true;
-                } else {
-                    lane.compute(1);
-                }
-            }
-            changed
-        });
-        *stats += outcome.stats;
-        next.sort_unstable();
-        next.dedup();
-        if plan.strategy == Strategy::Frontier && !next.is_empty() {
-            let filter = runner.run_tiled_superstep(&next, |v, lane: &mut Lane| {
-                lane.read(ArrayId::FRONTIER, v as usize);
-                lane.write(ArrayId::WORKLIST, v as usize);
-                false
-            });
-            *stats += filter.stats;
-        }
-        frontier = next;
-    }
-    mark
+    let n_logical = plan.num_original();
+    let mut prev_mark = vec![false; n_logical];
+    prev_mark[pivot] = true;
+    let next_mark = AtomicU32Array::new(n_logical, 0);
+    next_mark.store(pivot, 1);
+    let mut prog = ReachProgram {
+        plan,
+        graph,
+        alive,
+        prev_mark,
+        next_mark,
+    };
+    let init = plan.procs_of_logical()[pivot].clone();
+    let (reach_stats, iters) = runner.frontier_loop(init, usize::MAX, &mut prog);
+    *stats += reach_stats;
+    *iterations += iters;
+    prog.prev_mark
 }
 
 /// Exact CPU reference: Tarjan's algorithm (iterative), returning the
@@ -265,6 +311,7 @@ pub fn exact_cpu_count(g: &Csr) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::Strategy;
     use graffix_graph::generators::{GraphKind, GraphSpec};
     use graffix_graph::GraphBuilder;
     use graffix_sim::GpuConfig;

@@ -7,16 +7,143 @@
 //! transform installed them. Exact CPU reference: Dijkstra.
 
 use crate::plan::{Plan, SimRun, Strategy};
-use crate::runner::Runner;
+use crate::runner::{Runner, VertexProgram};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{ArrayId, Lane};
+use graffix_sim::{ArrayId, DoubleBuffered, KernelStats, Lane};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Oscillation guard for mean confluence: with replicas, a merged value is
+/// re-relaxed and re-merged every iteration, so the raw `changed` flag
+/// never settles. Convergence is declared when the finite value mass moves
+/// by less than 0.1 % — the residual wobble is part of the injected
+/// approximation. Exact plans (no replicas) keep this guard inert.
+pub(crate) struct Stability {
+    enabled: bool,
+    last_sig: f64,
+    stable_runs: usize,
+}
+
+impl Stability {
+    pub(crate) fn new(plan: &Plan) -> Self {
+        Stability {
+            enabled: !plan.replica_groups.is_empty(),
+            last_sig: f64::NAN,
+            stable_runs: 0,
+        }
+    }
+
+    pub(crate) fn check(&mut self, values: &[f64]) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let sig: f64 = values.iter().filter(|x| x.is_finite()).sum();
+        if (sig - self.last_sig).abs() <= 1e-3 * sig.abs().max(1.0) {
+            self.stable_runs += 1;
+        } else {
+            self.stable_runs = 0;
+        }
+        self.last_sig = sig;
+        self.stable_runs >= 1
+    }
+}
+
+/// Push-style relaxation as a [`VertexProgram`]. Distances are
+/// double-buffered (Jacobi): a superstep reads the previous iteration's
+/// distances and atomically min-combines into the next buffer. In-place
+/// relaxation would let one superstep cascade through arbitrarily many BFS
+/// levels depending on warp schedule — an artifact no parallel execution
+/// guarantees; level-synchronous semantics are the standard conservative
+/// model (and keep results and traces deterministic under the parallel
+/// executor). The *tile phase* iterates rounds with a commit in between,
+/// so intra-tile cascading happens round-by-round — the reuse §3's
+/// `t ≈ 2 × diameter` iterations buy.
+struct SsspProgram<'p> {
+    plan: &'p Plan,
+    dist: DoubleBuffered,
+    stability: Stability,
+    weighted: bool,
+    /// Frontier mode activates improved slots' processing copies.
+    frontier_mode: bool,
+}
+
+impl VertexProgram for SsspProgram<'_> {
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let graph = &plan.graph;
+        let slot = plan.slot(v) as usize;
+        lane.read(ArrayId::OFFSETS, v as usize);
+        lane.read(ArrayId::NODE_ATTR, slot);
+        let d = self.dist.read(slot);
+        if !d.is_finite() {
+            return false;
+        }
+        let mut changed = false;
+        for e in graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = graph.edges_raw()[e];
+            let w = if self.weighted {
+                lane.read(ArrayId::EDGE_WEIGHTS, e);
+                graph.weight_at(e) as f64
+            } else {
+                1.0
+            };
+            let slot_u = plan.slot(u) as usize;
+            // Unconditional atomicMin, as real push-SSSP kernels issue it:
+            // every lane's edge iteration has the same event shape, keeping
+            // the warp's lockstep trace aligned (and the j-th-neighbor
+            // attribute accesses coalescible after renumbering).
+            lane.atomic(ArrayId::NODE_ATTR, slot_u);
+            let nd = d + w;
+            // The "did this lane improve the slot" flag is deterministic
+            // under concurrency: OR-ing `nd < previous` over all lanes
+            // equals `min(nd) < initial`, whatever the interleaving.
+            if nd < self.dist.fetch_min_next(slot_u, nd) {
+                if self.frontier_mode {
+                    plan.activate_slot(slot_u as NodeId, lane);
+                }
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn end_tile_round(&mut self) {
+        self.dist.commit();
+    }
+
+    fn after_iteration(
+        &mut self,
+        runner: &Runner<'_>,
+        next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        self.dist.commit();
+        let mut d = self.dist.prev().to_vec();
+        let (stats, changed_slots) = runner.confluence(&mut d);
+        let stop = self.stability.check(&d);
+        if self.frontier_mode {
+            // Merged replicas re-enter the frontier until values stabilize.
+            if !stop {
+                for slot in changed_slots {
+                    runner.plan.push_slot_copies(slot, next);
+                }
+            }
+            self.dist.reset(&d);
+            (stats, false)
+        } else {
+            self.dist.reset(&d);
+            (stats, stop)
+        }
+    }
+}
 
 /// Runs simulated SSSP from `source` (an *original* vertex id) and returns
 /// per-original-vertex distances plus the metered cost.
 pub fn run_sim(plan: &Plan, source: NodeId) -> SimRun {
-    assert!((source as usize) < plan.num_original(), "source out of range");
+    assert!(
+        (source as usize) < plan.num_original(),
+        "source out of range"
+    );
     let runner = Runner::new(plan);
     let mut dist = vec![f64::INFINITY; plan.attr_len];
     // Every copy of the source starts at distance 0.
@@ -28,192 +155,28 @@ pub fn run_sim(plan: &Plan, source: NodeId) -> SimRun {
         }
     }
 
-    // Inverse attribute map for virtual-split plans (slot -> processing
-    // nodes); identity plans skip it.
-    let procs_of_slot: Option<Vec<Vec<NodeId>>> = if plan.identity_attrs() {
-        None
-    } else {
-        let mut inv = vec![Vec::new(); plan.attr_len];
-        for v in 0..plan.graph.num_nodes() as NodeId {
-            inv[plan.slot(v) as usize].push(v);
-        }
-        Some(inv)
-    };
-    let push_slot = |slot: NodeId, next: &mut Vec<NodeId>| match &procs_of_slot {
-        None => next.push(slot),
-        Some(inv) => next.extend_from_slice(&inv[slot as usize]),
-    };
-
-    let weighted = plan.graph.is_weighted();
-    let graph = &plan.graph;
-
-    // Shared relaxation body; `next` is None in topology mode.
-    let relax = |v: NodeId, lane: &mut Lane, dist: &mut [f64], mut next: Option<&mut Vec<NodeId>>| -> bool {
-        let slot = plan.slot(v);
-        lane.read(ArrayId::OFFSETS, v as usize);
-        lane.read(ArrayId::NODE_ATTR, slot as usize);
-        let d = dist[slot as usize];
-        if !d.is_finite() {
-            return false;
-        }
-        let mut changed = false;
-        for e in graph.edge_range(v) {
-            lane.read(ArrayId::EDGES, e);
-            let u = graph.edges_raw()[e];
-            let w = if weighted {
-                lane.read(ArrayId::EDGE_WEIGHTS, e);
-                graph.weight_at(e) as f64
-            } else {
-                1.0
-            };
-            let slot_u = plan.slot(u);
-            // Unconditional atomicMin, as real push-SSSP kernels issue it:
-            // every lane's edge iteration has the same event shape, keeping
-            // the warp's lockstep trace aligned (and the j-th-neighbor
-            // attribute accesses coalescible after renumbering).
-            lane.atomic(ArrayId::NODE_ATTR, slot_u as usize);
-            let nd = d + w;
-            if nd < dist[slot_u as usize] {
-                dist[slot_u as usize] = nd;
-                changed = true;
-                if let Some(next) = next.as_deref_mut() {
-                    push_slot(slot_u, next);
-                }
-            }
-        }
-        changed
-    };
-
     let max_iters = plan.attr_len + 16;
-    let dist_cell = std::cell::RefCell::new(dist);
-    // Oscillation guard for mean confluence: with replicas, a merged value
-    // is re-relaxed and re-merged every iteration, so the raw `changed`
-    // flag never settles. Declare convergence when the finite distance mass
-    // moves by less than 0.1 % — the residual wobble is part of the
-    // injected approximation. Exact plans (no replicas) use the plain
-    // fixpoint and this guard stays inert.
-    let has_replicas = !plan.replica_groups.is_empty();
-    let mut last_sig = f64::NAN;
-    let mut stable_runs = 0usize;
-    let mut stability_check = move |d: &[f64]| -> bool {
-        if !has_replicas {
-            return false;
-        }
-        let sig: f64 = d.iter().filter(|x| x.is_finite()).sum();
-        if (sig - last_sig).abs() <= 1e-3 * sig.abs().max(1.0) {
-            stable_runs += 1;
-        } else {
-            stable_runs = 0;
-        }
-        last_sig = sig;
-        stable_runs >= 1
+    let mut prog = SsspProgram {
+        plan,
+        dist: DoubleBuffered::new(dist),
+        stability: Stability::new(plan),
+        weighted: plan.graph.is_weighted(),
+        frontier_mode: plan.strategy == Strategy::Frontier,
     };
 
     let (stats, iterations) = match plan.strategy {
-        Strategy::Topology => {
-            // Global supersteps use double-buffered (Jacobi) relaxation: a
-            // superstep reads the previous iteration's distances and
-            // min-combines into the next buffer. In-place relaxation would
-            // let one superstep cascade through arbitrarily many BFS levels
-            // depending on the host's (sequential) warp order — an artifact
-            // no parallel schedule guarantees; level-synchronous semantics
-            // are the standard conservative model and reproduce the paper's
-            // iteration counts (long-diameter road networks are the slowest
-            // input). The *tile phase* is the exception: a thread block
-            // iterating its shared-memory tile synchronizes internally, so
-            // intra-tile rounds are legitimately Gauss–Seidel — this is
-            // precisely the reuse §3's `t ≈ 2 × diameter` iterations buy.
-            let prev = std::cell::RefCell::new(dist_cell.borrow().clone());
-            let mut stats = graffix_sim::KernelStats::default();
-            let mut iterations = 0usize;
-            for iter in 0..max_iters {
-                let mut changed = false;
-                if !plan.tiles.is_empty() {
-                    // Full t-round reuse on the first sweep; single refresh
-                    // rounds afterwards (re-running t rounds every outer
-                    // iteration would dominate long-diameter runs).
-                    let cap = if iter == 0 { usize::MAX } else { 1 };
-                    let (tile_stats, tile_changed) = runner.tile_phase_capped(
-                        &mut |v, lane: &mut Lane| relax(v, lane, &mut dist_cell.borrow_mut(), None),
-                        cap,
-                    );
-                    stats += tile_stats;
-                    changed |= tile_changed;
-                    prev.borrow_mut().copy_from_slice(&dist_cell.borrow());
-                }
-                let outcome = runner.run_tiled_superstep(&plan.assignment, |v, lane: &mut Lane| {
-                    let p = prev.borrow();
-                    let slot = plan.slot(v);
-                    lane.read(ArrayId::OFFSETS, v as usize);
-                    lane.read(ArrayId::NODE_ATTR, slot as usize);
-                    let d = p[slot as usize];
-                    if !d.is_finite() {
-                        return false;
-                    }
-                    let mut next = dist_cell.borrow_mut();
-                    let mut changed = false;
-                    for e in graph.edge_range(v) {
-                        lane.read(ArrayId::EDGES, e);
-                        let u = graph.edges_raw()[e];
-                        let w = if weighted {
-                            lane.read(ArrayId::EDGE_WEIGHTS, e);
-                            graph.weight_at(e) as f64
-                        } else {
-                            1.0
-                        };
-                        let slot_u = plan.slot(u) as usize;
-                        lane.atomic(ArrayId::NODE_ATTR, slot_u);
-                        let nd = d + w;
-                        if nd < next[slot_u] {
-                            next[slot_u] = nd;
-                            changed = true;
-                        }
-                    }
-                    changed
-                });
-                stats += outcome.stats;
-                changed |= outcome.changed;
-                let stop = {
-                    let mut d = dist_cell.borrow_mut();
-                    let (conf_stats, _) = runner.confluence(&mut d);
-                    stats += conf_stats;
-                    let stop = stability_check(&d);
-                    prev.borrow_mut().copy_from_slice(&d);
-                    stop
-                };
-                iterations = iter + 1;
-                if !changed || stop {
-                    break;
-                }
-            }
-            (stats, iterations)
-        }
+        Strategy::Topology => runner.fixpoint(max_iters, &mut prog),
         Strategy::Frontier => {
             let mut init: Vec<NodeId> = Vec::new();
             for &s in &source_slots {
-                push_slot(s, &mut init);
+                plan.push_slot_copies(s, &mut init);
             }
-            runner.frontier_loop(
-                init,
-                max_iters,
-                |v, lane, next| relax(v, lane, &mut dist_cell.borrow_mut(), Some(next)),
-                |next| {
-                    let mut d = dist_cell.borrow_mut();
-                    let (stats, changed_slots) = runner.confluence(&mut d);
-                    if !stability_check(&d) {
-                        for slot in changed_slots {
-                            push_slot(slot, next);
-                        }
-                    }
-                    stats
-                },
-            )
+            runner.frontier_loop(init, max_iters, &mut prog)
         }
     };
 
-    let dist = dist_cell.into_inner();
     SimRun {
-        values: plan.map_back(&dist),
+        values: plan.map_back(prog.dist.prev()),
         stats,
         iterations,
     }
@@ -241,7 +204,13 @@ pub fn exact_cpu(g: &Csr, source: NodeId) -> Vec<f64> {
         }
     }
     dist.into_iter()
-        .map(|d| if d == u64::MAX { f64::INFINITY } else { d as f64 })
+        .map(|d| {
+            if d == u64::MAX {
+                f64::INFINITY
+            } else {
+                d as f64
+            }
+        })
         .collect()
 }
 

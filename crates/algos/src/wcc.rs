@@ -5,9 +5,9 @@
 //! shortcuts accelerate).
 
 use crate::plan::{Plan, SimRun, Strategy};
-use crate::runner::Runner;
-use graffix_graph::{properties, Csr, NodeId, INVALID_NODE};
-use graffix_sim::{ArrayId, Lane};
+use crate::runner::{Runner, VertexProgram};
+use graffix_graph::{properties, Csr, NodeId};
+use graffix_sim::{ArrayId, AtomicU32Array, KernelStats, Lane};
 
 /// Result of a simulated WCC run.
 #[derive(Clone, Debug)]
@@ -19,100 +19,105 @@ pub struct WccResult {
     pub components: usize,
 }
 
+/// HashMin label propagation, Jacobi style: a superstep reads the previous
+/// iteration's committed labels and atomically min-folds improvements into
+/// the next buffer, so traces branch only on the snapshot and stay
+/// deterministic under parallel warp execution.
+struct WccProgram<'p> {
+    plan: &'p Plan,
+    prev: Vec<u32>,
+    next: AtomicU32Array,
+    /// Frontier mode activates lowered nodes' processing copies.
+    frontier_mode: bool,
+}
+
+impl WccProgram<'_> {
+    fn commit(&mut self) {
+        self.prev.copy_from_slice(&self.next.to_vec());
+    }
+}
+
+impl VertexProgram for WccProgram<'_> {
+    fn process(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let graph = &plan.graph;
+        let l = plan.logical_of(v) as usize;
+        lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
+        let mine = self.prev[l];
+        let mut best = mine;
+        let mut changed = false;
+        for e in graph.edge_range(v) {
+            lane.read(ArrayId::EDGES, e);
+            let u = graph.edges_raw()[e];
+            let lu = plan.logical_of(u) as usize;
+            lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+            // Push-pull: settle both endpoints toward the minimum.
+            let theirs = self.prev[lu];
+            if theirs < best {
+                best = theirs;
+            }
+            if best < theirs {
+                lane.atomic(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+                self.next.fetch_min(lu, best);
+                if self.frontier_mode {
+                    plan.activate_logical(lu as NodeId, lane);
+                }
+                changed = true;
+            } else {
+                lane.compute(1);
+            }
+        }
+        if best < mine {
+            lane.write(ArrayId::NODE_ATTR, plan.slot(v) as usize);
+            self.next.fetch_min(l, best);
+            if self.frontier_mode {
+                plan.activate_logical(l as NodeId, lane);
+            }
+            changed = true;
+        }
+        changed
+    }
+
+    fn end_tile_round(&mut self) {
+        self.commit();
+    }
+
+    fn after_iteration(
+        &mut self,
+        _runner: &Runner<'_>,
+        _next: &mut Vec<NodeId>,
+    ) -> (KernelStats, bool) {
+        self.commit();
+        (KernelStats::default(), false)
+    }
+}
+
 /// Runs simulated HashMin label propagation. Labels propagate along both
 /// edge directions (weak connectivity); replica copies share their logical
 /// node's label.
 pub fn run_sim(plan: &Plan) -> WccResult {
     let runner = Runner::new(plan);
-    let graph = &plan.graph;
     let n_logical = plan.num_original();
-    let lid = |v: NodeId| plan.to_original[plan.slot(v) as usize];
-
-    let labels = std::cell::RefCell::new((0..n_logical as u32).collect::<Vec<u32>>());
+    let init_labels: Vec<u32> = (0..n_logical as u32).collect();
     let max_iters = n_logical + 8;
 
+    let mut prog = WccProgram {
+        plan,
+        next: AtomicU32Array::from_slice(&init_labels),
+        prev: init_labels,
+        frontier_mode: plan.strategy == Strategy::Frontier,
+    };
+
     let (stats, iterations) = match plan.strategy {
-        Strategy::Topology => runner.fixpoint(
-            max_iters,
-            |v, lane: &mut Lane| {
-                let l = lid(v) as usize;
-                lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
-                let mut labels = labels.borrow_mut();
-                let mine = labels[l];
-                let mut best = mine;
-                for e in graph.edge_range(v) {
-                    lane.read(ArrayId::EDGES, e);
-                    let u = graph.edges_raw()[e];
-                    let lu = lid(u) as usize;
-                    lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                    // Push-pull: settle both endpoints toward the minimum.
-                    let theirs = labels[lu];
-                    if theirs < best {
-                        best = theirs;
-                    }
-                    if best < theirs {
-                        lane.atomic(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                        labels[lu] = best;
-                    } else {
-                        lane.compute(1);
-                    }
-                }
-                if best < mine {
-                    lane.write(ArrayId::NODE_ATTR, plan.slot(v) as usize);
-                    labels[l] = best;
-                    true
-                } else {
-                    false
-                }
-            },
-            || (Default::default(), false),
-        ),
+        Strategy::Topology => runner.fixpoint(max_iters, &mut prog),
         Strategy::Frontier => {
             // HashMin with a frontier of recently-lowered nodes.
-            let mut procs_of: Vec<Vec<NodeId>> = vec![Vec::new(); n_logical];
-            for v in 0..graph.num_nodes() as NodeId {
-                let l = lid(v);
-                if l != INVALID_NODE {
-                    procs_of[l as usize].push(v);
-                }
-            }
             let init = runner.active_nodes();
-            runner.frontier_loop(
-                init,
-                max_iters,
-                |v, lane: &mut Lane, next| {
-                    let l = lid(v) as usize;
-                    lane.read(ArrayId::NODE_ATTR, plan.slot(v) as usize);
-                    let mut labels = labels.borrow_mut();
-                    let mine = labels[l];
-                    let mut changed = false;
-                    for e in graph.edge_range(v) {
-                        lane.read(ArrayId::EDGES, e);
-                        let u = graph.edges_raw()[e];
-                        let lu = lid(u) as usize;
-                        lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                        let theirs = labels[lu];
-                        if mine < theirs {
-                            lane.atomic(ArrayId::NODE_ATTR, plan.slot(u) as usize);
-                            labels[lu] = mine;
-                            next.extend_from_slice(&procs_of[lu]);
-                            changed = true;
-                        } else if theirs < labels[l] {
-                            labels[l] = theirs;
-                            next.extend_from_slice(&procs_of[l]);
-                            changed = true;
-                        } else {
-                            lane.compute(1);
-                        }
-                    }
-                    changed
-                },
-                |_| Default::default(),
-            )
+            runner.frontier_loop(init, max_iters, &mut prog)
         }
     };
 
-    let labels = labels.into_inner();
+    let labels = prog.prev;
     let mut distinct: Vec<u32> = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
@@ -153,7 +158,11 @@ mod tests {
         for seed in [2u64, 9] {
             let g = GraphSpec::new(GraphKind::Random, 250, seed).generate();
             let plan = Plan::exact(&g, &GpuConfig::test_tiny(), Strategy::Topology);
-            assert_eq!(run_sim(&plan).components, exact_cpu_count(&g), "seed {seed}");
+            assert_eq!(
+                run_sim(&plan).components,
+                exact_cpu_count(&g),
+                "seed {seed}"
+            );
         }
     }
 

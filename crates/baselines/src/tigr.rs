@@ -11,7 +11,7 @@
 //! maps every split back to its real attribute slot — so atomic updates
 //! still contend on the shared real-node data, exactly Tigr's behaviour.
 
-use graffix_algos::{Plan, Strategy};
+use graffix_algos::{Plan, PlanDerived, Strategy};
 use graffix_core::Prepared;
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use graffix_sim::GpuConfig;
@@ -107,6 +107,7 @@ pub fn plan(prepared: &Prepared, cfg: &GpuConfig, max_virtual_degree: usize) -> 
         tiles: prepared.tiles.clone(),
         confluence: prepared.confluence,
         strategy: Strategy::Topology,
+        derived: PlanDerived::default(),
     };
     debug_assert_eq!(plan.validate(), Ok(()));
     plan
@@ -115,8 +116,8 @@ pub fn plan(prepared: &Prepared, cfg: &GpuConfig, max_virtual_degree: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graffix_algos::{pagerank, sssp};
     use graffix_algos::accuracy::relative_l1;
+    use graffix_algos::{pagerank, sssp};
     use graffix_graph::generators::{GraphKind, GraphSpec};
     use graffix_graph::GraphBuilder;
 

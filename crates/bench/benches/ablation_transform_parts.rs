@@ -66,9 +66,13 @@ fn bench_latency_t_factor(c: &mut Criterion) {
         };
         let p = latency::transform(&g, &knobs, &gpu);
         let plan = Baseline::Lonestar.plan(&p, &gpu);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("t{t}x-diam")), &plan, |b, plan| {
-            b.iter(|| black_box(sssp::run_sim(plan, src).stats.warp_cycles));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("t{t}x-diam")),
+            &plan,
+            |b, plan| {
+                b.iter(|| black_box(sssp::run_sim(plan, src).stats.warp_cycles));
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,64 @@
+//! Host-side engine scaling: superstep wall-clock versus thread count.
+//!
+//! The parallel executor promises bit-identical results at any thread count,
+//! so the only question left is speed. This bench pins the wall-clock of the
+//! same workload — SSSP and PageRank supersteps on a 2^16-node R-MAT graph —
+//! at 1, 2, 4, and 8 host threads via scoped `ThreadPool::install`, the same
+//! mechanism behind the CLI's `--threads` flag. Expected shape on a
+//! multi-core host: near-linear to 4 threads, >=2x over single-threaded at
+//! 8. On a single-core host the curves are flat (plus a few percent of
+//! broadcast overhead) — compare against the 1-thread row, not absolutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graffix_algos::{pagerank, sssp, Plan, Strategy};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_sim::GpuConfig;
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("thread pool")
+        .install(f)
+}
+
+fn bench_sssp_scaling(c: &mut Criterion) {
+    let g = GraphSpec::new(GraphKind::Rmat, 1 << 16, 42).generate();
+    let gpu = GpuConfig::k40c();
+    let plan = Plan::exact(&g, &gpu, Strategy::Frontier);
+    let src = sssp::default_source(&g);
+
+    let mut group = c.benchmark_group("engine-scaling/sssp-rmat-65536");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            b.iter(|| with_threads(n, || black_box(sssp::run_sim(&plan, src).stats.warp_cycles)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pagerank_scaling(c: &mut Criterion) {
+    let g = GraphSpec::new(GraphKind::Rmat, 1 << 16, 42).generate();
+    let gpu = GpuConfig::k40c();
+    let plan = Plan::exact(&g, &gpu, Strategy::Topology);
+
+    let mut group = c.benchmark_group("engine-scaling/pagerank-rmat-65536");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            b.iter(|| with_threads(n, || black_box(pagerank::run_sim(&plan).stats.warp_cycles)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp_scaling, bench_pagerank_scaling);
+criterion_main!(benches);

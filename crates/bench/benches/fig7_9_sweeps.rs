@@ -8,7 +8,11 @@ use graffix_bench::suite::{Suite, SuiteOptions};
 use std::hint::black_box;
 
 fn bench_sweep_points(c: &mut Criterion) {
-    let suite = Suite::new(SuiteOptions { nodes: 768, seed: 2020, bc_sources: 2 });
+    let suite = Suite::new(SuiteOptions {
+        nodes: 768,
+        seed: 2020,
+        bc_sources: 2,
+    });
     let gi = 0;
 
     let mut group = c.benchmark_group("fig7/connectedness");
@@ -16,13 +20,17 @@ fn bench_sweep_points(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for thr in [0.2f64, 0.6, 0.9] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("thr{thr}")), &thr, |b, &thr| {
-            b.iter(|| {
-                let p = suite.prepared_coalescing_with(gi, thr);
-                let plan = Baseline::Lonestar.plan(&p, &suite.cfg);
-                black_box(run_algo(&suite, &plan, Algo::Pr, suite.graph(gi)).cycles)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("thr{thr}")),
+            &thr,
+            |b, &thr| {
+                b.iter(|| {
+                    let p = suite.prepared_coalescing_with(gi, thr);
+                    let plan = Baseline::Lonestar.plan(&p, &suite.cfg);
+                    black_box(run_algo(&suite, &plan, Algo::Pr, suite.graph(gi)).cycles)
+                });
+            },
+        );
     }
     group.finish();
 
@@ -31,13 +39,17 @@ fn bench_sweep_points(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for thr in [0.5f64, 0.8] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("thr{thr}")), &thr, |b, &thr| {
-            b.iter(|| {
-                let p = suite.prepared_latency_with(gi, thr);
-                let plan = Baseline::Lonestar.plan(&p, &suite.cfg);
-                black_box(run_algo(&suite, &plan, Algo::Pr, suite.graph(gi)).cycles)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("thr{thr}")),
+            &thr,
+            |b, &thr| {
+                b.iter(|| {
+                    let p = suite.prepared_latency_with(gi, thr);
+                    let plan = Baseline::Lonestar.plan(&p, &suite.cfg);
+                    black_box(run_algo(&suite, &plan, Algo::Pr, suite.graph(gi)).cycles)
+                });
+            },
+        );
     }
     group.finish();
 
@@ -46,13 +58,17 @@ fn bench_sweep_points(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for thr in [0.1f64, 0.3, 0.6] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("thr{thr}")), &thr, |b, &thr| {
-            b.iter(|| {
-                let p = suite.prepared_divergence_with(gi, thr);
-                let plan = Baseline::Lonestar.plan(&p, &suite.cfg);
-                black_box(run_algo(&suite, &plan, Algo::Sssp, suite.graph(gi)).cycles)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("thr{thr}")),
+            &thr,
+            |b, &thr| {
+                b.iter(|| {
+                    let p = suite.prepared_divergence_with(gi, thr);
+                    let plan = Baseline::Lonestar.plan(&p, &suite.cfg);
+                    black_box(run_algo(&suite, &plan, Algo::Sssp, suite.graph(gi)).cycles)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -42,9 +42,13 @@ fn bench_reference_cpu(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for algo in [Algo::Sssp, Algo::Scc, Algo::Mst] {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &algo| {
-            b.iter(|| black_box(graffix_bench::experiments::cpu_reference(&suite, 0, algo)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| black_box(graffix_bench::experiments::cpu_reference(&suite, 0, algo)));
+            },
+        );
     }
     group.finish();
 }

@@ -15,10 +15,13 @@ fn bench_tigr_gunrock(c: &mut Criterion) {
         bc_sources: 2,
     });
     for (table, baseline) in [(3usize, Baseline::Tigr), (4, Baseline::Gunrock)] {
-        let mut group = c.benchmark_group(format!("table{table}/{}", match baseline {
-            Baseline::Tigr => "tigr",
-            _ => "gunrock",
-        }));
+        let mut group = c.benchmark_group(format!(
+            "table{table}/{}",
+            match baseline {
+                Baseline::Tigr => "tigr",
+                _ => "gunrock",
+            }
+        ));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(300));
         group.measurement_time(std::time::Duration::from_millis(1500));

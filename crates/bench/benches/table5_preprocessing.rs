@@ -11,7 +11,11 @@ const NODES: usize = 1024;
 
 fn bench_preprocessing(c: &mut Criterion) {
     let gpu = GpuConfig::k40c();
-    let kinds = [GraphKind::Rmat, GraphKind::SocialLiveJournal, GraphKind::Road];
+    let kinds = [
+        GraphKind::Rmat,
+        GraphKind::SocialLiveJournal,
+        GraphKind::Road,
+    ];
 
     let mut group = c.benchmark_group("table5/coalescing");
     group.sample_size(10);
@@ -19,9 +23,13 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1500));
     for kind in kinds {
         let g = GraphSpec::new(kind, NODES, 5).generate();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.paper_name()), &g, |b, g| {
-            b.iter(|| black_box(coalesce::transform(g, &CoalesceKnobs::for_kind(kind))));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.paper_name()),
+            &g,
+            |b, g| {
+                b.iter(|| black_box(coalesce::transform(g, &CoalesceKnobs::for_kind(kind))));
+            },
+        );
     }
     group.finish();
 
@@ -31,9 +39,13 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1500));
     for kind in kinds {
         let g = GraphSpec::new(kind, NODES, 5).generate();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.paper_name()), &g, |b, g| {
-            b.iter(|| black_box(latency::transform(g, &LatencyKnobs::for_kind(kind), &gpu)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.paper_name()),
+            &g,
+            |b, g| {
+                b.iter(|| black_box(latency::transform(g, &LatencyKnobs::for_kind(kind), &gpu)));
+            },
+        );
     }
     group.finish();
 
@@ -43,15 +55,19 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1500));
     for kind in kinds {
         let g = GraphSpec::new(kind, NODES, 5).generate();
-        group.bench_with_input(BenchmarkId::from_parameter(kind.paper_name()), &g, |b, g| {
-            b.iter(|| {
-                black_box(divergence::transform(
-                    g,
-                    &DivergenceKnobs::for_kind(kind),
-                    gpu.warp_size,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.paper_name()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    black_box(divergence::transform(
+                        g,
+                        &DivergenceKnobs::for_kind(kind),
+                        gpu.warp_size,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }

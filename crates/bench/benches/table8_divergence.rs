@@ -9,7 +9,11 @@ use graffix_core::Technique;
 use std::hint::black_box;
 
 fn bench_table8(c: &mut Criterion) {
-    let suite = Suite::new(SuiteOptions { nodes: 768, seed: 2020, bc_sources: 2 });
+    let suite = Suite::new(SuiteOptions {
+        nodes: 768,
+        seed: 2020,
+        bc_sources: 2,
+    });
     let mut group = c.benchmark_group("table8/divergence-vs-baseline1");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));

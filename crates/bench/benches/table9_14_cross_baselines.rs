@@ -9,15 +9,19 @@ use graffix_core::Technique;
 use std::hint::black_box;
 
 fn bench_cross(c: &mut Criterion) {
-    let suite = Suite::new(SuiteOptions { nodes: 768, seed: 2020, bc_sources: 2 });
+    let suite = Suite::new(SuiteOptions {
+        nodes: 768,
+        seed: 2020,
+        bc_sources: 2,
+    });
     let gi = 0; // rmat
     for (label, baseline) in [("tigr", Baseline::Tigr), ("gunrock", Baseline::Gunrock)] {
         let mut group = c.benchmark_group(format!("table9-14/{label}"));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(300));
         group.measurement_time(std::time::Duration::from_millis(1500));
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1500));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(1500));
         for technique in [
             Technique::Exact,
             Technique::Coalescing,

@@ -50,10 +50,7 @@ fn parse_args() -> Args {
 fn ascii_plot(points: &[SweepPoint]) -> String {
     let mut out = String::new();
     let max_speed = points.iter().map(|p| p.speedup).fold(1.0f64, f64::max);
-    let max_err = points
-        .iter()
-        .map(|p| p.inaccuracy)
-        .fold(1e-6f64, f64::max);
+    let max_err = points.iter().map(|p| p.inaccuracy).fold(1e-6f64, f64::max);
     out.push_str("  thr   speedup (*)                inaccuracy (o)\n");
     for p in points {
         let sw = ((p.speedup / max_speed) * 24.0).round() as usize;

@@ -78,7 +78,10 @@ pub fn run_algo(suite: &Suite, plan: &Plan, algo: Algo, original: &Csr) -> AlgoR
         }
         Algo::Scc => {
             let result = scc::run_sim(plan);
-            (AlgoValue::Scalar(result.components as f64), result.run.stats)
+            (
+                AlgoValue::Scalar(result.components as f64),
+                result.run.stats,
+            )
         }
         Algo::Mst => {
             let result = mst::run_sim(plan);
@@ -130,7 +133,13 @@ pub struct Measurement {
 }
 
 /// Measures one (graph, technique, baseline, algorithm) cell.
-pub fn measure(suite: &Suite, gi: usize, technique: Technique, baseline: Baseline, algo: Algo) -> Measurement {
+pub fn measure(
+    suite: &Suite,
+    gi: usize,
+    technique: Technique,
+    baseline: Baseline,
+    algo: Algo,
+) -> Measurement {
     let exact_prepared = suite.prepared(gi, Technique::Exact);
     let approx_prepared = suite.prepared(gi, technique);
     measure_prepared(suite, gi, &exact_prepared, &approx_prepared, baseline, algo)

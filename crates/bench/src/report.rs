@@ -1,6 +1,8 @@
 //! Builders for every table and figure of the paper.
 
-use crate::experiments::{cpu_reference, inaccuracy, measure, measure_prepared, run_algo, Algo, ALL_ALGOS, CORE_ALGOS};
+use crate::experiments::{
+    cpu_reference, inaccuracy, measure, measure_prepared, run_algo, Algo, ALL_ALGOS, CORE_ALGOS,
+};
 use crate::suite::Suite;
 use crate::tables::{fmt_inaccuracy, fmt_seconds, fmt_speedup, TextTable};
 use graffix_algos::accuracy::geomean;
@@ -12,7 +14,15 @@ use graffix_graph::properties;
 pub fn table1(suite: &Suite) -> TextTable {
     let mut t = TextTable::new(
         "Table 1: Input graphs (scaled; see DESIGN.md substitutions)",
-        &["Graph", "|V|", "|E|", "Graph type", "Max deg", "Avg CC", "Diam est"],
+        &[
+            "Graph",
+            "|V|",
+            "|E|",
+            "Graph type",
+            "Max deg",
+            "Avg CC",
+            "Diam est",
+        ],
     );
     for (kind, g) in &suite.graphs {
         let s = properties::summarize(g, suite.options.seed);
@@ -70,7 +80,11 @@ pub fn table5(suite: &Suite) -> TextTable {
         "Table 5: Preprocessing overhead",
         &["Technique", "Graph", "Time (sec)", "Additional space"],
     );
-    for technique in [Technique::Coalescing, Technique::Latency, Technique::Divergence] {
+    for technique in [
+        Technique::Coalescing,
+        Technique::Latency,
+        Technique::Divergence,
+    ] {
         for gi in 0..suite.len() {
             let p = suite.prepared(gi, technique);
             t.row(vec![
@@ -138,7 +152,11 @@ pub struct SweepPoint {
 
 /// Figures 7–9: knob sweeps on the rmat graph (the paper plots rmat-style
 /// behaviour), geomean over SSSP/PR/BC against Baseline-I.
-pub fn figure_sweep(suite: &Suite, figure: usize, thresholds: &[f64]) -> (TextTable, Vec<SweepPoint>) {
+pub fn figure_sweep(
+    suite: &Suite,
+    figure: usize,
+    thresholds: &[f64],
+) -> (TextTable, Vec<SweepPoint>) {
     let gi = 0; // rmat
     let (name, maker): (&str, Box<dyn Fn(f64) -> graffix_core::Prepared + '_>) = match figure {
         7 => (
@@ -199,11 +217,22 @@ pub fn geomean_speedup(suite: &Suite, technique: Technique, baseline: Baseline) 
 }
 
 /// Sanity accessor used by tests: inaccuracy of a single cell.
-pub fn cell(suite: &Suite, gi: usize, technique: Technique, baseline: Baseline, algo: Algo) -> crate::experiments::Measurement {
+pub fn cell(
+    suite: &Suite,
+    gi: usize,
+    technique: Technique,
+    baseline: Baseline,
+    algo: Algo,
+) -> crate::experiments::Measurement {
     measure(suite, gi, technique, baseline, algo)
 }
 
 /// Exposes the reference machinery for external consumers (examples).
-pub fn reference_inaccuracy(suite: &Suite, gi: usize, algo: Algo, run: &crate::experiments::AlgoValue) -> f64 {
+pub fn reference_inaccuracy(
+    suite: &Suite,
+    gi: usize,
+    algo: Algo,
+    run: &crate::experiments::AlgoValue,
+) -> f64 {
     inaccuracy(run, &cpu_reference(suite, gi, algo))
 }

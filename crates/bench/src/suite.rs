@@ -1,6 +1,9 @@
 //! The input suite and transform cache shared by all experiments.
 
-use graffix_core::{coalesce, divergence, latency, CoalesceKnobs, DivergenceKnobs, LatencyKnobs, Prepared, Technique};
+use graffix_core::{
+    coalesce, divergence, latency, CoalesceKnobs, DivergenceKnobs, LatencyKnobs, Prepared,
+    Technique,
+};
 use graffix_graph::generators::{paper_suite, GraphKind};
 use graffix_graph::Csr;
 use graffix_sim::GpuConfig;

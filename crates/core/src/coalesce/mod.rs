@@ -24,7 +24,13 @@ pub fn transform(g: &Csr, knobs: &CoalesceKnobs) -> Prepared {
 
     let n_new = rep.graph.num_nodes();
     let assignment: Vec<NodeId> = (0..n_new as NodeId)
-        .map(|v| if rep.graph.is_hole(v) { INVALID_NODE } else { v })
+        .map(|v| {
+            if rep.graph.is_hole(v) {
+                INVALID_NODE
+            } else {
+                v
+            }
+        })
         .collect();
     let primary: Vec<NodeId> = ren.new_of_old.clone();
 

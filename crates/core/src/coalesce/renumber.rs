@@ -139,7 +139,11 @@ pub fn apply_renumbering(g: &Csr, ren: &Renumbering) -> Csr {
         adj[new_u].sort_unstable();
     }
     let mut lists = Vec::with_capacity(total);
-    let mut wlists = if weighted { Some(Vec::with_capacity(total)) } else { None };
+    let mut wlists = if weighted {
+        Some(Vec::with_capacity(total))
+    } else {
+        None
+    };
     for l in &adj {
         lists.push(l.iter().map(|p| p.0).collect::<Vec<_>>());
         if let Some(w) = &mut wlists {

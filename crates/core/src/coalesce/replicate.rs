@@ -124,25 +124,26 @@ pub fn replicate(old: &Csr, ren: &Renumbering, knobs: &CoalesceKnobs) -> Replica
     let mut edges_added = 0usize;
 
     // BFS parents in new-id space, for hole-chunk preference.
-    let parent_chunk_hist = |chunk: usize, adj: &Vec<Vec<(NodeId, u32)>>| -> HashMap<usize, usize> {
-        // The paper picks "the chunk containing the parents of the chunk's
-        // nodes". We approximate parentage by the in-edges from the
-        // previous level that exist in the current adjacency.
-        let mut hist = HashMap::new();
-        let lvl = level_of_chunk(chunk);
-        if lvl == 0 {
-            return hist;
-        }
-        let span = &ren.level_ranges[lvl as usize - 1];
-        for u in span.clone() {
-            for &(d, _) in &adj[u] {
-                if chunk_of(d) == chunk {
-                    *hist.entry(u / k).or_insert(0) += 1;
+    let parent_chunk_hist =
+        |chunk: usize, adj: &Vec<Vec<(NodeId, u32)>>| -> HashMap<usize, usize> {
+            // The paper picks "the chunk containing the parents of the chunk's
+            // nodes". We approximate parentage by the in-edges from the
+            // previous level that exist in the current adjacency.
+            let mut hist = HashMap::new();
+            let lvl = level_of_chunk(chunk);
+            if lvl == 0 {
+                return hist;
+            }
+            let span = &ren.level_ranges[lvl as usize - 1];
+            for u in span.clone() {
+                for &(d, _) in &adj[u] {
+                    if chunk_of(d) == chunk {
+                        *hist.entry(u / k).or_insert(0) += 1;
+                    }
                 }
             }
-        }
-        hist
-    };
+            hist
+        };
 
     for cand in candidates {
         let lvl = level_of_chunk(cand.chunk) as usize;
@@ -159,7 +160,12 @@ pub fn replicate(old: &Csr, ren: &Renumbering, knobs: &CoalesceKnobs) -> Replica
         let hole_pos = parent_holes
             .iter()
             .enumerate()
-            .max_by_key(|(_, &h)| (hist.get(&chunk_of(h)).copied().unwrap_or(0), std::cmp::Reverse(h)))
+            .max_by_key(|(_, &h)| {
+                (
+                    hist.get(&chunk_of(h)).copied().unwrap_or(0),
+                    std::cmp::Reverse(h),
+                )
+            })
             .map(|(i, _)| i)
             .unwrap();
         let hole = parent_holes.remove(hole_pos);
@@ -198,7 +204,11 @@ pub fn replicate(old: &Csr, ren: &Renumbering, knobs: &CoalesceKnobs) -> Replica
                     // shortcut genuinely shortens paths — the source of the
                     // SSSP/MST inaccuracy the paper reports for this
                     // technique (see DESIGN.md).
-                    let w = if weighted { (wp.saturating_add(wq)).div_ceil(2) } else { 1 };
+                    let w = if weighted {
+                        (wp.saturating_add(wq)).div_ceil(2)
+                    } else {
+                        1
+                    };
                     replica_edges.push((q, w));
                     edges_added += 1;
                 }
@@ -210,7 +220,11 @@ pub fn replicate(old: &Csr, ren: &Renumbering, knobs: &CoalesceKnobs) -> Replica
 
     // Rebuild the CSR.
     let mut lists = Vec::with_capacity(total);
-    let mut wlists = if weighted { Some(Vec::with_capacity(total)) } else { None };
+    let mut wlists = if weighted {
+        Some(Vec::with_capacity(total))
+    } else {
+        None
+    };
     for l in &adj {
         lists.push(l.iter().map(|p| p.0).collect::<Vec<_>>());
         if let Some(w) = &mut wlists {

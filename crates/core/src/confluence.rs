@@ -6,10 +6,9 @@
 
 use graffix_graph::NodeId;
 use graffix_sim::{run_superstep, ArrayId, GpuConfig, KernelStats, Lane, Superstep};
-use serde::{Deserialize, Serialize};
 
 /// How to merge the attribute values of a node's copies.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ConfluenceOp {
     /// Arithmetic mean — the paper's algorithm-agnostic default.
     #[default]

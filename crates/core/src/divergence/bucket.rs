@@ -65,7 +65,13 @@ mod tests {
     fn monotone_degree_classes_along_order() {
         let g = GraphSpec::new(GraphKind::SocialTwitter, 400, 2).generate();
         let order = bucket_order(&g);
-        let class = |d: usize| if d == 0 { 0 } else { usize::BITS as usize - d.leading_zeros() as usize };
+        let class = |d: usize| {
+            if d == 0 {
+                0
+            } else {
+                usize::BITS as usize - d.leading_zeros() as usize
+            }
+        };
         for w in order.windows(2) {
             assert!(class(g.degree(w[0])) >= class(g.degree(w[1])));
         }

@@ -52,7 +52,11 @@ pub fn transform(g: &Csr, knobs: &DivergenceKnobs, warp_size: usize) -> Prepared
         adj[nu].sort_unstable();
     }
     let mut lists = Vec::with_capacity(n);
-    let mut wlists = if weighted { Some(Vec::with_capacity(n)) } else { None };
+    let mut wlists = if weighted {
+        Some(Vec::with_capacity(n))
+    } else {
+        None
+    };
     for l in &adj {
         lists.push(l.iter().map(|p| p.0).collect::<Vec<_>>());
         if let Some(w) = &mut wlists {
@@ -155,7 +159,13 @@ mod tests {
             assert_eq!(p.to_original[p.primary[orig as usize] as usize], orig);
         }
         // Degrees are bucket-monotone along the new numbering (class-wise).
-        let class = |d: usize| if d == 0 { 0 } else { usize::BITS as usize - d.leading_zeros() as usize };
+        let class = |d: usize| {
+            if d == 0 {
+                0
+            } else {
+                usize::BITS as usize - d.leading_zeros() as usize
+            }
+        };
         let base_class = |v: NodeId| class(g.degree(p.to_original[v as usize]));
         for v in 1..g.num_nodes() as NodeId {
             assert!(base_class(v - 1) >= base_class(v));

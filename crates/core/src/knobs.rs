@@ -4,10 +4,9 @@
 //! threshold).
 
 use graffix_graph::GraphKind;
-use serde::{Deserialize, Serialize};
 
 /// Knobs for the coalescing transform (§2).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CoalesceKnobs {
     /// Chunk size `k` (`1 ≤ k ≤ warp-size`); every BFS level starts at a
     /// multiple of `k` and replication operates on `k`-sized chunks. The
@@ -48,7 +47,7 @@ impl CoalesceKnobs {
 }
 
 /// Knobs for the latency (shared-memory) transform (§3).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LatencyKnobs {
     /// Clustering-coefficient threshold above which a node (with its 1-hop
     /// neighborhood) is tiled into shared memory — the knob (Figure 8).
@@ -101,7 +100,7 @@ impl LatencyKnobs {
 }
 
 /// Knobs for the divergence transform (§4).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DivergenceKnobs {
     /// degreeSim threshold: nodes whose degree deficit
     /// `1 − deg/maxWarpDeg` is at most this get filled — the knob
@@ -171,7 +170,11 @@ mod tests {
         assert!((CoalesceKnobs::default().with_threshold(0.3).threshold - 0.3).abs() < 1e-12);
         assert!((LatencyKnobs::default().with_threshold(0.9).cc_threshold - 0.9).abs() < 1e-12);
         assert!(
-            (DivergenceKnobs::default().with_threshold(0.5).degree_sim_threshold - 0.5).abs()
+            (DivergenceKnobs::default()
+                .with_threshold(0.5)
+                .degree_sim_threshold
+                - 0.5)
+                .abs()
                 < 1e-12
         );
     }

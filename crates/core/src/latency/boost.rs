@@ -147,7 +147,9 @@ pub fn boost_edges(g: &Csr, knobs: &LatencyKnobs) -> BoostOutcome {
                 // the 2-hop path it parallels (paper section 3 leaves the
                 // weight policy open; this choice injects the measurable
                 // approximation the paper reports).
-                let w = orig_weight(v, a).saturating_add(orig_weight(v, b)).div_ceil(2);
+                let w = orig_weight(v, a)
+                    .saturating_add(orig_weight(v, b))
+                    .div_ceil(2);
                 und.add(a, b);
                 added.push((a, b, w));
                 added.push((b, a, w));

@@ -185,7 +185,12 @@ mod tests {
     fn threshold_one_rejects_almost_everything() {
         let g = GraphSpec::new(GraphKind::Road, 900, 4).generate();
         let cc = clustering_coefficients(&g);
-        let sel = select_tiles(&g, &cc, &LatencyKnobs::default().with_threshold(1.01), &GpuConfig::k40c());
+        let sel = select_tiles(
+            &g,
+            &cc,
+            &LatencyKnobs::default().with_threshold(1.01),
+            &GpuConfig::k40c(),
+        );
         assert!(sel.tiles.is_empty());
     }
 

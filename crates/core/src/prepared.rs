@@ -5,10 +5,9 @@
 
 use crate::confluence::ConfluenceOp;
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use serde::{Deserialize, Serialize};
 
 /// Which transform produced a [`Prepared`] graph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Technique {
     /// No transform (exact baseline execution).
     Exact,
@@ -36,7 +35,7 @@ impl Technique {
 }
 
 /// Preprocessing cost and structural delta of a transform (Table 5 rows).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TransformReport {
     pub technique_label: String,
     /// Wall-clock host preprocessing time.
@@ -60,7 +59,7 @@ pub struct TransformReport {
 
 /// One shared-memory tile: a high-CC center with its 1-hop neighborhood
 /// (§3). `iterations` is the precomputed `t ≈ 2 × diameter`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Tile {
     pub center: NodeId,
     /// All nodes resident in shared memory for this tile (center included).

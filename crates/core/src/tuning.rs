@@ -12,10 +12,9 @@
 
 use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
 use graffix_graph::{properties, Csr};
-use serde::{Deserialize, Serialize};
 
 /// Structural profile a graph is tuned from.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GraphProfile {
     pub nodes: usize,
     pub edges: usize,
@@ -52,7 +51,7 @@ pub fn profile(g: &Csr, seed: u64) -> GraphProfile {
 }
 
 /// The three knob sets produced by the guidelines.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct TunedKnobs {
     pub coalesce: CoalesceKnobs,
     pub latency: LatencyKnobs,
@@ -152,7 +151,10 @@ mod tests {
         let road = auto_tune(&gen(GraphKind::Road), 4);
         let rmat = auto_tune(&gen(GraphKind::Rmat), 4);
         assert!(road.divergence.degree_sim_threshold <= rmat.divergence.degree_sim_threshold);
-        assert!(rmat.divergence.degree_sim_threshold < 0.4, "paper: below 0.4");
+        assert!(
+            rmat.divergence.degree_sim_threshold < 0.4,
+            "paper: below 0.4"
+        );
     }
 
     #[test]
@@ -161,8 +163,12 @@ mod tests {
         let g = gen(GraphKind::SocialTwitter);
         let tuned = auto_tune(&g, 5);
         let gpu = GpuConfig::k40c();
-        crate::coalesce::transform(&g, &tuned.coalesce).validate().unwrap();
-        crate::latency::transform(&g, &tuned.latency, &gpu).validate().unwrap();
+        crate::coalesce::transform(&g, &tuned.coalesce)
+            .validate()
+            .unwrap();
+        crate::latency::transform(&g, &tuned.latency, &gpu)
+            .validate()
+            .unwrap();
         crate::divergence::transform(&g, &tuned.divergence, gpu.warp_size)
             .validate()
             .unwrap();

@@ -25,7 +25,11 @@ fn usage() -> ! {
          convert   --in FILE --out FILE\n\
          profile   --in FILE [--seed S]\n\
          transform --in FILE --technique coalescing|latency|divergence|combined [--threshold T] --out FILE\n\
-         run       --in FILE --algo sssp|bfs|pr|bc|scc|mst|wcc [--technique ...] [--baseline lonestar|tigr|gunrock]"
+         run       --in FILE --algo sssp|bfs|pr|bc|scc|mst|wcc [--technique ...] [--baseline lonestar|tigr|gunrock]\n\
+         \n\
+         global    --threads N  host threads for the parallel engine (default:\n\
+                   GRAFFIX_THREADS env var, else all cores); results are\n\
+                   identical at any thread count"
     );
     exit(2);
 }
@@ -133,7 +137,27 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
-    let flags = parse_flags(rest);
+    let mut flags = parse_flags(rest);
+    // Scoped rayon pool: every parallel superstep inside this command runs
+    // on exactly N host threads (the engine is deterministic regardless).
+    let threads = flags.remove("threads").map(|t| match t.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("bad --threads value: {t}");
+            usage();
+        }
+    });
+    match threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool")
+            .install(|| dispatch(cmd, &flags)),
+        None => dispatch(cmd, &flags),
+    }
+}
+
+fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
     let get = |key: &str| -> &str {
         flags.get(key).map(String::as_str).unwrap_or_else(|| {
             eprintln!("missing --{key}");
@@ -142,11 +166,15 @@ fn main() {
     };
     let gpu = GpuConfig::k40c();
 
-    match cmd.as_str() {
+    match cmd {
         "generate" => {
             let kind = kind_of(get("kind"));
-            let nodes = flags.get("nodes").map_or(4096, |n| n.parse().expect("bad --nodes"));
-            let seed = flags.get("seed").map_or(1, |s| s.parse().expect("bad --seed"));
+            let nodes = flags
+                .get("nodes")
+                .map_or(4096, |n| n.parse().expect("bad --nodes"));
+            let seed = flags
+                .get("seed")
+                .map_or(1, |s| s.parse().expect("bad --seed"));
             let g = GraphSpec::new(kind, nodes, seed).generate();
             save(&g, get("out"));
             println!(
@@ -163,39 +191,75 @@ fn main() {
         }
         "profile" => {
             let g = load(get("in"));
-            let seed = flags.get("seed").map_or(7, |s| s.parse().expect("bad --seed"));
+            let seed = flags
+                .get("seed")
+                .map_or(7, |s| s.parse().expect("bad --seed"));
             let tuned = auto_tune(&g, seed);
             let p = tuned.profile;
             println!("nodes           {}", p.nodes);
             println!("edges           {}", p.edges);
             println!("max degree      {}", p.max_degree);
             println!("mean degree     {:.2}", p.mean_degree);
-            println!("degree skew     {:.1} ({})", p.skew, if p.power_law_like { "power-law-like" } else { "near-uniform" });
+            println!(
+                "degree skew     {:.1} ({})",
+                p.skew,
+                if p.power_law_like {
+                    "power-law-like"
+                } else {
+                    "near-uniform"
+                }
+            );
             println!("avg clustering  {:.4}", p.avg_clustering);
             println!();
             println!("recommended knobs (paper section 5 guidelines):");
-            println!("  coalescing  connectedness threshold {:.2}, k {}", tuned.coalesce.threshold, tuned.coalesce.chunk_size);
-            println!("  latency     CC threshold {:.2}, edge budget {:.0}%", tuned.latency.cc_threshold, tuned.latency.edge_budget_frac * 100.0);
-            println!("  divergence  degreeSim threshold {:.2}, fill {:.0}%", tuned.divergence.degree_sim_threshold, tuned.divergence.fill_fraction * 100.0);
+            println!(
+                "  coalescing  connectedness threshold {:.2}, k {}",
+                tuned.coalesce.threshold, tuned.coalesce.chunk_size
+            );
+            println!(
+                "  latency     CC threshold {:.2}, edge budget {:.0}%",
+                tuned.latency.cc_threshold,
+                tuned.latency.edge_budget_frac * 100.0
+            );
+            println!(
+                "  divergence  degreeSim threshold {:.2}, fill {:.0}%",
+                tuned.divergence.degree_sim_threshold,
+                tuned.divergence.fill_fraction * 100.0
+            );
         }
         "transform" => {
             let g = load(get("in"));
-            let threshold = flags.get("threshold").map(|t| t.parse().expect("bad --threshold"));
+            let threshold = flags
+                .get("threshold")
+                .map(|t| t.parse().expect("bad --threshold"));
             let prepared = prepare(&g, Some(get("technique")), threshold, &gpu);
             save(&prepared.graph, get("out"));
             let r = &prepared.report;
             println!("technique        {}", r.technique_label);
             println!("preprocess       {:.3}s", r.preprocess_seconds);
             println!("nodes            {} -> {}", r.original_nodes, r.new_nodes);
-            println!("edges            {} -> {} (+{})", r.original_edges, r.new_edges, r.edges_added);
-            println!("replicas         {} (holes {}/{})", r.replicas, r.holes_filled, r.holes_created);
+            println!(
+                "edges            {} -> {} (+{})",
+                r.original_edges, r.new_edges, r.edges_added
+            );
+            println!(
+                "replicas         {} (holes {}/{})",
+                r.replicas, r.holes_filled, r.holes_created
+            );
             println!("space overhead   {:.1}%", r.space_overhead * 100.0);
             println!("wrote {}", get("out"));
         }
         "run" => {
             let g = load(get("in"));
-            let threshold = flags.get("threshold").map(|t| t.parse().expect("bad --threshold"));
-            let prepared = prepare(&g, flags.get("technique").map(String::as_str), threshold, &gpu);
+            let threshold = flags
+                .get("threshold")
+                .map(|t| t.parse().expect("bad --threshold"));
+            let prepared = prepare(
+                &g,
+                flags.get("technique").map(String::as_str),
+                threshold,
+                &gpu,
+            );
             let baseline = match flags.get("baseline").map(String::as_str) {
                 None | Some("lonestar") => Baseline::Lonestar,
                 Some("tigr") => Baseline::Tigr,
@@ -211,13 +275,19 @@ fn main() {
                     let src = sssp::default_source(&g);
                     let run = sssp::run_sim(&plan, src);
                     let err = relative_l1(&run.values, &sssp::exact_cpu(&g, src));
-                    (run.stats, format!("source {src}, inaccuracy {:.2}%", err * 100.0))
+                    (
+                        run.stats,
+                        format!("source {src}, inaccuracy {:.2}%", err * 100.0),
+                    )
                 }
                 "bfs" => {
                     let src = sssp::default_source(&g);
                     let run = bfs::run_sim(&plan, src);
                     let err = relative_l1(&run.values, &bfs::exact_cpu(&g, src));
-                    (run.stats, format!("source {src}, inaccuracy {:.2}%", err * 100.0))
+                    (
+                        run.stats,
+                        format!("source {src}, inaccuracy {:.2}%", err * 100.0),
+                    )
                 }
                 "pr" => {
                     let run = pagerank::run_sim(&plan);
@@ -228,22 +298,34 @@ fn main() {
                     let sources = bc::sample_sources(&g, 4);
                     let run = bc::run_sim(&plan, &sources);
                     let err = relative_l1(&run.values, &bc::exact_cpu(&g, &sources));
-                    (run.stats, format!("{} sources, inaccuracy {:.2}%", sources.len(), err * 100.0))
+                    (
+                        run.stats,
+                        format!("{} sources, inaccuracy {:.2}%", sources.len(), err * 100.0),
+                    )
                 }
                 "scc" => {
                     let r = scc::run_sim(&plan);
                     let exact = scc::exact_cpu_count(&g);
-                    (r.run.stats, format!("{} components (exact {exact})", r.components))
+                    (
+                        r.run.stats,
+                        format!("{} components (exact {exact})", r.components),
+                    )
                 }
                 "mst" => {
                     let r = mst::run_sim(&plan);
                     let (w, _) = mst::exact_cpu(&g);
-                    (r.run.stats, format!("forest weight {} (exact {w})", r.weight))
+                    (
+                        r.run.stats,
+                        format!("forest weight {} (exact {w})", r.weight),
+                    )
                 }
                 "wcc" => {
                     let r = wcc::run_sim(&plan);
                     let exact = wcc::exact_cpu_count(&g);
-                    (r.run.stats, format!("{} components (exact {exact})", r.components))
+                    (
+                        r.run.stats,
+                        format!("{} components (exact {exact})", r.components),
+                    )
                 }
                 other => {
                     eprintln!("unknown algo: {other}");

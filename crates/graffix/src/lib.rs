@@ -52,16 +52,21 @@ pub use graffix_sim as sim;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use graffix_algos::accuracy::{geomean, relative_l1, scalar_inaccuracy};
-    pub use graffix_algos::{bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, SimRun, Strategy};
+    pub use graffix_algos::{
+        bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, Runner, SimRun, Strategy, VertexProgram,
+    };
     pub use graffix_baselines::{gunrock, lonestar, tigr, Baseline, ALL_BASELINES};
     pub use graffix_core::{
-        auto_tune, coalesce, divergence, latency, CoalesceKnobs, ConfluenceOp,
-        DivergenceKnobs, GraphProfile, LatencyKnobs, Pipeline, Prepared, Technique, Tile,
-        TransformReport, TunedKnobs,
+        auto_tune, coalesce, divergence, latency, CoalesceKnobs, ConfluenceOp, DivergenceKnobs,
+        GraphProfile, LatencyKnobs, Pipeline, Prepared, Technique, Tile, TransformReport,
+        TunedKnobs,
     };
     pub use graffix_graph::generators::paper_suite;
     pub use graffix_graph::{Csr, GraphBuilder, GraphKind, GraphSpec, NodeId, INVALID_NODE};
-    pub use graffix_sim::{CostBreakdown, GpuConfig, KernelStats};
+    pub use graffix_sim::attrs::{
+        AtomicF64Array, AtomicU32Array, AtomicU64Array, DoubleBuffered, FixedPointF64Array,
+    };
+    pub use graffix_sim::{ArrayId, CostBreakdown, GpuConfig, KernelStats, Lane};
 }
 
 #[cfg(test)]

@@ -37,7 +37,10 @@ impl GraphBuilder {
 
     /// Adds an unweighted arc. Panics when mixing with weighted arcs.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId) {
-        assert!(!self.weighted || self.srcs.is_empty(), "builder is weighted");
+        assert!(
+            !self.weighted || self.srcs.is_empty(),
+            "builder is weighted"
+        );
         self.push(src, dst, 0);
     }
 
@@ -106,7 +109,11 @@ impl GraphBuilder {
         }
         let mut cursor = offsets.clone();
         let mut edges = vec![0 as NodeId; m];
-        let mut weights = if self.weighted { vec![0u32; m] } else { Vec::new() };
+        let mut weights = if self.weighted {
+            vec![0u32; m]
+        } else {
+            Vec::new()
+        };
         for i in 0..m {
             let s = self.srcs[i] as usize;
             let slot = cursor[s];

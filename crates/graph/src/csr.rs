@@ -7,8 +7,6 @@
 //! and are later filled by node replicas (paper §2.3). A hole is encoded as
 //! a zero-degree node whose bit is set in [`Csr::hole_mask`].
 
-use serde::{Deserialize, Serialize};
-
 /// Dense node identifier. The paper's graphs use numeric vertex ids; `u32`
 /// covers every graph the harness generates while halving index memory
 /// compared to `usize` (a deliberate HPC choice: smaller indices mean fewer
@@ -22,7 +20,7 @@ pub type EdgeId = usize;
 pub const INVALID_NODE: NodeId = u32::MAX;
 
 /// A directed graph in CSR form with optional edge weights and hole support.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Csr {
     /// `offsets[v]..offsets[v+1]` spans `v`'s out-edges. Length `n + 1`.
     offsets: Vec<EdgeId>,
@@ -392,10 +390,7 @@ mod tests {
 
     #[test]
     fn weighted_construction() {
-        let g = Csr::from_adjacency(
-            vec![vec![1], vec![0]],
-            Some(vec![vec![7], vec![9]]),
-        );
+        let g = Csr::from_adjacency(vec![vec![1], vec![0]], Some(vec![vec![7], vec![9]]));
         assert!(g.is_weighted());
         assert_eq!(g.edge_weights(0), &[7]);
         assert_eq!(g.weight_at(1), 9);

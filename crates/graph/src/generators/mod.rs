@@ -25,10 +25,9 @@ use crate::csr::Csr;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// Which generator family to draw from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GraphKind {
     /// R-MAT, GTgraph quadrant probabilities (a, b, c, d) = (.57, .19, .19, .05).
     Rmat,
@@ -63,7 +62,7 @@ impl GraphKind {
 }
 
 /// Parameters for generating one input graph.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GraphSpec {
     pub kind: GraphKind,
     /// Target number of vertices (road rounds to a grid).
@@ -155,8 +154,11 @@ pub fn shuffle_ids(g: &Csr, seed: u64) -> Csr {
         }
         // Keep neighbor lists sorted (canonical CSR form).
         if weighted {
-            let mut pairs: Vec<(u32, u32)> =
-                adj[nv].iter().copied().zip(wadj[nv].iter().copied()).collect();
+            let mut pairs: Vec<(u32, u32)> = adj[nv]
+                .iter()
+                .copied()
+                .zip(wadj[nv].iter().copied())
+                .collect();
             pairs.sort_unstable();
             adj[nv] = pairs.iter().map(|p| p.0).collect();
             wadj[nv] = pairs.iter().map(|p| p.1).collect();
@@ -196,7 +198,12 @@ pub fn paper_suite(nodes: usize, seed: u64) -> Vec<(GraphKind, Csr)> {
     ]
     .into_iter()
     .enumerate()
-    .map(|(i, kind)| (kind, GraphSpec::new(kind, nodes, seed + i as u64).generate()))
+    .map(|(i, kind)| {
+        (
+            kind,
+            GraphSpec::new(kind, nodes, seed + i as u64).generate(),
+        )
+    })
     .collect()
 }
 

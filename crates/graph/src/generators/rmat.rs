@@ -88,7 +88,11 @@ mod tests {
         let g = generate(1 << 10, 1 << 14, 5);
         assert_eq!(g.num_nodes(), 1 << 10);
         // Dedup and out-of-range trims lose some edges, but most survive.
-        assert!(g.num_edges() > (1 << 13), "too few edges: {}", g.num_edges());
+        assert!(
+            g.num_edges() > (1 << 13),
+            "too few edges: {}",
+            g.num_edges()
+        );
         g.validate().unwrap();
     }
 

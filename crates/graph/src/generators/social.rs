@@ -45,19 +45,19 @@ pub fn generate(nodes: usize, m: usize, closure_p: f64, seed: u64) -> Csr {
         let mut last_target: Option<NodeId> = None;
         let mut added: Vec<NodeId> = Vec::with_capacity(m);
         for _ in 0..m {
-            let candidate = if let (Some(prev), true) = (last_target, rng.random::<f64>() < closure_p)
-            {
-                // Triangle closure: pick a random out-neighbor of the
-                // previous target.
-                let nbrs = &adj[prev as usize];
-                if nbrs.is_empty() {
-                    urn[rng.random_range(0..urn.len())]
+            let candidate =
+                if let (Some(prev), true) = (last_target, rng.random::<f64>() < closure_p) {
+                    // Triangle closure: pick a random out-neighbor of the
+                    // previous target.
+                    let nbrs = &adj[prev as usize];
+                    if nbrs.is_empty() {
+                        urn[rng.random_range(0..urn.len())]
+                    } else {
+                        nbrs[rng.random_range(0..nbrs.len())]
+                    }
                 } else {
-                    nbrs[rng.random_range(0..nbrs.len())]
-                }
-            } else {
-                urn[rng.random_range(0..urn.len())]
-            };
+                    urn[rng.random_range(0..urn.len())]
+                };
             if candidate as usize != v && !added.contains(&candidate) {
                 added.push(candidate);
                 last_target = Some(candidate);
@@ -93,7 +93,10 @@ mod tests {
         let g = generate(3000, 10, 0.3, 6);
         let max = g.max_degree() as f64;
         let mean = g.mean_degree();
-        assert!(max > 5.0 * mean, "expected hub nodes: max {max} mean {mean}");
+        assert!(
+            max > 5.0 * mean,
+            "expected hub nodes: max {max} mean {mean}"
+        );
     }
 
     #[test]

@@ -41,10 +41,9 @@ pub fn read_edge_list<R: Read>(input: R, num_nodes: Option<usize>) -> io::Result
         let src = parse(parts.next(), "src")? as usize;
         let dst = parse(parts.next(), "dst")? as usize;
         let weight = match parts.next() {
-            Some(w) => Some(
-                w.parse::<u32>()
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad weight: {e}")))?,
-            ),
+            Some(w) => Some(w.parse::<u32>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad weight: {e}"))
+            })?),
             None => None,
         };
         max_id = max_id.max(src).max(dst);
@@ -103,7 +102,9 @@ pub fn read_dimacs<R: Read>(input: R) -> io::Result<Csr> {
                     .next()
                     .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "short a line"))?
                     .parse()
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad a line: {e}")))
+                    .map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("bad a line: {e}"))
+                    })
             };
             let u = next_num()? as NodeId - 1;
             let v = next_num()? as NodeId - 1;

@@ -1,13 +1,11 @@
 //! Simulated GPU configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Micro-architectural parameters of the simulated GPU. Defaults model the
 /// paper's NVIDIA K40C (15 SMX, 32-lane warps, 128-byte transactions,
 /// 48 KiB shared memory per block, ~745 MHz boost clock). Latencies are in
 /// issue-cycles and reflect the usual published ratios for Kepler-class
 /// parts (global ≈ 10× shared).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GpuConfig {
     /// Lanes per warp.
     pub warp_size: usize,

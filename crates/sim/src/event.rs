@@ -1,11 +1,9 @@
 //! Memory/compute events recorded by lanes and replayed in warp lockstep.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a simulated device array (distance array, edge array, …).
 /// Each array lives in its own address region, so accesses to different
 /// arrays never share a coalescing segment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArrayId(pub u16);
 
 impl ArrayId {
@@ -21,7 +19,7 @@ impl ArrayId {
 }
 
 /// What a lane did at one lockstep position.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessKind {
     Read,
     Write,
@@ -32,14 +30,14 @@ pub enum AccessKind {
 }
 
 /// Address space of an access.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Space {
     Global,
     Shared,
 }
 
 /// One recorded lane event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemEvent {
     pub array: ArrayId,
     pub index: u64,

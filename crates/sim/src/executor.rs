@@ -1,12 +1,26 @@
 //! Superstep executor: partitions a vertex assignment into warps, runs the
 //! vertex program per lane (functionally, while recording traces), then
 //! replays each warp in lockstep for cost accounting.
+//!
+//! Warps are executed **in parallel** on the host: the kernel contract is
+//! `Fn(NodeId, &mut Lane) -> bool + Sync`, so a kernel may only touch shared
+//! state through interior mutability (see [`crate::attrs`] for the
+//! commutative atomic arrays vertex programs use). Determinism at any
+//! thread count follows from two properties:
+//!
+//! 1. Each warp's trace depends only on the kernel and its own vertices
+//!    (kernels read snapshots / fold through commutative atomics), so warp
+//!    replay costs are schedule-independent.
+//! 2. The per-warp [`KernelStats`] are reduced with plain `u64` sums and
+//!    the `changed` / activation outputs are merged in warp order, both of
+//!    which are independent of which thread ran which warp.
 
 use crate::config::GpuConfig;
 use crate::lane::Lane;
 use crate::stats::KernelStats;
 use crate::warp::replay_warp;
 use graffix_graph::{NodeId, INVALID_NODE};
+use rayon::prelude::*;
 
 /// Description of one kernel launch.
 #[derive(Clone, Copy, Debug)]
@@ -20,11 +34,14 @@ pub struct Superstep<'a> {
 }
 
 /// Result of one kernel launch.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SuperstepOutcome {
     pub stats: KernelStats,
     /// Whether any lane reported an update (fixpoint detection).
     pub changed: bool,
+    /// Vertices activated via [`Lane::activate`], in assignment order
+    /// (deterministic regardless of which thread ran which warp).
+    pub activated: Vec<NodeId>,
 }
 
 /// Runs one superstep. The kernel receives each assigned vertex and its
@@ -32,7 +49,7 @@ pub struct SuperstepOutcome {
 /// whether it changed any state.
 pub fn run_superstep<F>(cfg: &GpuConfig, step: Superstep<'_>, kernel: F) -> SuperstepOutcome
 where
-    F: FnMut(NodeId, &mut Lane) -> bool,
+    F: Fn(NodeId, &mut Lane) -> bool + Sync,
 {
     run_blocks(
         cfg,
@@ -52,34 +69,82 @@ pub struct Block<'a> {
     pub resident: Option<&'a [bool]>,
 }
 
+/// Per-chunk partial result of the parallel warp sweep.
+struct WarpChunkResult {
+    stats: KernelStats,
+    changed: bool,
+    activated: Vec<NodeId>,
+}
+
 /// Runs many blocks as **one** kernel launch (one launch overhead total):
 /// the GPU schedules one block per shared-memory tile, so processing all
 /// tiles is a single launch, not one launch per tile.
-pub fn run_blocks<F>(cfg: &GpuConfig, blocks: &[Block<'_>], mut kernel: F) -> SuperstepOutcome
+///
+/// Warps are distributed over the host thread pool (`rayon`); every counter
+/// in the reduced [`KernelStats`] is an order-independent `u64` sum, so the
+/// outcome is byte-identical at any thread count.
+pub fn run_blocks<F>(cfg: &GpuConfig, blocks: &[Block<'_>], kernel: F) -> SuperstepOutcome
 where
-    F: FnMut(NodeId, &mut Lane) -> bool,
+    F: Fn(NodeId, &mut Lane) -> bool + Sync,
 {
-    let mut stats = KernelStats {
-        launches: 1,
-        ..Default::default()
-    };
-    let mut changed = false;
-    let mut lanes: Vec<Lane> = (0..cfg.warp_size).map(|_| Lane::new()).collect();
-    for block in blocks {
-        for warp_nodes in block.assignment.chunks(cfg.warp_size) {
-            for (i, &v) in warp_nodes.iter().enumerate() {
-                lanes[i].reset();
-                if v == INVALID_NODE {
-                    continue;
+    // Flatten the launch into per-warp work items (warp slice + its
+    // block's residency mask).
+    let warps: Vec<(&[NodeId], Option<&[bool]>)> = blocks
+        .iter()
+        .flat_map(|b| {
+            b.assignment
+                .chunks(cfg.warp_size)
+                .map(move |w| (w, b.resident))
+        })
+        .collect();
+
+    let threads = rayon::current_num_threads();
+    let chunk = warps.len().div_ceil(threads * 8).max(1);
+    let partials: Vec<WarpChunkResult> = warps
+        .par_chunks(chunk)
+        .map(|ws| {
+            let mut out = WarpChunkResult {
+                stats: KernelStats::default(),
+                changed: false,
+                activated: Vec::new(),
+            };
+            let mut lanes: Vec<Lane> = (0..cfg.warp_size).map(|_| Lane::new()).collect();
+            for &(warp_nodes, resident) in ws {
+                for (i, &v) in warp_nodes.iter().enumerate() {
+                    lanes[i].reset();
+                    if v == INVALID_NODE {
+                        continue;
+                    }
+                    lanes[i].set_resident_mask(resident);
+                    out.changed |= kernel(v, &mut lanes[i]);
                 }
-                lanes[i].set_resident_mask(block.resident);
-                changed |= kernel(v, &mut lanes[i]);
+                let traces: Vec<&[_]> = lanes[..warp_nodes.len()]
+                    .iter()
+                    .map(|l| l.trace())
+                    .collect();
+                replay_warp(cfg, &traces, &mut out.stats);
+                for lane in &mut lanes[..warp_nodes.len()] {
+                    out.activated.extend(lane.drain_activations());
+                }
             }
-            let traces: Vec<&[_]> = lanes[..warp_nodes.len()].iter().map(|l| l.trace()).collect();
-            replay_warp(cfg, &traces, &mut stats);
-        }
+            out
+        })
+        .collect();
+
+    let mut outcome = SuperstepOutcome {
+        stats: KernelStats {
+            launches: 1,
+            ..Default::default()
+        },
+        changed: false,
+        activated: Vec::new(),
+    };
+    for partial in partials {
+        outcome.stats += partial.stats;
+        outcome.changed |= partial.changed;
+        outcome.activated.extend(partial.activated);
     }
-    SuperstepOutcome { stats, changed }
+    outcome
 }
 
 /// Runs supersteps until no lane reports a change (or `max_iters` is hit),
@@ -90,10 +155,10 @@ pub fn run_to_fixpoint<F>(
     cfg: &GpuConfig,
     step: Superstep<'_>,
     max_iters: usize,
-    mut kernel: F,
+    kernel: F,
 ) -> (KernelStats, usize)
 where
-    F: FnMut(usize, NodeId, &mut Lane) -> bool,
+    F: Fn(usize, NodeId, &mut Lane) -> bool + Sync,
 {
     let mut total = KernelStats::default();
     let mut iters = 0;
@@ -112,6 +177,7 @@ where
 mod tests {
     use super::*;
     use crate::event::ArrayId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn tiny() -> GpuConfig {
         GpuConfig::test_tiny()
@@ -199,7 +265,7 @@ mod tests {
     fn fixpoint_stops_when_stable() {
         let cfg = tiny();
         let assignment = vec![0];
-        let mut countdown = 3;
+        let countdown = AtomicUsize::new(3);
         let (stats, iters) = run_to_fixpoint(
             &cfg,
             Superstep {
@@ -209,12 +275,9 @@ mod tests {
             100,
             |_, _, lane| {
                 lane.compute(1);
-                if countdown > 0 {
-                    countdown -= 1;
-                    true
-                } else {
-                    false
-                }
+                countdown
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| c.checked_sub(1))
+                    .is_ok()
             },
         );
         assert_eq!(iters, 4); // 3 changing iterations + 1 stable
@@ -271,5 +334,61 @@ mod tests {
         assert_eq!(out.stats.warp_cycles, 0);
         assert!(!out.changed);
         assert_eq!(out.stats.launches, 1);
+    }
+
+    #[test]
+    fn activations_arrive_in_assignment_order() {
+        let cfg = tiny();
+        // Many warps so the parallel path actually distributes work.
+        let assignment: Vec<NodeId> = (0..256).collect();
+        let out = run_superstep(
+            &cfg,
+            Superstep {
+                assignment: &assignment,
+                resident: None,
+            },
+            |v, lane| {
+                lane.read(ArrayId::NODE_ATTR, v as usize);
+                if v % 3 == 0 {
+                    lane.activate(v + 1000);
+                }
+                false
+            },
+        );
+        let expected: Vec<NodeId> = (0..256).filter(|v| v % 3 == 0).map(|v| v + 1000).collect();
+        assert_eq!(out.activated, expected);
+    }
+
+    #[test]
+    fn stats_are_identical_at_any_thread_count() {
+        let cfg = tiny();
+        let assignment: Vec<NodeId> = (0..1024).rev().collect();
+        let run = || {
+            run_superstep(
+                &cfg,
+                Superstep {
+                    assignment: &assignment,
+                    resident: None,
+                },
+                |v, lane| {
+                    lane.read(ArrayId::EDGES, v as usize / 2);
+                    lane.atomic(ArrayId::NODE_ATTR, v as usize % 37);
+                    lane.compute(v as usize % 5);
+                    v % 2 == 0
+                },
+            )
+        };
+        let mut outcomes = Vec::new();
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            outcomes.push(pool.install(run));
+        }
+        assert_eq!(outcomes[0].stats, outcomes[1].stats);
+        assert_eq!(outcomes[0].stats, outcomes[2].stats);
+        assert_eq!(outcomes[0].changed, outcomes[1].changed);
+        assert_eq!(outcomes[0].activated, outcomes[2].activated);
     }
 }

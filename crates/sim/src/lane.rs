@@ -1,6 +1,7 @@
 //! Per-lane event recorder handed to vertex programs.
 
 use crate::event::{AccessKind, ArrayId, MemEvent, Space};
+use graffix_graph::NodeId;
 
 /// Records the memory/compute trace of one SIMT lane while the vertex
 /// program executes functionally. The kernel performs its *real* reads and
@@ -13,6 +14,10 @@ pub struct Lane {
     /// attribute accesses whose index is resident are recorded as
     /// [`Space::Shared`].
     resident: Option<*const [bool]>,
+    /// Vertices this lane asked to enqueue for the next frontier. Collected
+    /// by the executor in lane order so frontier construction stays
+    /// deterministic under parallel warp execution.
+    activations: Vec<NodeId>,
 }
 
 // SAFETY-free design note: `resident` is only set through
@@ -92,6 +97,19 @@ impl Lane {
         }
     }
 
+    /// Requests that `v` join the next frontier. The executor surfaces all
+    /// activations, in assignment order, via
+    /// [`crate::executor::SuperstepOutcome::activated`]; callers typically
+    /// sort + dedup before building the next superstep.
+    #[inline]
+    pub fn activate(&mut self, v: NodeId) {
+        self.activations.push(v);
+    }
+
+    pub(crate) fn drain_activations(&mut self) -> std::vec::Drain<'_, NodeId> {
+        self.activations.drain(..)
+    }
+
     /// Trace length so far (number of lockstep positions).
     pub fn len(&self) -> usize {
         self.trace.len()
@@ -109,6 +127,7 @@ impl Lane {
     pub(crate) fn reset(&mut self) {
         self.trace.clear();
         self.resident = None;
+        self.activations.clear();
     }
 }
 

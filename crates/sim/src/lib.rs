@@ -30,6 +30,7 @@
 //! Total elapsed cycles divide the summed warp cycles by an SM-parallelism
 //! and latency-hiding factor — a deterministic stand-in for occupancy.
 
+pub mod attrs;
 pub mod config;
 pub mod event;
 pub mod executor;
@@ -38,18 +39,28 @@ pub mod profile;
 pub mod stats;
 pub mod warp;
 
+pub use attrs::{
+    AtomicF64Array, AtomicU32Array, AtomicU64Array, DoubleBuffered, FixedPointF64Array,
+};
 pub use config::GpuConfig;
 pub use event::{AccessKind, ArrayId, MemEvent, Space};
-pub use executor::{run_blocks, run_superstep, run_to_fixpoint, Block, Superstep, SuperstepOutcome};
+pub use executor::{
+    run_blocks, run_superstep, run_to_fixpoint, Block, Superstep, SuperstepOutcome,
+};
 pub use lane::Lane;
 pub use profile::CostBreakdown;
 pub use stats::KernelStats;
 
 /// Convenience prelude.
 pub mod prelude {
+    pub use crate::attrs::{
+        AtomicF64Array, AtomicU32Array, AtomicU64Array, DoubleBuffered, FixedPointF64Array,
+    };
     pub use crate::config::GpuConfig;
     pub use crate::event::{AccessKind, ArrayId, Space};
-    pub use crate::executor::{run_blocks, run_superstep, run_to_fixpoint, Block, Superstep, SuperstepOutcome};
+    pub use crate::executor::{
+        run_blocks, run_superstep, run_to_fixpoint, Block, Superstep, SuperstepOutcome,
+    };
     pub use crate::lane::Lane;
     pub use crate::profile::CostBreakdown;
     pub use crate::stats::KernelStats;

@@ -4,12 +4,11 @@
 
 use crate::config::GpuConfig;
 use crate::stats::KernelStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cycle attribution of one run under a given configuration. Components
 /// sum to the pre-parallelism warp-cycle total.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostBreakdown {
     /// Issue/ALU cycles (lockstep steps × issue cost).
     pub issue_cycles: u64,
@@ -35,9 +34,11 @@ impl CostBreakdown {
         // Atomic segment transactions are tracked separately (they are a
         // subset of global_transactions), so the split is exact.
         let atomic = cfg.lat_atomic * (stats.atomic_transactions + stats.atomic_collisions);
-        let global = cfg
-            .lat_global
-            .saturating_mul(stats.global_transactions.saturating_sub(stats.atomic_transactions));
+        let global = cfg.lat_global.saturating_mul(
+            stats
+                .global_transactions
+                .saturating_sub(stats.atomic_transactions),
+        );
         let shared = cfg.lat_shared * (stats.shared_accesses + stats.bank_conflicts);
         CostBreakdown {
             issue_cycles: issue,
@@ -63,15 +64,29 @@ impl CostBreakdown {
 impl fmt::Display for CostBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.modeled_total().max(1) as f64;
-        writeln!(f, "cost breakdown (modeled {} warp cycles):", self.modeled_total())?;
+        writeln!(
+            f,
+            "cost breakdown (modeled {} warp cycles):",
+            self.modeled_total()
+        )?;
         let mut row = |label: &str, v: u64| {
-            writeln!(f, "  {:<18} {:>14}  {:>5.1}%", label, v, 100.0 * v as f64 / total)
+            writeln!(
+                f,
+                "  {:<18} {:>14}  {:>5.1}%",
+                label,
+                v,
+                100.0 * v as f64 / total
+            )
         };
         row("issue/ALU", self.issue_cycles)?;
         row("global memory", self.global_cycles)?;
         row("shared memory", self.shared_cycles)?;
         row("atomics", self.atomic_cycles)?;
-        writeln!(f, "  {:<18} {:>14}", "elapsed (occup.)", self.elapsed_cycles)
+        writeln!(
+            f,
+            "  {:<18} {:>14}",
+            "elapsed (occup.)", self.elapsed_cycles
+        )
     }
 }
 

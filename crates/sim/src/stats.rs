@@ -1,11 +1,10 @@
 //! Aggregated kernel execution statistics and the elapsed-cycle model.
 
 use crate::config::GpuConfig;
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Counters accumulated over one or more kernel launches.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Sum of per-warp lockstep cycles (before the parallelism divide).
     pub warp_cycles: u64,

@@ -26,7 +26,11 @@ fn main() {
             p.edges,
             p.max_degree,
             p.skew,
-            if p.power_law_like { "power-law" } else { "uniform" },
+            if p.power_law_like {
+                "power-law"
+            } else {
+                "uniform"
+            },
             p.avg_clustering
         );
         println!(
@@ -40,7 +44,10 @@ fn main() {
         let exact_plan = Baseline::Lonestar.plan(&Prepared::exact(graph.clone()), &gpu);
         let exact = pagerank::run_sim(&exact_plan);
         println!("\n  exact PageRank:");
-        for line in CostBreakdown::attribute(&exact.stats, &gpu).to_string().lines() {
+        for line in CostBreakdown::attribute(&exact.stats, &gpu)
+            .to_string()
+            .lines()
+        {
             println!("  {line}");
         }
 

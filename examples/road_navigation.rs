@@ -25,7 +25,9 @@ fn main() {
     let graph = GraphSpec::new(GraphKind::Road, nodes, 3).generate();
     let gpu = GpuConfig::k40c();
     let n = graph.num_nodes();
-    let sources: Vec<NodeId> = (0..queries).map(|i| ((i * n) / queries) as NodeId).collect();
+    let sources: Vec<NodeId> = (0..queries)
+        .map(|i| ((i * n) / queries) as NodeId)
+        .collect();
 
     let exact = Prepared::exact(graph.clone());
     let transformed = divergence::transform(

@@ -88,12 +88,8 @@ fn main() {
     let (approx_cycles, approx_weight) = kmb(&approx_plan, &terminals, &gpu);
 
     println!("\nKMB 2-approximate Steiner tree over {num_terminals} terminals:");
-    println!(
-        "  exact:      {exact_cycles:>12} simulated cycles, tree weight {exact_weight:.0}"
-    );
-    println!(
-        "  graffix:    {approx_cycles:>12} simulated cycles, tree weight {approx_weight:.0}"
-    );
+    println!("  exact:      {exact_cycles:>12} simulated cycles, tree weight {exact_weight:.0}");
+    println!("  graffix:    {approx_cycles:>12} simulated cycles, tree weight {approx_weight:.0}");
     println!(
         "  speedup over the whole workload: {:.2}x",
         exact_cycles as f64 / approx_cycles.max(1) as f64

@@ -33,7 +33,10 @@ fn main() {
     let reference = bc::exact_cpu(&graph, &sources);
 
     // Approximate run on the coalescing-transformed graph.
-    let prepared = coalesce::transform(&graph, &CoalesceKnobs::for_kind(GraphKind::SocialLiveJournal));
+    let prepared = coalesce::transform(
+        &graph,
+        &CoalesceKnobs::for_kind(GraphKind::SocialLiveJournal),
+    );
     let approx_plan = Baseline::Lonestar.plan(&prepared, &gpu);
     let approx_run = bc::run_sim(&approx_plan, &sources);
 
@@ -46,7 +49,10 @@ fn main() {
     let approx_top: HashSet<NodeId> = bc::top_k(&approx_run.values, k).into_iter().collect();
     let overlap = exact_top.intersection(&approx_top).count();
 
-    println!("\nbetweenness centrality over {} sampled sources:", sources.len());
+    println!(
+        "\nbetweenness centrality over {} sampled sources:",
+        sources.len()
+    );
     println!("  speedup:             {speedup:.2}x");
     println!("  raw value inaccuracy: {:.1}%", value_err * 100.0);
     println!(

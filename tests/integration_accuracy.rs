@@ -18,7 +18,12 @@ fn exact_plans_have_zero_inaccuracy_for_deterministic_algorithms() {
         0.0
     );
     let sources = bc::sample_sources(&g, 3);
-    assert!(relative_l1(&bc::run_sim(&plan, &sources).values, &bc::exact_cpu(&g, &sources)) < 1e-9);
+    assert!(
+        relative_l1(
+            &bc::run_sim(&plan, &sources).values,
+            &bc::exact_cpu(&g, &sources)
+        ) < 1e-9
+    );
     assert_eq!(scc::run_sim(&plan).components, scc::exact_cpu_count(&g));
     assert!((mst::run_sim(&plan).weight - mst::exact_cpu(&g).0).abs() < 1e-9);
 }
@@ -75,10 +80,7 @@ fn top_k_sets_are_robust_to_small_value_errors() {
     let approx_top: std::collections::HashSet<NodeId> =
         bc::top_k(&run.values, k).into_iter().collect();
     let overlap = exact_top.intersection(&approx_top).count();
-    assert!(
-        overlap * 2 >= k,
-        "top-{k} overlap collapsed: {overlap}/{k}"
-    );
+    assert!(overlap * 2 >= k, "top-{k} overlap collapsed: {overlap}/{k}");
 }
 
 #[test]

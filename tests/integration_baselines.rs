@@ -81,8 +81,11 @@ fn graffix_speedups_lower_against_tigr_for_divergence() {
     let g = graph();
     let gpu = GpuConfig::k40c();
     let exact = Prepared::exact(g.clone());
-    let transformed =
-        divergence::transform(&g, &DivergenceKnobs::for_kind(GraphKind::Rmat), gpu.warp_size);
+    let transformed = divergence::transform(
+        &g,
+        &DivergenceKnobs::for_kind(GraphKind::Rmat),
+        gpu.warp_size,
+    );
     let src = sssp::default_source(&g);
 
     let speedup_vs = |baseline: Baseline| {

@@ -1,0 +1,100 @@
+//! Engine determinism: per-vertex results AND metered kernel statistics
+//! must be identical at any host thread count.
+//!
+//! The parallel executor guarantees this by construction — order-independent
+//! stat reduction, assignment-ordered activation merges, and kernels that
+//! fold shared state through commutative atomics while branching only on
+//! host-owned snapshots. These tests pin the guarantee end-to-end for a
+//! frontier algorithm (SSSP), an accumulation algorithm (PageRank), and a
+//! transformed plan with replica confluence and shared-memory tiles.
+
+use graffix::prelude::*;
+
+/// Runs `f` inside a scoped rayon pool of `n` threads (the same mechanism
+/// the CLI's `--threads` flag uses).
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("thread pool")
+        .install(f)
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn sssp_results_and_stats_identical_at_any_thread_count() {
+    let g = GraphSpec::new(GraphKind::SocialLiveJournal, 2_000, 11).generate();
+    let src = sssp::default_source(&g);
+    let cfg = GpuConfig::k40c();
+    for strategy in [Strategy::Topology, Strategy::Frontier] {
+        let plan = Plan::exact(&g, &cfg, strategy);
+        let runs: Vec<SimRun> = THREAD_COUNTS
+            .iter()
+            .map(|&n| with_threads(n, || sssp::run_sim(&plan, src)))
+            .collect();
+        for (i, r) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                r.values, runs[0].values,
+                "{strategy:?}: values differ at {} threads",
+                THREAD_COUNTS[i]
+            );
+            assert_eq!(
+                r.stats, runs[0].stats,
+                "{strategy:?}: stats differ at {} threads",
+                THREAD_COUNTS[i]
+            );
+            assert_eq!(r.iterations, runs[0].iterations);
+        }
+    }
+}
+
+#[test]
+fn pagerank_results_and_stats_identical_at_any_thread_count() {
+    let g = GraphSpec::new(GraphKind::SocialTwitter, 2_000, 7).generate();
+    let cfg = GpuConfig::k40c();
+    for strategy in [Strategy::Topology, Strategy::Frontier] {
+        let plan = Plan::exact(&g, &cfg, strategy);
+        let runs: Vec<SimRun> = THREAD_COUNTS
+            .iter()
+            .map(|&n| with_threads(n, || pagerank::run_sim(&plan)))
+            .collect();
+        for (i, r) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                r.values, runs[0].values,
+                "{strategy:?}: values differ at {} threads",
+                THREAD_COUNTS[i]
+            );
+            assert_eq!(
+                r.stats, runs[0].stats,
+                "{strategy:?}: stats differ at {} threads",
+                THREAD_COUNTS[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn transformed_plan_with_confluence_and_tiles_is_deterministic() {
+    // The combined pipeline injects replicas (confluence), shortcut edges,
+    // and shared-memory tiles — the full surface of the engine.
+    let g = GraphSpec::new(GraphKind::SocialLiveJournal, 1_500, 3).generate();
+    let gpu = GpuConfig::k40c();
+    let prepared = Pipeline {
+        coalesce: Some(CoalesceKnobs::for_kind(GraphKind::SocialLiveJournal)),
+        latency: Some(LatencyKnobs::for_kind(GraphKind::SocialLiveJournal)),
+        divergence: Some(DivergenceKnobs::for_kind(GraphKind::SocialLiveJournal)),
+    }
+    .apply(&g, &gpu);
+    let plan = Baseline::Lonestar.plan(&prepared, &gpu);
+    let src = sssp::default_source(&g);
+    let runs: Vec<SimRun> = THREAD_COUNTS
+        .iter()
+        .map(|&n| with_threads(n, || sssp::run_sim(&plan, src)))
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(r.values, runs[0].values);
+        assert_eq!(r.stats, runs[0].stats);
+        assert_eq!(r.iterations, runs[0].iterations);
+    }
+}

@@ -11,7 +11,11 @@ fn skewed() -> Csr {
 fn divergent_slots_drop_substantially() {
     let g = skewed();
     let gpu = GpuConfig::k40c();
-    let prepared = divergence::transform(&g, &DivergenceKnobs::for_kind(GraphKind::Rmat), gpu.warp_size);
+    let prepared = divergence::transform(
+        &g,
+        &DivergenceKnobs::for_kind(GraphKind::Rmat),
+        gpu.warp_size,
+    );
     let exact = pagerank::run_sim(&Baseline::Lonestar.plan(&Prepared::exact(g.clone()), &gpu));
     let approx = pagerank::run_sim(&Baseline::Lonestar.plan(&prepared, &gpu));
     assert!(
@@ -26,7 +30,11 @@ fn divergent_slots_drop_substantially() {
 fn lockstep_steps_shrink_on_skewed_degrees() {
     let g = skewed();
     let gpu = GpuConfig::k40c();
-    let prepared = divergence::transform(&g, &DivergenceKnobs::for_kind(GraphKind::Rmat), gpu.warp_size);
+    let prepared = divergence::transform(
+        &g,
+        &DivergenceKnobs::for_kind(GraphKind::Rmat),
+        gpu.warp_size,
+    );
     let exact = pagerank::run_sim(&Baseline::Lonestar.plan(&Prepared::exact(g.clone()), &gpu));
     let approx = pagerank::run_sim(&Baseline::Lonestar.plan(&prepared, &gpu));
     let steps_exact = exact.stats.steps as f64 / exact.iterations as f64;
@@ -42,7 +50,11 @@ fn results_exact_when_no_edges_added() {
     let g = skewed();
     let gpu = GpuConfig::k40c();
     // Threshold 0 disables filling: the transform is a pure renumbering.
-    let prepared = divergence::transform(&g, &DivergenceKnobs::default().with_threshold(0.0), gpu.warp_size);
+    let prepared = divergence::transform(
+        &g,
+        &DivergenceKnobs::default().with_threshold(0.0),
+        gpu.warp_size,
+    );
     assert_eq!(prepared.report.edges_added, 0);
     let src = sssp::default_source(&g);
     let run = sssp::run_sim(&Baseline::Lonestar.plan(&prepared, &gpu), src);
@@ -56,7 +68,11 @@ fn sum_rule_weights_preserve_sssp_distances() {
     // parallels, so shortest-path distances are invariant even with fills.
     let g = skewed();
     let gpu = GpuConfig::k40c();
-    let prepared = divergence::transform(&g, &DivergenceKnobs::for_kind(GraphKind::Rmat), gpu.warp_size);
+    let prepared = divergence::transform(
+        &g,
+        &DivergenceKnobs::for_kind(GraphKind::Rmat),
+        gpu.warp_size,
+    );
     assert!(prepared.report.edges_added > 0, "expect fills on rmat");
     let src = sssp::default_source(&g);
     let run = sssp::run_sim(&Baseline::Lonestar.plan(&prepared, &gpu), src);
@@ -95,7 +111,11 @@ fn pagerank_error_scales_with_threshold() {
 fn works_under_all_baselines() {
     let g = skewed();
     let gpu = GpuConfig::k40c();
-    let prepared = divergence::transform(&g, &DivergenceKnobs::for_kind(GraphKind::Rmat), gpu.warp_size);
+    let prepared = divergence::transform(
+        &g,
+        &DivergenceKnobs::for_kind(GraphKind::Rmat),
+        gpu.warp_size,
+    );
     let src = sssp::default_source(&g);
     let reference = sssp::exact_cpu(&g, src);
     for baseline in ALL_BASELINES {

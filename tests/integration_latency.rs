@@ -11,7 +11,11 @@ fn social() -> Csr {
 fn tiles_move_traffic_into_shared_memory() {
     let g = social();
     let gpu = GpuConfig::k40c();
-    let prepared = latency::transform(&g, &LatencyKnobs::for_kind(GraphKind::SocialLiveJournal), &gpu);
+    let prepared = latency::transform(
+        &g,
+        &LatencyKnobs::for_kind(GraphKind::SocialLiveJournal),
+        &gpu,
+    );
     assert!(!prepared.tiles.is_empty());
     let plan = Baseline::Lonestar.plan(&prepared, &gpu);
     let run = pagerank::run_sim(&plan);
@@ -29,14 +33,20 @@ fn tiles_move_traffic_into_shared_memory() {
 fn latency_speeds_up_clustered_graphs() {
     let g = social();
     let gpu = GpuConfig::k40c();
-    let prepared = latency::transform(&g, &LatencyKnobs::for_kind(GraphKind::SocialLiveJournal), &gpu);
+    let prepared = latency::transform(
+        &g,
+        &LatencyKnobs::for_kind(GraphKind::SocialLiveJournal),
+        &gpu,
+    );
     let exact_plan = Baseline::Lonestar.plan(&Prepared::exact(g.clone()), &gpu);
     let approx_plan = Baseline::Lonestar.plan(&prepared, &gpu);
     let exact = pagerank::run_sim(&exact_plan);
     let approx = pagerank::run_sim(&approx_plan);
-    let speedup =
-        exact.elapsed_cycles(&gpu) as f64 / approx.elapsed_cycles(&gpu).max(1) as f64;
-    assert!(speedup > 1.0, "latency transform should win on social graphs: {speedup:.2}");
+    let speedup = exact.elapsed_cycles(&gpu) as f64 / approx.elapsed_cycles(&gpu).max(1) as f64;
+    assert!(
+        speedup > 1.0,
+        "latency transform should win on social graphs: {speedup:.2}"
+    );
 }
 
 #[test]
@@ -72,7 +82,11 @@ fn sssp_distances_shorten_never_lengthen() {
     // less than or equal to exact distances (mean-of-hops chords shorten).
     let g = social();
     let gpu = GpuConfig::k40c();
-    let prepared = latency::transform(&g, &LatencyKnobs::for_kind(GraphKind::SocialLiveJournal), &gpu);
+    let prepared = latency::transform(
+        &g,
+        &LatencyKnobs::for_kind(GraphKind::SocialLiveJournal),
+        &gpu,
+    );
     let src = sssp::default_source(&g);
     let run = sssp::run_sim(&Baseline::Lonestar.plan(&prepared, &gpu), src);
     let reference = sssp::exact_cpu(&g, src);
@@ -111,5 +125,8 @@ fn tile_iterations_track_diameter_knob() {
     let p2 = latency::transform(&g, &doubled, &gpu);
     let max1 = p1.tiles.iter().map(|t| t.iterations).max().unwrap_or(0);
     let max2 = p2.tiles.iter().map(|t| t.iterations).max().unwrap_or(0);
-    assert!(max2 >= max1, "larger factor must not shrink t ({max2} vs {max1})");
+    assert!(
+        max2 >= max1,
+        "larger factor must not shrink t ({max2} vs {max1})"
+    );
 }

@@ -1,0 +1,176 @@
+//! Vendored stand-in for the small subset of the `bytes` crate used by the
+//! GFX1 binary graph format (`graffix-graph::serialize`): `BytesMut` as an
+//! append-only build buffer and `Bytes` as a cursor-style read buffer.
+
+/// Immutable byte buffer with a read cursor (the `Buf` methods consume).
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owned sub-range of the unread bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self[..][range].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Growable byte buffer for serialization.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dest: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dest: &mut [u8]) {
+        assert!(dest.len() <= self.remaining(), "buffer underflow");
+        dest.copy_from_slice(&self.data[self.pos..self.pos + dest.len()]);
+        self.pos += dest.len();
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"GFX1");
+        b.put_u32_le(7);
+        b.put_u64_le(0xDEAD_BEEF_0123_4567);
+        b.put_u8(9);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.remaining(), 4 + 4 + 8 + 1);
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"GFX1");
+        assert_eq!(bytes.get_u32_le(), 7);
+        assert_eq!(bytes.get_u64_le(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(bytes.get_u8(), 9);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_views_unread_tail() {
+        let mut bytes = Bytes::from(vec![1u8, 2, 3, 4]);
+        let _ = bytes.get_u8();
+        assert_eq!(&bytes[..], &[2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut bytes = Bytes::from(vec![1u8]);
+        let _ = bytes.get_u32_le();
+    }
+}

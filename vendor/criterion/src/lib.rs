@@ -1,0 +1,250 @@
+//! Vendored benchmarking shim for the subset of the `criterion` API this
+//! workspace uses: `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId::from_parameter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is wall-clock: after a warm-up window, iterations run until
+//! the measurement window elapses (minimum 3 samples), and mean / median /
+//! min are printed per benchmark. There is no statistical regression
+//! analysis — the numbers are for relative comparison within one run,
+//! which is how every bench in this repo uses them.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SampleStats {
+    mean: Duration,
+    median: Duration,
+    min: Duration,
+    samples: usize,
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: usize,
+    stats: Option<SampleStats>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        let mut times: Vec<Duration> = Vec::new();
+        let run_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed();
+            black_box(out);
+            times.push(dt);
+            let elapsed = run_start.elapsed();
+            let enough = times.len() >= self.min_samples.max(3);
+            if (elapsed >= self.measurement && enough)
+                || elapsed >= self.measurement.saturating_mul(5)
+                || times.len() >= 1_000_000
+            {
+                break;
+            }
+        }
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        self.stats = Some(SampleStats {
+            mean: total / times.len() as u32,
+            median: times[times.len() / 2],
+            min: times[0],
+            samples: times.len(),
+        });
+    }
+}
+
+/// A named collection of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_samples: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.stats);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            min_samples: self.sample_size,
+            stats: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.stats);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, stats: Option<SampleStats>) {
+        match stats {
+            Some(s) => println!(
+                "{}/{}  time: [min {} | mean {} | median {}]  ({} samples)",
+                self.name,
+                id.0,
+                fmt_duration(s.min),
+                fmt_duration(s.mean),
+                fmt_duration(s.median),
+                s.samples,
+            ),
+            None => println!("{}/{}  (no measurement recorded)", self.name, id.0),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+            _criterion: self,
+        }
+    }
+
+    /// Upstream parses CLI flags here; the shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_stats() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                black_box((0..100u64).sum::<u64>());
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("x2"), &2u64, |b, &k| {
+            b.iter(|| black_box((0..100u64).map(|x| x * k).sum::<u64>()))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,176 @@
+//! Vendored ChaCha8 RNG implementing the workspace `rand` shim's traits.
+//!
+//! This is a real ChaCha8 keystream generator (RFC 8439 block function with
+//! 8 rounds and a 64-bit counter / 64-bit stream split of the nonce words),
+//! so statistical quality matches the upstream `rand_chacha` crate even
+//! though byte streams are not guaranteed identical to it.
+
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects an independent keystream for the same seed. Resets the block
+    /// position (callers in this repo set the stream immediately after
+    /// construction, before drawing any values).
+    pub fn set_stream(&mut self, stream: u64) {
+        if self.stream != stream {
+            self.stream = stream;
+            self.counter = 0;
+            self.idx = 16;
+        }
+    }
+
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            SIGMA[0],
+            SIGMA[1],
+            SIGMA[2],
+            SIGMA[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds (column + diagonal).
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream_is_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        b.set_stream(1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn rng_trait_methods_work() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let x: f64 = rng.random();
+        assert!((0.0..1.0).contains(&x));
+        let y: usize = rng.random_range(0..10);
+        assert!(y < 10);
+    }
+
+    #[test]
+    fn keystream_bits_look_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let ones: u32 = (0..256).map(|_| rng.next_u64().count_ones()).sum();
+        let total = 256 * 64;
+        // Expect ~50% ones; allow a generous ±5% band.
+        assert!((ones as f64) > total as f64 * 0.45);
+        assert!((ones as f64) < total as f64 * 0.55);
+    }
+}

@@ -1,0 +1,127 @@
+//! Parallel-iterator facade over the deterministic chunked map in the crate
+//! root. Iterators are eager: adapters collect their source into a `Vec`
+//! and the terminal operation fans out via `par_map_vec`.
+
+use crate::par_map_vec;
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A (materialized) parallel iterator.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    /// Resolves the pipeline, running any mapped stages in parallel.
+    fn drive(self) -> Vec<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self::Item: Send,
+    {
+        let _: Vec<()> = par_map_vec(self.drive(), f);
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(self.drive())
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Base iterator over an owned vector of items (runs adapters in parallel,
+/// yields items in source order).
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        par_map_vec(self.base.drive(), self.f)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = VecIter<$t>;
+            fn into_par_iter(self) -> VecIter<$t> {
+                VecIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// `par_chunks` over slices, as used by the simulator's warp scheduler.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> VecIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> VecIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        VecIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Vendored, self-contained data-parallelism shim for the subset of the
+//! `rayon` API this workspace uses: `into_par_iter().map().collect()`,
+//! `par_chunks`, `ThreadPoolBuilder` / `ThreadPool::install`, and
+//! `current_num_threads`.
+//!
+//! The build environment is offline, so the real rayon cannot be fetched.
+//! This shim keeps the call sites source-compatible and provides the two
+//! properties the simulator's execution engine needs:
+//!
+//! 1. **Deterministic output order.** Work is split into index-tagged chunks
+//!    pulled by workers from an atomic counter; results are re-assembled
+//!    sorted by chunk start, so `collect()` output is identical at any
+//!    thread count.
+//! 2. **Cheap repeated launches.** A persistent worker pool (grown lazily,
+//!    broadcast + barrier per parallel call) avoids per-call thread spawns,
+//!    which matters because the simulator launches thousands of short
+//!    supersteps.
+//!
+//! Thread-count resolution: a scoped [`ThreadPool::install`] override, else
+//! the `GRAFFIX_THREADS` env var (project convention), else
+//! `RAYON_NUM_THREADS`, else `available_parallelism`.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+pub mod iter;
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        env_threads("GRAFFIX_THREADS")
+            .or_else(|| env_threads("RAYON_NUM_THREADS"))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    /// Scoped override installed by `ThreadPool::install`; 0 = none.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set on pool worker threads so nested parallel calls degrade to
+    /// sequential execution instead of deadlocking on the broadcast lock.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let o = OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        o
+    } else {
+        default_threads()
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (the shim cannot actually
+/// fail, but callers match the upstream signature).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 means "use the default resolution" (upstream convention).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// A logical pool: a thread-count override scoped by [`ThreadPool::install`].
+/// All pools share the one process-wide worker set.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// call it makes (directly on this thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = OVERRIDE.with(|c| c.replace(self.threads));
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool: broadcast one job to k workers, barrier on done.
+// ---------------------------------------------------------------------------
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+struct Job {
+    /// Lifetime-erased pointer to the caller's worker body. Sound because
+    /// the caller blocks until `remaining == 0` before returning.
+    f: *const (dyn Fn() + Sync),
+    epoch: u64,
+    /// Participation slots left. The pool keeps every worker ever spawned
+    /// (sized for the widest broadcast so far), so a narrower broadcast must
+    /// cap how many workers join: each worker claims a slot before running,
+    /// and surplus workers skip fully-claimed jobs.
+    claims: usize,
+    /// Claimed workers that have not finished yet.
+    remaining: usize,
+}
+
+// SAFETY: the pointee is Sync and outlives the job (barrier in `broadcast`).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    epoch: u64,
+    spawned: usize,
+    panic: Option<PanicPayload>,
+}
+
+struct SharedPool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Serializes broadcasts; the worker set runs one job at a time.
+    broadcast_lock: Mutex<()>,
+}
+
+fn pool() -> &'static SharedPool {
+    static POOL: OnceLock<SharedPool> = OnceLock::new();
+    POOL.get_or_init(|| SharedPool {
+        state: Mutex::new(PoolState {
+            job: None,
+            epoch: 0,
+            spawned: 0,
+            panic: None,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        broadcast_lock: Mutex::new(()),
+    })
+}
+
+fn worker_loop() {
+    IS_WORKER.with(|c| c.set(true));
+    let pool = pool();
+    let mut last_epoch = 0u64;
+    loop {
+        let f = {
+            let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match &mut state.job {
+                    Some(job) if job.epoch > last_epoch => {
+                        last_epoch = job.epoch;
+                        if job.claims == 0 {
+                            // Job already has its full complement of workers;
+                            // this surplus worker sits the epoch out.
+                            break None;
+                        }
+                        job.claims -= 1;
+                        break Some(job.f);
+                    }
+                    _ => state = pool.work_cv.wait(state).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        let Some(f) = f else { continue };
+        // SAFETY: `broadcast` keeps the closure alive until every worker
+        // has decremented `remaining`.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*f)() }));
+        let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Err(payload) = result {
+            state.panic.get_or_insert(payload);
+        }
+        if let Some(job) = &mut state.job {
+            job.remaining -= 1;
+            if job.remaining == 0 {
+                pool.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `f` concurrently on `extra_workers` pool threads plus the calling
+/// thread, returning once all invocations finish. `f` must partition its
+/// own work (the callers here pull chunks from an atomic counter).
+fn broadcast(extra_workers: usize, f: &(dyn Fn() + Sync)) {
+    let pool = pool();
+    let _guard = pool
+        .broadcast_lock
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    {
+        let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.spawned < extra_workers {
+            std::thread::Builder::new()
+                .name(format!("graffix-worker-{}", state.spawned))
+                .spawn(worker_loop)
+                .expect("failed to spawn pool worker");
+            state.spawned += 1;
+        }
+        state.epoch += 1;
+        let epoch = state.epoch;
+        state.job = Some(Job {
+            f: unsafe {
+                std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync)>(f)
+            },
+            epoch,
+            claims: extra_workers,
+            remaining: extra_workers,
+        });
+        pool.work_cv.notify_all();
+    }
+    // The calling thread participates too.
+    let caller_result = panic::catch_unwind(AssertUnwindSafe(f));
+    let payload = {
+        let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.job.as_ref().map(|j| j.remaining).unwrap_or(0) > 0 {
+            state = pool.done_cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        state.job = None;
+        state.panic.take()
+    };
+    match caller_result {
+        Err(p) => panic::resume_unwind(p),
+        Ok(()) => {
+            if let Some(p) = payload {
+                panic::resume_unwind(p);
+            }
+        }
+    }
+}
+
+/// Deterministic parallel map: `items` are split into index-tagged chunks,
+/// workers pull chunks from a shared counter, and results are re-assembled
+/// in chunk order — output is independent of scheduling and thread count.
+pub(crate) fn par_map_vec<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let n = items.len();
+    let nested = IS_WORKER.with(|c| c.get());
+    if threads <= 1 || n <= 1 || nested {
+        return items.into_iter().map(f).collect();
+    }
+    // An index-tagged chunk of inputs, taken (once) by whichever worker
+    // pulls its index from the shared counter.
+    type TaggedChunk<I> = Mutex<Option<(usize, VecDeque<I>)>>;
+    // ~8 chunks per thread balances load without drowning in bookkeeping.
+    let chunk = n.div_ceil(threads * 8).max(1);
+    let mut chunks: Vec<TaggedChunk<I>> = Vec::new();
+    {
+        let mut it = items.into_iter();
+        let mut start = 0usize;
+        loop {
+            let c: VecDeque<I> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            let len = c.len();
+            chunks.push(Mutex::new(Some((start, c))));
+            start += len;
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= chunks.len() {
+            break;
+        }
+        let (start, c) = chunks[i].lock().unwrap().take().expect("chunk taken twice");
+        let out: Vec<R> = c.into_iter().map(&f).collect();
+        results
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((start, out));
+    };
+    broadcast(threads - 1, &worker);
+    let mut results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    results.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut v) in results {
+        out.append(&mut v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u32..10_000)
+            .into_par_iter()
+            .map(|x| x as u64 * 2)
+            .collect();
+        assert_eq!(v.len(), 10_000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn single_thread_pool_matches_parallel_output() {
+        let seq = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let par = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let a: Vec<u32> = seq.install(|| (0u32..5_000).into_par_iter().map(|x| x ^ 7).collect());
+        let b: Vec<u32> = par.install(|| (0u32..5_000).into_par_iter().map(|x| x ^ 7).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element() {
+        let data: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u64> = data
+            .par_chunks(64)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(sums.len(), 1000usize.div_ceil(64));
+        assert_eq!(sums.iter().sum::<u64>(), (0..1000u64).sum());
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _: Vec<u32> = (0u32..100)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 50 {
+                            panic!("boom");
+                        }
+                        x
+                    })
+                    .collect();
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn alternating_pool_widths_do_not_deadlock() {
+        // Regression: a wide pool spawns surplus workers; a later narrow
+        // broadcast must not let them over-decrement the completion count
+        // (which deadlocked subsequent wide broadcasts).
+        for round in 0..50 {
+            for threads in [8, 1, 2, 8, 3] {
+                let pool = ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let v: Vec<u64> = pool.install(|| {
+                    (0u32..2_000)
+                        .into_par_iter()
+                        .map(|x| x as u64 + round)
+                        .collect()
+                });
+                assert_eq!(v[1999], 1999 + round);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_launches_reuse_workers() {
+        for _ in 0..200 {
+            let v: Vec<u32> = (0u32..256).into_par_iter().map(|x| x + 1).collect();
+            assert_eq!(v[255], 256);
+        }
+    }
+}
