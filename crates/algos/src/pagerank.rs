@@ -11,7 +11,7 @@
 use crate::plan::{Plan, SimRun, Strategy};
 use crate::runner::{Runner, VertexProgram};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{ArrayId, AtomicF64Array, FixedPointF64Array, KernelStats, Lane};
+use graffix_sim::{ArrayId, AtomicF64Array, FixedPointF64Array, KernelStats, Lane, Phase};
 
 /// Damping factor used throughout (paper-era conventional value).
 pub const DAMPING: f64 = 0.85;
@@ -149,6 +149,12 @@ impl VertexProgram for PrTopology<'_> {
             .map(|(a, b)| (a - b).abs())
             .sum();
         self.prev_rank.copy_from_slice(&r);
+        // Convergence residual series for run reports: the L1 rank movement
+        // this iteration (post-confluence).
+        runner
+            .plan
+            .trace
+            .push_series(Phase::Iteration, "pr-l1-delta", delta);
         // The fixed budget may end early only on exact stasis.
         (stats, delta == 0.0)
     }
@@ -265,6 +271,12 @@ impl VertexProgram for PrFrontier<'_> {
         let mut r = self.rank.to_vec();
         let (stats, _) = runner.confluence(&mut r);
         self.rank.copy_from(&r);
+        // Settled rank mass (grows toward the reachable probability mass as
+        // residuals drain) — the frontier variant's convergence series.
+        runner
+            .plan
+            .trace
+            .push_series(Phase::Iteration, "pr-rank-mass", r.iter().sum());
         (stats, false)
     }
 }

@@ -2,7 +2,7 @@
 
 use graffix_core::{ConfluenceOp, Prepared, Tile};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{GpuConfig, KernelStats, Lane};
+use graffix_sim::{GpuConfig, KernelStats, Lane, TraceHandle};
 use std::sync::OnceLock;
 
 /// Processing style of the executing framework.
@@ -44,6 +44,10 @@ pub struct Plan {
     pub confluence: ConfluenceOp,
     /// Processing style.
     pub strategy: Strategy,
+    /// Observability sink shared by the runner, vertex programs, and the
+    /// caller (see `graffix_sim::trace`). Disabled by default — every
+    /// recording call is then a single no-op branch. Clones share the sink.
+    pub trace: TraceHandle,
     /// Lazily-derived execution maps (see [`PlanDerived`]).
     pub derived: PlanDerived,
 }
@@ -85,6 +89,7 @@ impl Plan {
             tiles: prepared.tiles.clone(),
             confluence: prepared.confluence,
             strategy,
+            trace: TraceHandle::default(),
             derived: PlanDerived::default(),
         }
     }

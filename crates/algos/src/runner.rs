@@ -12,7 +12,8 @@ use crate::plan::{Plan, Strategy};
 use graffix_core::confluence;
 use graffix_graph::{NodeId, INVALID_NODE};
 use graffix_sim::{
-    run_blocks, run_superstep, ArrayId, Block, KernelStats, Lane, Superstep, SuperstepOutcome,
+    run_blocks, run_superstep, ArrayId, Block, KernelStats, Lane, Phase, Superstep,
+    SuperstepOutcome,
 };
 
 /// A vertex-centric algorithm, expressed as a kernel over processing nodes
@@ -122,7 +123,7 @@ impl<'a> Runner<'a> {
         F: Fn(NodeId, &mut Lane) -> bool + Sync,
     {
         if self.plan.tiles.is_empty() {
-            return run_superstep(
+            let outcome = run_superstep(
                 &self.plan.cfg,
                 Superstep {
                     assignment,
@@ -130,6 +131,12 @@ impl<'a> Runner<'a> {
                 },
                 kernel,
             );
+            // Snapshot-at-barrier: `run_superstep` has merged all chunk
+            // results, so the snapshot is thread-count independent.
+            self.plan
+                .trace
+                .snapshot(Phase::Launch, "superstep", &outcome.stats);
+            return outcome;
         }
         let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); self.tile_nodes.len()];
         let mut rest: Vec<NodeId> = Vec::new();
@@ -170,8 +177,15 @@ impl<'a> Runner<'a> {
             // Metered load + writeback: fully coalesced bulk transfers.
             let tx = 2 * staged_words.div_ceil(self.plan.cfg.segment_words);
             outcome.stats.global_transactions += tx;
-            outcome.stats.warp_cycles += self.plan.cfg.lat_global * tx;
+            let cycles = self.plan.cfg.lat_global * tx;
+            outcome.stats.warp_cycles += cycles;
+            // Keep the exact component partition intact: staging is global
+            // traffic, so its cycles land in the global bucket.
+            outcome.stats.global_cycles += cycles;
         }
+        self.plan
+            .trace
+            .snapshot(Phase::Launch, "tiled-superstep", &outcome.stats);
         outcome
     }
 
@@ -221,12 +235,17 @@ impl<'a> Runner<'a> {
                 resident: Some(&self.tile_masks[i]),
             })
             .collect();
+        self.plan.trace.span_enter(Phase::TilePhase, "tile-phase");
         for _round in 0..max_rounds {
             // One launch covers every live tile this round. Change
             // detection is launch-granular (per-tile convergence would need
             // device-side flags, which real implementations also avoid).
             let p: &P = prog;
             let outcome = run_blocks(&self.plan.cfg, &blocks, |v, lane| p.process(v, lane));
+            self.plan
+                .trace
+                .snapshot(Phase::TilePhase, "tile-round", &outcome.stats);
+            self.plan.trace.add_counter(Phase::TilePhase, "rounds", 1);
             stats += outcome.stats;
             changed |= outcome.changed;
             prog.end_tile_round();
@@ -234,6 +253,7 @@ impl<'a> Runner<'a> {
                 break;
             }
         }
+        self.plan.trace.span_exit();
         (stats, changed)
     }
 
@@ -249,7 +269,11 @@ impl<'a> Runner<'a> {
     ) -> (KernelStats, usize) {
         let mut stats = KernelStats::default();
         let mut iters = 0usize;
+        self.plan.trace.span_enter(Phase::Run, "fixpoint");
         for iter in 0..max_iters {
+            self.plan
+                .trace
+                .span_enter(Phase::Iteration, &format!("iteration-{iter}"));
             prog.begin_iteration(iter);
             let mut changed = false;
             if !self.plan.tiles.is_empty() && prog.tile_rounds() {
@@ -262,13 +286,22 @@ impl<'a> Runner<'a> {
             stats += outcome.stats;
             changed |= outcome.changed;
             let mut extra = Vec::new();
+            // Hook stats are composed of launches the runner already
+            // snapshotted (the hook calls back into runner methods), so
+            // they are NOT snapshotted again here — each launch must enter
+            // the trace exactly once.
             let (hook_stats, stop) = prog.after_iteration(self, &mut extra);
             stats += hook_stats;
             iters = iter + 1;
+            self.plan.trace.span_exit();
             if !changed || stop {
                 break;
             }
         }
+        self.plan.trace.span_exit();
+        self.plan
+            .trace
+            .set_gauge(Phase::Run, "fixpoint-iterations", iters as f64);
         (stats, iters)
     }
 
@@ -287,24 +320,45 @@ impl<'a> Runner<'a> {
         let mut stats = KernelStats::default();
         let mut frontier = init;
         let mut iters = 0usize;
+        self.plan.trace.span_enter(Phase::Run, "frontier-loop");
         for iter in 0..max_iters {
             if frontier.is_empty() {
                 break;
             }
             iters = iter + 1;
+            self.plan
+                .trace
+                .span_enter(Phase::Iteration, &format!("iteration-{iter}"));
+            self.plan.trace.push_series(
+                Phase::ActivationMerge,
+                "frontier-size",
+                frontier.len() as f64,
+            );
             prog.begin_iteration(iter);
             prog.begin_superstep(&frontier);
             let outcome = self.run_program(&frontier, prog);
             stats += outcome.stats;
             let mut next = outcome.activated;
+            // Hook stats are already-snapshotted launches; see `fixpoint`.
             let (hook_stats, stop) = prog.after_iteration(self, &mut next);
             stats += hook_stats;
             // Filter pass: dedup/compact the frontier. Metered as one flag
             // read + one compacted write per surviving element, mirroring
             // Gunrock's filter operator. Topology-style plans reusing this
             // loop (e.g. level-synchronous phases) skip the filter cost.
+            let raw_activations = next.len();
             next.sort_unstable();
             next.dedup();
+            self.plan.trace.push_series(
+                Phase::ActivationMerge,
+                "activations-raw",
+                raw_activations as f64,
+            );
+            self.plan.trace.push_series(
+                Phase::ActivationMerge,
+                "activations-deduped",
+                next.len() as f64,
+            );
             if self.plan.strategy == Strategy::Frontier && !next.is_empty() {
                 let filter = run_superstep(
                     &self.plan.cfg,
@@ -318,13 +372,21 @@ impl<'a> Runner<'a> {
                         false
                     },
                 );
+                self.plan
+                    .trace
+                    .snapshot(Phase::ActivationMerge, "frontier-filter", &filter.stats);
                 stats += filter.stats;
             }
             frontier = next;
+            self.plan.trace.span_exit();
             if stop {
                 break;
             }
         }
+        self.plan.trace.span_exit();
+        self.plan
+            .trace
+            .set_gauge(Phase::Run, "frontier-iterations", iters as f64);
         (stats, iters)
     }
 
@@ -355,6 +417,14 @@ impl<'a> Runner<'a> {
             })
             .map(|(m, _)| m)
             .collect();
+        self.plan
+            .trace
+            .snapshot(Phase::ConfluenceMerge, "confluence", &stats);
+        self.plan.trace.push_series(
+            Phase::ConfluenceMerge,
+            "merge-delta-slots",
+            changed.len() as f64,
+        );
         (stats, changed)
     }
 

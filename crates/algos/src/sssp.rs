@@ -9,7 +9,7 @@
 use crate::plan::{Plan, SimRun, Strategy};
 use crate::runner::{Runner, VertexProgram};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
-use graffix_sim::{ArrayId, DoubleBuffered, KernelStats, Lane};
+use graffix_sim::{ArrayId, DoubleBuffered, KernelStats, Lane, Phase};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -120,6 +120,13 @@ impl VertexProgram for SsspProgram<'_> {
         self.dist.commit();
         let mut d = self.dist.prev().to_vec();
         let (stats, changed_slots) = runner.confluence(&mut d);
+        // Convergence residual: the finite distance mass the stability
+        // guard watches, recorded per iteration for run reports.
+        let mass: f64 = d.iter().copied().filter(|x| x.is_finite()).sum();
+        runner
+            .plan
+            .trace
+            .push_series(Phase::Iteration, "sssp-distance-mass", mass);
         let stop = self.stability.check(&d);
         if self.frontier_mode {
             // Merged replicas re-enter the frontier until values stabilize.

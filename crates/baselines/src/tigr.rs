@@ -107,6 +107,7 @@ pub fn plan(prepared: &Prepared, cfg: &GpuConfig, max_virtual_degree: usize) -> 
         tiles: prepared.tiles.clone(),
         confluence: prepared.confluence,
         strategy: Strategy::Topology,
+        trace: Default::default(),
         derived: PlanDerived::default(),
     };
     debug_assert_eq!(plan.validate(), Ok(()));

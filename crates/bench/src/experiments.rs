@@ -220,6 +220,48 @@ mod tests {
         }
     }
 
+    /// The cost attribution must partition the warp-cycle total exactly
+    /// for *every* bench scenario — each (graph, technique, algorithm)
+    /// cell of the tables, under every baseline. This pins the fix for
+    /// the earlier reconstruction, which over-counted shared-memory
+    /// cycles (it charged every access + conflict instead of the replay's
+    /// worst-bank-group figure) and therefore didn't sum.
+    #[test]
+    fn cost_breakdown_components_partition_total_in_every_scenario() {
+        use graffix_sim::CostBreakdown;
+        let s = tiny();
+        let techniques = [
+            Technique::Exact,
+            Technique::Coalescing,
+            Technique::Latency,
+            Technique::Divergence,
+            Technique::Combined,
+        ];
+        for gi in 0..s.len() {
+            for technique in techniques {
+                let prepared = s.prepared(gi, technique);
+                for baseline in graffix_baselines::ALL_BASELINES {
+                    let algos: &[Algo] = match baseline {
+                        Baseline::Lonestar => &ALL_ALGOS,
+                        _ => &CORE_ALGOS,
+                    };
+                    let plan = baseline.plan(&prepared, &s.cfg);
+                    for &algo in algos {
+                        let run = run_algo(&s, &plan, algo, s.graph(gi));
+                        let b = CostBreakdown::attribute(&run.stats, &s.cfg);
+                        assert_eq!(
+                            b.modeled_total(),
+                            b.total_warp_cycles,
+                            "components must sum exactly: graph {gi}, \
+                             {technique:?}, {baseline:?}, {algo:?}"
+                        );
+                        assert_eq!(b.total_warp_cycles, run.stats.warp_cycles);
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn all_baselines_measurable() {
         let s = tiny();

@@ -3,10 +3,17 @@
 //! ```text
 //! graffix generate --kind rmat --nodes 4096 --seed 1 --out g.gfx
 //! graffix convert  --in graph.txt --out graph.gfx          # edge list/DIMACS -> binary
-//! graffix profile  --in g.gfx                              # structure + recommended knobs
+//! graffix profile  --in g.gfx                              # traced run -> JSON report
 //! graffix transform --in g.gfx --technique coalescing --out t.gfx
 //! graffix run      --in g.gfx --algo sssp [--technique coalescing] [--baseline lonestar]
 //! ```
+//!
+//! `profile` executes one algorithm (default `sssp`) with the observability
+//! layer enabled and emits a `graffix.run-report` JSON document — spans,
+//! per-superstep stats, metrics, cost breakdown — to `--report-json PATH`
+//! or stdout. `run` accepts the same `--report-json PATH` to save a report
+//! alongside its human-readable output. Reports are byte-identical at any
+//! `--threads` value.
 //!
 //! Graph files: `.gfx` (binary GFX1), `.gr` (DIMACS), anything else is read
 //! as a whitespace edge list.
@@ -23,9 +30,11 @@ fn usage() -> ! {
          \n\
          generate  --kind rmat|random|livejournal|twitter|road [--nodes N] [--seed S] --out FILE\n\
          convert   --in FILE --out FILE\n\
-         profile   --in FILE [--seed S]\n\
+         profile   --in FILE [--seed S] [--algo A] [--technique T] [--baseline B]\n\
+                   [--bc-sources N] [--report-json FILE]   traced run -> JSON report\n\
          transform --in FILE --technique coalescing|latency|divergence|combined [--threshold T] --out FILE\n\
          run       --in FILE --algo sssp|bfs|pr|bc|scc|mst|wcc [--technique ...] [--baseline lonestar|tigr|gunrock]\n\
+                   [--report-json FILE]\n\
          \n\
          global    --threads N  host threads for the parallel engine (default:\n\
                    GRAFFIX_THREADS env var, else all cores); results are\n\
@@ -132,6 +141,39 @@ fn prepare(g: &Csr, technique: Option<&str>, threshold: Option<f64>, gpu: &GpuCo
     }
 }
 
+fn parse_baseline(name: Option<&str>) -> Baseline {
+    match name {
+        None | Some("lonestar") => Baseline::Lonestar,
+        Some("tigr") => Baseline::Tigr,
+        Some("gunrock") => Baseline::Gunrock,
+        Some(other) => {
+            eprintln!("unknown baseline: {other}");
+            usage();
+        }
+    }
+}
+
+/// Writes a run report to `--report-json PATH`, or stdout when `path` is
+/// `None` and `stdout_fallback` is set.
+fn emit_report(report: &RunReport, path: Option<&str>, stdout_fallback: bool) {
+    if let Err(e) = report.verify() {
+        eprintln!("internal error: run report failed verification: {e}");
+        exit(1);
+    }
+    let text = report.to_pretty_string();
+    match path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &text) {
+                eprintln!("could not write {p}: {e}");
+                exit(1);
+            }
+            println!("wrote report {p}");
+        }
+        None if stdout_fallback => print!("{text}"),
+        None => {}
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -196,11 +238,13 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
                 .map_or(7, |s| s.parse().expect("bad --seed"));
             let tuned = auto_tune(&g, seed);
             let p = tuned.profile;
-            println!("nodes           {}", p.nodes);
-            println!("edges           {}", p.edges);
-            println!("max degree      {}", p.max_degree);
-            println!("mean degree     {:.2}", p.mean_degree);
-            println!(
+            // Structural/knob diagnostics go to stderr so stdout can stay a
+            // pure JSON document when no --report-json path is given.
+            eprintln!("nodes           {}", p.nodes);
+            eprintln!("edges           {}", p.edges);
+            eprintln!("max degree      {}", p.max_degree);
+            eprintln!("mean degree     {:.2}", p.mean_degree);
+            eprintln!(
                 "degree skew     {:.1} ({})",
                 p.skew,
                 if p.power_law_like {
@@ -209,22 +253,49 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
                     "near-uniform"
                 }
             );
-            println!("avg clustering  {:.4}", p.avg_clustering);
-            println!();
-            println!("recommended knobs (paper section 5 guidelines):");
-            println!(
+            eprintln!("avg clustering  {:.4}", p.avg_clustering);
+            eprintln!();
+            eprintln!("recommended knobs (paper section 5 guidelines):");
+            eprintln!(
                 "  coalescing  connectedness threshold {:.2}, k {}",
                 tuned.coalesce.threshold, tuned.coalesce.chunk_size
             );
-            println!(
+            eprintln!(
                 "  latency     CC threshold {:.2}, edge budget {:.0}%",
                 tuned.latency.cc_threshold,
                 tuned.latency.edge_budget_frac * 100.0
             );
-            println!(
+            eprintln!(
                 "  divergence  degreeSim threshold {:.2}, fill {:.0}%",
                 tuned.divergence.degree_sim_threshold,
                 tuned.divergence.fill_fraction * 100.0
+            );
+
+            // Traced run: execute one algorithm with the observability
+            // layer on and emit the schema-versioned JSON report.
+            let algo_name = flags.get("algo").map_or("sssp", String::as_str);
+            let Some(algo) = Algo::parse(algo_name) else {
+                eprintln!("unknown algo: {algo_name}");
+                usage();
+            };
+            let threshold = flags
+                .get("threshold")
+                .map(|t| t.parse().expect("bad --threshold"));
+            let prepared = prepare(
+                &g,
+                flags.get("technique").map(String::as_str),
+                threshold,
+                &gpu,
+            );
+            let baseline = parse_baseline(flags.get("baseline").map(String::as_str));
+            let bc_sources = flags
+                .get("bc-sources")
+                .map_or(4, |s| s.parse().expect("bad --bc-sources"));
+            let traced = traced_run("profile", algo, &g, &prepared, baseline, &gpu, bc_sources);
+            emit_report(
+                &traced.report,
+                flags.get("report-json").map(String::as_str),
+                true,
             );
         }
         "transform" => {
@@ -260,72 +331,59 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
                 threshold,
                 &gpu,
             );
-            let baseline = match flags.get("baseline").map(String::as_str) {
-                None | Some("lonestar") => Baseline::Lonestar,
-                Some("tigr") => Baseline::Tigr,
-                Some("gunrock") => Baseline::Gunrock,
-                Some(other) => {
-                    eprintln!("unknown baseline: {other}");
-                    usage();
-                }
+            let baseline = parse_baseline(flags.get("baseline").map(String::as_str));
+            let report_json = flags.get("report-json").map(String::as_str);
+            let mut plan = baseline.plan(&prepared, &gpu);
+            let trace = match report_json {
+                Some(_) => instrument_plan(&mut plan, &prepared),
+                None => plan.trace.clone(), // disabled: zero-cost no-op sink
             };
-            let plan = baseline.plan(&prepared, &gpu);
-            let (stats, summary) = match get("algo") {
+            let (run, summary) = match get("algo") {
                 "sssp" => {
                     let src = sssp::default_source(&g);
                     let run = sssp::run_sim(&plan, src);
                     let err = relative_l1(&run.values, &sssp::exact_cpu(&g, src));
-                    (
-                        run.stats,
-                        format!("source {src}, inaccuracy {:.2}%", err * 100.0),
-                    )
+                    let summary = format!("source {src}, inaccuracy {:.2}%", err * 100.0);
+                    (run, summary)
                 }
                 "bfs" => {
                     let src = sssp::default_source(&g);
                     let run = bfs::run_sim(&plan, src);
                     let err = relative_l1(&run.values, &bfs::exact_cpu(&g, src));
-                    (
-                        run.stats,
-                        format!("source {src}, inaccuracy {:.2}%", err * 100.0),
-                    )
+                    let summary = format!("source {src}, inaccuracy {:.2}%", err * 100.0);
+                    (run, summary)
                 }
                 "pr" => {
                     let run = pagerank::run_sim(&plan);
                     let err = relative_l1(&run.values, &pagerank::exact_cpu(&g));
-                    (run.stats, format!("inaccuracy {:.2}%", err * 100.0))
+                    let summary = format!("inaccuracy {:.2}%", err * 100.0);
+                    (run, summary)
                 }
                 "bc" => {
                     let sources = bc::sample_sources(&g, 4);
                     let run = bc::run_sim(&plan, &sources);
                     let err = relative_l1(&run.values, &bc::exact_cpu(&g, &sources));
-                    (
-                        run.stats,
-                        format!("{} sources, inaccuracy {:.2}%", sources.len(), err * 100.0),
-                    )
+                    let summary =
+                        format!("{} sources, inaccuracy {:.2}%", sources.len(), err * 100.0);
+                    (run, summary)
                 }
                 "scc" => {
                     let r = scc::run_sim(&plan);
                     let exact = scc::exact_cpu_count(&g);
-                    (
-                        r.run.stats,
-                        format!("{} components (exact {exact})", r.components),
-                    )
+                    let summary = format!("{} components (exact {exact})", r.components);
+                    (r.run, summary)
                 }
                 "mst" => {
                     let r = mst::run_sim(&plan);
                     let (w, _) = mst::exact_cpu(&g);
-                    (
-                        r.run.stats,
-                        format!("forest weight {} (exact {w})", r.weight),
-                    )
+                    let summary = format!("forest weight {} (exact {w})", r.weight);
+                    (r.run, summary)
                 }
                 "wcc" => {
                     let r = wcc::run_sim(&plan);
                     let exact = wcc::exact_cpu_count(&g);
-                    (
-                        r.run.stats,
-                        format!("{} components (exact {exact})", r.components),
-                    )
+                    let summary = format!("{} components (exact {exact})", r.components);
+                    (r.run, summary)
                 }
                 other => {
                     eprintln!("unknown algo: {other}");
@@ -335,10 +393,15 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
             println!("{summary}");
             println!(
                 "elapsed {} simulated cycles ({:.6} simulated s)",
-                stats.elapsed_cycles(&gpu),
-                stats.elapsed_seconds(&gpu)
+                run.stats.elapsed_cycles(&gpu),
+                run.stats.elapsed_seconds(&gpu)
             );
-            print!("{}", CostBreakdown::attribute(&stats, &gpu));
+            print!("{}", CostBreakdown::attribute(&run.stats, &gpu));
+            if report_json.is_some() {
+                let report =
+                    assemble_report("run", get("algo"), &prepared, baseline, &plan, &run, &trace);
+                emit_report(&report, report_json, false);
+            }
         }
         _ => usage(),
     }

@@ -43,6 +43,8 @@
 //! | [`algos`] (`graffix-algos`) | SSSP/PR/BC/SCC/MST, exact references, metrics |
 //! | [`baselines`] (`graffix-baselines`) | LonestarGPU / Tigr / Gunrock execution styles |
 
+pub mod observe;
+
 pub use graffix_algos as algos;
 pub use graffix_baselines as baselines;
 pub use graffix_core as core;
@@ -51,6 +53,9 @@ pub use graffix_sim as sim;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
+    pub use crate::observe::{
+        assemble_report, instrument_plan, traced_run, Algo, TracedRun, ALL_ALGOS,
+    };
     pub use graffix_algos::accuracy::{geomean, relative_l1, scalar_inaccuracy};
     pub use graffix_algos::{
         bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, Runner, SimRun, Strategy, VertexProgram,
@@ -66,7 +71,10 @@ pub mod prelude {
     pub use graffix_sim::attrs::{
         AtomicF64Array, AtomicU32Array, AtomicU64Array, DoubleBuffered, FixedPointF64Array,
     };
-    pub use graffix_sim::{ArrayId, CostBreakdown, GpuConfig, KernelStats, Lane};
+    pub use graffix_sim::{
+        ArrayId, CostBreakdown, GpuConfig, GraphMeta, Json, KernelStats, Lane, Phase, RunReport,
+        TraceData, TraceHandle, ValueSummary,
+    };
 }
 
 #[cfg(test)]

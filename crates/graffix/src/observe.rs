@@ -1,0 +1,189 @@
+//! Observed (traced) runs: glue between the transform layer, the algorithm
+//! runners, and `graffix_sim`'s run-report schema.
+//!
+//! [`traced_run`] executes one algorithm with tracing enabled and returns
+//! the [`RunReport`] alongside the raw [`SimRun`]. The CLI (`graffix
+//! profile`, `--report-json`), the bench crate, and the integration tests
+//! all assemble their reports through this one path, so the schema stays
+//! consistent everywhere.
+//!
+//! Determinism: the report excludes wall-clock readings (notably the
+//! transform's `preprocess_seconds`) and any thread-count dependence, so
+//! its serialized bytes are identical at every `--threads` value.
+
+use graffix_algos::{bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, SimRun};
+use graffix_baselines::Baseline;
+use graffix_core::Prepared;
+use graffix_graph::Csr;
+use graffix_sim::{GpuConfig, GraphMeta, Phase, RunReport, TraceHandle, ValueSummary};
+
+/// The algorithms a traced run can execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    Sssp,
+    Bfs,
+    Pr,
+    Bc,
+    Scc,
+    Mst,
+    Wcc,
+}
+
+/// All algorithms, in the CLI's usage order.
+pub const ALL_ALGOS: [Algo; 7] = [
+    Algo::Sssp,
+    Algo::Bfs,
+    Algo::Pr,
+    Algo::Bc,
+    Algo::Scc,
+    Algo::Mst,
+    Algo::Wcc,
+];
+
+impl Algo {
+    /// CLI name (`sssp`, `bfs`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Sssp => "sssp",
+            Algo::Bfs => "bfs",
+            Algo::Pr => "pr",
+            Algo::Bc => "bc",
+            Algo::Scc => "scc",
+            Algo::Mst => "mst",
+            Algo::Wcc => "wcc",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Algo> {
+        ALL_ALGOS.into_iter().find(|a| a.name() == name)
+    }
+}
+
+/// One observed run: the serialized-ready report plus the raw outcome.
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    pub report: RunReport,
+    pub run: SimRun,
+}
+
+/// Enables tracing on `plan` and seeds the registry with the transform's
+/// structural counters. Returns the live handle (a clone of `plan.trace`).
+///
+/// `preprocess_seconds` is deliberately NOT recorded: it is wall clock, and
+/// reports must be byte-identical across runs and thread counts.
+pub fn instrument_plan(plan: &mut Plan, prepared: &Prepared) -> TraceHandle {
+    plan.trace = TraceHandle::enabled();
+    let trace = plan.trace.clone();
+    let tr = &prepared.report;
+    trace.add_counter(Phase::Transform, "holes-created", tr.holes_created as u64);
+    trace.add_counter(Phase::Transform, "holes-filled", tr.holes_filled as u64);
+    trace.add_counter(Phase::Transform, "replicas", tr.replicas as u64);
+    trace.add_counter(Phase::Transform, "edges-added", tr.edges_added as u64);
+    trace.set_gauge(Phase::Transform, "space-overhead", tr.space_overhead);
+    trace
+}
+
+/// Folds a finished run plus its trace into the schema-versioned report.
+pub fn assemble_report(
+    command: &str,
+    algo_name: &str,
+    prepared: &Prepared,
+    baseline: Baseline,
+    plan: &Plan,
+    run: &SimRun,
+    trace: &TraceHandle,
+) -> RunReport {
+    RunReport {
+        command: command.to_string(),
+        algo: algo_name.to_string(),
+        technique: prepared.report.technique_label.clone(),
+        baseline: baseline.label().to_string(),
+        graph: GraphMeta {
+            nodes: plan.graph.num_nodes() as u64,
+            edges: plan.graph.num_edges() as u64,
+            holes: plan.graph.num_holes() as u64,
+        },
+        gpu: plan.cfg.clone(),
+        iterations: run.iterations as u64,
+        totals: run.stats,
+        trace: trace.finish().unwrap_or_default(),
+        values: ValueSummary::from_values(&run.values),
+    }
+}
+
+/// Runs `algo` on `prepared` under `baseline` with tracing enabled and
+/// assembles the run report. `original` is the untransformed graph (used
+/// for deterministic source selection). `bc_sources` bounds the BC source
+/// sample (ignored by other algorithms).
+pub fn traced_run(
+    command: &str,
+    algo: Algo,
+    original: &Csr,
+    prepared: &Prepared,
+    baseline: Baseline,
+    gpu: &GpuConfig,
+    bc_sources: usize,
+) -> TracedRun {
+    let mut plan = baseline.plan(prepared, gpu);
+    let trace = instrument_plan(&mut plan, prepared);
+
+    trace.span_enter(Phase::Run, algo.name());
+    let run = match algo {
+        Algo::Sssp => sssp::run_sim(&plan, sssp::default_source(original)),
+        Algo::Bfs => bfs::run_sim(&plan, sssp::default_source(original)),
+        Algo::Pr => pagerank::run_sim(&plan),
+        Algo::Bc => {
+            let sources = bc::sample_sources(original, bc_sources);
+            bc::run_sim(&plan, &sources)
+        }
+        Algo::Scc => scc::run_sim(&plan).run,
+        Algo::Mst => mst::run_sim(&plan).run,
+        Algo::Wcc => wcc::run_sim(&plan).run,
+    };
+    trace.span_exit();
+
+    let report = assemble_report(
+        command,
+        algo.name(),
+        prepared,
+        baseline,
+        &plan,
+        &run,
+        &trace,
+    );
+    TracedRun { report, run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+
+    #[test]
+    fn algo_names_roundtrip() {
+        for a in ALL_ALGOS {
+            assert_eq!(Algo::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algo::parse("nope"), None);
+    }
+
+    #[test]
+    fn traced_run_produces_verifiable_report() {
+        let g = GraphSpec::new(GraphKind::Random, 200, 9).generate();
+        let prepared = Prepared::exact(g.clone());
+        let gpu = GpuConfig::test_tiny();
+        let t = traced_run(
+            "test",
+            Algo::Sssp,
+            &g,
+            &prepared,
+            Baseline::Lonestar,
+            &gpu,
+            2,
+        );
+        t.report.verify().unwrap();
+        assert_eq!(t.report.totals, t.run.stats);
+        assert!(!t.report.trace.snapshots.is_empty());
+    }
+}

@@ -34,9 +34,12 @@ pub mod attrs;
 pub mod config;
 pub mod event;
 pub mod executor;
+pub mod json;
 pub mod lane;
 pub mod profile;
+pub mod report;
 pub mod stats;
+pub mod trace;
 pub mod warp;
 
 pub use attrs::{
@@ -47,9 +50,12 @@ pub use event::{AccessKind, ArrayId, MemEvent, Space};
 pub use executor::{
     run_blocks, run_superstep, run_to_fixpoint, Block, Superstep, SuperstepOutcome,
 };
+pub use json::Json;
 pub use lane::Lane;
 pub use profile::CostBreakdown;
+pub use report::{GraphMeta, RunReport, ValueSummary, SCHEMA_NAME, SCHEMA_VERSION};
 pub use stats::KernelStats;
+pub use trace::{MetricsRegistry, Phase, Span, SuperstepSnapshot, TraceData, TraceHandle};
 
 /// Convenience prelude.
 pub mod prelude {
@@ -61,7 +67,10 @@ pub mod prelude {
     pub use crate::executor::{
         run_blocks, run_superstep, run_to_fixpoint, Block, Superstep, SuperstepOutcome,
     };
+    pub use crate::json::Json;
     pub use crate::lane::Lane;
     pub use crate::profile::CostBreakdown;
+    pub use crate::report::{GraphMeta, RunReport, ValueSummary};
     pub use crate::stats::KernelStats;
+    pub use crate::trace::{Phase, TraceData, TraceHandle};
 }

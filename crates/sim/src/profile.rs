@@ -19,32 +19,25 @@ pub struct CostBreakdown {
     /// Atomic cycles (segment round trips + collision serialization).
     pub atomic_cycles: u64,
     /// Total warp cycles actually accumulated by the replay (the ground
-    /// truth; the component model above approximates its split).
+    /// truth; the components above partition it exactly).
     pub total_warp_cycles: u64,
     /// Elapsed cycles after the occupancy divide and launch overheads.
     pub elapsed_cycles: u64,
 }
 
 impl CostBreakdown {
-    /// Attributes `stats`' cycles to components. The per-component figures
-    /// are reconstructed from the counters with the same constants the
-    /// replay used, so they sum to within rounding of the true total.
+    /// Attributes `stats`' cycles to components. The replay meters each
+    /// component alongside the total, so the four figures below are exact:
+    /// they sum to `total_warp_cycles` by construction. (Earlier versions
+    /// reconstructed the split from access counters with the latency
+    /// constants, which over-counted shared-memory cycles — the replay only
+    /// charges the worst bank group per step, not every access.)
     pub fn attribute(stats: &KernelStats, cfg: &GpuConfig) -> CostBreakdown {
-        let issue = stats.steps * cfg.issue_cycles;
-        // Atomic segment transactions are tracked separately (they are a
-        // subset of global_transactions), so the split is exact.
-        let atomic = cfg.lat_atomic * (stats.atomic_transactions + stats.atomic_collisions);
-        let global = cfg.lat_global.saturating_mul(
-            stats
-                .global_transactions
-                .saturating_sub(stats.atomic_transactions),
-        );
-        let shared = cfg.lat_shared * (stats.shared_accesses + stats.bank_conflicts);
         CostBreakdown {
-            issue_cycles: issue,
-            global_cycles: global,
-            shared_cycles: shared,
-            atomic_cycles: atomic,
+            issue_cycles: stats.issue_cycles,
+            global_cycles: stats.global_cycles,
+            shared_cycles: stats.shared_cycles,
+            atomic_cycles: stats.atomic_cycles,
             total_warp_cycles: stats.warp_cycles,
             elapsed_cycles: stats.elapsed_cycles(cfg),
         }
@@ -56,7 +49,9 @@ impl CostBreakdown {
         (self.global_cycles + self.atomic_cycles) as f64 / modeled as f64
     }
 
-    fn modeled_total(&self) -> u64 {
+    /// Sum of the four components; equals `total_warp_cycles` exactly for
+    /// any stats produced by the replay.
+    pub fn modeled_total(&self) -> u64 {
         self.issue_cycles + self.global_cycles + self.shared_cycles + self.atomic_cycles
     }
 }
@@ -96,7 +91,7 @@ mod tests {
 
     fn sample_stats() -> KernelStats {
         KernelStats {
-            warp_cycles: 100_000,
+            warp_cycles: 24_000 + 21_760 + 1_680 + 4_160,
             steps: 1_000,
             global_accesses: 500,
             global_transactions: 400,
@@ -106,6 +101,10 @@ mod tests {
             atomic_transactions: 60,
             atomic_collisions: 5,
             launches: 2,
+            issue_cycles: 24_000,
+            global_cycles: 21_760,
+            shared_cycles: 1_680,
+            atomic_cycles: 4_160,
             ..Default::default()
         }
     }
@@ -118,7 +117,8 @@ mod tests {
         assert!(b.global_cycles > 0);
         assert!(b.shared_cycles > 0);
         assert!(b.atomic_cycles > 0);
-        assert_eq!(b.total_warp_cycles, 100_000);
+        assert_eq!(b.total_warp_cycles, 51_600);
+        assert_eq!(b.modeled_total(), b.total_warp_cycles);
     }
 
     #[test]

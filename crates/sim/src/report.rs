@@ -1,0 +1,399 @@
+//! Versioned, machine-readable run reports.
+//!
+//! A [`RunReport`] bundles everything one Graffix run produced — the GPU
+//! configuration, graph shape, per-phase spans, per-superstep stats
+//! snapshots, metric registry contents, final totals, and the exact cost
+//! breakdown — into a stable JSON schema (`graffix.run-report`, version 1)
+//! that the CLI (`graffix profile`, `--report-json`), the bench crate, and
+//! the integration tests all share.
+//!
+//! Determinism: a report is a pure function of the plan and algorithm. It
+//! deliberately carries **no wall-clock readings and no thread count** —
+//! those are the two run-to-run variables — so the serialized bytes are
+//! identical at any `--threads` value (pinned by
+//! `tests/integration_determinism.rs`).
+
+use crate::config::GpuConfig;
+use crate::json::Json;
+use crate::profile::CostBreakdown;
+use crate::stats::KernelStats;
+use crate::trace::TraceData;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA_NAME: &str = "graffix.run-report";
+/// Bump when the report layout changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Shape of the (possibly transformed) graph the kernels actually ran on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphMeta {
+    pub nodes: u64,
+    pub edges: u64,
+    pub holes: u64,
+}
+
+/// Order-stable summary of the result vector (reports avoid embedding full
+/// per-node values, which would dwarf the rest of the document).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ValueSummary {
+    pub len: u64,
+    /// Entries that are finite (unreachable nodes hold +inf in SSSP/BFS).
+    pub finite: u64,
+    /// Sum over finite entries in index order (deterministic).
+    pub sum_finite: f64,
+    pub min_finite: f64,
+    pub max_finite: f64,
+}
+
+impl ValueSummary {
+    pub fn from_values(values: &[f64]) -> ValueSummary {
+        let mut s = ValueSummary {
+            len: values.len() as u64,
+            min_finite: f64::INFINITY,
+            max_finite: f64::NEG_INFINITY,
+            ..Default::default()
+        };
+        for &v in values {
+            if v.is_finite() {
+                s.finite += 1;
+                s.sum_finite += v;
+                s.min_finite = s.min_finite.min(v);
+                s.max_finite = s.max_finite.max(v);
+            }
+        }
+        if s.finite == 0 {
+            s.min_finite = f64::NAN;
+            s.max_finite = f64::NAN;
+        }
+        s
+    }
+}
+
+/// One complete run, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// CLI subcommand or caller label, e.g. `profile`, `run`, `bench`.
+    pub command: String,
+    pub algo: String,
+    pub technique: String,
+    pub baseline: String,
+    pub graph: GraphMeta,
+    pub gpu: GpuConfig,
+    /// Driver iterations the algorithm reported.
+    pub iterations: u64,
+    /// Final end-of-run totals.
+    pub totals: KernelStats,
+    pub trace: TraceData,
+    pub values: ValueSummary,
+}
+
+impl RunReport {
+    /// Internal consistency checks — the report-level invariants the
+    /// observability layer promises:
+    ///
+    /// 1. spans nest correctly and are all closed;
+    /// 2. the per-superstep snapshots sum *exactly* (every counter, not
+    ///    just cycles) to the final totals;
+    /// 3. the exact cost components partition `warp_cycles`.
+    pub fn verify(&self) -> Result<(), String> {
+        self.trace.spans_nest_correctly()?;
+        if !self.trace.snapshots.is_empty() {
+            let sum = self.trace.superstep_sum();
+            for ((name, a), (_, b)) in sum
+                .field_pairs()
+                .iter()
+                .zip(self.totals.field_pairs().iter())
+            {
+                if a != b {
+                    return Err(format!(
+                        "superstep snapshots sum to {a} for `{name}` but totals say {b}"
+                    ));
+                }
+            }
+        }
+        let parts = self.totals.issue_cycles
+            + self.totals.global_cycles
+            + self.totals.shared_cycles
+            + self.totals.atomic_cycles;
+        if parts != self.totals.warp_cycles {
+            return Err(format!(
+                "cost components sum to {parts}, warp_cycles is {}",
+                self.totals.warp_cycles
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes to the schema-versioned JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("schema", Json::Str(SCHEMA_NAME.to_string()));
+        root.set("version", Json::U64(SCHEMA_VERSION));
+        root.set("command", Json::Str(self.command.clone()));
+        root.set("algo", Json::Str(self.algo.clone()));
+        root.set("technique", Json::Str(self.technique.clone()));
+        root.set("baseline", Json::Str(self.baseline.clone()));
+
+        let mut graph = Json::obj();
+        graph.set("nodes", Json::U64(self.graph.nodes));
+        graph.set("edges", Json::U64(self.graph.edges));
+        graph.set("holes", Json::U64(self.graph.holes));
+        root.set("graph", graph);
+
+        root.set("gpu", gpu_json(&self.gpu));
+        root.set("iterations", Json::U64(self.iterations));
+        root.set("totals", stats_json(&self.totals));
+        root.set(
+            "elapsed_cycles",
+            Json::U64(self.totals.elapsed_cycles(&self.gpu)),
+        );
+        root.set(
+            "cost_breakdown",
+            breakdown_json(&CostBreakdown::attribute(&self.totals, &self.gpu)),
+        );
+        root.set("trace", trace_json(&self.trace));
+
+        let mut values = Json::obj();
+        values.set("len", Json::U64(self.values.len));
+        values.set("finite", Json::U64(self.values.finite));
+        values.set("sum_finite", Json::F64(self.values.sum_finite));
+        values.set("min_finite", Json::F64(self.values.min_finite));
+        values.set("max_finite", Json::F64(self.values.max_finite));
+        root.set("values", values);
+        root
+    }
+
+    /// The serialized document (pretty JSON, trailing newline).
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+}
+
+fn gpu_json(gpu: &GpuConfig) -> Json {
+    let mut o = Json::obj();
+    o.set("warp_size", Json::U64(gpu.warp_size as u64));
+    o.set("segment_words", Json::U64(gpu.segment_words));
+    o.set("num_sms", Json::U64(gpu.num_sms as u64));
+    o.set(
+        "warps_overlap_per_sm",
+        Json::U64(gpu.warps_overlap_per_sm as u64),
+    );
+    o.set("lat_global", Json::U64(gpu.lat_global));
+    o.set("lat_shared", Json::U64(gpu.lat_shared));
+    o.set("lat_atomic", Json::U64(gpu.lat_atomic));
+    o.set("issue_cycles", Json::U64(gpu.issue_cycles));
+    o.set("shared_mem_words", Json::U64(gpu.shared_mem_words as u64));
+    o.set("shared_banks", Json::U64(gpu.shared_banks));
+    o.set("clock_hz", Json::F64(gpu.clock_hz));
+    o
+}
+
+fn stats_json(stats: &KernelStats) -> Json {
+    let mut o = Json::obj();
+    for (name, value) in stats.field_pairs() {
+        o.set(name, Json::U64(value));
+    }
+    o
+}
+
+fn breakdown_json(b: &CostBreakdown) -> Json {
+    let mut o = Json::obj();
+    o.set("issue_cycles", Json::U64(b.issue_cycles));
+    o.set("global_cycles", Json::U64(b.global_cycles));
+    o.set("shared_cycles", Json::U64(b.shared_cycles));
+    o.set("atomic_cycles", Json::U64(b.atomic_cycles));
+    o.set("total_warp_cycles", Json::U64(b.total_warp_cycles));
+    o.set("elapsed_cycles", Json::U64(b.elapsed_cycles));
+    o
+}
+
+fn trace_json(trace: &TraceData) -> Json {
+    let mut t = Json::obj();
+    let spans = trace
+        .spans
+        .iter()
+        .map(|s| {
+            let mut o = Json::obj();
+            o.set("phase", Json::Str(s.phase.label().to_string()));
+            o.set("name", Json::Str(s.name.clone()));
+            o.set("start", Json::U64(s.start));
+            o.set("end", Json::U64(s.end));
+            o.set("depth", Json::U64(s.depth as u64));
+            o
+        })
+        .collect();
+    t.set("spans", Json::Arr(spans));
+
+    let supersteps = trace
+        .snapshots
+        .iter()
+        .map(|s| {
+            let mut o = Json::obj();
+            o.set("clock", Json::U64(s.clock));
+            o.set("phase", Json::Str(s.phase.label().to_string()));
+            o.set("label", Json::Str(s.label.clone()));
+            o.set("stats", stats_json(&s.stats));
+            o
+        })
+        .collect();
+    t.set("supersteps", Json::Arr(supersteps));
+
+    let mut metrics = Json::obj();
+    let counters = trace
+        .registry
+        .counters()
+        .map(|((phase, name), value)| {
+            let mut o = Json::obj();
+            o.set("phase", Json::Str(phase.label().to_string()));
+            o.set("name", Json::Str(name.clone()));
+            o.set("value", Json::U64(*value));
+            o
+        })
+        .collect();
+    metrics.set("counters", Json::Arr(counters));
+    let gauges = trace
+        .registry
+        .gauges()
+        .map(|((phase, name), value)| {
+            let mut o = Json::obj();
+            o.set("phase", Json::Str(phase.label().to_string()));
+            o.set("name", Json::Str(name.clone()));
+            o.set("value", Json::F64(*value));
+            o
+        })
+        .collect();
+    metrics.set("gauges", Json::Arr(gauges));
+    let series = trace
+        .registry
+        .all_series()
+        .map(|((phase, name), values)| {
+            let mut o = Json::obj();
+            o.set("phase", Json::Str(phase.label().to_string()));
+            o.set("name", Json::Str(name.clone()));
+            o.set(
+                "values",
+                Json::Arr(values.iter().map(|&v| Json::F64(v)).collect()),
+            );
+            o
+        })
+        .collect();
+    metrics.set("series", Json::Arr(series));
+    t.set("metrics", metrics);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Phase, TraceHandle};
+
+    fn launch_stats(n: u64) -> KernelStats {
+        KernelStats {
+            warp_cycles: 10 * n,
+            issue_cycles: 4 * n,
+            global_cycles: 6 * n,
+            steps: n,
+            launches: 1,
+            ..Default::default()
+        }
+    }
+
+    fn sample_report() -> RunReport {
+        let t = TraceHandle::enabled();
+        t.span_enter(Phase::Run, "run");
+        t.snapshot(Phase::Launch, "iter-0", &launch_stats(3));
+        t.snapshot(Phase::Launch, "iter-1", &launch_stats(5));
+        t.span_exit();
+        t.add_counter(Phase::Transform, "replicas", 4);
+        t.push_series(Phase::Iteration, "residual", 0.25);
+        let trace = t.finish().unwrap();
+        let totals = trace.superstep_sum();
+        RunReport {
+            command: "profile".into(),
+            algo: "sssp".into(),
+            technique: "combined".into(),
+            baseline: "lonestar".into(),
+            graph: GraphMeta {
+                nodes: 100,
+                edges: 400,
+                holes: 2,
+            },
+            gpu: GpuConfig::test_tiny(),
+            iterations: 2,
+            totals,
+            trace,
+            values: ValueSummary::from_values(&[1.0, 2.0, f64::INFINITY]),
+        }
+    }
+
+    #[test]
+    fn sample_report_verifies() {
+        sample_report().verify().unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_snapshot_total_mismatch() {
+        let mut r = sample_report();
+        r.totals.warp_cycles += 1;
+        assert!(r.verify().is_err());
+    }
+
+    #[test]
+    fn verify_rejects_non_partitioning_components() {
+        let mut r = sample_report();
+        // Keep snapshot sum consistent but break the component partition.
+        r.trace.snapshots[0].stats.issue_cycles += 7;
+        r.totals.issue_cycles += 7;
+        assert!(r.verify().is_err());
+    }
+
+    #[test]
+    fn json_has_schema_header_and_parses_back() {
+        let text = sample_report().to_pretty_string();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA_NAME));
+        assert_eq!(
+            doc.get("version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(
+            doc.path(&["graph", "nodes"]).and_then(Json::as_u64),
+            Some(100)
+        );
+        let supersteps = doc
+            .path(&["trace", "supersteps"])
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(supersteps.len(), 2);
+        // Snapshot warp_cycles sum to the totals entry in the JSON itself.
+        let total: u64 = supersteps
+            .iter()
+            .map(|s| s.path(&["stats", "warp_cycles"]).unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            doc.path(&["totals", "warp_cycles"]).and_then(Json::as_u64),
+            Some(total)
+        );
+    }
+
+    #[test]
+    fn serialization_is_reproducible() {
+        assert_eq!(
+            sample_report().to_pretty_string(),
+            sample_report().to_pretty_string()
+        );
+    }
+
+    #[test]
+    fn value_summary_skips_non_finite() {
+        let s = ValueSummary::from_values(&[1.0, f64::INFINITY, 3.0, f64::NAN]);
+        assert_eq!(s.len, 4);
+        assert_eq!(s.finite, 2);
+        assert_eq!(s.sum_finite, 4.0);
+        assert_eq!(s.min_finite, 1.0);
+        assert_eq!(s.max_finite, 3.0);
+        let empty = ValueSummary::from_values(&[f64::INFINITY]);
+        assert!(empty.min_finite.is_nan());
+    }
+}

@@ -31,6 +31,17 @@ pub struct KernelStats {
     pub divergent_slots: u64,
     /// Kernel launches (supersteps) folded into this value.
     pub launches: u64,
+    /// Warp cycles spent issuing lockstep steps (exact component of
+    /// `warp_cycles`, metered by the replay).
+    pub issue_cycles: u64,
+    /// Warp cycles spent on non-atomic global transactions (exact).
+    pub global_cycles: u64,
+    /// Warp cycles spent on shared-memory traffic, including bank-conflict
+    /// serialization (exact).
+    pub shared_cycles: u64,
+    /// Warp cycles spent on atomic round trips and collision serialization
+    /// (exact).
+    pub atomic_cycles: u64,
 }
 
 impl AddAssign for KernelStats {
@@ -47,6 +58,10 @@ impl AddAssign for KernelStats {
         self.atomic_collisions += rhs.atomic_collisions;
         self.divergent_slots += rhs.divergent_slots;
         self.launches += rhs.launches;
+        self.issue_cycles += rhs.issue_cycles;
+        self.global_cycles += rhs.global_cycles;
+        self.shared_cycles += rhs.shared_cycles;
+        self.atomic_cycles += rhs.atomic_cycles;
     }
 }
 
@@ -82,6 +97,30 @@ impl KernelStats {
         } else {
             self.divergent_slots as f64 / total_slots as f64
         }
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order. The
+    /// single source of truth for serializing stats: report writers iterate
+    /// this so adding a counter here automatically flows into JSON output.
+    pub fn field_pairs(&self) -> [(&'static str, u64); 16] {
+        [
+            ("warp_cycles", self.warp_cycles),
+            ("steps", self.steps),
+            ("warps", self.warps),
+            ("global_accesses", self.global_accesses),
+            ("global_transactions", self.global_transactions),
+            ("shared_accesses", self.shared_accesses),
+            ("bank_conflicts", self.bank_conflicts),
+            ("atomic_ops", self.atomic_ops),
+            ("atomic_transactions", self.atomic_transactions),
+            ("atomic_collisions", self.atomic_collisions),
+            ("divergent_slots", self.divergent_slots),
+            ("launches", self.launches),
+            ("issue_cycles", self.issue_cycles),
+            ("global_cycles", self.global_cycles),
+            ("shared_cycles", self.shared_cycles),
+            ("atomic_cycles", self.atomic_cycles),
+        ]
     }
 
     fn useful_slots(&self) -> u64 {

@@ -1,0 +1,476 @@
+//! Run observability: spans, per-superstep stats snapshots, and a metrics
+//! registry — all recorded against a monotonic *superstep clock* instead of
+//! wall time, so traces are deterministic and byte-identical at any host
+//! thread count.
+//!
+//! ## Determinism contract (snapshot-at-barrier rule)
+//!
+//! Every recording API is called from the sequential host-side driver code
+//! *between* parallel supersteps — after `run_blocks` has merged its chunk
+//! results — never from inside warp replay. The trace therefore observes
+//! only barrier-synchronized state, and its clock advances by one per
+//! snapshot rather than by nanoseconds. Two runs of the same plan produce
+//! the same trace regardless of `--threads`.
+//!
+//! ## Zero cost when disabled
+//!
+//! A [`TraceHandle`] is `Option<Arc<Mutex<...>>>` inside; the default
+//! (disabled) handle is `None` and every method is a single branch that
+//! immediately returns. Instrumented code paths need no feature gates.
+
+use crate::stats::KernelStats;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The phase taxonomy the registry and spans are keyed by. Matches the
+/// stages of a Graffix run: graph transformation, kernel launches, tile
+/// rounds, replica confluence merges, and frontier activation merges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Graph preprocessing (coalescing / latency / divergence transforms).
+    Transform,
+    /// A full kernel launch (one superstep over an assignment range).
+    Launch,
+    /// One capped tile-phase round (paper §3 shared-memory tiles).
+    TilePhase,
+    /// Replica confluence merge (paper §2 approximate merge).
+    ConfluenceMerge,
+    /// Frontier activation merge (sort/dedup of next frontier).
+    ActivationMerge,
+    /// One driver iteration (fixpoint round or frontier hop).
+    Iteration,
+    /// The whole algorithm run.
+    Run,
+}
+
+impl Phase {
+    /// Stable label used in span/metric serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Transform => "transform",
+            Phase::Launch => "launch",
+            Phase::TilePhase => "tile-phase",
+            Phase::ConfluenceMerge => "confluence-merge",
+            Phase::ActivationMerge => "activation-merge",
+            Phase::Iteration => "iteration",
+            Phase::Run => "run",
+        }
+    }
+}
+
+/// A completed (or still-open) span on the superstep clock. Spans form a
+/// proper nesting: children start no earlier and end no later than their
+/// parent, and `depth` is the enter-time stack depth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub phase: Phase,
+    pub name: String,
+    /// Clock value (snapshot count) at enter.
+    pub start: u64,
+    /// Clock value at exit; open spans hold `u64::MAX` until closed.
+    pub end: u64,
+    /// Nesting depth at enter (0 = top level).
+    pub depth: u32,
+}
+
+/// One per-superstep stats snapshot, taken at a chunk-merge barrier. The
+/// sum of all snapshot stats in a trace equals the run's final
+/// [`KernelStats`] (each launch is snapshotted exactly once).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuperstepSnapshot {
+    /// Clock value assigned to this snapshot (snapshots *are* the clock:
+    /// the n-th snapshot of a run has clock n).
+    pub clock: u64,
+    pub phase: Phase,
+    /// Driver-provided label, e.g. `fixpoint-iter` or `frontier-filter`.
+    pub label: String,
+    pub stats: KernelStats,
+}
+
+/// Named counters, gauges, and series keyed by phase. `BTreeMap` keys give
+/// deterministic iteration order for serialization.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(Phase, String), u64>,
+    gauges: BTreeMap<(Phase, String), f64>,
+    series: BTreeMap<(Phase, String), Vec<f64>>,
+}
+
+impl MetricsRegistry {
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn add_counter(&mut self, phase: Phase, name: &str, delta: u64) {
+        *self.counters.entry((phase, name.to_string())).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn set_gauge(&mut self, phase: Phase, name: &str, value: f64) {
+        self.gauges.insert((phase, name.to_string()), value);
+    }
+
+    /// Appends one observation to a series (e.g. per-iteration residuals).
+    pub fn push_series(&mut self, phase: Phase, name: &str, value: f64) {
+        self.series
+            .entry((phase, name.to_string()))
+            .or_default()
+            .push(value);
+    }
+
+    pub fn counter(&self, phase: Phase, name: &str) -> Option<u64> {
+        self.counters.get(&(phase, name.to_string())).copied()
+    }
+
+    pub fn gauge(&self, phase: Phase, name: &str) -> Option<f64> {
+        self.gauges.get(&(phase, name.to_string())).copied()
+    }
+
+    pub fn series(&self, phase: Phase, name: &str) -> Option<&[f64]> {
+        self.series
+            .get(&(phase, name.to_string()))
+            .map(Vec::as_slice)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&(Phase, String), &u64)> {
+        self.counters.iter()
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&(Phase, String), &f64)> {
+        self.gauges.iter()
+    }
+
+    pub fn all_series(&self) -> impl Iterator<Item = (&(Phase, String), &Vec<f64>)> {
+        self.series.iter()
+    }
+}
+
+/// Everything a trace recorded, extracted with [`TraceHandle::finish`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceData {
+    /// Spans in enter order.
+    pub spans: Vec<Span>,
+    /// Snapshots in clock order.
+    pub snapshots: Vec<SuperstepSnapshot>,
+    pub registry: MetricsRegistry,
+}
+
+impl TraceData {
+    /// Sums all per-superstep snapshots. For a well-instrumented run this
+    /// equals the final `KernelStats` exactly — the invariant
+    /// `RunReport::verify` checks.
+    pub fn superstep_sum(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for snap in &self.snapshots {
+            total += snap.stats;
+        }
+        total
+    }
+
+    /// Checks span well-formedness: every span closed, `start <= end`, and
+    /// children strictly contained in their parents (stack discipline).
+    pub fn spans_nest_correctly(&self) -> Result<(), String> {
+        let mut stack: Vec<&Span> = Vec::new();
+        for span in &self.spans {
+            if span.end == u64::MAX {
+                return Err(format!("span `{}` never closed", span.name));
+            }
+            if span.start > span.end {
+                return Err(format!("span `{}` ends before it starts", span.name));
+            }
+            while let Some(top) = stack.last() {
+                // A span at depth d pops everything at depth >= d.
+                if top.depth >= span.depth {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(parent) = stack.last() {
+                if span.start < parent.start || span.end > parent.end {
+                    return Err(format!(
+                        "span `{}` [{}, {}] escapes parent `{}` [{}, {}]",
+                        span.name, span.start, span.end, parent.name, parent.start, parent.end
+                    ));
+                }
+                if span.depth != parent.depth + 1 {
+                    return Err(format!(
+                        "span `{}` depth {} under parent depth {}",
+                        span.name, span.depth, parent.depth
+                    ));
+                }
+            } else if span.depth != 0 {
+                return Err(format!(
+                    "top-level span `{}` has depth {}",
+                    span.name, span.depth
+                ));
+            }
+            stack.push(span);
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceSink {
+    /// Monotonic superstep clock: the number of snapshots taken so far.
+    clock: u64,
+    spans: Vec<Span>,
+    /// Indices into `spans` of currently-open spans.
+    open: Vec<usize>,
+    snapshots: Vec<SuperstepSnapshot>,
+    registry: MetricsRegistry,
+}
+
+/// Cheap, cloneable handle to a trace sink. The default handle is disabled:
+/// every method no-ops after one `Option` branch. Clones share the sink, so
+/// storing a handle on a `Plan` lets `Runner`, vertex programs, and the CLI
+/// all record into one trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHandle(Option<Arc<Mutex<TraceSink>>>);
+
+impl TraceHandle {
+    /// A live handle that records.
+    pub fn enabled() -> TraceHandle {
+        TraceHandle(Some(Arc::new(Mutex::new(TraceSink::default()))))
+    }
+
+    /// The no-op handle (same as `default()`).
+    pub fn disabled() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Current superstep clock (0 when disabled).
+    pub fn clock(&self) -> u64 {
+        self.0.as_ref().map_or(0, |sink| sink.lock().unwrap().clock)
+    }
+
+    /// Opens a span at the current clock.
+    pub fn span_enter(&self, phase: Phase, name: &str) {
+        let Some(sink) = self.0.as_ref() else { return };
+        let mut sink = sink.lock().unwrap();
+        let depth = sink.open.len() as u32;
+        let start = sink.clock;
+        let idx = sink.spans.len();
+        sink.spans.push(Span {
+            phase,
+            name: name.to_string(),
+            start,
+            end: u64::MAX,
+            depth,
+        });
+        sink.open.push(idx);
+    }
+
+    /// Closes the innermost open span at the current clock. Unbalanced
+    /// exits are ignored (never panic inside instrumentation).
+    pub fn span_exit(&self) {
+        let Some(sink) = self.0.as_ref() else { return };
+        let mut sink = sink.lock().unwrap();
+        let clock = sink.clock;
+        if let Some(idx) = sink.open.pop() {
+            sink.spans[idx].end = clock;
+        }
+    }
+
+    /// Records one per-superstep stats snapshot and advances the clock.
+    /// Must be called at a chunk-merge barrier (see module docs); each
+    /// kernel launch must be snapshotted exactly once for the
+    /// snapshot-sum-equals-total invariant to hold.
+    pub fn snapshot(&self, phase: Phase, label: &str, stats: &KernelStats) {
+        let Some(sink) = self.0.as_ref() else { return };
+        let mut sink = sink.lock().unwrap();
+        let clock = sink.clock;
+        sink.snapshots.push(SuperstepSnapshot {
+            clock,
+            phase,
+            label: label.to_string(),
+            stats: *stats,
+        });
+        sink.clock += 1;
+    }
+
+    pub fn add_counter(&self, phase: Phase, name: &str, delta: u64) {
+        if let Some(sink) = self.0.as_ref() {
+            sink.lock()
+                .unwrap()
+                .registry
+                .add_counter(phase, name, delta);
+        }
+    }
+
+    pub fn set_gauge(&self, phase: Phase, name: &str, value: f64) {
+        if let Some(sink) = self.0.as_ref() {
+            sink.lock().unwrap().registry.set_gauge(phase, name, value);
+        }
+    }
+
+    pub fn push_series(&self, phase: Phase, name: &str, value: f64) {
+        if let Some(sink) = self.0.as_ref() {
+            sink.lock()
+                .unwrap()
+                .registry
+                .push_series(phase, name, value);
+        }
+    }
+
+    /// Extracts a copy of everything recorded so far, closing any spans
+    /// left open at the current clock. Returns `None` when disabled.
+    pub fn finish(&self) -> Option<TraceData> {
+        let sink = self.0.as_ref()?;
+        let mut sink = sink.lock().unwrap();
+        let clock = sink.clock;
+        while let Some(idx) = sink.open.pop() {
+            sink.spans[idx].end = clock;
+        }
+        Some(TraceData {
+            spans: sink.spans.clone(),
+            snapshots: sink.snapshots.clone(),
+            registry: sink.registry.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(warp_cycles: u64) -> KernelStats {
+        KernelStats {
+            warp_cycles,
+            launches: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = TraceHandle::disabled();
+        assert!(!t.is_enabled());
+        t.span_enter(Phase::Run, "x");
+        t.snapshot(Phase::Launch, "s", &stats(10));
+        t.add_counter(Phase::Transform, "replicas", 3);
+        t.span_exit();
+        assert_eq!(t.clock(), 0);
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn snapshots_advance_clock_and_sum() {
+        let t = TraceHandle::enabled();
+        t.snapshot(Phase::Launch, "a", &stats(10));
+        t.snapshot(Phase::Launch, "b", &stats(32));
+        assert_eq!(t.clock(), 2);
+        let data = t.finish().unwrap();
+        assert_eq!(data.snapshots.len(), 2);
+        assert_eq!(data.snapshots[0].clock, 0);
+        assert_eq!(data.snapshots[1].clock, 1);
+        let sum = data.superstep_sum();
+        assert_eq!(sum.warp_cycles, 42);
+        assert_eq!(sum.launches, 2);
+    }
+
+    #[test]
+    fn spans_nest_and_verify() {
+        let t = TraceHandle::enabled();
+        t.span_enter(Phase::Run, "run");
+        t.span_enter(Phase::Iteration, "iter-0");
+        t.snapshot(Phase::Launch, "s", &stats(1));
+        t.span_exit();
+        t.span_enter(Phase::Iteration, "iter-1");
+        t.snapshot(Phase::Launch, "s", &stats(1));
+        t.span_exit();
+        t.span_exit();
+        let data = t.finish().unwrap();
+        assert_eq!(data.spans.len(), 3);
+        assert_eq!(data.spans[0].depth, 0);
+        assert_eq!(data.spans[1].depth, 1);
+        assert_eq!(data.spans[1].start, 0);
+        assert_eq!(data.spans[1].end, 1);
+        assert_eq!(data.spans[2].start, 1);
+        data.spans_nest_correctly().unwrap();
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans() {
+        let t = TraceHandle::enabled();
+        t.span_enter(Phase::Run, "run");
+        t.snapshot(Phase::Launch, "s", &stats(1));
+        let data = t.finish().unwrap();
+        assert_eq!(data.spans[0].end, 1);
+        data.spans_nest_correctly().unwrap();
+    }
+
+    #[test]
+    fn nesting_violations_are_detected() {
+        let bad = TraceData {
+            spans: vec![
+                Span {
+                    phase: Phase::Run,
+                    name: "parent".into(),
+                    start: 0,
+                    end: 2,
+                    depth: 0,
+                },
+                Span {
+                    phase: Phase::Iteration,
+                    name: "escapes".into(),
+                    start: 1,
+                    end: 5,
+                    depth: 1,
+                },
+            ],
+            ..Default::default()
+        };
+        assert!(bad.spans_nest_correctly().is_err());
+        let open = TraceData {
+            spans: vec![Span {
+                phase: Phase::Run,
+                name: "open".into(),
+                start: 0,
+                end: u64::MAX,
+                depth: 0,
+            }],
+            ..Default::default()
+        };
+        assert!(open.spans_nest_correctly().is_err());
+    }
+
+    #[test]
+    fn registry_is_deterministically_ordered() {
+        let mut r = MetricsRegistry::default();
+        r.add_counter(Phase::Launch, "zeta", 1);
+        r.add_counter(Phase::Transform, "alpha", 2);
+        r.add_counter(Phase::Launch, "alpha", 3);
+        r.add_counter(Phase::Launch, "alpha", 4);
+        let keys: Vec<String> = r
+            .counters()
+            .map(|((p, n), _)| format!("{}/{}", p.label(), n))
+            .collect();
+        // Phase order first (Transform < Launch), then name order.
+        assert_eq!(keys, vec!["transform/alpha", "launch/alpha", "launch/zeta"]);
+        assert_eq!(r.counter(Phase::Launch, "alpha"), Some(7));
+    }
+
+    #[test]
+    fn series_accumulates_in_order() {
+        let t = TraceHandle::enabled();
+        t.push_series(Phase::Iteration, "residual", 0.5);
+        t.push_series(Phase::Iteration, "residual", 0.25);
+        let data = t.finish().unwrap();
+        assert_eq!(
+            data.registry.series(Phase::Iteration, "residual"),
+            Some(&[0.5, 0.25][..])
+        );
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = TraceHandle::enabled();
+        let t2 = t.clone();
+        t.snapshot(Phase::Launch, "a", &stats(1));
+        t2.snapshot(Phase::Launch, "b", &stats(2));
+        assert_eq!(t.finish().unwrap().snapshots.len(), 2);
+    }
+}

@@ -26,6 +26,7 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
 
     for step in 0..max_len {
         let mut cycles = cfg.issue_cycles;
+        stats.issue_cycles += cfg.issue_cycles;
         segments.clear();
         atomic_addrs.clear();
         atomic_segments.clear();
@@ -73,7 +74,9 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
             segments.sort_unstable();
             segments.dedup();
             stats.global_transactions += segments.len() as u64;
-            cycles += cfg.lat_global * segments.len() as u64;
+            let c = cfg.lat_global * segments.len() as u64;
+            stats.global_cycles += c;
+            cycles += c;
         }
         // Shared memory: base latency plus bank-conflict serialization
         // (largest same-bank group issues serially).
@@ -90,7 +93,9 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
                 }
             }
             stats.bank_conflicts += worst - 1;
-            cycles += cfg.lat_shared * worst;
+            let c = cfg.lat_shared * worst;
+            stats.shared_cycles += c;
+            cycles += c;
         }
         // Atomics: one L2 round trip per distinct segment, plus the largest
         // same-address collision group serializing on top.
@@ -112,7 +117,9 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
                 }
             }
             stats.atomic_collisions += worst - 1;
-            cycles += cfg.lat_atomic * (tx + worst - 1);
+            let c = cfg.lat_atomic * (tx + worst - 1);
+            stats.atomic_cycles += c;
+            cycles += c;
         }
         stats.warp_cycles += cycles;
     }
@@ -248,6 +255,24 @@ mod tests {
             "same-segment atomics must batch: {} vs {}",
             coal_stats.warp_cycles,
             near_stats.warp_cycles
+        );
+    }
+
+    #[test]
+    fn component_cycles_sum_to_warp_cycles() {
+        // Mixed workload: global reads, shared reads with conflicts, atomics
+        // with collisions, divergence. The metered components must partition
+        // the total exactly.
+        let t0 = [read(0), shared_read(0), atomic(5)];
+        let t1 = [read(9), shared_read(4), atomic(5)];
+        let t2 = [read(17), shared_read(1)];
+        let traces = [&t0[..], &t1[..], &t2[..]];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &traces, &mut stats);
+        assert!(stats.warp_cycles > 0);
+        assert_eq!(
+            stats.issue_cycles + stats.global_cycles + stats.shared_cycles + stats.atomic_cycles,
+            stats.warp_cycles
         );
     }
 

@@ -83,6 +83,90 @@ fn top_k_sets_are_robust_to_small_value_errors() {
     assert!(overlap * 2 >= k, "top-{k} overlap collapsed: {overlap}/{k}");
 }
 
+/// Per-iteration convergence residuals, as recorded in the run report's
+/// metric series. EXPERIMENTS.md fixes the iteration policies: PageRank
+/// runs 30 synchronous iterations whose L1 rank delta is a power-iteration
+/// contraction (factor ≤ DAMPING = 0.85 on an exact plan), and SSSP's
+/// finite distance mass settles (replica-bearing plans stop on the 0.1 %
+/// stability criterion).
+#[test]
+fn pagerank_residual_contracts_each_iteration() {
+    let g = graph();
+    let gpu = GpuConfig::k40c();
+    let prepared = Prepared::exact(g.clone());
+    let t = traced_run("test", Algo::Pr, &g, &prepared, Baseline::Lonestar, &gpu, 1);
+    let deltas = t
+        .report
+        .trace
+        .registry
+        .series(Phase::Iteration, "pr-l1-delta")
+        .expect("pr-l1-delta series must be recorded");
+    assert_eq!(deltas.len(), t.run.iterations, "one residual per iteration");
+    assert_eq!(deltas.len(), pagerank::FIXED_ITERS);
+    for (i, pair) in deltas.windows(2).enumerate() {
+        assert!(
+            pair[1] <= pair[0] * pagerank::DAMPING + 1e-12,
+            "iteration {}: delta {} did not contract from {}",
+            i + 1,
+            pair[1],
+            pair[0]
+        );
+    }
+    // After 30 contractions the residual is far below the tolerance scale.
+    assert!(deltas[deltas.len() - 1] < deltas[0] * pagerank::DAMPING.powi(20));
+}
+
+#[test]
+fn sssp_distance_mass_residual_settles() {
+    let g = graph();
+    let gpu = GpuConfig::k40c();
+
+    // Exact plan: slots == nodes, so the recorded final mass must equal
+    // the finite mass of the returned distances, and the last iteration
+    // (which triggered termination) must leave the mass unchanged.
+    let exact = Prepared::exact(g.clone());
+    let t = traced_run("test", Algo::Sssp, &g, &exact, Baseline::Lonestar, &gpu, 1);
+    let mass = t
+        .report
+        .trace
+        .registry
+        .series(Phase::Iteration, "sssp-distance-mass")
+        .expect("sssp-distance-mass series must be recorded");
+    assert_eq!(mass.len(), t.run.iterations);
+    let final_mass: f64 = t.run.values.iter().filter(|x| x.is_finite()).sum();
+    assert!((mass[mass.len() - 1] - final_mass).abs() < 1e-9);
+    assert_eq!(
+        mass[mass.len() - 1],
+        mass[mass.len() - 2],
+        "terminating iteration must not move the distance mass"
+    );
+
+    // Replica-bearing plan: the run stops under the 0.1 % stability
+    // criterion, so the last recorded step must satisfy exactly that bound.
+    let prepared = coalesce::transform(&g, &CoalesceKnobs::for_kind(GraphKind::Rmat));
+    let t = traced_run(
+        "test",
+        Algo::Sssp,
+        &g,
+        &prepared,
+        Baseline::Lonestar,
+        &gpu,
+        1,
+    );
+    let mass = t
+        .report
+        .trace
+        .registry
+        .series(Phase::Iteration, "sssp-distance-mass")
+        .expect("series present on transformed plans too");
+    assert!(mass.len() >= 2);
+    let (last, prev) = (mass[mass.len() - 1], mass[mass.len() - 2]);
+    assert!(
+        (last - prev).abs() <= 1e-3 * last.abs().max(1.0),
+        "stability guard fired outside its own bound: {prev} -> {last}"
+    );
+}
+
 #[test]
 fn unreachable_nodes_counted_properly() {
     // Mixed reachability: the metric must skip both-unreachable nodes and

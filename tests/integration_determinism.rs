@@ -74,6 +74,61 @@ fn pagerank_results_and_stats_identical_at_any_thread_count() {
     }
 }
 
+/// The observability tentpole's determinism clause: the *entire* serialized
+/// run report — spans, superstep snapshots, metric series, value summary —
+/// must be byte-identical at any thread count. Trace recordings only happen
+/// in sequential driver code at chunk-merge barriers, and the monotonic
+/// clock counts snapshots rather than wall time, so this holds by
+/// construction; the test pins it end-to-end for an exact plan and for a
+/// fully transformed plan (replicas + tiles + shortcut edges).
+///
+/// The exact-plan report is also written to
+/// `target/determinism-report.json` so CI can upload it as a build
+/// artifact.
+#[test]
+fn json_report_byte_identical_at_any_thread_count() {
+    let g = GraphSpec::new(GraphKind::SocialLiveJournal, 1_500, 3).generate();
+    let gpu = GpuConfig::k40c();
+    let exact = Prepared::exact(g.clone());
+    let transformed = Pipeline {
+        coalesce: Some(CoalesceKnobs::for_kind(GraphKind::SocialLiveJournal)),
+        latency: Some(LatencyKnobs::for_kind(GraphKind::SocialLiveJournal)),
+        divergence: Some(DivergenceKnobs::for_kind(GraphKind::SocialLiveJournal)),
+    }
+    .apply(&g, &gpu);
+
+    for (prepared, label) in [(&exact, "exact"), (&transformed, "transformed")] {
+        for algo in [Algo::Sssp, Algo::Pr] {
+            let reports: Vec<String> = THREAD_COUNTS
+                .iter()
+                .map(|&n| {
+                    with_threads(n, || {
+                        traced_run("profile", algo, &g, prepared, Baseline::Lonestar, &gpu, 2)
+                            .report
+                            .to_pretty_string()
+                    })
+                })
+                .collect();
+            for (i, r) in reports.iter().enumerate().skip(1) {
+                assert_eq!(
+                    r,
+                    &reports[0],
+                    "{label}/{}: report bytes differ at {} threads",
+                    algo.name(),
+                    THREAD_COUNTS[i]
+                );
+            }
+            if label == "exact" && algo == Algo::Sssp {
+                // Best-effort artifact for CI upload; the assertion above is
+                // the actual test.
+                let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../../target/determinism-report.json");
+                let _ = std::fs::write(path, &reports[0]);
+            }
+        }
+    }
+}
+
 #[test]
 fn transformed_plan_with_confluence_and_tiles_is_deterministic() {
     // The combined pipeline injects replicas (confluence), shortcut edges,
