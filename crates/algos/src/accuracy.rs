@@ -40,6 +40,29 @@ pub fn relative_l1(approx: &[f64], exact: &[f64]) -> f64 {
     }
 }
 
+/// Largest per-vertex absolute error. Pairs follow the same non-finite
+/// rules as [`relative_l1`]: both non-finite contribute nothing, a
+/// finite/non-finite mismatch counts as the mean exact magnitude.
+pub fn max_abs_error(approx: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(approx.len(), exact.len(), "vector length mismatch");
+    let finite: Vec<f64> = exact.iter().copied().filter(|v| v.is_finite()).collect();
+    let mean_mag = if finite.is_empty() {
+        1.0
+    } else {
+        (finite.iter().map(|v| v.abs()).sum::<f64>() / finite.len() as f64).max(f64::MIN_POSITIVE)
+    };
+    let mut max = 0.0f64;
+    for (&a, &e) in approx.iter().zip(exact) {
+        let err = match (a.is_finite(), e.is_finite()) {
+            (true, true) => (a - e).abs(),
+            (false, false) => 0.0,
+            _ => mean_mag,
+        };
+        max = max.max(err);
+    }
+    max
+}
+
 /// Relative difference between two scalar outcomes (SCC count, MST weight):
 /// `|a − e| / max(|e|, 1)`.
 pub fn scalar_inaccuracy(approx: f64, exact: f64) -> f64 {
@@ -91,6 +114,19 @@ mod tests {
     fn zero_exact_vector() {
         assert_eq!(relative_l1(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
         assert_eq!(relative_l1(&[1.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn max_abs_error_basics() {
+        assert_eq!(max_abs_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(max_abs_error(&[11.0, 9.5], &[10.0, 10.0]), 1.0);
+        // Both non-finite: ignored. Mismatch: mean exact magnitude (4).
+        assert_eq!(
+            max_abs_error(&[4.0, f64::INFINITY], &[4.0, f64::INFINITY]),
+            0.0
+        );
+        assert_eq!(max_abs_error(&[4.0, 7.0], &[4.0, f64::INFINITY]), 4.0);
+        assert_eq!(max_abs_error(&[], &[]), 0.0);
     }
 
     #[test]

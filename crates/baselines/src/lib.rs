@@ -46,6 +46,20 @@ impl Baseline {
         }
     }
 
+    /// Stable machine-readable key (bench baselines, gate reports).
+    pub fn key(self) -> &'static str {
+        match self {
+            Baseline::Lonestar => "lonestar",
+            Baseline::Tigr => "tigr",
+            Baseline::Gunrock => "gunrock",
+        }
+    }
+
+    /// Parses a [`Baseline::key`].
+    pub fn from_key(key: &str) -> Option<Baseline> {
+        ALL_BASELINES.into_iter().find(|b| b.key() == key)
+    }
+
     /// Builds the execution plan for `prepared` under this baseline.
     pub fn plan(self, prepared: &Prepared, cfg: &GpuConfig) -> Plan {
         match self {
@@ -80,5 +94,13 @@ mod tests {
         use std::collections::HashSet;
         let labels: HashSet<_> = ALL_BASELINES.iter().map(|b| b.label()).collect();
         assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for b in ALL_BASELINES {
+            assert_eq!(Baseline::from_key(b.key()), Some(b));
+        }
+        assert_eq!(Baseline::from_key("cuda"), None);
     }
 }

@@ -1,0 +1,372 @@
+//! Bench baselines: a committed snapshot of the regression-gate corpus.
+//!
+//! A [`BenchBaseline`] records, for every cell of a small deterministic
+//! corpus (paper suite × technique × gated algorithm under Baseline-I),
+//! the two **gated** metrics — simulated `elapsed_cycles` and `inaccuracy`
+//! vs the exact CPU reference — plus an **informational** wall-clock noise
+//! envelope from N repeated runs. Because the gated metrics are pure
+//! functions of the seeded suite (no wall clock, no thread count), a
+//! baseline file saved on one machine is valid on any other: CI restores a
+//! committed `BENCH_*.json` and compares bit-for-bit comparable numbers.
+//!
+//! Serialized as the `graffix.bench-baseline` v1 schema.
+
+use crate::experiments::{cpu_reference, inaccuracy, run_algo, Algo};
+use crate::suite::{Suite, SuiteOptions};
+use graffix_baselines::Baseline;
+use graffix_core::Technique;
+use graffix_sim::Json;
+use std::time::Instant;
+
+/// Schema identifier for baseline files.
+pub const BASELINE_SCHEMA: &str = "graffix.bench-baseline";
+/// Baseline schema version.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Techniques the gate corpus covers, in order.
+pub const GATE_TECHNIQUES: [Technique; 5] = [
+    Technique::Exact,
+    Technique::Coalescing,
+    Technique::Latency,
+    Technique::Divergence,
+    Technique::Combined,
+];
+
+/// Algorithms the gate corpus runs (one frontier-driven, one fixpoint).
+/// Kept to two so `save-baseline` + `gate` stay fast enough for CI while
+/// still exercising every transform on every graph family.
+pub const GATE_ALGOS: [Algo; 2] = [Algo::Sssp, Algo::Pr];
+
+/// Identity of one corpus cell.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CellKey {
+    /// Paper graph name (`rmat26`, `USA-road`, ...).
+    pub graph: String,
+    /// [`Technique::key`].
+    pub technique: String,
+    /// [`Baseline::key`].
+    pub baseline: String,
+    /// [`Algo::key`].
+    pub algo: String,
+}
+
+impl CellKey {
+    /// Stable single-string id, used in gate reports and error messages.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.graph, self.technique, self.baseline, self.algo
+        )
+    }
+}
+
+/// One measured corpus cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellMeasurement {
+    pub key: CellKey,
+    /// Gated: deterministic simulated elapsed cycles.
+    pub elapsed_cycles: u64,
+    /// Noise envelope of `elapsed_cycles` across repeats. Always 0 for
+    /// the deterministic simulator; recorded so the gate's noise-aware
+    /// threshold generalizes to noisy metrics.
+    pub cycles_stddev: f64,
+    /// Gated: inaccuracy vs the exact CPU reference.
+    pub inaccuracy: f64,
+    /// Informational: mean host wall seconds per run over the repeats.
+    pub wall_seconds_mean: f64,
+    /// Informational: stddev of host wall seconds over the repeats.
+    pub wall_seconds_stddev: f64,
+}
+
+/// Where and how a baseline was produced. `nodes`/`seed`/`bc_sources`
+/// pin the corpus (the gate re-measures with exactly these); the rest is
+/// informational provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fingerprint {
+    /// `GRAFFIX_BENCH_HOST`, or `HOSTNAME`, or `unknown`.
+    pub host: String,
+    pub os: String,
+    pub arch: String,
+    pub nodes: usize,
+    pub seed: u64,
+    pub bc_sources: usize,
+    /// Wall-clock repeats per cell used for the noise envelope.
+    pub repeats: usize,
+}
+
+impl Fingerprint {
+    /// Captures the environment around the given suite options.
+    pub fn capture(options: &SuiteOptions, repeats: usize) -> Fingerprint {
+        let host = std::env::var("GRAFFIX_BENCH_HOST")
+            .or_else(|_| std::env::var("HOSTNAME"))
+            .unwrap_or_else(|_| "unknown".to_string());
+        Fingerprint {
+            host,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            nodes: options.nodes,
+            seed: options.seed,
+            bc_sources: options.bc_sources,
+            repeats,
+        }
+    }
+
+    /// The suite options this fingerprint pins.
+    pub fn suite_options(&self) -> SuiteOptions {
+        SuiteOptions {
+            nodes: self.nodes,
+            seed: self.seed,
+            bc_sources: self.bc_sources,
+        }
+    }
+}
+
+/// A complete saved baseline: fingerprint + one measurement per cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchBaseline {
+    pub fingerprint: Fingerprint,
+    pub cells: Vec<CellMeasurement>,
+}
+
+/// Measures the full gate corpus on `suite`: every (graph, technique)
+/// pair under Baseline-I for each of [`GATE_ALGOS`]. The deterministic
+/// metrics come from the first run; `repeats` total runs feed the
+/// wall-clock noise envelope (and double as a determinism check — the
+/// simulated cycles must not move between repeats).
+pub fn measure_corpus(suite: &Suite, repeats: usize) -> Vec<CellMeasurement> {
+    let repeats = repeats.max(1);
+    let baseline = Baseline::Lonestar;
+    let mut cells = Vec::new();
+    for gi in 0..suite.len() {
+        let original = suite.graph(gi);
+        for technique in GATE_TECHNIQUES {
+            let prepared = suite.prepared(gi, technique);
+            let plan = baseline.plan(&prepared, &suite.cfg);
+            for algo in GATE_ALGOS {
+                let reference = cpu_reference(suite, gi, algo);
+                let mut cycles = Vec::with_capacity(repeats);
+                let mut walls = Vec::with_capacity(repeats);
+                let mut inacc = 0.0;
+                for rep in 0..repeats {
+                    let t0 = Instant::now();
+                    let run = run_algo(suite, &plan, algo, original);
+                    walls.push(t0.elapsed().as_secs_f64());
+                    cycles.push(run.cycles);
+                    if rep == 0 {
+                        inacc = inaccuracy(&run.value, &reference);
+                    }
+                }
+                let (wall_mean, wall_stddev) = mean_stddev(&walls);
+                let cycle_vals: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+                let (_, cycles_stddev) = mean_stddev(&cycle_vals);
+                cells.push(CellMeasurement {
+                    key: CellKey {
+                        graph: suite.kind(gi).paper_name().to_string(),
+                        technique: technique.key().to_string(),
+                        baseline: baseline.key().to_string(),
+                        algo: algo.key().to_string(),
+                    },
+                    elapsed_cycles: cycles[0],
+                    cycles_stddev,
+                    inaccuracy: inacc,
+                    wall_seconds_mean: wall_mean,
+                    wall_seconds_stddev: wall_stddev,
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn mean_stddev(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+impl BenchBaseline {
+    /// Measures the corpus with freshly captured environment provenance.
+    pub fn capture(suite: &Suite, repeats: usize) -> BenchBaseline {
+        BenchBaseline {
+            fingerprint: Fingerprint::capture(&suite.options, repeats),
+            cells: measure_corpus(suite, repeats),
+        }
+    }
+
+    /// Looks a cell up by id.
+    pub fn cell(&self, id: &str) -> Option<&CellMeasurement> {
+        self.cells.iter().find(|c| c.key.id() == id)
+    }
+
+    /// Serializes to the `graffix.bench-baseline` document.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("schema", Json::Str(BASELINE_SCHEMA.to_string()));
+        root.set("version", Json::U64(BASELINE_VERSION));
+        let f = &self.fingerprint;
+        let mut fp = Json::obj();
+        fp.set("host", Json::Str(f.host.clone()));
+        fp.set("os", Json::Str(f.os.clone()));
+        fp.set("arch", Json::Str(f.arch.clone()));
+        fp.set("nodes", Json::U64(f.nodes as u64));
+        fp.set("seed", Json::U64(f.seed));
+        fp.set("bc_sources", Json::U64(f.bc_sources as u64));
+        fp.set("repeats", Json::U64(f.repeats as u64));
+        root.set("fingerprint", fp);
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut o = Json::obj();
+                o.set("graph", Json::Str(c.key.graph.clone()));
+                o.set("technique", Json::Str(c.key.technique.clone()));
+                o.set("baseline", Json::Str(c.key.baseline.clone()));
+                o.set("algo", Json::Str(c.key.algo.clone()));
+                o.set("elapsed_cycles", Json::U64(c.elapsed_cycles));
+                o.set("cycles_stddev", Json::F64(c.cycles_stddev));
+                o.set("inaccuracy", Json::F64(c.inaccuracy));
+                o.set("wall_seconds_mean", Json::F64(c.wall_seconds_mean));
+                o.set("wall_seconds_stddev", Json::F64(c.wall_seconds_stddev));
+                o
+            })
+            .collect();
+        root.set("cells", Json::Arr(cells));
+        root
+    }
+
+    /// The serialized document (pretty JSON, trailing newline).
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parses a `graffix.bench-baseline` document.
+    pub fn from_json(doc: &Json) -> Result<BenchBaseline, String> {
+        let schema = str_field(doc, "schema")?;
+        if schema != BASELINE_SCHEMA {
+            return Err(format!(
+                "schema is `{schema}`, expected `{BASELINE_SCHEMA}`"
+            ));
+        }
+        let version = u64_field(doc, "version")?;
+        if version != BASELINE_VERSION {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        let fp = doc.get("fingerprint").ok_or("missing `fingerprint`")?;
+        let fingerprint = Fingerprint {
+            host: str_field(fp, "host")?,
+            os: str_field(fp, "os")?,
+            arch: str_field(fp, "arch")?,
+            nodes: u64_field(fp, "nodes")? as usize,
+            seed: u64_field(fp, "seed")?,
+            bc_sources: u64_field(fp, "bc_sources")? as usize,
+            repeats: u64_field(fp, "repeats")? as usize,
+        };
+        let mut cells = Vec::new();
+        for c in doc
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing `cells` array")?
+        {
+            cells.push(CellMeasurement {
+                key: CellKey {
+                    graph: str_field(c, "graph")?,
+                    technique: str_field(c, "technique")?,
+                    baseline: str_field(c, "baseline")?,
+                    algo: str_field(c, "algo")?,
+                },
+                elapsed_cycles: u64_field(c, "elapsed_cycles")?,
+                cycles_stddev: f64_field(c, "cycles_stddev")?,
+                inaccuracy: f64_field(c, "inaccuracy")?,
+                wall_seconds_mean: f64_field(c, "wall_seconds_mean")?,
+                wall_seconds_stddev: f64_field(c, "wall_seconds_stddev")?,
+            });
+        }
+        Ok(BenchBaseline { fingerprint, cells })
+    }
+
+    /// Parses from serialized text.
+    pub fn parse(text: &str) -> Result<BenchBaseline, String> {
+        BenchBaseline::from_json(&Json::parse(text)?)
+    }
+}
+
+fn str_field(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing u64 field `{key}`"))
+}
+
+fn f64_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing f64 field `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Suite {
+        Suite::new(SuiteOptions {
+            nodes: 200,
+            seed: 3,
+            bc_sources: 2,
+        })
+    }
+
+    #[test]
+    fn corpus_covers_every_cell_once() {
+        let s = tiny();
+        let cells = measure_corpus(&s, 1);
+        assert_eq!(
+            cells.len(),
+            s.len() * GATE_TECHNIQUES.len() * GATE_ALGOS.len()
+        );
+        let mut ids: Vec<String> = cells.iter().map(|c| c.key.id()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "cell ids must be unique");
+    }
+
+    #[test]
+    fn gated_metrics_are_deterministic_across_repeats() {
+        let s = tiny();
+        for c in measure_corpus(&s, 2) {
+            assert_eq!(c.cycles_stddev, 0.0, "{} cycles moved", c.key.id());
+            assert!(c.inaccuracy.is_finite() && c.inaccuracy >= 0.0);
+            assert!(c.wall_seconds_mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let s = tiny();
+        let b = BenchBaseline::capture(&s, 1);
+        let text = b.to_pretty_string();
+        let back = BenchBaseline::parse(&text).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.to_pretty_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let s = tiny();
+        let mut doc = Json::parse(&BenchBaseline::capture(&s, 1).to_pretty_string()).unwrap();
+        doc.set("schema", Json::Str("nope".into()));
+        assert!(BenchBaseline::from_json(&doc).is_err());
+        doc.set("schema", Json::Str(BASELINE_SCHEMA.into()));
+        doc.set("version", Json::U64(9));
+        assert!(BenchBaseline::from_json(&doc).is_err());
+    }
+}

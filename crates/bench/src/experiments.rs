@@ -31,6 +31,22 @@ impl Algo {
             Algo::Bc => "BC",
         }
     }
+
+    /// Stable machine-readable key (bench baselines, gate reports).
+    pub fn key(self) -> &'static str {
+        match self {
+            Algo::Sssp => "sssp",
+            Algo::Mst => "mst",
+            Algo::Scc => "scc",
+            Algo::Pr => "pr",
+            Algo::Bc => "bc",
+        }
+    }
+
+    /// Parses an [`Algo::key`].
+    pub fn from_key(key: &str) -> Option<Algo> {
+        ALL_ALGOS.into_iter().find(|a| a.key() == key)
+    }
 }
 
 /// Order used by Tables 2 and 6–8.

@@ -1,0 +1,410 @@
+//! The noise-aware regression gate: compare a fresh corpus measurement
+//! against a committed [`BenchBaseline`] and fail loudly on perf
+//! regressions or accuracy drift.
+//!
+//! For each gated metric the allowance is
+//! `max(rel_tol · base, sigma_k · stddev, abs_floor)` — a relative band
+//! for healthy signals, a sigma band when the baseline recorded noise,
+//! and an absolute floor so near-zero baselines (exact cells have ~0
+//! inaccuracy) don't produce hair-trigger thresholds. A cell regresses
+//! when its current value exceeds `base + allowance`; it improves when it
+//! drops below `base − allowance`. Improvements and regressions are both
+//! reported, but only regressions (and missing cells) fail the gate.
+//!
+//! Output is a human diff table plus a machine-readable
+//! `graffix.gate-report` v1 document.
+
+use crate::baseline::{BenchBaseline, CellMeasurement};
+use crate::suite::Suite;
+use crate::tables::TextTable;
+use graffix_sim::Json;
+
+/// Schema identifier for gate reports.
+pub const GATE_SCHEMA: &str = "graffix.gate-report";
+/// Gate report schema version.
+pub const GATE_VERSION: u64 = 1;
+
+/// Gate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct GateOptions {
+    /// Relative tolerance on each gated metric (0.05 = 5%).
+    pub rel_tol: f64,
+    /// Sigma multiplier on the baseline's recorded noise envelope.
+    pub sigma_k: f64,
+    /// Absolute cycle allowance floor (launch-overhead granularity).
+    pub abs_floor_cycles: f64,
+    /// Absolute inaccuracy allowance floor (guards exact cells whose
+    /// baseline inaccuracy is ~0).
+    pub abs_floor_inaccuracy: f64,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        GateOptions {
+            rel_tol: 0.05,
+            sigma_k: 3.0,
+            abs_floor_cycles: 500.0,
+            abs_floor_inaccuracy: 1e-6,
+        }
+    }
+}
+
+impl GateOptions {
+    /// The allowance band around a baseline value.
+    fn allowance(&self, base: f64, stddev: f64, abs_floor: f64) -> f64 {
+        (self.rel_tol * base.abs())
+            .max(self.sigma_k * stddev)
+            .max(abs_floor)
+    }
+}
+
+/// Verdict for one cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Within the allowance band on both metrics.
+    Ok,
+    /// At least one metric improved beyond the band (and none regressed).
+    Improved,
+    /// Current cycles exceed baseline + allowance.
+    PerfRegression,
+    /// Current inaccuracy exceeds baseline + allowance.
+    AccuracyDrift,
+    /// Cell present in the baseline but not measured now.
+    Missing,
+    /// Cell measured now but absent from the baseline (not a failure —
+    /// save a new baseline to start tracking it).
+    New,
+}
+
+impl CellStatus {
+    /// Stable serialization label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Improved => "improved",
+            CellStatus::PerfRegression => "perf-regression",
+            CellStatus::AccuracyDrift => "accuracy-drift",
+            CellStatus::Missing => "missing",
+            CellStatus::New => "new",
+        }
+    }
+
+    /// Does this status fail the gate?
+    pub fn is_failure(self) -> bool {
+        matches!(
+            self,
+            CellStatus::PerfRegression | CellStatus::AccuracyDrift | CellStatus::Missing
+        )
+    }
+}
+
+/// One gate comparison row.
+#[derive(Clone, Debug)]
+pub struct CellVerdict {
+    pub id: String,
+    pub status: CellStatus,
+    pub base_cycles: u64,
+    pub cur_cycles: u64,
+    pub cycles_allowance: f64,
+    pub base_inaccuracy: f64,
+    pub cur_inaccuracy: f64,
+    pub inaccuracy_allowance: f64,
+}
+
+/// The whole gate outcome.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    pub options: GateOptions,
+    pub verdicts: Vec<CellVerdict>,
+}
+
+impl GateReport {
+    /// Cells that fail the gate, in order.
+    pub fn failures(&self) -> Vec<&CellVerdict> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.status.is_failure())
+            .collect()
+    }
+
+    /// True when nothing regressed, drifted, or went missing.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Count of verdicts with the given status.
+    pub fn count(&self, status: CellStatus) -> usize {
+        self.verdicts.iter().filter(|v| v.status == status).count()
+    }
+
+    /// The human-facing diff table: one row per cell that is not plain
+    /// `Ok` (an unchanged tree produces an empty table), plus a summary
+    /// row section via [`TextTable::render`].
+    pub fn diff_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!(
+                "Regression gate: {} cells — {} ok, {} improved, {} failed",
+                self.verdicts.len(),
+                self.count(CellStatus::Ok),
+                self.count(CellStatus::Improved),
+                self.failures().len()
+            ),
+            &[
+                "Cell",
+                "Status",
+                "Cycles (base)",
+                "Cycles (now)",
+                "Inaccuracy (base)",
+                "Inaccuracy (now)",
+            ],
+        );
+        for v in &self.verdicts {
+            if v.status == CellStatus::Ok {
+                continue;
+            }
+            t.row(vec![
+                v.id.clone(),
+                v.status.label().to_string(),
+                v.base_cycles.to_string(),
+                v.cur_cycles.to_string(),
+                format!("{:.3e}", v.base_inaccuracy),
+                format!("{:.3e}", v.cur_inaccuracy),
+            ]);
+        }
+        t
+    }
+
+    /// Serializes the `graffix.gate-report` document.
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::obj();
+        root.set("schema", Json::Str(GATE_SCHEMA.to_string()));
+        root.set("version", Json::U64(GATE_VERSION));
+        let mut opts = Json::obj();
+        opts.set("rel_tol", Json::F64(self.options.rel_tol));
+        opts.set("sigma_k", Json::F64(self.options.sigma_k));
+        opts.set("abs_floor_cycles", Json::F64(self.options.abs_floor_cycles));
+        opts.set(
+            "abs_floor_inaccuracy",
+            Json::F64(self.options.abs_floor_inaccuracy),
+        );
+        root.set("options", opts);
+        root.set("passed", Json::Bool(self.passed()));
+        let mut summary = Json::obj();
+        for status in [
+            CellStatus::Ok,
+            CellStatus::Improved,
+            CellStatus::PerfRegression,
+            CellStatus::AccuracyDrift,
+            CellStatus::Missing,
+            CellStatus::New,
+        ] {
+            summary.set(status.label(), Json::U64(self.count(status) as u64));
+        }
+        root.set("summary", summary);
+        let cells = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                let mut o = Json::obj();
+                o.set("id", Json::Str(v.id.clone()));
+                o.set("status", Json::Str(v.status.label().to_string()));
+                o.set("base_cycles", Json::U64(v.base_cycles));
+                o.set("cur_cycles", Json::U64(v.cur_cycles));
+                o.set("cycles_allowance", Json::F64(v.cycles_allowance));
+                o.set("base_inaccuracy", Json::F64(v.base_inaccuracy));
+                o.set("cur_inaccuracy", Json::F64(v.cur_inaccuracy));
+                o.set("inaccuracy_allowance", Json::F64(v.inaccuracy_allowance));
+                o
+            })
+            .collect();
+        root.set("cells", Json::Arr(cells));
+        root
+    }
+
+    /// The serialized document (pretty JSON, trailing newline).
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+}
+
+/// Compares one cell pair.
+fn judge(opts: &GateOptions, base: &CellMeasurement, cur: &CellMeasurement) -> CellVerdict {
+    let cycles_allowance = opts.allowance(
+        base.elapsed_cycles as f64,
+        base.cycles_stddev,
+        opts.abs_floor_cycles,
+    );
+    let inaccuracy_allowance = opts.allowance(base.inaccuracy, 0.0, opts.abs_floor_inaccuracy);
+    let dc = cur.elapsed_cycles as f64 - base.elapsed_cycles as f64;
+    let di = cur.inaccuracy - base.inaccuracy;
+    let status = if dc > cycles_allowance {
+        CellStatus::PerfRegression
+    } else if di > inaccuracy_allowance {
+        CellStatus::AccuracyDrift
+    } else if dc < -cycles_allowance || di < -inaccuracy_allowance {
+        CellStatus::Improved
+    } else {
+        CellStatus::Ok
+    };
+    CellVerdict {
+        id: base.key.id(),
+        status,
+        base_cycles: base.elapsed_cycles,
+        cur_cycles: cur.elapsed_cycles,
+        cycles_allowance,
+        base_inaccuracy: base.inaccuracy,
+        cur_inaccuracy: cur.inaccuracy,
+        inaccuracy_allowance,
+    }
+}
+
+/// Evaluates current measurements against a saved baseline. Order follows
+/// the baseline's cells; purely-new cells are appended.
+pub fn evaluate(
+    opts: GateOptions,
+    baseline: &BenchBaseline,
+    current: &[CellMeasurement],
+) -> GateReport {
+    let mut verdicts = Vec::new();
+    for base in &baseline.cells {
+        match current.iter().find(|c| c.key == base.key) {
+            Some(cur) => verdicts.push(judge(&opts, base, cur)),
+            None => verdicts.push(CellVerdict {
+                id: base.key.id(),
+                status: CellStatus::Missing,
+                base_cycles: base.elapsed_cycles,
+                cur_cycles: 0,
+                cycles_allowance: 0.0,
+                base_inaccuracy: base.inaccuracy,
+                cur_inaccuracy: f64::NAN,
+                inaccuracy_allowance: 0.0,
+            }),
+        }
+    }
+    for cur in current {
+        if !baseline.cells.iter().any(|b| b.key == cur.key) {
+            verdicts.push(CellVerdict {
+                id: cur.key.id(),
+                status: CellStatus::New,
+                base_cycles: 0,
+                cur_cycles: cur.elapsed_cycles,
+                cycles_allowance: 0.0,
+                base_inaccuracy: f64::NAN,
+                cur_inaccuracy: cur.inaccuracy,
+                inaccuracy_allowance: 0.0,
+            });
+        }
+    }
+    GateReport {
+        options: opts,
+        verdicts,
+    }
+}
+
+/// Re-measures the corpus pinned by `baseline`'s fingerprint and gates it.
+/// The suite is rebuilt from the recorded `nodes`/`seed`/`bc_sources`, so
+/// the comparison is apples-to-apples on any machine.
+pub fn run_gate(opts: GateOptions, baseline: &BenchBaseline) -> GateReport {
+    let suite = Suite::new(baseline.fingerprint.suite_options());
+    let current = crate::baseline::measure_corpus(&suite, baseline.fingerprint.repeats);
+    evaluate(opts, baseline, &current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::measure_corpus;
+    use crate::suite::SuiteOptions;
+
+    fn tiny_baseline() -> BenchBaseline {
+        let suite = Suite::new(SuiteOptions {
+            nodes: 200,
+            seed: 3,
+            bc_sources: 2,
+        });
+        BenchBaseline {
+            fingerprint: crate::baseline::Fingerprint::capture(&suite.options, 1),
+            cells: measure_corpus(&suite, 1),
+        }
+    }
+
+    #[test]
+    fn unchanged_tree_passes() {
+        let b = tiny_baseline();
+        let report = run_gate(GateOptions::default(), &b);
+        assert!(report.passed(), "failures: {:?}", report.failures());
+        assert_eq!(report.count(CellStatus::Ok), b.cells.len());
+        // And again — the gate must be replayable without false positives.
+        assert!(run_gate(GateOptions::default(), &b).passed());
+    }
+
+    #[test]
+    fn doubled_cycles_fail_naming_the_cell() {
+        let mut b = tiny_baseline();
+        let cur = b.cells.clone();
+        // Halve one baseline cell's cycles: the current (unchanged) run
+        // now looks 2x slower than the recorded baseline.
+        b.cells[3].elapsed_cycles /= 2;
+        let report = evaluate(GateOptions::default(), &b, &cur);
+        assert!(!report.passed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].status, CellStatus::PerfRegression);
+        assert_eq!(failures[0].id, b.cells[3].key.id());
+        assert!(report.to_pretty_string().contains(&b.cells[3].key.id()));
+    }
+
+    #[test]
+    fn doubled_inaccuracy_fails_as_drift() {
+        let b = tiny_baseline();
+        let mut cur = b.cells.clone();
+        // Find a cell with measurable inaccuracy and double it.
+        let i = cur
+            .iter()
+            .position(|c| c.inaccuracy > 1e-3)
+            .expect("corpus has an approximate cell with real inaccuracy");
+        cur[i].inaccuracy *= 2.0;
+        let report = evaluate(GateOptions::default(), &b, &cur);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].status, CellStatus::AccuracyDrift);
+        assert_eq!(failures[0].id, cur[i].key.id());
+    }
+
+    #[test]
+    fn missing_and_new_cells_are_flagged() {
+        let b = tiny_baseline();
+        let mut cur = b.cells.clone();
+        let dropped = cur.remove(0);
+        let mut extra = dropped.clone();
+        extra.key.graph = "extra-graph".into();
+        cur.push(extra);
+        let report = evaluate(GateOptions::default(), &b, &cur);
+        assert_eq!(report.count(CellStatus::Missing), 1);
+        assert_eq!(report.count(CellStatus::New), 1);
+        assert!(!report.passed(), "missing cells must fail the gate");
+    }
+
+    #[test]
+    fn improvement_does_not_fail() {
+        let b = tiny_baseline();
+        let mut cur = b.cells.clone();
+        cur[0].elapsed_cycles = (cur[0].elapsed_cycles / 2).max(1);
+        let report = evaluate(GateOptions::default(), &b, &cur);
+        assert!(report.passed());
+        assert_eq!(report.count(CellStatus::Improved), 1);
+    }
+
+    #[test]
+    fn gate_report_json_is_well_formed() {
+        let b = tiny_baseline();
+        let report = evaluate(GateOptions::default(), &b, &b.cells);
+        let doc = Json::parse(&report.to_pretty_string()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(GATE_SCHEMA));
+        assert_eq!(doc.get("passed"), Some(&Json::Bool(true)));
+        assert_eq!(
+            doc.path(&["summary", "ok"]).and_then(Json::as_u64),
+            Some(b.cells.len() as u64)
+        );
+    }
+}

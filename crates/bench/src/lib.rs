@@ -9,11 +9,15 @@
 //! The `paper_tables` and `figures` binaries drive this library; the
 //! Criterion benches reuse the same entry points at reduced scale.
 
+pub mod baseline;
 pub mod experiments;
+pub mod gate;
 pub mod report;
 pub mod suite;
 pub mod tables;
 
+pub use baseline::{BenchBaseline, CellKey, CellMeasurement, Fingerprint};
 pub use experiments::{measure, run_algo, Algo, Measurement, ALL_ALGOS, CORE_ALGOS};
+pub use gate::{evaluate, run_gate, CellStatus, GateOptions, GateReport};
 pub use suite::{Suite, SuiteOptions};
 pub use tables::TextTable;

@@ -6,19 +6,32 @@
 //! graffix profile  --in g.gfx                              # traced run -> JSON report
 //! graffix transform --in g.gfx --technique coalescing --out t.gfx
 //! graffix run      --in g.gfx --algo sssp [--technique coalescing] [--baseline lonestar]
+//! graffix bench    --save-baseline BENCH_ci.json | --gate BENCH_ci.json
+//! graffix report   verify report.json
 //! ```
 //!
 //! `profile` executes one algorithm (default `sssp`) with the observability
-//! layer enabled and emits a `graffix.run-report` JSON document — spans,
-//! per-superstep stats, metrics, cost breakdown — to `--report-json PATH`
-//! or stdout. `run` accepts the same `--report-json PATH` to save a report
-//! alongside its human-readable output. Reports are byte-identical at any
-//! `--threads` value.
+//! layer enabled and emits a `graffix.run-report` v2 JSON document — spans,
+//! per-superstep stats, metrics, cost breakdown, accuracy attribution, and
+//! transform provenance — to `--report-json PATH` or stdout. `run` accepts
+//! the same `--report-json PATH` to save a report alongside its
+//! human-readable output. Reports are byte-identical at any `--threads`
+//! value.
+//!
+//! `bench --save-baseline` measures the deterministic gate corpus and
+//! writes a `graffix.bench-baseline` file; `bench --gate` re-measures and
+//! fails (exit 1) on perf regressions or accuracy drift.
+//!
+//! Human diagnostics go to stderr and can be silenced with `--quiet` (or
+//! `GRAFFIX_LOG=quiet`); machine-readable output on stdout stays pure.
 //!
 //! Graph files: `.gfx` (binary GFX1), `.gr` (DIMACS), anything else is read
 //! as a whitespace edge list.
 
 use graffix::prelude::*;
+use graffix::{log_info, logging};
+use graffix_bench::gate::{GateOptions, GATE_SCHEMA};
+use graffix_bench::{BenchBaseline, Suite, SuiteOptions};
 use graffix_graph::{io as gio, serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -26,22 +39,32 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graffix <generate|convert|profile|transform|run> [--key value]...\n\
+        "usage: graffix <generate|convert|profile|transform|run|bench|report> [--key value]...\n\
          \n\
          generate  --kind rmat|random|livejournal|twitter|road [--nodes N] [--seed S] --out FILE\n\
          convert   --in FILE --out FILE\n\
          profile   --in FILE [--seed S] [--algo A] [--technique T] [--baseline B]\n\
-                   [--bc-sources N] [--report-json FILE]   traced run -> JSON report\n\
+                   [--bc-sources N] [--accuracy on|off] [--report-json FILE]\n\
+                   traced run -> JSON report (v2: accuracy attribution + provenance)\n\
          transform --in FILE --technique coalescing|latency|divergence|combined [--threshold T] --out FILE\n\
          run       --in FILE --algo sssp|bfs|pr|bc|scc|mst|wcc [--technique ...] [--baseline lonestar|tigr|gunrock]\n\
                    [--report-json FILE]\n\
+         bench     --save-baseline FILE [--nodes N] [--seed S] [--bc-sources N] [--repeats N]\n\
+                   measure the gate corpus and save a bench baseline\n\
+         bench     --gate FILE [--gate-report FILE] [--rel-tol X] [--sigma K]\n\
+                   re-measure and compare; exit 1 on regression or drift\n\
+         report    verify FILE   schema-verify a run report (v1 or v2) from disk\n\
          \n\
          global    --threads N  host threads for the parallel engine (default:\n\
                    GRAFFIX_THREADS env var, else all cores); results are\n\
-                   identical at any thread count"
+                   identical at any thread count\n\
+         global    --quiet      silence stderr diagnostics (also: GRAFFIX_LOG=quiet|info|debug)"
     );
     exit(2);
 }
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["quiet"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -51,6 +74,10 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             eprintln!("unexpected argument: {a}");
             usage();
         };
+        if BOOL_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), "1".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             eprintln!("--{key} needs a value");
             usage();
@@ -103,42 +130,50 @@ fn kind_of(name: &str) -> GraphKind {
     }
 }
 
-fn prepare(g: &Csr, technique: Option<&str>, threshold: Option<f64>, gpu: &GpuConfig) -> Prepared {
+/// Builds the pipeline for a technique name and applies it. The pipeline
+/// is returned alongside the prepared graph so callers can toggle stages
+/// off for error attribution (the v2 `accuracy` section).
+fn prepare(
+    g: &Csr,
+    technique: Option<&str>,
+    threshold: Option<f64>,
+    gpu: &GpuConfig,
+) -> (Prepared, Pipeline) {
     let tuned = auto_tune(g, 7);
-    match technique {
-        None | Some("exact") => Prepared::exact(g.clone()),
+    let pipeline = match technique {
+        None | Some("exact") => Pipeline::default(),
         Some("coalescing") => {
             let mut k = tuned.coalesce;
             if let Some(t) = threshold {
                 k.threshold = t;
             }
-            coalesce::transform(g, &k)
+            Pipeline::default().with_coalesce(k)
         }
         Some("latency") => {
             let mut k = tuned.latency;
             if let Some(t) = threshold {
                 k.cc_threshold = t;
             }
-            latency::transform(g, &k, gpu)
+            Pipeline::default().with_latency(k)
         }
         Some("divergence") => {
             let mut k = tuned.divergence;
             if let Some(t) = threshold {
                 k.degree_sim_threshold = t;
             }
-            divergence::transform(g, &k, gpu.warp_size)
+            Pipeline::default().with_divergence(k)
         }
         Some("combined") => Pipeline {
             coalesce: Some(tuned.coalesce),
             latency: Some(tuned.latency),
             divergence: Some(tuned.divergence),
-        }
-        .apply(g, gpu),
+        },
         Some(other) => {
             eprintln!("unknown technique: {other}");
             usage();
         }
-    }
+    };
+    (pipeline.apply(g, gpu), pipeline)
 }
 
 fn parse_baseline(name: Option<&str>) -> Baseline {
@@ -167,7 +202,7 @@ fn emit_report(report: &RunReport, path: Option<&str>, stdout_fallback: bool) {
                 eprintln!("could not write {p}: {e}");
                 exit(1);
             }
-            println!("wrote report {p}");
+            log_info!("wrote report {p}");
         }
         None if stdout_fallback => print!("{text}"),
         None => {}
@@ -179,7 +214,19 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
+    // `report verify FILE` takes positionals; peel them off before flag
+    // parsing.
+    let (positionals, rest) = if cmd == "report" {
+        let n = rest.iter().take_while(|a| !a.starts_with("--")).count();
+        (rest[..n].to_vec(), &rest[n..])
+    } else {
+        (Vec::new(), rest)
+    };
     let mut flags = parse_flags(rest);
+    logging::init_from_env();
+    if flags.remove("quiet").is_some() {
+        logging::set_level(logging::LogLevel::Quiet);
+    }
     // Scoped rayon pool: every parallel superstep inside this command runs
     // on exactly N host threads (the engine is deterministic regardless).
     let threads = flags.remove("threads").map(|t| match t.parse::<usize>() {
@@ -194,12 +241,12 @@ fn main() {
             .num_threads(n)
             .build()
             .expect("thread pool")
-            .install(|| dispatch(cmd, &flags)),
-        None => dispatch(cmd, &flags),
+            .install(|| dispatch(cmd, &positionals, &flags)),
+        None => dispatch(cmd, &positionals, &flags),
     }
 }
 
-fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
+fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) {
     let get = |key: &str| -> &str {
         flags.get(key).map(String::as_str).unwrap_or_else(|| {
             eprintln!("missing --{key}");
@@ -219,7 +266,7 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
                 .map_or(1, |s| s.parse().expect("bad --seed"));
             let g = GraphSpec::new(kind, nodes, seed).generate();
             save(&g, get("out"));
-            println!(
+            log_info!(
                 "wrote {} ({} nodes, {} edges)",
                 get("out"),
                 g.num_nodes(),
@@ -229,7 +276,7 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
         "convert" => {
             let g = load(get("in"));
             save(&g, get("out"));
-            println!("converted {} -> {}", get("in"), get("out"));
+            log_info!("converted {} -> {}", get("in"), get("out"));
         }
         "profile" => {
             let g = load(get("in"));
@@ -240,11 +287,11 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
             let p = tuned.profile;
             // Structural/knob diagnostics go to stderr so stdout can stay a
             // pure JSON document when no --report-json path is given.
-            eprintln!("nodes           {}", p.nodes);
-            eprintln!("edges           {}", p.edges);
-            eprintln!("max degree      {}", p.max_degree);
-            eprintln!("mean degree     {:.2}", p.mean_degree);
-            eprintln!(
+            log_info!("nodes           {}", p.nodes);
+            log_info!("edges           {}", p.edges);
+            log_info!("max degree      {}", p.max_degree);
+            log_info!("mean degree     {:.2}", p.mean_degree);
+            log_info!(
                 "degree skew     {:.1} ({})",
                 p.skew,
                 if p.power_law_like {
@@ -253,19 +300,20 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
                     "near-uniform"
                 }
             );
-            eprintln!("avg clustering  {:.4}", p.avg_clustering);
-            eprintln!();
-            eprintln!("recommended knobs (paper section 5 guidelines):");
-            eprintln!(
+            log_info!("avg clustering  {:.4}", p.avg_clustering);
+            log_info!("");
+            log_info!("recommended knobs (paper section 5 guidelines):");
+            log_info!(
                 "  coalescing  connectedness threshold {:.2}, k {}",
-                tuned.coalesce.threshold, tuned.coalesce.chunk_size
+                tuned.coalesce.threshold,
+                tuned.coalesce.chunk_size
             );
-            eprintln!(
+            log_info!(
                 "  latency     CC threshold {:.2}, edge budget {:.0}%",
                 tuned.latency.cc_threshold,
                 tuned.latency.edge_budget_frac * 100.0
             );
-            eprintln!(
+            log_info!(
                 "  divergence  degreeSim threshold {:.2}, fill {:.0}%",
                 tuned.divergence.degree_sim_threshold,
                 tuned.divergence.fill_fraction * 100.0
@@ -281,7 +329,7 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
             let threshold = flags
                 .get("threshold")
                 .map(|t| t.parse().expect("bad --threshold"));
-            let prepared = prepare(
+            let (prepared, pipeline) = prepare(
                 &g,
                 flags.get("technique").map(String::as_str),
                 threshold,
@@ -291,7 +339,27 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
             let bc_sources = flags
                 .get("bc-sources")
                 .map_or(4, |s| s.parse().expect("bad --bc-sources"));
-            let traced = traced_run("profile", algo, &g, &prepared, baseline, &gpu, bc_sources);
+            let accuracy = match flags.get("accuracy").map(String::as_str) {
+                None | Some("on") => true,
+                Some("off") => false,
+                Some(other) => {
+                    eprintln!("bad --accuracy value: {other} (want on|off)");
+                    usage();
+                }
+            };
+            let traced = observed_run(
+                RunSpec {
+                    command: "profile",
+                    algo,
+                    baseline,
+                    bc_sources,
+                    accuracy,
+                    pipeline: Some(&pipeline),
+                },
+                &g,
+                &prepared,
+                &gpu,
+            );
             emit_report(
                 &traced.report,
                 flags.get("report-json").map(String::as_str),
@@ -303,7 +371,7 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
             let threshold = flags
                 .get("threshold")
                 .map(|t| t.parse().expect("bad --threshold"));
-            let prepared = prepare(&g, Some(get("technique")), threshold, &gpu);
+            let (prepared, _) = prepare(&g, Some(get("technique")), threshold, &gpu);
             save(&prepared.graph, get("out"));
             let r = &prepared.report;
             println!("technique        {}", r.technique_label);
@@ -318,14 +386,14 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
                 r.replicas, r.holes_filled, r.holes_created
             );
             println!("space overhead   {:.1}%", r.space_overhead * 100.0);
-            println!("wrote {}", get("out"));
+            log_info!("wrote {}", get("out"));
         }
         "run" => {
             let g = load(get("in"));
             let threshold = flags
                 .get("threshold")
                 .map(|t| t.parse().expect("bad --threshold"));
-            let prepared = prepare(
+            let (prepared, _) = prepare(
                 &g,
                 flags.get("technique").map(String::as_str),
                 threshold,
@@ -403,6 +471,148 @@ fn dispatch(cmd: &str, flags: &HashMap<String, String>) {
                 emit_report(&report, report_json, false);
             }
         }
+        "bench" => bench(flags),
+        "report" => report_cmd(positionals),
         _ => usage(),
     }
+}
+
+/// `bench --save-baseline FILE` / `bench --gate FILE`.
+fn bench(flags: &HashMap<String, String>) {
+    let repeats = flags
+        .get("repeats")
+        .map_or(3, |r| r.parse().expect("bad --repeats"));
+    match (flags.get("save-baseline"), flags.get("gate")) {
+        (Some(path), None) => {
+            let mut options = SuiteOptions::from_env();
+            if let Some(n) = flags.get("nodes") {
+                options.nodes = n.parse().expect("bad --nodes");
+            }
+            if let Some(s) = flags.get("seed") {
+                options.seed = s.parse().expect("bad --seed");
+            }
+            if let Some(s) = flags.get("bc-sources") {
+                options.bc_sources = s.parse().expect("bad --bc-sources");
+            }
+            log_info!(
+                "measuring gate corpus: nodes {}, seed {}, {} repeats",
+                options.nodes,
+                options.seed,
+                repeats
+            );
+            let baseline = BenchBaseline::capture(&Suite::new(options), repeats);
+            if let Err(e) = std::fs::write(path, baseline.to_pretty_string()) {
+                eprintln!("could not write {path}: {e}");
+                exit(1);
+            }
+            log_info!("wrote baseline {path} ({} cells)", baseline.cells.len());
+        }
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("could not read {path}: {e}");
+                    exit(1);
+                }
+            };
+            let baseline = match BenchBaseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{path} is not a bench baseline: {e}");
+                    exit(1);
+                }
+            };
+            let mut opts = GateOptions::default();
+            if let Some(t) = flags.get("rel-tol") {
+                opts.rel_tol = t.parse().expect("bad --rel-tol");
+            }
+            if let Some(k) = flags.get("sigma") {
+                opts.sigma_k = k.parse().expect("bad --sigma");
+            }
+            log_info!(
+                "gating against {path} (host {}, nodes {}, seed {})",
+                baseline.fingerprint.host,
+                baseline.fingerprint.nodes,
+                baseline.fingerprint.seed
+            );
+            let report = graffix_bench::run_gate(opts, &baseline);
+            print!("{}", report.diff_table().render());
+            if let Some(out) = flags.get("gate-report") {
+                if let Err(e) = std::fs::write(out, report.to_pretty_string()) {
+                    eprintln!("could not write {out}: {e}");
+                    exit(1);
+                }
+                log_info!("wrote gate report {out} (schema {GATE_SCHEMA})");
+            }
+            if !report.passed() {
+                for f in report.failures() {
+                    eprintln!("FAIL {} [{}]", f.id, f.status.label());
+                }
+                exit(1);
+            }
+            log_info!(
+                "gate passed: {} cells within tolerance",
+                report.verdicts.len()
+            );
+        }
+        _ => {
+            eprintln!("bench needs exactly one of --save-baseline FILE or --gate FILE");
+            usage();
+        }
+    }
+}
+
+/// `report verify FILE` — schema-verify a run report from disk.
+fn report_cmd(positionals: &[String]) {
+    let [action, path] = positionals else {
+        eprintln!("usage: graffix report verify FILE");
+        usage();
+    };
+    if action != "verify" {
+        eprintln!("unknown report action: {action}");
+        usage();
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            exit(1);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: invalid JSON: {e}");
+            exit(1);
+        }
+    };
+    let report = match RunReport::from_json(&doc) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: not a valid run report: {e}");
+            exit(1);
+        }
+    };
+    if let Err(e) = report.verify() {
+        eprintln!("{path}: verification FAILED: {e}");
+        exit(1);
+    }
+    let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "ok: {path} (schema v{version}, algo {}, technique {}, {} spans, {} supersteps{}{})",
+        report.algo,
+        report.technique,
+        report.trace.spans.len(),
+        report.trace.snapshots.len(),
+        if report.accuracy.is_some() {
+            ", accuracy"
+        } else {
+            ""
+        },
+        if report.provenance.is_some() {
+            ", provenance"
+        } else {
+            ""
+        },
+    );
 }

@@ -6,7 +6,7 @@ pub mod renumber;
 pub mod replicate;
 
 use crate::knobs::CoalesceKnobs;
-use crate::prepared::{Prepared, Technique, TransformReport};
+use crate::prepared::{Prepared, StageReport, Technique, TransformReport};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use std::time::Instant;
 
@@ -47,6 +47,12 @@ pub fn transform(g: &Csr, knobs: &CoalesceKnobs) -> Prepared {
         replicas: rep.replicas,
         edges_added: rep.edges_added,
         space_overhead: rep.graph.footprint_bytes() as f64 / old_fp as f64 - 1.0,
+        stages: vec![StageReport {
+            transform: Technique::Coalescing.key().to_string(),
+            replicas: rep.replicas,
+            edges_added: rep.edges_added,
+            edge_budget_arcs: 0,
+        }],
     };
 
     let prepared = Prepared {

@@ -14,7 +14,7 @@ pub mod bucket;
 pub mod normalize;
 
 use crate::knobs::DivergenceKnobs;
-use crate::prepared::{Prepared, Technique, TransformReport};
+use crate::prepared::{Prepared, StageReport, Technique, TransformReport};
 use graffix_graph::{Csr, NodeId};
 use std::time::Instant;
 
@@ -76,6 +76,12 @@ pub fn transform(g: &Csr, knobs: &DivergenceKnobs, warp_size: usize) -> Prepared
         new_edges: graph.num_edges(),
         edges_added: norm.edges_added,
         space_overhead: graph.footprint_bytes() as f64 / old_fp as f64 - 1.0,
+        stages: vec![StageReport {
+            transform: Technique::Divergence.key().to_string(),
+            replicas: 0,
+            edges_added: norm.edges_added,
+            edge_budget_arcs: (g.num_edges() as f64 * knobs.edge_budget_frac) as usize,
+        }],
         ..Default::default()
     };
 

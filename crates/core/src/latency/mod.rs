@@ -20,7 +20,7 @@ pub mod boost;
 pub mod select;
 
 use crate::knobs::LatencyKnobs;
-use crate::prepared::{Prepared, Technique, TransformReport};
+use crate::prepared::{Prepared, StageReport, Technique, TransformReport};
 use graffix_graph::{Csr, NodeId};
 use graffix_sim::GpuConfig;
 use std::time::Instant;
@@ -68,6 +68,12 @@ pub fn transform(g: &Csr, knobs: &LatencyKnobs, cfg: &GpuConfig) -> Prepared {
         new_edges: boost.graph.num_edges(),
         edges_added: boost.edges_added,
         space_overhead: boost.graph.footprint_bytes() as f64 / old_fp as f64 - 1.0,
+        stages: vec![StageReport {
+            transform: Technique::Latency.key().to_string(),
+            replicas: 0,
+            edges_added: boost.edges_added,
+            edge_budget_arcs: (g.num_edges() as f64 * knobs.edge_budget_frac) as usize,
+        }],
         ..Default::default()
     };
 

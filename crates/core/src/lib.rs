@@ -30,7 +30,7 @@ pub mod tuning;
 pub use confluence::ConfluenceOp;
 pub use knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
 pub use pipeline::Pipeline;
-pub use prepared::{Prepared, Technique, Tile, TransformReport};
+pub use prepared::{Prepared, StageReport, Technique, Tile, TransformReport};
 pub use tuning::{auto_tune, GraphProfile, TunedKnobs};
 
 /// Convenience prelude.
@@ -41,6 +41,6 @@ pub mod prelude {
     pub use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
     pub use crate::latency;
     pub use crate::pipeline::Pipeline;
-    pub use crate::prepared::{Prepared, Technique, Tile, TransformReport};
+    pub use crate::prepared::{Prepared, StageReport, Technique, Tile, TransformReport};
     pub use crate::tuning::{auto_tune, GraphProfile, TunedKnobs};
 }

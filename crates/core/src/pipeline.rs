@@ -10,7 +10,7 @@ use crate::coalesce;
 use crate::divergence::normalize_degrees;
 use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
 use crate::latency::{boost_edges, select_tiles};
-use crate::prepared::{Prepared, Technique};
+use crate::prepared::{Prepared, StageReport, Technique};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use graffix_sim::GpuConfig;
 use std::time::Instant;
@@ -71,10 +71,17 @@ impl Pipeline {
         // Stage 2: latency — boost edges and select tiles on the current
         // graph (ids unchanged).
         if let Some(k) = &self.latency {
+            let budget = (prepared.graph.num_edges() as f64 * k.edge_budget_frac) as usize;
             let boost = boost_edges(&prepared.graph, k);
             let selection = select_tiles(&boost.graph, &boost.clustering, k, cfg);
             prepared.report.edges_added += boost.edges_added;
             prepared.report.new_edges = boost.graph.num_edges();
+            prepared.report.stages.push(StageReport {
+                transform: Technique::Latency.key().to_string(),
+                replicas: 0,
+                edges_added: boost.edges_added,
+                edge_budget_arcs: budget,
+            });
             prepared.graph = boost.graph;
             prepared.tiles = selection.tiles;
             // Without a coalescing stage the assignment is free to be
@@ -110,9 +117,16 @@ impl Pipeline {
                 .copied()
                 .filter(|&v| v != INVALID_NODE)
                 .collect();
+            let budget = (prepared.graph.num_edges() as f64 * k.edge_budget_frac) as usize;
             let norm = normalize_degrees(&prepared.graph, &order, k, cfg.warp_size);
             prepared.report.edges_added += norm.edges_added;
             prepared.report.new_edges = norm.graph.num_edges();
+            prepared.report.stages.push(StageReport {
+                transform: Technique::Divergence.key().to_string(),
+                replicas: 0,
+                edges_added: norm.edges_added,
+                edge_budget_arcs: budget,
+            });
             prepared.graph = norm.graph;
         }
 
@@ -195,6 +209,39 @@ mod tests {
         for (i, &a) in p.assignment.iter().enumerate() {
             assert!(a == INVALID_NODE || a as usize == i);
         }
+    }
+
+    #[test]
+    fn stage_reports_sum_to_aggregate_counters() {
+        let g = graph();
+        let p = Pipeline::all_defaults().apply(&g, &GpuConfig::k40c());
+        assert_eq!(p.report.stages.len(), 3);
+        let names: Vec<&str> = p
+            .report
+            .stages
+            .iter()
+            .map(|s| s.transform.as_str())
+            .collect();
+        assert_eq!(names, vec!["coalescing", "latency", "divergence"]);
+        let edges: usize = p.report.stages.iter().map(|s| s.edges_added).sum();
+        assert_eq!(edges, p.report.edges_added);
+        let replicas: usize = p.report.stages.iter().map(|s| s.replicas).sum();
+        assert_eq!(replicas, p.report.replicas);
+    }
+
+    #[test]
+    fn single_transforms_record_one_stage() {
+        let g = graph();
+        let cfg = GpuConfig::k40c();
+        let c = coalesce::transform(&g, &CoalesceKnobs::default());
+        assert_eq!(c.report.stages.len(), 1);
+        assert_eq!(c.report.stages[0].transform, "coalescing");
+        let l = crate::latency::transform(&g, &LatencyKnobs::default(), &cfg);
+        assert_eq!(l.report.stages[0].transform, "latency");
+        assert!(l.report.stages[0].edge_budget_arcs > 0);
+        let d = crate::divergence::transform(&g, &DivergenceKnobs::default(), cfg.warp_size);
+        assert_eq!(d.report.stages[0].transform, "divergence");
+        assert_eq!(d.report.stages[0].edges_added, d.report.edges_added);
     }
 
     #[test]

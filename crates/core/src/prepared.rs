@@ -32,6 +32,48 @@ impl Technique {
             Technique::Combined => "combined",
         }
     }
+
+    /// Short machine-readable key used in JSON schemas, CLI flags, and
+    /// bench-baseline cell identifiers.
+    pub fn key(self) -> &'static str {
+        match self {
+            Technique::Exact => "exact",
+            Technique::Coalescing => "coalescing",
+            Technique::Latency => "latency",
+            Technique::Divergence => "divergence",
+            Technique::Combined => "combined",
+        }
+    }
+
+    /// Parses a [`Technique::key`] string.
+    pub fn from_key(key: &str) -> Option<Technique> {
+        [
+            Technique::Exact,
+            Technique::Coalescing,
+            Technique::Latency,
+            Technique::Divergence,
+            Technique::Combined,
+        ]
+        .into_iter()
+        .find(|t| t.key() == key)
+    }
+}
+
+/// Structural delta of one pipeline stage — the per-transform provenance
+/// the run-report schema (v2) attributes approximation sources with. One
+/// entry per transform that actually ran, in application order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageReport {
+    /// [`Technique::key`] of the stage (`coalescing`, `latency`,
+    /// `divergence`).
+    pub transform: String,
+    /// Replica nodes this stage inserted (coalescing only).
+    pub replicas: usize,
+    /// Directed arcs this stage added beyond its input edge set.
+    pub edges_added: usize,
+    /// Absolute arc budget the stage ran under (0 = unbudgeted; the
+    /// coalescing stage is bounded by hole scarcity, not an edge budget).
+    pub edge_budget_arcs: usize,
 }
 
 /// Preprocessing cost and structural delta of a transform (Table 5 rows).
@@ -55,6 +97,11 @@ pub struct TransformReport {
     /// Extra memory of the transformed CSR relative to the original
     /// (`new_footprint / old_footprint − 1`).
     pub space_overhead: f64,
+    /// Per-transform provenance, one entry per stage that ran, in
+    /// application order. The stage sums must match the aggregate
+    /// `replicas` / `edges_added` fields (checked by
+    /// `RunReport::verify` on v2 reports).
+    pub stages: Vec<StageReport>,
 }
 
 /// One shared-memory tile: a high-CC center with its 1-hop neighborhood
@@ -241,6 +288,20 @@ mod tests {
         let mut p = Prepared::exact(small());
         p.replica_groups = vec![(0, vec![0])];
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn technique_keys_roundtrip() {
+        for t in [
+            Technique::Exact,
+            Technique::Coalescing,
+            Technique::Latency,
+            Technique::Divergence,
+            Technique::Combined,
+        ] {
+            assert_eq!(Technique::from_key(t.key()), Some(t));
+        }
+        assert_eq!(Technique::from_key("nope"), None);
     }
 
     #[test]

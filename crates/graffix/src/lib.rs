@@ -43,6 +43,7 @@
 //! | [`algos`] (`graffix-algos`) | SSSP/PR/BC/SCC/MST, exact references, metrics |
 //! | [`baselines`] (`graffix-baselines`) | LonestarGPU / Tigr / Gunrock execution styles |
 
+pub mod logging;
 pub mod observe;
 
 pub use graffix_algos as algos;
@@ -54,9 +55,10 @@ pub use graffix_sim as sim;
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use crate::observe::{
-        assemble_report, instrument_plan, traced_run, Algo, TracedRun, ALL_ALGOS,
+        assemble_report, instrument_plan, observed_run, outcome_inaccuracy, provenance_from,
+        reference_outcome, traced_run, Algo, AlgoOutcome, RunSpec, TracedRun, ALL_ALGOS,
     };
-    pub use graffix_algos::accuracy::{geomean, relative_l1, scalar_inaccuracy};
+    pub use graffix_algos::accuracy::{geomean, max_abs_error, relative_l1, scalar_inaccuracy};
     pub use graffix_algos::{
         bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, Runner, SimRun, Strategy, VertexProgram,
     };
@@ -72,8 +74,9 @@ pub mod prelude {
         AtomicF64Array, AtomicU32Array, AtomicU64Array, DoubleBuffered, FixedPointF64Array,
     };
     pub use graffix_sim::{
-        ArrayId, CostBreakdown, GpuConfig, GraphMeta, Json, KernelStats, Lane, Phase, RunReport,
-        TraceData, TraceHandle, ValueSummary,
+        AccuracyReport, ArrayId, AttributionEntry, CostBreakdown, GpuConfig, GraphMeta, Json,
+        KernelStats, Lane, Phase, ProvenanceReport, RunReport, StageProvenance, TraceData,
+        TraceHandle, ValueSummary,
     };
 }
 

@@ -1,0 +1,111 @@
+//! Leveled stderr diagnostics for the CLI and bench tools.
+//!
+//! Machine-readable output (`--report-json -`, `graffix profile`, gate
+//! reports) goes to **stdout** and must stay pure JSON; every human-facing
+//! diagnostic goes through this module to **stderr**, where a global level
+//! can silence it (`--quiet` or `GRAFFIX_LOG=quiet`).
+//!
+//! The level is a process-global atomic, so library code can log without
+//! threading a logger handle through every call.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity, ordered: a message prints when its level is at or below the
+/// configured one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Nothing at all (errors still reach the user via exit codes and the
+    /// caller's own `eprintln!` on fatal paths).
+    Quiet = 0,
+    /// Progress and summary lines (the default).
+    Info = 1,
+    /// Extra per-step detail.
+    Debug = 2,
+}
+
+impl LogLevel {
+    /// Parses `quiet` / `info` / `debug` (as used by `GRAFFIX_LOG`).
+    pub fn parse(name: &str) -> Option<LogLevel> {
+        match name {
+            "quiet" => Some(LogLevel::Quiet),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the global level.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Current global level.
+pub fn level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Quiet,
+        1 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Applies `GRAFFIX_LOG` (quiet|info|debug) if set and valid. CLI flags
+/// should be applied *after* this so they win.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("GRAFFIX_LOG") {
+        if let Some(l) = LogLevel::parse(&v) {
+            set_level(l);
+        }
+    }
+}
+
+/// Writes one line to stderr if `level` is enabled. Prefer the
+/// [`log_info!`](crate::log_info) / [`log_debug!`](crate::log_debug)
+/// macros.
+pub fn log(level: LogLevel, args: fmt::Arguments<'_>) {
+    if level <= self::level() && level != LogLevel::Quiet {
+        eprintln!("{args}");
+    }
+}
+
+/// Logs a progress/summary line to stderr at `info` level.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        $crate::logging::log($crate::logging::LogLevel::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs a per-step detail line to stderr at `debug` level.
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        $crate::logging::log($crate::logging::LogLevel::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("quiet"), Some(LogLevel::Quiet));
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("loud"), None);
+        assert!(LogLevel::Quiet < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let before = level();
+        set_level(LogLevel::Debug);
+        assert_eq!(level(), LogLevel::Debug);
+        set_level(before);
+    }
+}

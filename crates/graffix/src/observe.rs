@@ -11,11 +11,15 @@
 //! transform's `preprocess_seconds`) and any thread-count dependence, so
 //! its serialized bytes are identical at every `--threads` value.
 
+use graffix_algos::accuracy::{max_abs_error, relative_l1, scalar_inaccuracy};
 use graffix_algos::{bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, SimRun};
 use graffix_baselines::Baseline;
-use graffix_core::Prepared;
+use graffix_core::{Pipeline, Prepared};
 use graffix_graph::Csr;
-use graffix_sim::{GpuConfig, GraphMeta, Phase, RunReport, TraceHandle, ValueSummary};
+use graffix_sim::{
+    AccuracyReport, GpuConfig, GraphMeta, Phase, ProvenanceReport, RunReport, StageProvenance,
+    TraceHandle, ValueSummary,
+};
 
 /// The algorithms a traced run can execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,11 +64,62 @@ impl Algo {
     }
 }
 
+/// What a run produced, in a form comparable against the exact reference.
+#[derive(Clone, Debug)]
+pub enum AlgoOutcome {
+    /// Per-original-vertex attributes (distances, ranks, BC values, labels).
+    Vector(Vec<f64>),
+    /// Scalar outcome (SCC/WCC component count, MST forest weight).
+    Scalar(f64),
+}
+
+impl AlgoOutcome {
+    /// The accuracy metric name this outcome kind is measured with.
+    pub fn metric(&self) -> &'static str {
+        match self {
+            AlgoOutcome::Vector(_) => "relative-l1",
+            AlgoOutcome::Scalar(_) => "scalar-relative",
+        }
+    }
+}
+
+/// Inaccuracy of `run` vs `exact`, plus the per-node max error (0 for
+/// scalar outcomes), per the paper's per-algorithm metric.
+pub fn outcome_inaccuracy(run: &AlgoOutcome, exact: &AlgoOutcome) -> (f64, f64) {
+    match (run, exact) {
+        (AlgoOutcome::Vector(a), AlgoOutcome::Vector(e)) => {
+            (relative_l1(a, e), max_abs_error(a, e))
+        }
+        (AlgoOutcome::Scalar(a), AlgoOutcome::Scalar(e)) => (scalar_inaccuracy(*a, *e), 0.0),
+        _ => panic!("mismatched outcome kinds"),
+    }
+}
+
+/// The exact CPU reference outcome for `algo` on the untransformed graph.
+pub fn reference_outcome(algo: Algo, original: &Csr, bc_sources: usize) -> AlgoOutcome {
+    match algo {
+        Algo::Sssp => {
+            AlgoOutcome::Vector(sssp::exact_cpu(original, sssp::default_source(original)))
+        }
+        Algo::Bfs => AlgoOutcome::Vector(bfs::exact_cpu(original, sssp::default_source(original))),
+        Algo::Pr => AlgoOutcome::Vector(pagerank::exact_cpu(original)),
+        Algo::Bc => AlgoOutcome::Vector(bc::exact_cpu(
+            original,
+            &bc::sample_sources(original, bc_sources),
+        )),
+        Algo::Scc => AlgoOutcome::Scalar(scc::exact_cpu_count(original) as f64),
+        Algo::Mst => AlgoOutcome::Scalar(mst::exact_cpu(original).0),
+        Algo::Wcc => AlgoOutcome::Scalar(wcc::exact_cpu_count(original) as f64),
+    }
+}
+
 /// One observed run: the serialized-ready report plus the raw outcome.
 #[derive(Clone, Debug)]
 pub struct TracedRun {
     pub report: RunReport,
     pub run: SimRun,
+    /// The run's result in reference-comparable form.
+    pub outcome: AlgoOutcome,
 }
 
 /// Enables tracing on `plan` and seeds the registry with the transform's
@@ -84,7 +139,34 @@ pub fn instrument_plan(plan: &mut Plan, prepared: &Prepared) -> TraceHandle {
     trace
 }
 
+/// Builds the v2 `provenance` section from a prepared plan's transform
+/// report.
+pub fn provenance_from(prepared: &Prepared) -> ProvenanceReport {
+    let tr = &prepared.report;
+    ProvenanceReport {
+        technique: prepared.technique.key().to_string(),
+        replicas: tr.replicas as u64,
+        holes_created: tr.holes_created as u64,
+        holes_filled: tr.holes_filled as u64,
+        edges_added: tr.edges_added as u64,
+        space_overhead: tr.space_overhead,
+        stages: tr
+            .stages
+            .iter()
+            .map(|s| StageProvenance {
+                transform: s.transform.clone(),
+                replicas: s.replicas as u64,
+                edges_added: s.edges_added as u64,
+                edge_budget_arcs: s.edge_budget_arcs as u64,
+            })
+            .collect(),
+    }
+}
+
 /// Folds a finished run plus its trace into the schema-versioned report.
+/// The `provenance` section is always attached (it is free — the prepared
+/// plan already carries the counters); `accuracy` is attached separately
+/// by [`observed_run`] because it needs reference and toggle-off re-runs.
 pub fn assemble_report(
     command: &str,
     algo_name: &str,
@@ -109,6 +191,53 @@ pub fn assemble_report(
         totals: run.stats,
         trace: trace.finish().unwrap_or_default(),
         values: ValueSummary::from_values(&run.values),
+        accuracy: None,
+        provenance: Some(provenance_from(prepared)),
+    }
+}
+
+/// Runs `algo` on `plan` and returns both the raw [`SimRun`] and the
+/// comparable outcome (vector values or the scalar result).
+fn run_with_outcome(
+    algo: Algo,
+    plan: &Plan,
+    original: &Csr,
+    bc_sources: usize,
+) -> (SimRun, AlgoOutcome) {
+    match algo {
+        Algo::Sssp => {
+            let run = sssp::run_sim(plan, sssp::default_source(original));
+            let outcome = AlgoOutcome::Vector(run.values.clone());
+            (run, outcome)
+        }
+        Algo::Bfs => {
+            let run = bfs::run_sim(plan, sssp::default_source(original));
+            let outcome = AlgoOutcome::Vector(run.values.clone());
+            (run, outcome)
+        }
+        Algo::Pr => {
+            let run = pagerank::run_sim(plan);
+            let outcome = AlgoOutcome::Vector(run.values.clone());
+            (run, outcome)
+        }
+        Algo::Bc => {
+            let sources = bc::sample_sources(original, bc_sources);
+            let run = bc::run_sim(plan, &sources);
+            let outcome = AlgoOutcome::Vector(run.values.clone());
+            (run, outcome)
+        }
+        Algo::Scc => {
+            let result = scc::run_sim(plan);
+            (result.run, AlgoOutcome::Scalar(result.components as f64))
+        }
+        Algo::Mst => {
+            let result = mst::run_sim(plan);
+            (result.run, AlgoOutcome::Scalar(result.weight))
+        }
+        Algo::Wcc => {
+            let result = wcc::run_sim(plan);
+            (result.run, AlgoOutcome::Scalar(result.components as f64))
+        }
     }
 }
 
@@ -129,18 +258,7 @@ pub fn traced_run(
     let trace = instrument_plan(&mut plan, prepared);
 
     trace.span_enter(Phase::Run, algo.name());
-    let run = match algo {
-        Algo::Sssp => sssp::run_sim(&plan, sssp::default_source(original)),
-        Algo::Bfs => bfs::run_sim(&plan, sssp::default_source(original)),
-        Algo::Pr => pagerank::run_sim(&plan),
-        Algo::Bc => {
-            let sources = bc::sample_sources(original, bc_sources);
-            bc::run_sim(&plan, &sources)
-        }
-        Algo::Scc => scc::run_sim(&plan).run,
-        Algo::Mst => mst::run_sim(&plan).run,
-        Algo::Wcc => wcc::run_sim(&plan).run,
-    };
+    let (run, outcome) = run_with_outcome(algo, &plan, original, bc_sources);
     trace.span_exit();
 
     let report = assemble_report(
@@ -152,7 +270,101 @@ pub fn traced_run(
         &run,
         &trace,
     );
-    TracedRun { report, run }
+    TracedRun {
+        report,
+        run,
+        outcome,
+    }
+}
+
+/// Everything [`observed_run`] needs to know about one run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec<'a> {
+    /// CLI subcommand or caller label.
+    pub command: &'a str,
+    pub algo: Algo,
+    pub baseline: Baseline,
+    /// BC source-sample bound (ignored by other algorithms).
+    pub bc_sources: usize,
+    /// Compute the v2 `accuracy` section (exact CPU reference + one
+    /// toggle-off re-run per enabled pipeline stage). Costs one reference
+    /// run plus up to three extra simulated runs.
+    pub accuracy: bool,
+    /// The pipeline that produced `prepared` — required for error
+    /// attribution. With `None` (or an empty pipeline) the accuracy
+    /// section carries no attribution entries.
+    pub pipeline: Option<&'a Pipeline>,
+}
+
+/// The toggle-off variants of `pipeline`, in stage order: the same
+/// pipeline with exactly one enabled stage removed, labeled by the removed
+/// stage's key.
+fn stage_off_variants(pipeline: &Pipeline) -> Vec<(String, Pipeline)> {
+    let mut variants = Vec::new();
+    if pipeline.coalesce.is_some() {
+        let mut p = pipeline.clone();
+        p.coalesce = None;
+        variants.push(("coalescing".to_string(), p));
+    }
+    if pipeline.latency.is_some() {
+        let mut p = pipeline.clone();
+        p.latency = None;
+        variants.push(("latency".to_string(), p));
+    }
+    if pipeline.divergence.is_some() {
+        let mut p = pipeline.clone();
+        p.divergence = None;
+        variants.push(("divergence".to_string(), p));
+    }
+    variants
+}
+
+/// Like [`traced_run`], but additionally fills the v2 `accuracy` section
+/// when `spec.accuracy` is set: the run's outcome is compared against the
+/// exact CPU reference, and — when the producing pipeline is known — each
+/// enabled transform stage is toggled off in turn and the run repeated, so
+/// the inaccuracy each stage is responsible for can be charged to it
+/// (`charged = max(0, total − without_stage)`).
+///
+/// All re-runs are deterministic, so the resulting section verifies
+/// bit-exactly under [`RunReport::verify`].
+pub fn observed_run(
+    spec: RunSpec<'_>,
+    original: &Csr,
+    prepared: &Prepared,
+    gpu: &GpuConfig,
+) -> TracedRun {
+    let mut traced = traced_run(
+        spec.command,
+        spec.algo,
+        original,
+        prepared,
+        spec.baseline,
+        gpu,
+        spec.bc_sources,
+    );
+    if !spec.accuracy {
+        return traced;
+    }
+    let reference = reference_outcome(spec.algo, original, spec.bc_sources);
+    let (inaccuracy, max_node_error) = outcome_inaccuracy(&traced.outcome, &reference);
+    let mut reruns = Vec::new();
+    if let Some(pipeline) = spec.pipeline {
+        for (stage, variant) in stage_off_variants(pipeline) {
+            let without = variant.apply(original, gpu);
+            let plan = spec.baseline.plan(&without, gpu);
+            let (_, outcome) = run_with_outcome(spec.algo, &plan, original, spec.bc_sources);
+            let (without_inaccuracy, _) = outcome_inaccuracy(&outcome, &reference);
+            reruns.push((stage, without_inaccuracy));
+        }
+    }
+    traced.report.accuracy = Some(AccuracyReport::from_reruns(
+        traced.outcome.metric(),
+        inaccuracy,
+        max_node_error,
+        reruns,
+    ));
+    traced
 }
 
 #[cfg(test)]
@@ -185,5 +397,75 @@ mod tests {
         t.report.verify().unwrap();
         assert_eq!(t.report.totals, t.run.stats);
         assert!(!t.report.trace.snapshots.is_empty());
+        // Provenance is attached even for exact plans (empty stage list).
+        let prov = t.report.provenance.as_ref().unwrap();
+        assert_eq!(prov.technique, "exact");
+        assert!(prov.stages.is_empty());
+    }
+
+    #[test]
+    fn observed_run_attributes_error_per_stage() {
+        let g = GraphSpec::new(GraphKind::SocialLiveJournal, 300, 11).generate();
+        let gpu = GpuConfig::test_tiny();
+        let pipeline = graffix_core::Pipeline::all_defaults();
+        let prepared = pipeline.apply(&g, &gpu);
+        let t = observed_run(
+            RunSpec {
+                command: "test",
+                algo: Algo::Sssp,
+                baseline: Baseline::Lonestar,
+                bc_sources: 2,
+                accuracy: true,
+                pipeline: Some(&pipeline),
+            },
+            &g,
+            &prepared,
+            &gpu,
+        );
+        t.report.verify().unwrap();
+        let acc = t.report.accuracy.as_ref().unwrap();
+        assert_eq!(acc.metric, "relative-l1");
+        let stages: Vec<&str> = acc
+            .attribution
+            .iter()
+            .map(|e| e.transform.as_str())
+            .collect();
+        assert_eq!(stages, vec!["coalescing", "latency", "divergence"]);
+        assert!(acc.inaccuracy.is_finite() && acc.inaccuracy >= 0.0);
+        let prov = t.report.provenance.as_ref().unwrap();
+        assert_eq!(prov.technique, "combined");
+        assert_eq!(prov.stages.len(), 3);
+        // The report round-trips through JSON with both sections intact.
+        let text = t.report.to_pretty_string();
+        let back = RunReport::from_json(&graffix_sim::Json::parse(&text).unwrap()).unwrap();
+        back.verify().unwrap();
+        assert_eq!(back.to_pretty_string(), text);
+    }
+
+    #[test]
+    fn observed_run_scalar_algo_accuracy() {
+        let g = GraphSpec::new(GraphKind::Random, 200, 5).generate();
+        let gpu = GpuConfig::test_tiny();
+        let pipeline = graffix_core::Pipeline::default().with_divergence(Default::default());
+        let prepared = pipeline.apply(&g, &gpu);
+        let t = observed_run(
+            RunSpec {
+                command: "test",
+                algo: Algo::Wcc,
+                baseline: Baseline::Lonestar,
+                bc_sources: 2,
+                accuracy: true,
+                pipeline: Some(&pipeline),
+            },
+            &g,
+            &prepared,
+            &gpu,
+        );
+        t.report.verify().unwrap();
+        let acc = t.report.accuracy.as_ref().unwrap();
+        assert_eq!(acc.metric, "scalar-relative");
+        assert_eq!(acc.max_node_error, 0.0);
+        assert_eq!(acc.attribution.len(), 1);
+        assert_eq!(acc.attribution[0].transform, "divergence");
     }
 }

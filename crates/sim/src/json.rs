@@ -36,14 +36,31 @@ impl Json {
         Json::Obj(Vec::new())
     }
 
-    /// Appends a key to an object (panics if `self` is not an object —
-    /// report assembly is all static code, so this is a programmer error).
+    /// Sets a key on an object (panics if `self` is not an object — report
+    /// assembly is all static code, so this is a programmer error). An
+    /// existing key is replaced in place, keeping its original position, so
+    /// objects never carry duplicate keys.
     pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
         match self {
-            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            Json::Obj(fields) => match fields.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = value,
+                None => fields.push((key.to_string(), value)),
+            },
             other => panic!("Json::set on non-object {other:?}"),
         }
         self
+    }
+
+    /// Removes a key from an object, returning its value if present.
+    /// Returns `None` (without panicking) on non-objects.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .position(|(k, _)| k == key)
+                .map(|i| fields.remove(i).1),
+            _ => None,
+        }
     }
 
     /// Looks a key up in an object.
@@ -167,10 +184,12 @@ impl Json {
     }
 
     /// Parses a JSON document. Errors carry a byte offset for debugging.
+    /// Nesting deeper than [`MAX_PARSE_DEPTH`] is rejected (defined
+    /// behaviour instead of a stack overflow on adversarial input).
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -178,6 +197,11 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting depth [`Json::parse`] accepts. The recursive-
+/// descent parser would otherwise turn deeply nested input into a stack
+/// overflow; real reports nest a handful of levels.
+pub const MAX_PARSE_DEPTH: usize = 512;
 
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
@@ -218,7 +242,13 @@ fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_PARSE_DEPTH} at byte {}",
+            *pos
+        ));
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
@@ -235,7 +265,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -260,7 +290,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, ":")?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -388,7 +418,93 @@ mod tests {
     #[test]
     fn non_finite_floats_serialize_as_null() {
         assert_eq!(Json::F64(f64::INFINITY).to_pretty_string(), "null\n");
+        assert_eq!(Json::F64(f64::NEG_INFINITY).to_pretty_string(), "null\n");
         assert_eq!(Json::F64(f64::NAN).to_pretty_string(), "null\n");
+    }
+
+    #[test]
+    fn nested_non_finite_floats_stay_valid_json() {
+        // Non-finite values buried in containers must come out as `null`
+        // tokens, never bare `NaN` / `inf`, so the document stays parseable.
+        let mut obj = Json::obj();
+        obj.set(
+            "values",
+            Json::Arr(vec![
+                Json::F64(1.5),
+                Json::F64(f64::NAN),
+                Json::F64(f64::NEG_INFINITY),
+            ]),
+        );
+        let mut inner = Json::obj();
+        inner.set("max", Json::F64(f64::INFINITY));
+        obj.set("summary", inner);
+        let text = obj.to_pretty_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+        let back = Json::parse(&text).unwrap();
+        let vals = back.get("values").unwrap().as_arr().unwrap();
+        assert_eq!(vals[0], Json::F64(1.5));
+        assert_eq!(vals[1], Json::Null);
+        assert_eq!(vals[2], Json::Null);
+        assert_eq!(back.path(&["summary", "max"]), Some(&Json::Null));
+    }
+
+    #[test]
+    fn bare_non_finite_tokens_are_rejected_by_the_parser() {
+        for text in ["NaN", "inf", "-inf", "Infinity", "[1, NaN]"] {
+            assert!(Json::parse(text).is_err(), "parsed `{text}`");
+        }
+    }
+
+    #[test]
+    fn long_escape_heavy_strings_roundtrip() {
+        let mut s = String::new();
+        for i in 0..4096 {
+            s.push_str("a\"b\\c\nd\te\r");
+            s.push(char::from_u32(1 + (i % 0x1f)).unwrap());
+            s.push('\u{1F600}');
+        }
+        let v = Json::Str(s.clone());
+        let text = v.to_pretty_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        // Control characters must all be escaped (no raw bytes < 0x20
+        // besides the pretty-printer's own newlines/indent).
+        let inner = text.trim_end();
+        assert!(inner.chars().all(|c| c as u32 >= 0x20 || c == '\n'));
+    }
+
+    #[test]
+    fn deep_nesting_roundtrips_within_the_cap() {
+        let mut v = Json::U64(7);
+        for _ in 0..256 {
+            let mut o = Json::obj();
+            o.set("next", Json::Arr(vec![v]));
+            v = o;
+        }
+        let text = v.to_pretty_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_rejects_nesting_beyond_the_cap() {
+        let deep = "[".repeat(MAX_PARSE_DEPTH + 2) + &"]".repeat(MAX_PARSE_DEPTH + 2);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+    }
+
+    #[test]
+    fn set_replaces_existing_keys_in_place() {
+        let mut obj = Json::obj();
+        obj.set("a", Json::U64(1));
+        obj.set("b", Json::U64(2));
+        obj.set("a", Json::U64(3));
+        assert_eq!(obj.as_obj().unwrap().len(), 2);
+        assert_eq!(obj.get("a").and_then(Json::as_u64), Some(3));
+        // Position preserved: `a` still serializes before `b`.
+        let text = obj.to_pretty_string();
+        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
+        assert_eq!(obj.remove("a"), Some(Json::U64(3)));
+        assert_eq!(obj.remove("a"), None);
+        assert_eq!(obj.as_obj().unwrap().len(), 1);
     }
 
     #[test]

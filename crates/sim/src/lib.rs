@@ -53,7 +53,10 @@ pub use executor::{
 pub use json::Json;
 pub use lane::Lane;
 pub use profile::CostBreakdown;
-pub use report::{GraphMeta, RunReport, ValueSummary, SCHEMA_NAME, SCHEMA_VERSION};
+pub use report::{
+    AccuracyReport, AttributionEntry, GraphMeta, ProvenanceReport, RunReport, StageProvenance,
+    ValueSummary, SCHEMA_NAME, SCHEMA_VERSION, SCHEMA_VERSION_V1,
+};
 pub use stats::KernelStats;
 pub use trace::{MetricsRegistry, Phase, Span, SuperstepSnapshot, TraceData, TraceHandle};
 
@@ -70,7 +73,10 @@ pub mod prelude {
     pub use crate::json::Json;
     pub use crate::lane::Lane;
     pub use crate::profile::CostBreakdown;
-    pub use crate::report::{GraphMeta, RunReport, ValueSummary};
+    pub use crate::report::{
+        AccuracyReport, AttributionEntry, GraphMeta, ProvenanceReport, RunReport, StageProvenance,
+        ValueSummary,
+    };
     pub use crate::stats::KernelStats;
     pub use crate::trace::{Phase, TraceData, TraceHandle};
 }

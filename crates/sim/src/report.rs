@@ -3,9 +3,22 @@
 //! A [`RunReport`] bundles everything one Graffix run produced — the GPU
 //! configuration, graph shape, per-phase spans, per-superstep stats
 //! snapshots, metric registry contents, final totals, and the exact cost
-//! breakdown — into a stable JSON schema (`graffix.run-report`, version 1)
-//! that the CLI (`graffix profile`, `--report-json`), the bench crate, and
-//! the integration tests all share.
+//! breakdown — into a stable JSON schema (`graffix.run-report`) that the
+//! CLI (`graffix profile`, `--report-json`), the bench crate, and the
+//! integration tests all share.
+//!
+//! ## Versions
+//!
+//! * **v1** — structure, trace, totals, cost breakdown, value summary.
+//! * **v2** — adds two optional sections: `accuracy` (inaccuracy vs the
+//!   exact reference, per-node max error, and a per-transform
+//!   error-attribution breakdown) and `provenance` (replica counts,
+//!   per-transform added-edge counts, and edge-budget consumption).
+//!
+//! Compatibility rule: v2 readers ([`RunReport::from_json`]) accept v1
+//! documents — the two sections simply come back `None` — and every v1
+//! invariant still holds verbatim on v2 documents. Writers always emit the
+//! current version.
 //!
 //! Determinism: a report is a pure function of the plan and algorithm. It
 //! deliberately carries **no wall-clock readings and no thread count** —
@@ -17,12 +30,14 @@ use crate::config::GpuConfig;
 use crate::json::Json;
 use crate::profile::CostBreakdown;
 use crate::stats::KernelStats;
-use crate::trace::TraceData;
+use crate::trace::{MetricsRegistry, Phase, Span, SuperstepSnapshot, TraceData};
 
 /// Schema identifier embedded in every report.
 pub const SCHEMA_NAME: &str = "graffix.run-report";
 /// Bump when the report layout changes incompatibly.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+/// The original schema version (no `accuracy` / `provenance` sections).
+pub const SCHEMA_VERSION_V1: u64 = 1;
 
 /// Shape of the (possibly transformed) graph the kernels actually ran on.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -69,6 +84,159 @@ impl ValueSummary {
     }
 }
 
+/// One transform's share of the total inaccuracy, measured by re-running
+/// the identical algorithm with that stage toggled off and charging the
+/// transform the inaccuracy that disappears.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AttributionEntry {
+    /// Stage key: `coalescing`, `latency`, or `divergence`.
+    pub transform: String,
+    /// Total inaccuracy of the run with this stage removed from the
+    /// pipeline (all other stages kept).
+    pub inaccuracy_without: f64,
+    /// `max(0, inaccuracy - inaccuracy_without)` — the error this stage is
+    /// charged with. Clamped at zero: a stage whose removal makes things
+    /// *worse* is charged nothing.
+    pub charged: f64,
+}
+
+/// The v2 `accuracy` section: error vs the exact reference plus the
+/// per-transform attribution breakdown.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AccuracyReport {
+    /// How `inaccuracy` was computed: `relative-l1` for vector-valued
+    /// algorithms, `scalar-relative` for scalar outcomes.
+    pub metric: String,
+    /// Total inaccuracy of this run vs the exact (untransformed) run.
+    pub inaccuracy: f64,
+    /// Largest per-node absolute error (0 for scalar outcomes).
+    pub max_node_error: f64,
+    /// One entry per enabled transform stage, in pipeline order.
+    pub attribution: Vec<AttributionEntry>,
+    /// `inaccuracy - Σ charged`: interaction effects the toggle-off
+    /// methodology cannot assign to a single stage. May be negative when
+    /// stages overlap (both removals recover the same error).
+    pub residual: f64,
+}
+
+impl AccuracyReport {
+    /// Builds the section from the total inaccuracy and the toggle-off
+    /// re-run results, computing `charged` and `residual` canonically.
+    pub fn from_reruns(
+        metric: &str,
+        inaccuracy: f64,
+        max_node_error: f64,
+        reruns: Vec<(String, f64)>,
+    ) -> AccuracyReport {
+        let attribution: Vec<AttributionEntry> = reruns
+            .into_iter()
+            .map(|(transform, inaccuracy_without)| AttributionEntry {
+                charged: (inaccuracy - inaccuracy_without).max(0.0),
+                transform,
+                inaccuracy_without,
+            })
+            .collect();
+        let charged_sum: f64 = attribution.iter().map(|e| e.charged).sum();
+        AccuracyReport {
+            metric: metric.to_string(),
+            inaccuracy,
+            max_node_error,
+            attribution,
+            residual: inaccuracy - charged_sum,
+        }
+    }
+
+    /// Recomputes the attribution arithmetic bit-exactly. Everything in
+    /// this section is a pure deterministic function of the run, and the
+    /// JSON encoding round-trips `f64` bits, so exact equality is the
+    /// right check — any drift means the document was edited or the
+    /// producer diverged from the schema.
+    pub fn verify(&self) -> Result<(), String> {
+        if !self.inaccuracy.is_finite() || self.inaccuracy < 0.0 {
+            return Err(format!("accuracy.inaccuracy is {}", self.inaccuracy));
+        }
+        if !self.max_node_error.is_finite() || self.max_node_error < 0.0 {
+            return Err(format!(
+                "accuracy.max_node_error is {}",
+                self.max_node_error
+            ));
+        }
+        let mut charged_sum = 0.0f64;
+        for e in &self.attribution {
+            let expect = (self.inaccuracy - e.inaccuracy_without).max(0.0);
+            if e.charged.to_bits() != expect.to_bits() {
+                return Err(format!(
+                    "attribution `{}` charged {} but max(0, {} - {}) = {expect}",
+                    e.transform, e.charged, self.inaccuracy, e.inaccuracy_without
+                ));
+            }
+            charged_sum += e.charged;
+        }
+        let expect_residual = self.inaccuracy - charged_sum;
+        if self.residual.to_bits() != expect_residual.to_bits() {
+            return Err(format!(
+                "accuracy residual {} != inaccuracy - Σcharged = {expect_residual}",
+                self.residual
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One transform stage's structural footprint (v2 `provenance.stages[]`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageProvenance {
+    /// Stage key: `coalescing`, `latency`, or `divergence`.
+    pub transform: String,
+    /// Replica nodes this stage introduced.
+    pub replicas: u64,
+    /// Edges this stage added.
+    pub edges_added: u64,
+    /// Edge budget (arcs) the stage was allowed; 0 = unbudgeted.
+    pub edge_budget_arcs: u64,
+}
+
+/// The v2 `provenance` section: where the transformed graph's extra
+/// structure came from and what budget it consumed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProvenanceReport {
+    /// Technique key (`exact`, `coalescing`, ..., `combined`).
+    pub technique: String,
+    pub replicas: u64,
+    pub holes_created: u64,
+    pub holes_filled: u64,
+    pub edges_added: u64,
+    /// Memory-footprint overhead of the transformed graph vs the input
+    /// (0.10 = 10% larger).
+    pub space_overhead: f64,
+    /// Per-stage breakdown, in pipeline application order.
+    pub stages: Vec<StageProvenance>,
+}
+
+impl ProvenanceReport {
+    /// Checks the per-stage breakdown partitions the aggregate counters.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Ok(());
+        }
+        let edges: u64 = self.stages.iter().map(|s| s.edges_added).sum();
+        if edges != self.edges_added {
+            return Err(format!(
+                "provenance stages add {edges} edges, aggregate says {}",
+                self.edges_added
+            ));
+        }
+        let replicas: u64 = self.stages.iter().map(|s| s.replicas).sum();
+        if replicas != self.replicas {
+            return Err(format!(
+                "provenance stages add {replicas} replicas, aggregate says {}",
+                self.replicas
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One complete run, ready to serialize.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -85,6 +253,12 @@ pub struct RunReport {
     pub totals: KernelStats,
     pub trace: TraceData,
     pub values: ValueSummary,
+    /// v2: accuracy vs the exact reference with per-transform attribution.
+    /// `None` on v1 documents and on runs that skipped the reference.
+    pub accuracy: Option<AccuracyReport>,
+    /// v2: transform provenance from the prepared plan. `None` on v1
+    /// documents.
+    pub provenance: Option<ProvenanceReport>,
 }
 
 impl RunReport {
@@ -94,7 +268,9 @@ impl RunReport {
     /// 1. spans nest correctly and are all closed;
     /// 2. the per-superstep snapshots sum *exactly* (every counter, not
     ///    just cycles) to the final totals;
-    /// 3. the exact cost components partition `warp_cycles`.
+    /// 3. the exact cost components partition `warp_cycles`;
+    /// 4. (v2) the accuracy attribution arithmetic recomputes bit-exactly;
+    /// 5. (v2) the provenance stages partition the aggregate counters.
     pub fn verify(&self) -> Result<(), String> {
         self.trace.spans_nest_correctly()?;
         if !self.trace.snapshots.is_empty() {
@@ -120,6 +296,12 @@ impl RunReport {
                 "cost components sum to {parts}, warp_cycles is {}",
                 self.totals.warp_cycles
             ));
+        }
+        if let Some(acc) = &self.accuracy {
+            acc.verify()?;
+        }
+        if let Some(prov) = &self.provenance {
+            prov.verify()?;
         }
         Ok(())
     }
@@ -160,12 +342,153 @@ impl RunReport {
         values.set("min_finite", Json::F64(self.values.min_finite));
         values.set("max_finite", Json::F64(self.values.max_finite));
         root.set("values", values);
+
+        if let Some(acc) = &self.accuracy {
+            let mut a = Json::obj();
+            a.set("metric", Json::Str(acc.metric.clone()));
+            a.set("inaccuracy", Json::F64(acc.inaccuracy));
+            a.set("max_node_error", Json::F64(acc.max_node_error));
+            let entries = acc
+                .attribution
+                .iter()
+                .map(|e| {
+                    let mut o = Json::obj();
+                    o.set("transform", Json::Str(e.transform.clone()));
+                    o.set("inaccuracy_without", Json::F64(e.inaccuracy_without));
+                    o.set("charged", Json::F64(e.charged));
+                    o
+                })
+                .collect();
+            a.set("attribution", Json::Arr(entries));
+            a.set("residual", Json::F64(acc.residual));
+            root.set("accuracy", a);
+        }
+
+        if let Some(prov) = &self.provenance {
+            let mut p = Json::obj();
+            p.set("technique", Json::Str(prov.technique.clone()));
+            p.set("replicas", Json::U64(prov.replicas));
+            p.set("holes_created", Json::U64(prov.holes_created));
+            p.set("holes_filled", Json::U64(prov.holes_filled));
+            p.set("edges_added", Json::U64(prov.edges_added));
+            p.set("space_overhead", Json::F64(prov.space_overhead));
+            let stages = prov
+                .stages
+                .iter()
+                .map(|s| {
+                    let mut o = Json::obj();
+                    o.set("transform", Json::Str(s.transform.clone()));
+                    o.set("replicas", Json::U64(s.replicas));
+                    o.set("edges_added", Json::U64(s.edges_added));
+                    o.set("edge_budget_arcs", Json::U64(s.edge_budget_arcs));
+                    o
+                })
+                .collect();
+            p.set("stages", Json::Arr(stages));
+            root.set("provenance", p);
+        }
         root
     }
 
     /// The serialized document (pretty JSON, trailing newline).
     pub fn to_pretty_string(&self) -> String {
         self.to_json().to_pretty_string()
+    }
+
+    /// Deserializes a `graffix.run-report` document. Accepts both schema
+    /// v1 (no `accuracy` / `provenance` — the fields come back `None`) and
+    /// the current v2. The round trip is lossless: `from_json(to_json())`
+    /// reproduces the report and `verify()` holds on the result.
+    pub fn from_json(doc: &Json) -> Result<RunReport, String> {
+        let schema = req_str(doc, "schema")?;
+        if schema != SCHEMA_NAME {
+            return Err(format!("schema is `{schema}`, expected `{SCHEMA_NAME}`"));
+        }
+        let version = req_u64(doc, "version")?;
+        if version != SCHEMA_VERSION_V1 && version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {version} (reader knows 1..={SCHEMA_VERSION})"
+            ));
+        }
+
+        let graph_doc = req(doc, "graph")?;
+        let graph = GraphMeta {
+            nodes: req_u64(graph_doc, "nodes")?,
+            edges: req_u64(graph_doc, "edges")?,
+            holes: req_u64(graph_doc, "holes")?,
+        };
+
+        let values_doc = req(doc, "values")?;
+        let values = ValueSummary {
+            len: req_u64(values_doc, "len")?,
+            finite: req_u64(values_doc, "finite")?,
+            sum_finite: req_f64(values_doc, "sum_finite")?,
+            min_finite: req_f64(values_doc, "min_finite")?,
+            max_finite: req_f64(values_doc, "max_finite")?,
+        };
+
+        let accuracy = match doc.get("accuracy") {
+            None | Some(Json::Null) => None,
+            Some(a) => {
+                let mut attribution = Vec::new();
+                for e in req(a, "attribution")?
+                    .as_arr()
+                    .ok_or("attribution not an array")?
+                {
+                    attribution.push(AttributionEntry {
+                        transform: req_str(e, "transform")?,
+                        inaccuracy_without: req_f64(e, "inaccuracy_without")?,
+                        charged: req_f64(e, "charged")?,
+                    });
+                }
+                Some(AccuracyReport {
+                    metric: req_str(a, "metric")?,
+                    inaccuracy: req_f64(a, "inaccuracy")?,
+                    max_node_error: req_f64(a, "max_node_error")?,
+                    attribution,
+                    residual: req_f64(a, "residual")?,
+                })
+            }
+        };
+
+        let provenance = match doc.get("provenance") {
+            None | Some(Json::Null) => None,
+            Some(p) => {
+                let mut stages = Vec::new();
+                for s in req(p, "stages")?.as_arr().ok_or("stages not an array")? {
+                    stages.push(StageProvenance {
+                        transform: req_str(s, "transform")?,
+                        replicas: req_u64(s, "replicas")?,
+                        edges_added: req_u64(s, "edges_added")?,
+                        edge_budget_arcs: req_u64(s, "edge_budget_arcs")?,
+                    });
+                }
+                Some(ProvenanceReport {
+                    technique: req_str(p, "technique")?,
+                    replicas: req_u64(p, "replicas")?,
+                    holes_created: req_u64(p, "holes_created")?,
+                    holes_filled: req_u64(p, "holes_filled")?,
+                    edges_added: req_u64(p, "edges_added")?,
+                    space_overhead: req_f64(p, "space_overhead")?,
+                    stages,
+                })
+            }
+        };
+
+        Ok(RunReport {
+            command: req_str(doc, "command")?,
+            algo: req_str(doc, "algo")?,
+            technique: req_str(doc, "technique")?,
+            baseline: req_str(doc, "baseline")?,
+            graph,
+            gpu: gpu_from_json(req(doc, "gpu")?)?,
+            iterations: req_u64(doc, "iterations")?,
+            totals: stats_from_json(req(doc, "totals")?)?,
+            trace: trace_from_json(req(doc, "trace")?)?,
+            values,
+            accuracy,
+            provenance,
+        })
     }
 }
 
@@ -282,6 +605,138 @@ fn trace_json(trace: &TraceData) -> Json {
     t
 }
 
+// ---- deserialization helpers -------------------------------------------
+
+fn req<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn req_str(doc: &Json, key: &str) -> Result<String, String> {
+    req(doc, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    req(doc, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not a u64"))
+}
+
+/// Reads an `f64` field; `null` maps back to NaN (the writer serializes
+/// non-finite floats as `null`).
+fn req_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    match req(doc, key)? {
+        Json::Null => Ok(f64::NAN),
+        v => v
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` is not a number")),
+    }
+}
+
+fn req_phase(doc: &Json, key: &str) -> Result<Phase, String> {
+    let label = req_str(doc, key)?;
+    Phase::from_label(&label).ok_or_else(|| format!("unknown phase label `{label}`"))
+}
+
+fn gpu_from_json(doc: &Json) -> Result<GpuConfig, String> {
+    Ok(GpuConfig {
+        warp_size: req_u64(doc, "warp_size")? as usize,
+        segment_words: req_u64(doc, "segment_words")?,
+        num_sms: req_u64(doc, "num_sms")? as usize,
+        warps_overlap_per_sm: req_u64(doc, "warps_overlap_per_sm")? as usize,
+        lat_global: req_u64(doc, "lat_global")?,
+        lat_shared: req_u64(doc, "lat_shared")?,
+        lat_atomic: req_u64(doc, "lat_atomic")?,
+        issue_cycles: req_u64(doc, "issue_cycles")?,
+        shared_mem_words: req_u64(doc, "shared_mem_words")? as usize,
+        shared_banks: req_u64(doc, "shared_banks")?,
+        clock_hz: req_f64(doc, "clock_hz")?,
+    })
+}
+
+fn stats_from_json(doc: &Json) -> Result<KernelStats, String> {
+    let fields = doc.as_obj().ok_or("stats value is not an object")?;
+    let mut stats = KernelStats::default();
+    for (name, value) in fields {
+        let v = value
+            .as_u64()
+            .ok_or_else(|| format!("stats field `{name}` is not a u64"))?;
+        if !stats.set_field(name, v) {
+            return Err(format!("unknown stats field `{name}`"));
+        }
+    }
+    Ok(stats)
+}
+
+fn trace_from_json(doc: &Json) -> Result<TraceData, String> {
+    let mut trace = TraceData::default();
+    for s in req(doc, "spans")?.as_arr().ok_or("spans not an array")? {
+        trace.spans.push(Span {
+            phase: req_phase(s, "phase")?,
+            name: req_str(s, "name")?,
+            start: req_u64(s, "start")?,
+            end: req_u64(s, "end")?,
+            depth: req_u64(s, "depth")? as u32,
+        });
+    }
+    for s in req(doc, "supersteps")?
+        .as_arr()
+        .ok_or("supersteps not an array")?
+    {
+        trace.snapshots.push(SuperstepSnapshot {
+            clock: req_u64(s, "clock")?,
+            phase: req_phase(s, "phase")?,
+            label: req_str(s, "label")?,
+            stats: stats_from_json(req(s, "stats")?)?,
+        });
+    }
+    let metrics = req(doc, "metrics")?;
+    let mut registry = MetricsRegistry::default();
+    for c in req(metrics, "counters")?
+        .as_arr()
+        .ok_or("counters not an array")?
+    {
+        registry.add_counter(
+            req_phase(c, "phase")?,
+            &req_str(c, "name")?,
+            req_u64(c, "value")?,
+        );
+    }
+    for g in req(metrics, "gauges")?
+        .as_arr()
+        .ok_or("gauges not an array")?
+    {
+        registry.set_gauge(
+            req_phase(g, "phase")?,
+            &req_str(g, "name")?,
+            req_f64(g, "value")?,
+        );
+    }
+    for s in req(metrics, "series")?
+        .as_arr()
+        .ok_or("series not an array")?
+    {
+        let phase = req_phase(s, "phase")?;
+        let name = req_str(s, "name")?;
+        for v in req(s, "values")?
+            .as_arr()
+            .ok_or("series values not an array")?
+        {
+            let v = match v {
+                Json::Null => f64::NAN,
+                other => other
+                    .as_f64()
+                    .ok_or_else(|| format!("series `{name}` holds a non-number"))?,
+            };
+            registry.push_series(phase, &name, v);
+        }
+    }
+    trace.registry = registry;
+    Ok(trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,7 +778,42 @@ mod tests {
             totals,
             trace,
             values: ValueSummary::from_values(&[1.0, 2.0, f64::INFINITY]),
+            accuracy: None,
+            provenance: None,
         }
+    }
+
+    fn sample_v2_report() -> RunReport {
+        let mut r = sample_report();
+        r.accuracy = Some(AccuracyReport::from_reruns(
+            "relative-l1",
+            0.05,
+            0.5,
+            vec![("coalescing".into(), 0.01), ("latency".into(), 0.07)],
+        ));
+        r.provenance = Some(ProvenanceReport {
+            technique: "combined".into(),
+            replicas: 4,
+            holes_created: 6,
+            holes_filled: 2,
+            edges_added: 30,
+            space_overhead: 0.125,
+            stages: vec![
+                StageProvenance {
+                    transform: "coalescing".into(),
+                    replicas: 4,
+                    edges_added: 10,
+                    edge_budget_arcs: 0,
+                },
+                StageProvenance {
+                    transform: "latency".into(),
+                    replicas: 0,
+                    edges_added: 20,
+                    edge_budget_arcs: 40,
+                },
+            ],
+        });
+        r
     }
 
     #[test]
@@ -383,6 +873,88 @@ mod tests {
             sample_report().to_pretty_string(),
             sample_report().to_pretty_string()
         );
+    }
+
+    #[test]
+    fn v2_sections_verify_and_round_trip() {
+        let r = sample_v2_report();
+        r.verify().unwrap();
+        let text = r.to_pretty_string();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        back.verify().unwrap();
+        let acc = back.accuracy.as_ref().unwrap();
+        assert_eq!(acc.attribution.len(), 2);
+        // Charged: coalescing 0.05-0.01 = 0.04; latency clamps to 0.
+        assert_eq!(
+            acc.attribution[0].charged.to_bits(),
+            (0.05f64 - 0.01).to_bits()
+        );
+        assert_eq!(acc.attribution[1].charged, 0.0);
+        let prov = back.provenance.as_ref().unwrap();
+        assert_eq!(prov.stages.len(), 2);
+        assert_eq!(prov.stages[1].edge_budget_arcs, 40);
+        // The round trip is byte-lossless.
+        assert_eq!(back.to_pretty_string(), text);
+    }
+
+    #[test]
+    fn verify_rejects_tampered_attribution() {
+        let mut r = sample_v2_report();
+        r.accuracy.as_mut().unwrap().attribution[0].charged += 0.001;
+        let err = r.verify().unwrap_err();
+        assert!(err.contains("coalescing"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_tampered_residual() {
+        let mut r = sample_v2_report();
+        r.accuracy.as_mut().unwrap().residual = 0.0;
+        assert!(r.verify().unwrap_err().contains("residual"));
+    }
+
+    #[test]
+    fn verify_rejects_provenance_stage_mismatch() {
+        let mut r = sample_v2_report();
+        r.provenance.as_mut().unwrap().stages[0].edges_added += 1;
+        assert!(r.verify().unwrap_err().contains("edges"));
+    }
+
+    #[test]
+    fn v1_documents_still_parse_and_verify() {
+        // Build a v1 document: strip the v2 sections, set version 1.
+        let mut doc = Json::parse(&sample_v2_report().to_pretty_string()).unwrap();
+        doc.remove("accuracy");
+        doc.remove("provenance");
+        doc.set("version", Json::U64(SCHEMA_VERSION_V1));
+        let back = RunReport::from_json(&doc).unwrap();
+        assert!(back.accuracy.is_none());
+        assert!(back.provenance.is_none());
+        back.verify().unwrap();
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_version_and_schema() {
+        let mut doc = Json::parse(&sample_report().to_pretty_string()).unwrap();
+        doc.set("version", Json::U64(99));
+        assert!(RunReport::from_json(&doc)
+            .unwrap_err()
+            .contains("version 99"));
+        doc.set("version", Json::U64(SCHEMA_VERSION));
+        doc.set("schema", Json::Str("other".into()));
+        assert!(RunReport::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn from_json_round_trips_v1_shape_losslessly() {
+        // NaN summary floats serialize as null and come back as NaN.
+        let mut r = sample_report();
+        r.values = ValueSummary::from_values(&[f64::INFINITY]);
+        let text = r.to_pretty_string();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.values.min_finite.is_nan());
+        assert_eq!(back.to_pretty_string(), text);
+        assert_eq!(back.totals, r.totals);
+        assert_eq!(back.trace, r.trace);
     }
 
     #[test]

@@ -123,6 +123,33 @@ impl KernelStats {
         ]
     }
 
+    /// Sets a counter by its [`field_pairs`](KernelStats::field_pairs)
+    /// name. Returns `false` for unknown names. Used when deserializing
+    /// stats objects from JSON reports.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "warp_cycles" => &mut self.warp_cycles,
+            "steps" => &mut self.steps,
+            "warps" => &mut self.warps,
+            "global_accesses" => &mut self.global_accesses,
+            "global_transactions" => &mut self.global_transactions,
+            "shared_accesses" => &mut self.shared_accesses,
+            "bank_conflicts" => &mut self.bank_conflicts,
+            "atomic_ops" => &mut self.atomic_ops,
+            "atomic_transactions" => &mut self.atomic_transactions,
+            "atomic_collisions" => &mut self.atomic_collisions,
+            "divergent_slots" => &mut self.divergent_slots,
+            "launches" => &mut self.launches,
+            "issue_cycles" => &mut self.issue_cycles,
+            "global_cycles" => &mut self.global_cycles,
+            "shared_cycles" => &mut self.shared_cycles,
+            "atomic_cycles" => &mut self.atomic_cycles,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+
     fn useful_slots(&self) -> u64 {
         // Every counted access or compute slot was useful; approximate with
         // the sum of access counters (compute slots are not individually

@@ -43,6 +43,17 @@ pub enum Phase {
     Run,
 }
 
+/// All phases, in serialization (ordinal) order.
+pub const ALL_PHASES: [Phase; 7] = [
+    Phase::Transform,
+    Phase::Launch,
+    Phase::TilePhase,
+    Phase::ConfluenceMerge,
+    Phase::ActivationMerge,
+    Phase::Iteration,
+    Phase::Run,
+];
+
 impl Phase {
     /// Stable label used in span/metric serialization.
     pub fn label(self) -> &'static str {
@@ -55,6 +66,11 @@ impl Phase {
             Phase::Iteration => "iteration",
             Phase::Run => "run",
         }
+    }
+
+    /// Parses a serialized [`Phase::label`] back (report deserialization).
+    pub fn from_label(label: &str) -> Option<Phase> {
+        ALL_PHASES.into_iter().find(|p| p.label() == label)
     }
 }
 

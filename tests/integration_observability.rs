@@ -34,7 +34,7 @@ fn profile_report_is_schema_valid_json() {
         doc.path(&["schema"]).unwrap().as_str(),
         Some("graffix.run-report")
     );
-    assert_eq!(doc.path(&["version"]).unwrap().as_u64(), Some(1));
+    assert_eq!(doc.path(&["version"]).unwrap().as_u64(), Some(2));
 
     // Every top-level key the schema promises, in stable order.
     let keys: Vec<&str> = doc
@@ -60,6 +60,7 @@ fn profile_report_is_schema_valid_json() {
             "cost_breakdown",
             "trace",
             "values",
+            "provenance",
         ]
     );
 
@@ -187,6 +188,61 @@ fn disabled_trace_records_nothing() {
     assert!(!plan.trace.is_enabled());
     let _ = pagerank::run_sim(&plan);
     assert!(plan.trace.finish().is_none());
+}
+
+/// The v2 sections end to end: an observed run on a fully transformed plan
+/// attributes inaccuracy to the three stages, records transform
+/// provenance, and the whole document survives a byte-lossless round trip
+/// through the typed parser.
+#[test]
+fn observed_run_report_carries_v2_sections() {
+    let g = graph();
+    let gpu = GpuConfig::test_tiny();
+    let pipeline = Pipeline {
+        coalesce: Some(CoalesceKnobs::for_kind(GraphKind::Rmat)),
+        latency: Some(LatencyKnobs::for_kind(GraphKind::Rmat)),
+        divergence: Some(DivergenceKnobs::for_kind(GraphKind::Rmat)),
+    };
+    let prepared = pipeline.apply(&g, &gpu);
+    let t = observed_run(
+        RunSpec {
+            command: "profile",
+            algo: Algo::Sssp,
+            baseline: Baseline::Lonestar,
+            bc_sources: 2,
+            accuracy: true,
+            pipeline: Some(&pipeline),
+        },
+        &g,
+        &prepared,
+        &gpu,
+    );
+    t.report.verify().unwrap();
+
+    let acc = t.report.accuracy.as_ref().expect("accuracy section");
+    assert_eq!(acc.metric, "relative-l1");
+    assert!(acc.inaccuracy.is_finite() && acc.inaccuracy >= 0.0);
+    let transforms: Vec<&str> = acc
+        .attribution
+        .iter()
+        .map(|e| e.transform.as_str())
+        .collect();
+    assert_eq!(transforms, ["coalescing", "latency", "divergence"]);
+    let charged: f64 = acc.attribution.iter().map(|e| e.charged).sum();
+    assert_eq!(charged + acc.residual, acc.inaccuracy);
+
+    let prov = t.report.provenance.as_ref().expect("provenance section");
+    assert_eq!(prov.technique, "combined");
+    assert_eq!(prov.stages.len(), 3);
+    assert_eq!(
+        prov.stages.iter().map(|s| s.edges_added).sum::<u64>(),
+        prov.edges_added
+    );
+
+    // Byte-lossless round trip: serialize -> parse -> typed -> serialize.
+    let text = t.report.to_pretty_string();
+    let reparsed = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(reparsed.to_pretty_string(), text);
 }
 
 /// Baseline choice is reflected in the report and all baselines keep the

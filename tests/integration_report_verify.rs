@@ -1,0 +1,162 @@
+//! End-to-end tests for `graffix report verify` against real reports
+//! produced by `graffix profile`, covering both schema v2 (current) and
+//! schema v1 (pre-accuracy) documents.
+
+use graffix::prelude::{Json, RunReport};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_graffix"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// Generates a small graph and profiles it into a v2 run report on disk.
+fn profiled_report(graph: &str, report: &str) -> PathBuf {
+    let graph = tmp(graph);
+    let report = tmp(report);
+    let out = bin()
+        .args([
+            "generate", "--kind", "rmat", "--nodes", "256", "--seed", "5", "--out",
+        ])
+        .arg(&graph)
+        .arg("--quiet")
+        .output()
+        .expect("run graffix generate");
+    assert!(out.status.success());
+    let out = bin()
+        .args(["profile", "--in"])
+        .arg(&graph)
+        .args(["--technique", "combined", "--report-json"])
+        .arg(&report)
+        .arg("--quiet")
+        .output()
+        .expect("run graffix profile");
+    assert!(
+        out.status.success(),
+        "profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    report
+}
+
+#[test]
+fn verify_accepts_v2_report_from_profile() {
+    let report = profiled_report("v2.gfx", "v2-report.json");
+    let out = bin()
+        .args(["report", "verify"])
+        .arg(&report)
+        .output()
+        .expect("run graffix report verify");
+    assert!(
+        out.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("schema v2"), "stdout: {stdout}");
+    assert!(stdout.contains("accuracy"), "stdout: {stdout}");
+    assert!(stdout.contains("provenance"), "stdout: {stdout}");
+}
+
+#[test]
+fn verify_accepts_v1_report_without_new_sections() {
+    let report = profiled_report("v1.gfx", "v1-src-report.json");
+    // Downgrade the document to what a v1 writer produced: no accuracy or
+    // provenance sections, version 1.
+    let text = std::fs::read_to_string(&report).expect("read report");
+    let mut doc = Json::parse(&text).expect("parse report");
+    doc.remove("accuracy").expect("v2 report has accuracy");
+    doc.remove("provenance").expect("v2 report has provenance");
+    doc.set("version", Json::U64(1));
+    let v1 = tmp("v1-report.json");
+    std::fs::write(&v1, doc.to_pretty_string()).expect("write v1 report");
+
+    let out = bin()
+        .args(["report", "verify"])
+        .arg(&v1)
+        .output()
+        .expect("run graffix report verify");
+    assert!(
+        out.status.success(),
+        "v1 verify failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("schema v1"), "stdout: {stdout}");
+    assert!(!stdout.contains("accuracy"), "stdout: {stdout}");
+}
+
+#[test]
+fn verify_rejects_tampered_attribution() {
+    let report = profiled_report("tamper.gfx", "tamper-src-report.json");
+    let text = std::fs::read_to_string(&report).expect("read report");
+    let doc = Json::parse(&text).expect("parse report");
+    let mut parsed = RunReport::from_json(&doc).expect("typed parse");
+    let acc = parsed.accuracy.as_mut().expect("v2 report has accuracy");
+    acc.attribution[0].charged += 0.25;
+    let tampered = tmp("tampered-report.json");
+    std::fs::write(&tampered, parsed.to_pretty_string()).expect("write tampered");
+
+    let out = bin()
+        .args(["report", "verify"])
+        .arg(&tampered)
+        .output()
+        .expect("run graffix report verify");
+    assert!(!out.status.success(), "tampered report must fail verify");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("verification FAILED"),
+        "stderr should explain: {stderr}"
+    );
+}
+
+#[test]
+fn verify_rejects_non_report_json() {
+    let bogus = tmp("bogus-report.json");
+    std::fs::write(
+        &bogus,
+        "{\"schema\": \"graffix.run-report\", \"version\": 99}",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["report", "verify"])
+        .arg(&bogus)
+        .output()
+        .expect("run graffix report verify");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not a valid run report"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn profile_stdout_is_pure_json_when_quiet() {
+    let graph = tmp("pure.gfx");
+    let out = bin()
+        .args([
+            "generate", "--kind", "rmat", "--nodes", "128", "--seed", "3", "--out",
+        ])
+        .arg(&graph)
+        .arg("--quiet")
+        .output()
+        .expect("run graffix generate");
+    assert!(out.status.success());
+    let out = bin()
+        .args(["profile", "--in"])
+        .arg(&graph)
+        .args(["--technique", "latency", "--quiet"])
+        .output()
+        .expect("run graffix profile");
+    assert!(out.status.success());
+    assert!(out.stderr.is_empty(), "quiet profile must not write stderr");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let doc = Json::parse(&stdout).expect("stdout must be one JSON document");
+    let report = RunReport::from_json(&doc).expect("stdout parses as a run report");
+    report.verify().expect("streamed report verifies");
+}
