@@ -9,7 +9,7 @@
 
 use crate::plan::{Plan, SimRun};
 use crate::runner::{Runner, VertexProgram};
-use graffix_graph::{Csr, NodeId};
+use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use graffix_sim::{ArrayId, AtomicU32Array, KernelStats, Lane};
 
 /// Level-synchronous BFS expansion. Discovery branches on the previous
@@ -51,6 +51,44 @@ impl VertexProgram for BfsProgram<'_> {
             }
         }
         changed
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    /// Bottom-up step (Beamer): an *undiscovered* `v` scans its in-edges on
+    /// the CSC mirror and adopts level `cur + 1` at the first discovered
+    /// parent — the early exit that makes pull BFS cheap on dense waves.
+    /// Level-identical to push: if some in-neighbor of an undiscovered `v`
+    /// held a committed level below `cur`, it would have discovered `v` in
+    /// an earlier wave, so every discovered parent sits at exactly `cur`
+    /// and the adopted level matches what push would write. The early exit
+    /// branches only on host-committed `prev`, keeping the trace
+    /// schedule-independent.
+    fn process_pull(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let csc = plan.csc();
+        let slot = plan.slot(v) as usize;
+        lane.read(ArrayId::NODE_ATTR, slot);
+        let lv = plan.logical_of(v);
+        if lv == INVALID_NODE || self.prev[lv as usize] != u32::MAX {
+            return false;
+        }
+        lane.read(ArrayId::T_OFFSETS, v as usize);
+        for e in csc.edge_range(v) {
+            lane.read(ArrayId::T_EDGES, e);
+            let u = csc.edges_raw()[e];
+            lane.read(ArrayId::NODE_ATTR, plan.slot(u) as usize);
+            if self.prev[plan.logical_of(u) as usize] != u32::MAX {
+                lane.write(ArrayId::NODE_ATTR, slot);
+                self.next.fetch_min(lv as usize, self.cur + 1);
+                plan.activate_logical(lv, lane);
+                return true;
+            }
+            lane.compute(1);
+        }
+        false
     }
 
     fn after_iteration(
@@ -159,6 +197,22 @@ mod tests {
             if e.is_finite() {
                 assert!(a <= e + 1e-9, "node {v}: hops grew {a} > {e}");
             }
+        }
+    }
+
+    #[test]
+    fn pull_matches_push_exactly() {
+        use crate::plan::Direction;
+        let g = GraphSpec::new(GraphKind::SocialTwitter, 300, 3).generate();
+        let src = crate::sssp::default_source(&g);
+        let cfg = GpuConfig::test_tiny();
+        let push = run_sim(&Plan::exact(&g, &cfg, Strategy::Frontier), src);
+        for dir in [Direction::Pull, Direction::Auto] {
+            let run = run_sim(
+                &Plan::exact(&g, &cfg, Strategy::Frontier).with_direction(dir),
+                src,
+            );
+            assert_eq!(run.values, push.values, "direction {dir:?}");
         }
     }
 

@@ -27,13 +27,13 @@ pub mod sssp;
 pub mod wcc;
 
 pub use accuracy::{geomean, max_abs_error, relative_l1, scalar_inaccuracy};
-pub use plan::{Plan, PlanDerived, SimRun, Strategy};
-pub use runner::{Runner, VertexProgram};
+pub use plan::{Direction, Plan, PlanDerived, SimRun, Strategy};
+pub use runner::{HybridFrontier, Runner, VertexProgram};
 
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::accuracy::{max_abs_error, relative_l1, scalar_inaccuracy};
-    pub use crate::plan::{Plan, PlanDerived, SimRun, Strategy};
-    pub use crate::runner::{Runner, VertexProgram};
+    pub use crate::plan::{Direction, Plan, PlanDerived, SimRun, Strategy};
+    pub use crate::runner::{HybridFrontier, Runner, VertexProgram};
     pub use crate::{bc, bfs, mst, pagerank, scc, sssp, wcc};
 }

@@ -209,6 +209,13 @@ struct PrFrontier<'p> {
     claimed_nodes: Vec<NodeId>,
     slot_deg: Vec<usize>,
     threshold: f64,
+    /// Whether each slot emits a share this superstep (host-written; valid
+    /// only where `flush_epoch` matches the current epoch).
+    emitting: Vec<bool>,
+    /// The emitted share, pre-quantized to residual fixed-point raw units
+    /// so pull gathers can sum in a register and commit with one atomic,
+    /// landing on exactly the bits per-arc pushes would produce.
+    share_raw: Vec<i64>,
 }
 
 impl VertexProgram for PrFrontier<'_> {
@@ -228,6 +235,14 @@ impl VertexProgram for PrFrontier<'_> {
                 let r = self.residual.get(slot);
                 self.residual.set(slot, 0.0);
                 self.flush[slot] = r;
+                let emit = r > self.threshold && self.slot_deg[slot] > 0;
+                self.emitting[slot] = emit;
+                self.share_raw[slot] = if emit {
+                    self.residual
+                        .quantize_raw(DAMPING * r / self.slot_deg[slot] as f64)
+                } else {
+                    0
+                };
             }
         }
     }
@@ -261,6 +276,67 @@ impl VertexProgram for PrFrontier<'_> {
             }
         }
         true
+    }
+
+    fn supports_pull(&self) -> bool {
+        true
+    }
+
+    /// Gather formulation of the residual flush: `v` folds in its own
+    /// claimed residual (the apply the push kernel's claimant performs),
+    /// then sums the pre-quantized shares of every *emitting* in-neighbor
+    /// in a register and commits them with a single fixed-point atomic.
+    /// Emission membership (`flush_epoch == epoch && emitting`) is
+    /// host-written in `begin_superstep`, and per-arc shares are the exact
+    /// raw addends push would add — integer addition commutes, so residual
+    /// bits, rank bits, and the activation set all match push exactly.
+    fn process_pull(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let csc = plan.csc();
+        let slot = plan.slot(v) as usize;
+        lane.read(ArrayId::T_OFFSETS, v as usize);
+        let mut changed = false;
+        if self.claimant[v as usize] {
+            // Only the claimant needs its flushed residual; non-claimants
+            // skip the read entirely (push reads it on every frontier copy
+            // because every copy emits from it).
+            lane.read(ArrayId::NODE_ATTR_AUX, slot);
+            let r = self.flush[slot];
+            if r > self.threshold {
+                lane.write(ArrayId::NODE_ATTR_AUX, slot);
+                lane.read(ArrayId::NODE_ATTR, slot);
+                lane.write(ArrayId::NODE_ATTR, slot);
+                self.rank.fetch_add(slot, r);
+                changed = true;
+            }
+        }
+        let mut acc_raw = 0i64;
+        let mut received = false;
+        for e in csc.edge_range(v) {
+            lane.read(ArrayId::T_EDGES, e);
+            let u = csc.edges_raw()[e];
+            let slot_u = plan.slot(u) as usize;
+            lane.read(ArrayId::FRONTIER, slot_u);
+            if self.flush_epoch[slot_u] == self.epoch && self.emitting[slot_u] {
+                acc_raw = acc_raw.wrapping_add(self.share_raw[slot_u]);
+                received = true;
+            }
+        }
+        if received {
+            // At most one commit per receiving vertex (vs one atomic per
+            // in-arc pushed) — and a plain store when the slot has a single
+            // gatherer (identity plans).
+            if plan.sole_gatherer(slot as NodeId) {
+                lane.write(ArrayId::NODE_ATTR_AUX, slot);
+            } else {
+                lane.atomic(ArrayId::NODE_ATTR_AUX, slot);
+            }
+            if self.residual.add_raw_returning(slot, acc_raw) > self.threshold {
+                plan.activate_slot(slot as NodeId, lane);
+            }
+            changed = true;
+        }
+        changed
     }
 
     fn after_iteration(
@@ -305,6 +381,8 @@ fn run_frontier(plan: &Plan) -> SimRun {
         claimed_nodes: Vec::new(),
         slot_deg: slot_degrees(plan),
         threshold: TOLERANCE,
+        emitting: vec![false; plan.attr_len],
+        share_raw: vec![0i64; plan.attr_len],
     };
     let init = runner.active_nodes();
     let (stats, iterations) = runner.frontier_loop(init, MAX_ITERS, &mut prog);
@@ -396,6 +474,21 @@ mod tests {
         let exact = exact_cpu(&g);
         let err = relative_l1(&run.values, &exact);
         assert!(err < 1e-3, "frontier PR error {err}");
+    }
+
+    #[test]
+    fn pull_matches_push_bit_for_bit_on_exact_plan() {
+        use crate::plan::Direction;
+        let g = GraphSpec::new(GraphKind::Rmat, 300, 11).generate();
+        let cfg = GpuConfig::test_tiny();
+        let push = run_sim(&Plan::exact(&g, &cfg, Strategy::Frontier));
+        for dir in [Direction::Pull, Direction::Auto] {
+            let run = run_sim(&Plan::exact(&g, &cfg, Strategy::Frontier).with_direction(dir));
+            for (a, b) in push.values.iter().zip(&run.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "direction {dir:?}");
+            }
+            assert_eq!(run.iterations, push.iterations, "direction {dir:?}");
+        }
     }
 
     #[test]

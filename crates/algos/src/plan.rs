@@ -1,6 +1,6 @@
 //! Execution plans: everything an algorithm needs to run on the simulator.
 
-use graffix_core::{ConfluenceOp, Prepared, Tile};
+use graffix_core::{ConfluenceOp, DirectionKnobs, Prepared, Tile};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use graffix_sim::{GpuConfig, KernelStats, Lane, TraceHandle};
 use std::sync::OnceLock;
@@ -14,6 +14,46 @@ pub enum Strategy {
     /// Only active vertices are processed; a metered filter pass compacts
     /// the next frontier — Gunrock's style (Baseline-III).
     Frontier,
+}
+
+/// Traversal direction policy for frontier-driven supersteps.
+///
+/// `Push` scatters updates along out-edges of frontier vertices (the
+/// classic data-driven kernel). `Pull` gathers along in-edges of *every*
+/// vertex using the plan's memoized CSC mirror, trading wasted gathers for
+/// atomic-free, coalesced reads. `Auto` decides per superstep from frontier
+/// density (see [`DirectionKnobs`]). Programs that implement no pull kernel
+/// silently run push regardless of the policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Always scatter along out-edges (CSR).
+    #[default]
+    Push,
+    /// Always gather along in-edges (CSC mirror).
+    Pull,
+    /// Per-superstep choice from frontier edge mass.
+    Auto,
+}
+
+impl Direction {
+    /// Stable string key (CLI flags, bench cell ids, JSON reports).
+    pub fn key(self) -> &'static str {
+        match self {
+            Direction::Push => "push",
+            Direction::Pull => "pull",
+            Direction::Auto => "auto",
+        }
+    }
+
+    /// Inverse of [`Direction::key`].
+    pub fn from_key(s: &str) -> Option<Direction> {
+        match s {
+            "push" => Some(Direction::Push),
+            "pull" => Some(Direction::Pull),
+            "auto" => Some(Direction::Auto),
+            _ => None,
+        }
+    }
 }
 
 /// A fully-resolved execution plan. Owns its data so baseline conversions
@@ -44,6 +84,10 @@ pub struct Plan {
     pub confluence: ConfluenceOp,
     /// Processing style.
     pub strategy: Strategy,
+    /// Traversal direction policy for frontier-driven supersteps.
+    pub direction: Direction,
+    /// Thresholds steering [`Direction::Auto`].
+    pub direction_knobs: DirectionKnobs,
     /// Observability sink shared by the runner, vertex programs, and the
     /// caller (see `graffix_sim::trace`). Disabled by default — every
     /// recording call is then a single no-op branch. Clones share the sink.
@@ -62,6 +106,8 @@ pub struct PlanDerived {
     procs_of_slot: OnceLock<Option<Vec<Vec<NodeId>>>>,
     /// logical (original) vertex → processing copies.
     procs_of_logical: OnceLock<Vec<Vec<NodeId>>>,
+    /// CSC mirror of the processing graph (pull-mode gather topology).
+    csc: OnceLock<Csr>,
 }
 
 impl Clone for PlanDerived {
@@ -89,9 +135,17 @@ impl Plan {
             tiles: prepared.tiles.clone(),
             confluence: prepared.confluence,
             strategy,
+            direction: Direction::Push,
+            direction_knobs: DirectionKnobs::default(),
             trace: TraceHandle::default(),
             derived: PlanDerived::default(),
         }
+    }
+
+    /// Sets the traversal direction policy (builder style).
+    pub fn with_direction(mut self, direction: Direction) -> Plan {
+        self.direction = direction;
+        self
     }
 
     /// Exact execution of an untransformed graph under the given strategy.
@@ -103,6 +157,14 @@ impl Plan {
     #[inline]
     pub fn slot(&self, v: NodeId) -> NodeId {
         self.attr_of[v as usize]
+    }
+
+    /// CSC mirror of the processing graph, built on first use and reused by
+    /// every subsequent pull superstep. Hole/replica structure carries over
+    /// unchanged: the transpose preserves node count and ids, so plan slot
+    /// and logical mappings apply to it directly.
+    pub fn csc(&self) -> &Csr {
+        self.derived.csc.get_or_init(|| self.graph.transpose())
     }
 
     /// Number of logical (original) vertices.
@@ -172,6 +234,19 @@ impl Plan {
             }
             procs
         })
+    }
+
+    /// True when pull-mode gathers into `slot` have a single writer: the
+    /// slot has at most one processing copy, so the gather's self-update
+    /// needs a plain store, not an atomic — the defining memory-traffic win
+    /// of gather kernels. Virtual-split plans keep the atomic for shared
+    /// slots, where sibling copies commit concurrently.
+    #[inline]
+    pub fn sole_gatherer(&self, slot: NodeId) -> bool {
+        match self.procs_of_slot() {
+            None => true,
+            Some(procs) => procs[slot as usize].len() <= 1,
+        }
     }
 
     /// Logical (original) vertex of processing node `v` (`INVALID_NODE` for

@@ -8,7 +8,7 @@
 //! interior-mutable state). The `&mut self` hooks run host-side between
 //! supersteps, where exclusive access is safe.
 
-use crate::plan::{Plan, Strategy};
+use crate::plan::{Direction, Plan, Strategy};
 use graffix_core::confluence;
 use graffix_graph::{NodeId, INVALID_NODE};
 use graffix_sim::{
@@ -37,6 +37,25 @@ pub trait VertexProgram: Sync {
     /// previous-buffer snapshots only) so warp costs stay deterministic.
     fn process(&self, v: NodeId, lane: &mut Lane) -> bool;
 
+    /// Whether this program offers a pull (gather) kernel. Programs
+    /// returning `false` always run push, whatever the plan's
+    /// [`Direction`] policy says.
+    fn supports_pull(&self) -> bool {
+        false
+    }
+
+    /// The gather kernel: runs over *every* processing node, pulling
+    /// contributions along in-edges of the plan's CSC mirror instead of
+    /// scattering along out-edges. Same execution contract as
+    /// [`VertexProgram::process`] — and one extra rule for bit-identity
+    /// with push: any value the kernel *meters or branches on* must come
+    /// from host-owned or previous-superstep snapshots, never from state
+    /// concurrently written this superstep.
+    fn process_pull(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let _ = (v, lane);
+        false
+    }
+
     /// Whether the §3 shared-memory tile phase applies to this program.
     /// Multi-superstep iterations (e.g. PageRank's push/apply pair) opt
     /// out: their updates cannot cascade within a tile round.
@@ -61,6 +80,50 @@ pub trait VertexProgram: Sync {
         _next: &mut Vec<NodeId>,
     ) -> (KernelStats, bool) {
         (KernelStats::default(), false)
+    }
+}
+
+/// Scratch structure compacting raw activation lists into sorted, deduped
+/// frontiers. Sparse lists (at most 1/16 of the slot space) sort in place;
+/// denser ones take a bitmap pass — set a bit per activation, then scan
+/// the `slots/64` words in order. Both paths emit the identical ascending,
+/// unique sequence, so the density cutoff never shows in results; the
+/// bitmap just caps compaction at O(n + slots/64) instead of O(n log n)
+/// when frontiers grow dense (exactly when pull supersteps fire).
+pub struct HybridFrontier {
+    bits: Vec<u64>,
+    num_slots: usize,
+}
+
+impl HybridFrontier {
+    /// Scratch for frontiers over `num_slots` processing nodes.
+    pub fn new(num_slots: usize) -> Self {
+        HybridFrontier {
+            bits: vec![0u64; num_slots.div_ceil(64)],
+            num_slots,
+        }
+    }
+
+    /// Sorts and dedups `raw` in place. Reusable: the bitmap is left
+    /// all-zero after every call.
+    pub fn compact(&mut self, raw: &mut Vec<NodeId>) {
+        if raw.len() <= self.num_slots / 16 {
+            raw.sort_unstable();
+            raw.dedup();
+            return;
+        }
+        for &v in raw.iter() {
+            self.bits[(v >> 6) as usize] |= 1u64 << (v & 63);
+        }
+        raw.clear();
+        for (wi, word) in self.bits.iter_mut().enumerate() {
+            let mut b = *word;
+            *word = 0;
+            while b != 0 {
+                raw.push(((wi as u32) << 6) | b.trailing_zeros());
+                b &= b - 1;
+            }
+        }
     }
 }
 
@@ -198,6 +261,58 @@ impl<'a> Runner<'a> {
         self.run_tiled_superstep(assignment, |v, lane| prog.process(v, lane))
     }
 
+    /// One pull (gather) superstep over the full assignment. Pull runs
+    /// untiled on purpose: tile residency masks describe push-CSR locality,
+    /// so pricing gather traffic through them would undercharge — the plain
+    /// global-memory superstep is the conservative model.
+    pub fn run_pull_program<P: VertexProgram>(&self, prog: &P) -> SuperstepOutcome {
+        let outcome = run_superstep(
+            &self.plan.cfg,
+            Superstep {
+                assignment: &self.plan.assignment,
+                resident: None,
+            },
+            |v, lane| prog.process_pull(v, lane),
+        );
+        self.plan
+            .trace
+            .snapshot(Phase::Launch, "pull-superstep", &outcome.stats);
+        outcome
+    }
+
+    /// Decides push vs pull for the coming superstep and records the
+    /// decision (plus, under [`Direction::Auto`], the frontier's out-edge
+    /// mass) in the trace. A pure function of host-owned data — the same
+    /// sequence of directions at any thread count.
+    fn choose_pull<P: VertexProgram>(&self, prog: &P, frontier: &[NodeId]) -> bool {
+        let pull = prog.supports_pull()
+            && match self.plan.direction {
+                Direction::Push => false,
+                Direction::Pull => true,
+                Direction::Auto => {
+                    let mf: u64 = frontier
+                        .iter()
+                        .map(|&v| self.plan.graph.degree(v) as u64)
+                        .sum();
+                    self.plan
+                        .trace
+                        .push_series(Phase::ActivationMerge, "frontier-mass", mf as f64);
+                    let k = self.plan.direction_knobs;
+                    // Pull only when the frontier is populous (beta guard)
+                    // AND its out-edge mass crosses the full-gather
+                    // break-even |E|/alpha (see `DirectionKnobs`).
+                    frontier.len() as f64 * k.beta >= self.plan.graph.num_nodes() as f64
+                        && mf as f64 * k.alpha > self.plan.graph.num_edges() as f64
+                }
+            };
+        self.plan.trace.push_series(
+            Phase::ActivationMerge,
+            "direction",
+            if pull { 1.0 } else { 0.0 },
+        );
+        pull
+    }
+
     /// Runs the shared-memory tile phase (§3) as a sequence of
     /// block-structured launches: round `r` launches every tile that still
     /// has inner iterations left (and reported changes), one block per tile
@@ -320,6 +435,7 @@ impl<'a> Runner<'a> {
         let mut stats = KernelStats::default();
         let mut frontier = init;
         let mut iters = 0usize;
+        let mut scratch = HybridFrontier::new(self.plan.graph.num_nodes());
         self.plan.trace.span_enter(Phase::Run, "frontier-loop");
         for iter in 0..max_iters {
             if frontier.is_empty() {
@@ -336,7 +452,11 @@ impl<'a> Runner<'a> {
             );
             prog.begin_iteration(iter);
             prog.begin_superstep(&frontier);
-            let outcome = self.run_program(&frontier, prog);
+            let outcome = if self.choose_pull(prog, &frontier) {
+                self.run_pull_program(prog)
+            } else {
+                self.run_program(&frontier, prog)
+            };
             stats += outcome.stats;
             let mut next = outcome.activated;
             // Hook stats are already-snapshotted launches; see `fixpoint`.
@@ -347,8 +467,7 @@ impl<'a> Runner<'a> {
             // Gunrock's filter operator. Topology-style plans reusing this
             // loop (e.g. level-synchronous phases) skip the filter cost.
             let raw_activations = next.len();
-            next.sort_unstable();
-            next.dedup();
+            scratch.compact(&mut next);
             self.plan.trace.push_series(
                 Phase::ActivationMerge,
                 "activations-raw",
@@ -581,6 +700,32 @@ mod tests {
         assert_eq!(attrs[1], 3.0);
         assert_eq!(changed, vec![0, 1]);
         assert!(stats.global_accesses > 0);
+    }
+
+    #[test]
+    fn hybrid_frontier_dense_path_matches_sort_dedup() {
+        // 40 activations over 64 slots forces the bitmap path (> 64/16).
+        let mut raw: Vec<NodeId> = (0..40u32).map(|i| (i * 37 + 5) % 64).collect();
+        raw.extend_from_slice(&[63, 0, 17, 17, 17]);
+        let mut expect = raw.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        let mut scratch = HybridFrontier::new(64);
+        scratch.compact(&mut raw);
+        assert_eq!(raw, expect);
+        assert!(scratch.bits.iter().all(|&w| w == 0), "bitmap left dirty");
+        // Reuse with a sparse list takes the sort path, same contract.
+        let mut sparse = vec![9u32, 3, 9];
+        scratch.compact(&mut sparse);
+        assert_eq!(sparse, vec![3, 9]);
+    }
+
+    #[test]
+    fn hybrid_frontier_handles_word_boundaries() {
+        let mut scratch = HybridFrontier::new(130);
+        let mut raw: Vec<NodeId> = (0..130u32).rev().collect();
+        scratch.compact(&mut raw);
+        assert_eq!(raw, (0..130u32).collect::<Vec<_>>());
     }
 
     #[test]

@@ -108,6 +108,61 @@ impl VertexProgram for SsspProgram<'_> {
         changed
     }
 
+    fn supports_pull(&self) -> bool {
+        self.frontier_mode
+    }
+
+    /// Full-gather relaxation over the CSC mirror: `v` reads every
+    /// in-neighbor's previous distance and min-combines once into its own
+    /// slot. Each in-arc costs one packed `(weight, source)` word from
+    /// `T_EDGES` plus one source-attribute read — and the per-arc atomic
+    /// the push kernel issues collapses into at most one per vertex.
+    /// Against the previous-buffer snapshot this computes the same Jacobi
+    /// relaxation as push: on exact plans every improving in-arc originates
+    /// at a frontier vertex (non-frontier sources already propagated), so
+    /// the committed buffer is bit-identical to the push superstep's.
+    fn process_pull(&self, v: NodeId, lane: &mut Lane) -> bool {
+        let plan = self.plan;
+        let csc = plan.csc();
+        let slot = plan.slot(v) as usize;
+        lane.read(ArrayId::T_OFFSETS, v as usize);
+        lane.read(ArrayId::NODE_ATTR, slot);
+        let dv = self.dist.read(slot);
+        let mut best = f64::INFINITY;
+        for e in csc.edge_range(v) {
+            lane.read(ArrayId::T_EDGES, e);
+            let u = csc.edges_raw()[e];
+            let w = if self.weighted {
+                csc.weight_at(e) as f64
+            } else {
+                1.0
+            };
+            let slot_u = plan.slot(u) as usize;
+            lane.read(ArrayId::NODE_ATTR, slot_u);
+            let du = self.dist.read(slot_u);
+            if du + w < best {
+                best = du + w;
+            }
+        }
+        if best < dv {
+            // Gathers have a single writer per slot on identity plans, so
+            // the commit is a plain store; shared (split) slots keep the
+            // atomic. Either way: at most one per vertex vs one per arc
+            // when pushing.
+            if plan.sole_gatherer(slot as NodeId) {
+                lane.write(ArrayId::NODE_ATTR, slot);
+            } else {
+                lane.atomic(ArrayId::NODE_ATTR, slot);
+            }
+            if best < self.dist.fetch_min_next(slot, best) && self.frontier_mode {
+                plan.activate_slot(slot as NodeId, lane);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
     fn end_tile_round(&mut self) {
         self.dist.commit();
     }
@@ -303,6 +358,30 @@ mod tests {
             front.stats.global_accesses,
             topo.stats.global_accesses
         );
+    }
+
+    #[test]
+    fn pull_matches_push_bit_for_bit_on_exact_plan() {
+        use crate::plan::Direction;
+        let g = GraphSpec::new(GraphKind::Rmat, 300, 9).generate();
+        let src = default_source(&g);
+        let cfg = GpuConfig::test_tiny();
+        let push = run_sim(&Plan::exact(&g, &cfg, Strategy::Frontier), src);
+        let pull = run_sim(
+            &Plan::exact(&g, &cfg, Strategy::Frontier).with_direction(Direction::Pull),
+            src,
+        );
+        let auto = run_sim(
+            &Plan::exact(&g, &cfg, Strategy::Frontier).with_direction(Direction::Auto),
+            src,
+        );
+        for (a, b) in push.values.iter().zip(&pull.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in push.values.iter().zip(&auto.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(relative_l1(&pull.values, &exact_cpu(&g, src)) < 1e-12);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! maps every split back to its real attribute slot — so atomic updates
 //! still contend on the shared real-node data, exactly Tigr's behaviour.
 
-use graffix_algos::{Plan, PlanDerived, Strategy};
+use graffix_algos::{Direction, Plan, PlanDerived, Strategy};
 use graffix_core::Prepared;
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use graffix_sim::GpuConfig;
@@ -107,6 +107,8 @@ pub fn plan(prepared: &Prepared, cfg: &GpuConfig, max_virtual_degree: usize) -> 
         tiles: prepared.tiles.clone(),
         confluence: prepared.confluence,
         strategy: Strategy::Topology,
+        direction: Direction::Push,
+        direction_knobs: Default::default(),
         trace: Default::default(),
         derived: PlanDerived::default(),
     };

@@ -9,19 +9,22 @@
 //! baseline file saved on one machine is valid on any other: CI restores a
 //! committed `BENCH_*.json` and compares bit-for-bit comparable numbers.
 //!
-//! Serialized as the `graffix.bench-baseline` v1 schema.
+//! Serialized as the `graffix.bench-baseline` v2 schema (v2 added the
+//! per-cell `direction` key alongside the direction-optimization cells).
 
 use crate::experiments::{cpu_reference, inaccuracy, run_algo, Algo};
 use crate::suite::{Suite, SuiteOptions};
+use graffix_algos::{Direction, Plan};
 use graffix_baselines::Baseline;
 use graffix_core::Technique;
+use graffix_graph::generators::GraphKind;
 use graffix_sim::Json;
 use std::time::Instant;
 
 /// Schema identifier for baseline files.
 pub const BASELINE_SCHEMA: &str = "graffix.bench-baseline";
 /// Baseline schema version.
-pub const BASELINE_VERSION: u64 = 1;
+pub const BASELINE_VERSION: u64 = 2;
 
 /// Techniques the gate corpus covers, in order.
 pub const GATE_TECHNIQUES: [Technique; 5] = [
@@ -48,14 +51,16 @@ pub struct CellKey {
     pub baseline: String,
     /// [`Algo::key`].
     pub algo: String,
+    /// [`Direction::key`] of the plan's traversal policy.
+    pub direction: String,
 }
 
 impl CellKey {
     /// Stable single-string id, used in gate reports and error messages.
     pub fn id(&self) -> String {
         format!(
-            "{}/{}/{}/{}",
-            self.graph, self.technique, self.baseline, self.algo
+            "{}/{}/{}/{}/{}",
+            self.graph, self.technique, self.baseline, self.algo, self.direction
         )
     }
 }
@@ -138,44 +143,90 @@ pub fn measure_corpus(suite: &Suite, repeats: usize) -> Vec<CellMeasurement> {
     let baseline = Baseline::Lonestar;
     let mut cells = Vec::new();
     for gi in 0..suite.len() {
-        let original = suite.graph(gi);
         for technique in GATE_TECHNIQUES {
             let prepared = suite.prepared(gi, technique);
             let plan = baseline.plan(&prepared, &suite.cfg);
             for algo in GATE_ALGOS {
-                let reference = cpu_reference(suite, gi, algo);
-                let mut cycles = Vec::with_capacity(repeats);
-                let mut walls = Vec::with_capacity(repeats);
-                let mut inacc = 0.0;
-                for rep in 0..repeats {
-                    let t0 = Instant::now();
-                    let run = run_algo(suite, &plan, algo, original);
-                    walls.push(t0.elapsed().as_secs_f64());
-                    cycles.push(run.cycles);
-                    if rep == 0 {
-                        inacc = inaccuracy(&run.value, &reference);
-                    }
-                }
-                let (wall_mean, wall_stddev) = mean_stddev(&walls);
-                let cycle_vals: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
-                let (_, cycles_stddev) = mean_stddev(&cycle_vals);
-                cells.push(CellMeasurement {
-                    key: CellKey {
-                        graph: suite.kind(gi).paper_name().to_string(),
-                        technique: technique.key().to_string(),
-                        baseline: baseline.key().to_string(),
-                        algo: algo.key().to_string(),
-                    },
-                    elapsed_cycles: cycles[0],
-                    cycles_stddev,
-                    inaccuracy: inacc,
-                    wall_seconds_mean: wall_mean,
-                    wall_seconds_stddev: wall_stddev,
-                });
+                cells.push(measure_cell(
+                    suite, gi, &plan, technique, baseline, algo, repeats,
+                ));
+            }
+        }
+    }
+    // Direction-optimization cells (appended so pre-v2 cell ordering is
+    // stable): push vs auto under the frontier-driven baseline on the two
+    // densest graph families, where wavefronts grow wide enough for pull
+    // supersteps to fire. The gate locks in `auto <= push` cycles here.
+    for gi in 0..suite.len() {
+        if !direction_cell_kind(suite.kind(gi)) {
+            continue;
+        }
+        let prepared = suite.prepared(gi, Technique::Exact);
+        for algo in GATE_ALGOS {
+            for direction in [Direction::Push, Direction::Auto] {
+                let plan = Baseline::Gunrock
+                    .plan(&prepared, &suite.cfg)
+                    .with_direction(direction);
+                cells.push(measure_cell(
+                    suite,
+                    gi,
+                    &plan,
+                    Technique::Exact,
+                    Baseline::Gunrock,
+                    algo,
+                    repeats,
+                ));
             }
         }
     }
     cells
+}
+
+/// Graph families the direction cells cover.
+pub fn direction_cell_kind(kind: GraphKind) -> bool {
+    matches!(kind, GraphKind::Rmat | GraphKind::Random)
+}
+
+fn measure_cell(
+    suite: &Suite,
+    gi: usize,
+    plan: &Plan,
+    technique: Technique,
+    baseline: Baseline,
+    algo: Algo,
+    repeats: usize,
+) -> CellMeasurement {
+    let original = suite.graph(gi);
+    let reference = cpu_reference(suite, gi, algo);
+    let mut cycles = Vec::with_capacity(repeats);
+    let mut walls = Vec::with_capacity(repeats);
+    let mut inacc = 0.0;
+    for rep in 0..repeats {
+        let t0 = Instant::now();
+        let run = run_algo(suite, plan, algo, original);
+        walls.push(t0.elapsed().as_secs_f64());
+        cycles.push(run.cycles);
+        if rep == 0 {
+            inacc = inaccuracy(&run.value, &reference);
+        }
+    }
+    let (wall_mean, wall_stddev) = mean_stddev(&walls);
+    let cycle_vals: Vec<f64> = cycles.iter().map(|&c| c as f64).collect();
+    let (_, cycles_stddev) = mean_stddev(&cycle_vals);
+    CellMeasurement {
+        key: CellKey {
+            graph: suite.kind(gi).paper_name().to_string(),
+            technique: technique.key().to_string(),
+            baseline: baseline.key().to_string(),
+            algo: algo.key().to_string(),
+            direction: plan.direction.key().to_string(),
+        },
+        elapsed_cycles: cycles[0],
+        cycles_stddev,
+        inaccuracy: inacc,
+        wall_seconds_mean: wall_mean,
+        wall_seconds_stddev: wall_stddev,
+    }
 }
 
 fn mean_stddev(values: &[f64]) -> (f64, f64) {
@@ -225,6 +276,7 @@ impl BenchBaseline {
                 o.set("technique", Json::Str(c.key.technique.clone()));
                 o.set("baseline", Json::Str(c.key.baseline.clone()));
                 o.set("algo", Json::Str(c.key.algo.clone()));
+                o.set("direction", Json::Str(c.key.direction.clone()));
                 o.set("elapsed_cycles", Json::U64(c.elapsed_cycles));
                 o.set("cycles_stddev", Json::F64(c.cycles_stddev));
                 o.set("inaccuracy", Json::F64(c.inaccuracy));
@@ -276,6 +328,7 @@ impl BenchBaseline {
                     technique: str_field(c, "technique")?,
                     baseline: str_field(c, "baseline")?,
                     algo: str_field(c, "algo")?,
+                    direction: str_field(c, "direction")?,
                 },
                 elapsed_cycles: u64_field(c, "elapsed_cycles")?,
                 cycles_stddev: f64_field(c, "cycles_stddev")?,
@@ -328,15 +381,34 @@ mod tests {
     fn corpus_covers_every_cell_once() {
         let s = tiny();
         let cells = measure_corpus(&s, 1);
+        let dense = (0..s.len())
+            .filter(|&gi| direction_cell_kind(s.kind(gi)))
+            .count();
         assert_eq!(
             cells.len(),
-            s.len() * GATE_TECHNIQUES.len() * GATE_ALGOS.len()
+            s.len() * GATE_TECHNIQUES.len() * GATE_ALGOS.len() + dense * GATE_ALGOS.len() * 2
         );
         let mut ids: Vec<String> = cells.iter().map(|c| c.key.id()).collect();
         let before = ids.len();
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), before, "cell ids must be unique");
+        // The direction cells come in push/auto pairs on the gunrock
+        // baseline.
+        let auto = cells
+            .iter()
+            .filter(|c| c.key.direction == "auto")
+            .collect::<Vec<_>>();
+        assert_eq!(auto.len(), dense * GATE_ALGOS.len());
+        for c in &auto {
+            assert_eq!(c.key.baseline, "gunrock");
+            assert!(cells.iter().any(|p| {
+                p.key.direction == "push"
+                    && p.key.graph == c.key.graph
+                    && p.key.algo == c.key.algo
+                    && p.key.baseline == c.key.baseline
+            }));
+        }
     }
 
     #[test]

@@ -44,11 +44,15 @@ fn usage() -> ! {
          generate  --kind rmat|random|livejournal|twitter|road [--nodes N] [--seed S] --out FILE\n\
          convert   --in FILE --out FILE\n\
          profile   --in FILE [--seed S] [--algo A] [--technique T] [--baseline B]\n\
-                   [--bc-sources N] [--accuracy on|off] [--report-json FILE]\n\
+                   [--bc-sources N] [--accuracy on|off] [--direction push|pull|auto]\n\
+                   [--report-json FILE]\n\
                    traced run -> JSON report (v2: accuracy attribution + provenance)\n\
          transform --in FILE --technique coalescing|latency|divergence|combined [--threshold T] --out FILE\n\
          run       --in FILE --algo sssp|bfs|pr|bc|scc|mst|wcc [--technique ...] [--baseline lonestar|tigr|gunrock]\n\
-                   [--report-json FILE]\n\
+                   [--direction push|pull|auto] [--report-json FILE]\n\
+                   --direction steers frontier supersteps: push scatters over\n\
+                   the CSR, pull gathers over a cached CSC mirror, auto picks\n\
+                   per superstep from frontier density\n\
          bench     --save-baseline FILE [--nodes N] [--seed S] [--bc-sources N] [--repeats N]\n\
                    measure the gate corpus and save a bench baseline\n\
          bench     --gate FILE [--gate-report FILE] [--rel-tol X] [--sigma K]\n\
@@ -173,7 +177,25 @@ fn prepare(
             usage();
         }
     };
-    (pipeline.apply(g, gpu), pipeline)
+    // Diagnose invalid knob combinations instead of panicking: transform
+    // configuration errors are user errors, not internal bugs.
+    match pipeline.try_apply(g, gpu) {
+        Ok(prepared) => (prepared, pipeline),
+        Err(e) => {
+            eprintln!("invalid transform configuration: {e}");
+            exit(2);
+        }
+    }
+}
+
+fn parse_direction(name: Option<&str>) -> Direction {
+    match name {
+        None => Direction::Push,
+        Some(s) => Direction::from_key(s).unwrap_or_else(|| {
+            eprintln!("unknown direction: {s} (want push|pull|auto)");
+            usage();
+        }),
+    }
 }
 
 fn parse_baseline(name: Option<&str>) -> Baseline {
@@ -353,6 +375,7 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
                     algo,
                     baseline,
                     bc_sources,
+                    direction: parse_direction(flags.get("direction").map(String::as_str)),
                     accuracy,
                     pipeline: Some(&pipeline),
                 },
@@ -401,7 +424,8 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
             );
             let baseline = parse_baseline(flags.get("baseline").map(String::as_str));
             let report_json = flags.get("report-json").map(String::as_str);
-            let mut plan = baseline.plan(&prepared, &gpu);
+            let direction = parse_direction(flags.get("direction").map(String::as_str));
+            let mut plan = baseline.plan(&prepared, &gpu).with_direction(direction);
             let trace = match report_json {
                 Some(_) => instrument_plan(&mut plan, &prepared),
                 None => plan.trace.clone(), // disabled: zero-cost no-op sink

@@ -138,6 +138,152 @@ impl DivergenceKnobs {
     }
 }
 
+/// Knobs for direction-optimizing frontier execution (Beamer-style
+/// push↔pull switching, as popularized for GPUs by Gunrock). The runner
+/// compares *deterministic host-side* frontier statistics against these
+/// thresholds each superstep, so the decision — and therefore the trace —
+/// is identical at any thread count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirectionKnobs {
+    /// Pull when the frontier's out-edge mass `mf` satisfies
+    /// `mf × alpha > |E|` — i.e. the frontier covers more than `1/alpha`
+    /// of the edges, so gathering over the CSC beats scattering atomics.
+    ///
+    /// `alpha` is the assumed per-arc cost ratio `c_push / c_pull`.
+    /// Beamer's published BFS value is 14, but that assumes a pull kernel
+    /// that early-exits on the first discovered parent; our SSSP/PageRank
+    /// pull supersteps are *full gathers* (cost proportional to all of
+    /// `|E|`, with no early exit). A pushed arc pays a scattered atomic —
+    /// a read-modify-write worth two global transactions plus collision
+    /// serialization — while a gathered arc pays a scattered plain read,
+    /// so `c_push / c_pull ≈ 2` and pull pays off once `mf` exceeds
+    /// roughly half of `|E|`.
+    pub alpha: f64,
+    /// Never pull while the frontier holds fewer than `|V| / beta` nodes
+    /// (most gather candidates would find no active in-neighbor). Beamer's
+    /// default of 24 is kept — it is a guard, not a crossover, and tiny
+    /// frontiers are firmly push territory under any cost model.
+    pub beta: f64,
+}
+
+impl Default for DirectionKnobs {
+    fn default() -> Self {
+        DirectionKnobs {
+            alpha: 2.0,
+            beta: 24.0,
+        }
+    }
+}
+
+impl DirectionKnobs {
+    /// Overrides `alpha` (push → pull density threshold).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides `beta` (pull → push sparsity threshold).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Both thresholds must be positive and finite for the density
+    /// comparisons to be meaningful.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(format!(
+                "direction alpha must be positive, got {}",
+                self.alpha
+            ));
+        }
+        if !(self.beta.is_finite() && self.beta > 0.0) {
+            return Err(format!(
+                "direction beta must be positive, got {}",
+                self.beta
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl CoalesceKnobs {
+    /// Rejects knob combinations the transform cannot honor.
+    pub fn validate(&self, warp_size: usize) -> Result<(), String> {
+        if self.chunk_size == 0 || self.chunk_size > warp_size {
+            return Err(format!(
+                "coalesce chunk_size must be in 1..={warp_size}, got {}",
+                self.chunk_size
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.threshold) || !self.threshold.is_finite() {
+            return Err(format!(
+                "coalesce threshold must be in [0, 1], got {}",
+                self.threshold
+            ));
+        }
+        if self.max_replicas_per_node == 0 {
+            return Err("coalesce max_replicas_per_node must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl LatencyKnobs {
+    /// Rejects knob combinations the transform cannot honor.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.cc_threshold) || !self.cc_threshold.is_finite() {
+            return Err(format!(
+                "latency cc_threshold must be in [0, 1], got {}",
+                self.cc_threshold
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.margin) || !self.margin.is_finite() {
+            return Err(format!(
+                "latency margin must be in [0, 1], got {}",
+                self.margin
+            ));
+        }
+        if self.edge_budget_frac < 0.0 || !self.edge_budget_frac.is_finite() {
+            return Err(format!(
+                "latency edge_budget_frac must be non-negative, got {}",
+                self.edge_budget_frac
+            ));
+        }
+        if self.t_diameter_factor == 0 {
+            return Err("latency t_diameter_factor must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl DivergenceKnobs {
+    /// Rejects knob combinations the transform cannot honor.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.degree_sim_threshold)
+            || !self.degree_sim_threshold.is_finite()
+        {
+            return Err(format!(
+                "divergence degree_sim_threshold must be in [0, 1], got {}",
+                self.degree_sim_threshold
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.fill_fraction) || !self.fill_fraction.is_finite() {
+            return Err(format!(
+                "divergence fill_fraction must be in [0, 1], got {}",
+                self.fill_fraction
+            ));
+        }
+        if self.edge_budget_frac < 0.0 || !self.edge_budget_frac.is_finite() {
+            return Err(format!(
+                "divergence edge_budget_frac must be non-negative, got {}",
+                self.edge_budget_frac
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +309,61 @@ mod tests {
             LatencyKnobs::for_kind(GraphKind::SocialTwitter).cc_threshold
                 > LatencyKnobs::for_kind(GraphKind::Road).cc_threshold
         );
+    }
+
+    #[test]
+    fn direction_defaults_fit_full_gather_cost_model() {
+        let d = DirectionKnobs::default();
+        assert!((d.alpha - 2.0).abs() < 1e-12);
+        assert!((d.beta - 24.0).abs() < 1e-12);
+        d.validate().unwrap();
+        assert!(DirectionKnobs::default()
+            .with_alpha(0.0)
+            .validate()
+            .is_err());
+        assert!(DirectionKnobs::default()
+            .with_beta(f64::NAN)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn knob_validation_rejects_bad_combinations() {
+        assert!(CoalesceKnobs::default().validate(32).is_ok());
+        assert!(CoalesceKnobs {
+            chunk_size: 0,
+            ..Default::default()
+        }
+        .validate(32)
+        .is_err());
+        assert!(CoalesceKnobs {
+            chunk_size: 64,
+            ..Default::default()
+        }
+        .validate(32)
+        .is_err());
+        assert!(CoalesceKnobs::default()
+            .with_threshold(-3.0)
+            .validate(32)
+            .is_err());
+        assert!(LatencyKnobs::default().validate().is_ok());
+        assert!(LatencyKnobs::default()
+            .with_threshold(2.0)
+            .validate()
+            .is_err());
+        assert!(LatencyKnobs {
+            t_diameter_factor: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DivergenceKnobs::default().validate().is_ok());
+        assert!(DivergenceKnobs {
+            fill_fraction: f64::INFINITY,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod prepared;
 pub mod tuning;
 
 pub use confluence::ConfluenceOp;
-pub use knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
-pub use pipeline::Pipeline;
+pub use knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs};
+pub use pipeline::{Pipeline, PipelineError};
 pub use prepared::{Prepared, StageReport, Technique, Tile, TransformReport};
 pub use tuning::{auto_tune, GraphProfile, TunedKnobs};
 
@@ -38,9 +38,9 @@ pub mod prelude {
     pub use crate::coalesce;
     pub use crate::confluence::ConfluenceOp;
     pub use crate::divergence;
-    pub use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
+    pub use crate::knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs};
     pub use crate::latency;
-    pub use crate::pipeline::Pipeline;
+    pub use crate::pipeline::{Pipeline, PipelineError};
     pub use crate::prepared::{Prepared, StageReport, Technique, Tile, TransformReport};
     pub use crate::tuning::{auto_tune, GraphProfile, TunedKnobs};
 }

@@ -15,6 +15,31 @@ use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use graffix_sim::GpuConfig;
 use std::time::Instant;
 
+/// Why a pipeline could not produce a [`Prepared`] graph. Surfaced to the
+/// CLI as a diagnostic instead of the `validate().unwrap()` abort the knob
+/// path used to hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A knob combination the transforms cannot honor (e.g. a zero chunk
+    /// size or a threshold outside `[0, 1]`).
+    InvalidKnobs(String),
+    /// The composed transforms produced a structurally invalid preparation.
+    InvalidPrepared(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::InvalidKnobs(msg) => write!(f, "invalid pipeline knobs: {msg}"),
+            PipelineError::InvalidPrepared(msg) => {
+                write!(f, "pipeline produced an invalid preparation: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// A configurable composition of the three transforms.
 #[derive(Clone, Debug, Default)]
 pub struct Pipeline {
@@ -52,13 +77,35 @@ impl Pipeline {
     }
 
     /// Applies the enabled stages in order and returns the combined
-    /// preparation.
+    /// preparation, panicking on an invalid knob combination. Prefer
+    /// [`Pipeline::try_apply`] anywhere knobs come from user input.
     pub fn apply(&self, g: &Csr, cfg: &GpuConfig) -> Prepared {
+        self.try_apply(g, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validates the enabled knob sets against `cfg`, then applies the
+    /// stages in order. A bad knob combination (e.g. from CLI flags) comes
+    /// back as a [`PipelineError`] diagnostic instead of aborting.
+    pub fn try_apply(&self, g: &Csr, cfg: &GpuConfig) -> Result<Prepared, PipelineError> {
+        if let Some(k) = &self.coalesce {
+            k.validate(cfg.warp_size)
+                .map_err(PipelineError::InvalidKnobs)?;
+        }
+        if let Some(k) = &self.latency {
+            k.validate().map_err(PipelineError::InvalidKnobs)?;
+        }
+        if let Some(k) = &self.divergence {
+            k.validate().map_err(PipelineError::InvalidKnobs)?;
+        }
         // A divergence-only pipeline is exactly the standalone transform
         // (which renumbers physically); delegate so both paths agree.
         if self.coalesce.is_none() && self.latency.is_none() {
             if let Some(k) = &self.divergence {
-                return crate::divergence::transform(g, k, cfg.warp_size);
+                let prepared = crate::divergence::transform(g, k, cfg.warp_size);
+                prepared
+                    .validate()
+                    .map_err(PipelineError::InvalidPrepared)?;
+                return Ok(prepared);
             }
         }
         let start = Instant::now();
@@ -150,8 +197,10 @@ impl Pipeline {
         let old_fp = g.footprint_bytes().max(1);
         prepared.report.space_overhead =
             prepared.graph.footprint_bytes() as f64 / old_fp as f64 - 1.0;
-        debug_assert_eq!(prepared.validate(), Ok(()));
         prepared
+            .validate()
+            .map_err(PipelineError::InvalidPrepared)?;
+        Ok(prepared)
     }
 }
 
@@ -242,6 +291,37 @@ mod tests {
         let d = crate::divergence::transform(&g, &DivergenceKnobs::default(), cfg.warp_size);
         assert_eq!(d.report.stages[0].transform, "divergence");
         assert_eq!(d.report.stages[0].edges_added, d.report.edges_added);
+    }
+
+    #[test]
+    fn invalid_knobs_are_a_diagnostic_not_a_panic() {
+        let g = graph();
+        let cfg = GpuConfig::k40c();
+        // chunk_size 0 cannot be honored — must come back as Err, not abort.
+        let bad = Pipeline::default().with_coalesce(CoalesceKnobs {
+            chunk_size: 0,
+            ..Default::default()
+        });
+        let err = bad.try_apply(&g, &cfg).unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidKnobs(_)));
+        assert!(err.to_string().contains("chunk_size"), "{err}");
+
+        // A threshold outside [0, 1] from the CLI, same story.
+        let bad =
+            Pipeline::default().with_divergence(DivergenceKnobs::default().with_threshold(-3.0));
+        let err = bad.try_apply(&g, &cfg).unwrap_err();
+        assert!(matches!(err, PipelineError::InvalidKnobs(_)));
+
+        // The divergence-only fast path validates too.
+        let bad = Pipeline::default().with_latency(LatencyKnobs {
+            t_diameter_factor: 0,
+            ..Default::default()
+        });
+        assert!(bad.try_apply(&g, &cfg).is_err());
+
+        // Valid knobs still succeed through the fallible path.
+        let p = Pipeline::all_defaults().try_apply(&g, &cfg).unwrap();
+        assert_eq!(p.technique, Technique::Combined);
     }
 
     #[test]

@@ -56,11 +56,13 @@ pub use graffix_sim as sim;
 pub mod prelude {
     pub use crate::observe::{
         assemble_report, instrument_plan, observed_run, outcome_inaccuracy, provenance_from,
-        reference_outcome, traced_run, Algo, AlgoOutcome, RunSpec, TracedRun, ALL_ALGOS,
+        reference_outcome, traced_run, traced_run_directed, Algo, AlgoOutcome, RunSpec, TracedRun,
+        ALL_ALGOS,
     };
     pub use graffix_algos::accuracy::{geomean, max_abs_error, relative_l1, scalar_inaccuracy};
     pub use graffix_algos::{
-        bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, Runner, SimRun, Strategy, VertexProgram,
+        bc, bfs, mst, pagerank, scc, sssp, wcc, Direction, Plan, Runner, SimRun, Strategy,
+        VertexProgram,
     };
     pub use graffix_baselines::{gunrock, lonestar, tigr, Baseline, ALL_BASELINES};
     pub use graffix_core::{

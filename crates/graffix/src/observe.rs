@@ -12,7 +12,7 @@
 //! its serialized bytes are identical at every `--threads` value.
 
 use graffix_algos::accuracy::{max_abs_error, relative_l1, scalar_inaccuracy};
-use graffix_algos::{bc, bfs, mst, pagerank, scc, sssp, wcc, Plan, SimRun};
+use graffix_algos::{bc, bfs, mst, pagerank, scc, sssp, wcc, Direction, Plan, SimRun};
 use graffix_baselines::Baseline;
 use graffix_core::{Pipeline, Prepared};
 use graffix_graph::Csr;
@@ -254,7 +254,34 @@ pub fn traced_run(
     gpu: &GpuConfig,
     bc_sources: usize,
 ) -> TracedRun {
-    let mut plan = baseline.plan(prepared, gpu);
+    traced_run_directed(
+        command,
+        algo,
+        original,
+        prepared,
+        baseline,
+        gpu,
+        bc_sources,
+        Direction::Push,
+    )
+}
+
+/// [`traced_run`] with an explicit traversal direction policy. Under
+/// `Auto`/`Pull` the report's trace carries a per-superstep `direction`
+/// series (1 = pull) and, under `Auto`, the `frontier-mass` series the
+/// decision was made from.
+#[allow(clippy::too_many_arguments)]
+pub fn traced_run_directed(
+    command: &str,
+    algo: Algo,
+    original: &Csr,
+    prepared: &Prepared,
+    baseline: Baseline,
+    gpu: &GpuConfig,
+    bc_sources: usize,
+    direction: Direction,
+) -> TracedRun {
+    let mut plan = baseline.plan(prepared, gpu).with_direction(direction);
     let trace = instrument_plan(&mut plan, prepared);
 
     trace.span_enter(Phase::Run, algo.name());
@@ -286,6 +313,8 @@ pub struct RunSpec<'a> {
     pub baseline: Baseline,
     /// BC source-sample bound (ignored by other algorithms).
     pub bc_sources: usize,
+    /// Traversal direction policy for frontier-driven supersteps.
+    pub direction: Direction,
     /// Compute the v2 `accuracy` section (exact CPU reference + one
     /// toggle-off re-run per enabled pipeline stage). Costs one reference
     /// run plus up to three extra simulated runs.
@@ -334,7 +363,7 @@ pub fn observed_run(
     prepared: &Prepared,
     gpu: &GpuConfig,
 ) -> TracedRun {
-    let mut traced = traced_run(
+    let mut traced = traced_run_directed(
         spec.command,
         spec.algo,
         original,
@@ -342,6 +371,7 @@ pub fn observed_run(
         spec.baseline,
         gpu,
         spec.bc_sources,
+        spec.direction,
     );
     if !spec.accuracy {
         return traced;
@@ -352,7 +382,10 @@ pub fn observed_run(
     if let Some(pipeline) = spec.pipeline {
         for (stage, variant) in stage_off_variants(pipeline) {
             let without = variant.apply(original, gpu);
-            let plan = spec.baseline.plan(&without, gpu);
+            let plan = spec
+                .baseline
+                .plan(&without, gpu)
+                .with_direction(spec.direction);
             let (_, outcome) = run_with_outcome(spec.algo, &plan, original, spec.bc_sources);
             let (without_inaccuracy, _) = outcome_inaccuracy(&outcome, &reference);
             reruns.push((stage, without_inaccuracy));
@@ -370,6 +403,7 @@ pub fn observed_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graffix_core::CoalesceKnobs;
     use graffix_graph::generators::{GraphKind, GraphSpec};
 
     #[test]
@@ -407,7 +441,12 @@ mod tests {
     fn observed_run_attributes_error_per_stage() {
         let g = GraphSpec::new(GraphKind::SocialLiveJournal, 300, 11).generate();
         let gpu = GpuConfig::test_tiny();
-        let pipeline = graffix_core::Pipeline::all_defaults();
+        // The tiny config has 4-lane warps, so the paper-default chunk size
+        // of 16 is invalid here; shrink it to the warp size.
+        let pipeline = graffix_core::Pipeline::all_defaults().with_coalesce(CoalesceKnobs {
+            chunk_size: gpu.warp_size,
+            ..Default::default()
+        });
         let prepared = pipeline.apply(&g, &gpu);
         let t = observed_run(
             RunSpec {
@@ -415,6 +454,7 @@ mod tests {
                 algo: Algo::Sssp,
                 baseline: Baseline::Lonestar,
                 bc_sources: 2,
+                direction: Direction::Push,
                 accuracy: true,
                 pipeline: Some(&pipeline),
             },
@@ -454,6 +494,7 @@ mod tests {
                 algo: Algo::Wcc,
                 baseline: Baseline::Lonestar,
                 bc_sources: 2,
+                direction: Direction::Push,
                 accuracy: true,
                 pipeline: Some(&pipeline),
             },

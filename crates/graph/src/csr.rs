@@ -19,6 +19,8 @@ pub type EdgeId = usize;
 /// Sentinel for "no node" (used by traversals and transforms).
 pub const INVALID_NODE: NodeId = u32::MAX;
 
+use crate::error::GraphError;
+
 /// A directed graph in CSR form with optional edge weights and hole support.
 #[derive(Clone, Debug, Default)]
 pub struct Csr {
@@ -66,38 +68,37 @@ impl Csr {
         }
     }
 
+    /// Builds a CSR directly from raw parts, reporting any violated
+    /// invariant (monotone offsets, edge targets in range, weight shape,
+    /// hole degrees) as a typed [`GraphError`]. This is the entry point for
+    /// untrusted input such as deserialized graphs.
+    pub fn try_from_parts(
+        offsets: Vec<EdgeId>,
+        edges: Vec<NodeId>,
+        weights: Vec<u32>,
+        hole_mask: Vec<bool>,
+    ) -> Result<Self, GraphError> {
+        let g = Csr {
+            offsets,
+            edges,
+            weights,
+            hole_mask,
+        };
+        g.check()?;
+        Ok(g)
+    }
+
     /// Builds a CSR directly from raw parts. Panics when the invariants do
-    /// not hold (monotone offsets, edge targets in range, weight shape).
+    /// not hold; use [`Csr::try_from_parts`] for untrusted input.
     pub fn from_parts(
         offsets: Vec<EdgeId>,
         edges: Vec<NodeId>,
         weights: Vec<u32>,
         hole_mask: Vec<bool>,
     ) -> Self {
-        assert!(!offsets.is_empty(), "offsets must have at least one entry");
-        let n = offsets.len() - 1;
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be monotone"
-        );
-        assert_eq!(*offsets.last().unwrap(), edges.len());
-        assert!(
-            edges.iter().all(|&d| (d as usize) < n),
-            "edge destination out of range"
-        );
-        assert!(
-            weights.is_empty() || weights.len() == edges.len(),
-            "weights must be empty or parallel to edges"
-        );
-        assert!(
-            hole_mask.is_empty() || hole_mask.len() == n,
-            "hole mask must be empty or cover every node slot"
-        );
-        Csr {
-            offsets,
-            edges,
-            weights,
-            hole_mask,
+        match Csr::try_from_parts(offsets, edges, weights, hole_mask) {
+            Ok(g) => g,
+            Err(e) => panic!("invalid CSR parts: {e}"),
         }
     }
 
@@ -128,18 +129,78 @@ impl Csr {
         !self.weights.is_empty()
     }
 
-    /// Out-degree of `v`.
+    /// Central checked cast from a node id to an array index. Every public
+    /// accessor funnels through here, so an id ≥ `n` from a corrupt graph
+    /// surfaces as a typed [`GraphError`] instead of a slice panic.
     #[inline]
-    pub fn degree(&self, v: NodeId) -> usize {
-        let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+    pub fn node_index(&self, v: NodeId) -> Result<usize, GraphError> {
+        let idx = v as usize;
+        if idx < self.num_nodes() {
+            Ok(idx)
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: v,
+                nodes: self.num_nodes(),
+            })
+        }
     }
 
-    /// Edge-array range for `v`'s out-edges.
+    /// Raw offsets span for slot `idx`, ignoring the hole mask. Used by
+    /// validation, which must see stale edges that [`Csr::edge_range`]
+    /// deliberately hides for holes.
+    #[inline]
+    fn raw_span(&self, idx: usize) -> std::ops::Range<EdgeId> {
+        self.offsets[idx]..self.offsets[idx + 1]
+    }
+
+    /// Out-degree of `v` as a checked lookup. Hole slots report degree 0
+    /// even when the offsets array spans stale edges, so degree and
+    /// [`Csr::is_hole`] always agree (pull-mode traversal over a transpose
+    /// relies on this to never walk a hole's stale arcs).
+    #[inline]
+    pub fn try_degree(&self, v: NodeId) -> Result<usize, GraphError> {
+        let idx = self.node_index(v)?;
+        if self.is_hole(v) {
+            return Ok(0);
+        }
+        Ok(self.offsets[idx + 1] - self.offsets[idx])
+    }
+
+    /// Out-degree of `v`. Panics with a diagnostic on an out-of-range id;
+    /// use [`Csr::try_degree`] for untrusted ids.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        match self.try_degree(v) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Edge-array range for `v`'s out-edges (empty for hole slots, matching
+    /// [`Csr::degree`]).
+    #[inline]
+    pub fn try_edge_range(&self, v: NodeId) -> Result<std::ops::Range<EdgeId>, GraphError> {
+        let idx = self.node_index(v)?;
+        if self.is_hole(v) {
+            return Ok(self.offsets[idx]..self.offsets[idx]);
+        }
+        Ok(self.raw_span(idx))
+    }
+
+    /// Edge-array range for `v`'s out-edges. Panics with a diagnostic on an
+    /// out-of-range id; use [`Csr::try_edge_range`] for untrusted ids.
     #[inline]
     pub fn edge_range(&self, v: NodeId) -> std::ops::Range<EdgeId> {
-        let v = v as usize;
-        self.offsets[v]..self.offsets[v + 1]
+        match self.try_edge_range(v) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Out-neighbors of `v` as a checked lookup.
+    #[inline]
+    pub fn try_neighbors(&self, v: NodeId) -> Result<&[NodeId], GraphError> {
+        Ok(&self.edges[self.try_edge_range(v)?])
     }
 
     /// Out-neighbors of `v` as a slice.
@@ -148,11 +209,39 @@ impl Csr {
         &self.edges[self.edge_range(v)]
     }
 
+    /// Weights parallel to [`Csr::neighbors`] as a checked lookup.
+    #[inline]
+    pub fn try_edge_weights(&self, v: NodeId) -> Result<&[u32], GraphError> {
+        if !self.is_weighted() {
+            return Err(GraphError::Unweighted);
+        }
+        Ok(&self.weights[self.try_edge_range(v)?])
+    }
+
     /// Weights parallel to [`Csr::neighbors`]. Panics on unweighted graphs.
     #[inline]
     pub fn edge_weights(&self, v: NodeId) -> &[u32] {
-        assert!(self.is_weighted(), "graph is unweighted");
-        &self.weights[self.edge_range(v)]
+        match self.try_edge_weights(v) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Weight of the edge at flat index `e` as a checked lookup (1 for
+    /// unweighted graphs).
+    #[inline]
+    pub fn try_weight_at(&self, e: EdgeId) -> Result<u32, GraphError> {
+        if e >= self.edges.len() {
+            return Err(GraphError::EdgeOutOfRange {
+                edge: e,
+                edges: self.edges.len(),
+            });
+        }
+        Ok(if self.weights.is_empty() {
+            1
+        } else {
+            self.weights[e]
+        })
     }
 
     /// Weight of the edge at flat index `e` (1 for unweighted graphs, so
@@ -184,10 +273,11 @@ impl Csr {
         &self.weights
     }
 
-    /// True when slot `v` is a hole.
+    /// True when slot `v` is a hole. Out-of-range ids and mask shapes are
+    /// treated as "not a hole" so the guard never panics on corrupt input.
     #[inline]
     pub fn is_hole(&self, v: NodeId) -> bool {
-        !self.hole_mask.is_empty() && self.hole_mask[v as usize]
+        !self.hole_mask.is_empty() && self.hole_mask.get(v as usize).copied().unwrap_or(false)
     }
 
     /// Whether the CSR contains any holes.
@@ -220,14 +310,23 @@ impl Csr {
         })
     }
 
-    /// Builds the transpose (reverse) graph. Holes are carried over so slot
-    /// numbering is preserved.
-    pub fn transpose(&self) -> Csr {
+    /// Push-side in-degree accumulation: one pass over the destination
+    /// array. This is the reference the CSC mirror's per-slot degrees are
+    /// property-tested against.
+    pub fn in_degrees(&self) -> Vec<usize> {
         let n = self.num_nodes();
         let mut in_deg = vec![0usize; n];
         for &d in &self.edges {
             in_deg[d as usize] += 1;
         }
+        in_deg
+    }
+
+    /// Builds the transpose (reverse) graph. Holes are carried over so slot
+    /// numbering is preserved.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_nodes();
+        let in_deg = self.in_degrees();
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         for v in 0..n {
@@ -291,44 +390,101 @@ impl Csr {
         g
     }
 
-    /// Checks structural invariants; used by tests and debug assertions.
-    pub fn validate(&self) -> Result<(), String> {
-        let n = self.num_nodes();
-        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err("offsets not monotone".into());
+    /// Checks structural invariants, reporting the first violation as a
+    /// typed [`GraphError`]. Hole checks look at the *raw* offsets spans so
+    /// a hole hiding stale edges behind the degree unification still fails.
+    pub fn check(&self) -> Result<(), GraphError> {
+        if self.offsets.is_empty() {
+            return Err(GraphError::EmptyOffsets);
         }
-        if *self.offsets.last().unwrap() != self.edges.len() {
-            return Err("last offset does not match edge count".into());
+        let n = self.num_nodes();
+        if let Some(at) = self.offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(GraphError::NonMonotoneOffsets { at });
+        }
+        let last = *self.offsets.last().unwrap();
+        if last != self.edges.len() {
+            return Err(GraphError::OffsetEdgeMismatch {
+                last,
+                edges: self.edges.len(),
+            });
         }
         if let Some(&bad) = self.edges.iter().find(|&&d| d as usize >= n) {
-            return Err(format!("edge destination {bad} out of range (n = {n})"));
+            return Err(GraphError::EdgeTargetOutOfRange {
+                dest: bad,
+                nodes: n,
+            });
         }
         if !self.weights.is_empty() && self.weights.len() != self.edges.len() {
-            return Err("weights not parallel to edges".into());
+            return Err(GraphError::WeightShapeMismatch {
+                weights: self.weights.len(),
+                edges: self.edges.len(),
+            });
         }
         if !self.hole_mask.is_empty() {
             if self.hole_mask.len() != n {
-                return Err("hole mask length mismatch".into());
+                return Err(GraphError::HoleMaskShapeMismatch {
+                    mask: self.hole_mask.len(),
+                    nodes: n,
+                });
             }
-            for v in 0..n as NodeId {
-                if self.is_hole(v) && self.degree(v) != 0 {
-                    return Err(format!("hole {v} has nonzero degree"));
+            for v in 0..n {
+                if self.hole_mask[v] {
+                    let span = self.raw_span(v);
+                    if !span.is_empty() {
+                        return Err(GraphError::HoleWithEdges {
+                            node: v as NodeId,
+                            degree: span.len(),
+                        });
+                    }
                 }
+            }
+            if let Some(&bad) = self.edges.iter().find(|&&d| self.is_hole(d)) {
+                return Err(GraphError::EdgeIntoHole { dest: bad });
             }
         }
         Ok(())
     }
 
-    /// Sets the hole mask. Panics when a marked hole carries edges.
-    pub fn set_hole_mask(&mut self, mask: Vec<bool>) {
-        assert_eq!(mask.len(), self.num_nodes());
-        for v in 0..self.num_nodes() as NodeId {
-            assert!(
-                !mask[v as usize] || self.degree(v) == 0,
-                "hole {v} must not carry edges"
-            );
+    /// Checks structural invariants; used by tests and debug assertions.
+    /// String-typed variant of [`Csr::check`] kept for existing callers.
+    pub fn validate(&self) -> Result<(), String> {
+        self.check().map_err(|e| e.to_string())
+    }
+
+    /// Sets the hole mask, reporting a typed error when the mask shape is
+    /// wrong or a marked hole carries edges.
+    pub fn try_set_hole_mask(&mut self, mask: Vec<bool>) -> Result<(), GraphError> {
+        if mask.len() != self.num_nodes() {
+            return Err(GraphError::HoleMaskShapeMismatch {
+                mask: mask.len(),
+                nodes: self.num_nodes(),
+            });
+        }
+        for (v, &hole) in mask.iter().enumerate() {
+            let span = self.raw_span(v);
+            if hole && !span.is_empty() {
+                return Err(GraphError::HoleWithEdges {
+                    node: v as NodeId,
+                    degree: span.len(),
+                });
+            }
+        }
+        if let Some(&bad) = self
+            .edges
+            .iter()
+            .find(|&&d| mask.get(d as usize).copied().unwrap_or(false))
+        {
+            return Err(GraphError::EdgeIntoHole { dest: bad });
         }
         self.hole_mask = mask;
+        Ok(())
+    }
+
+    /// Sets the hole mask. Panics when a marked hole carries edges.
+    pub fn set_hole_mask(&mut self, mask: Vec<bool>) {
+        if let Err(e) = self.try_set_hole_mask(mask) {
+            panic!("invalid hole mask: {e} (holes must not carry edges)");
+        }
     }
 
     /// Memory footprint of the CSR arrays in bytes (offsets + edges +

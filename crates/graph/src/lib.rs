@@ -12,6 +12,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod error;
 pub mod generators;
 pub mod io;
 pub mod properties;
@@ -20,12 +21,14 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, EdgeId, NodeId, INVALID_NODE};
+pub use error::GraphError;
 pub use generators::{GraphKind, GraphSpec};
 
 /// Convenience prelude bringing the most common items into scope.
 pub mod prelude {
     pub use crate::builder::GraphBuilder;
     pub use crate::csr::{Csr, EdgeId, NodeId, INVALID_NODE};
+    pub use crate::error::GraphError;
     pub use crate::generators::{GraphKind, GraphSpec};
     pub use crate::properties;
     pub use crate::traversal;

@@ -139,17 +139,10 @@ pub fn from_bytes(mut bytes: Bytes) -> io::Result<Csr> {
     } else {
         Vec::new()
     };
-    // from_parts asserts the remaining invariants (including hole degrees).
-    let g = Csr::from_parts(offsets, edges, weights, Vec::new());
-    let mut g = g;
-    if !hole_mask.is_empty() {
-        for (v, &h) in hole_mask.iter().enumerate() {
-            if h && g.degree(v as u32) != 0 {
-                return Err(err("hole slot carries edges"));
-            }
-        }
-        g.set_hole_mask(hole_mask);
-    }
+    // try_from_parts checks the remaining invariants (including hole
+    // degrees) and reports a typed GraphError instead of panicking on
+    // corrupt input; From<GraphError> maps it onto io::ErrorKind::InvalidData.
+    let g = Csr::try_from_parts(offsets, edges, weights, hole_mask)?;
     Ok(g)
 }
 

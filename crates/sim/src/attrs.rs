@@ -219,6 +219,26 @@ impl FixedPointF64Array {
         self.cells[i].load(Ordering::Relaxed) as i64 as f64 / self.scale
     }
 
+    /// The raw fixed-point encoding of `v` — the exact integer a single
+    /// [`FixedPointF64Array::add`] of `v` would contribute. Pull-mode
+    /// kernels accumulate several raw addends in a register and commit the
+    /// sum with one [`FixedPointF64Array::add_raw_returning`], which lands
+    /// on the same cell bits as the equivalent sequence of `add`s.
+    #[inline]
+    pub fn quantize_raw(&self, v: f64) -> i64 {
+        (v * self.scale).round() as i64
+    }
+
+    /// Atomically accumulates a pre-quantized raw addend (see
+    /// [`FixedPointF64Array::quantize_raw`]) and returns the cell value
+    /// *after* this add, with the same threshold-crossing guarantee as
+    /// [`FixedPointF64Array::add_returning`].
+    #[inline]
+    pub fn add_raw_returning(&self, i: usize, raw: i64) -> f64 {
+        let prev = self.cells[i].fetch_add(raw as u64, Ordering::Relaxed);
+        prev.wrapping_add(raw as u64) as i64 as f64 / self.scale
+    }
+
     /// Resets every cell to zero.
     pub fn clear(&self) {
         for cell in &self.cells {
@@ -484,6 +504,27 @@ mod tests {
         acc.add(0, 1.5);
         acc.add(0, -2.25);
         assert!((acc.get(0) + 0.75).abs() < 1e-9);
+    }
+
+    /// A register-accumulated sum of raw addends committed with one
+    /// `add_raw_returning` must land on exactly the bits the equivalent
+    /// per-addend `add` sequence produces — the bit-identity pull-mode
+    /// PageRank relies on.
+    #[test]
+    fn raw_accumulation_matches_per_addend_adds_bit_for_bit() {
+        let shares = [0.0625, 1.0 / 3.0, 2.5e-7, 0.91];
+        let a = FixedPointF64Array::with_frac_bits(1, 48);
+        let b = FixedPointF64Array::with_frac_bits(1, 48);
+        for &s in &shares {
+            a.add(0, s);
+        }
+        let mut raw = 0i64;
+        for &s in &shares {
+            raw = raw.wrapping_add(b.quantize_raw(s));
+        }
+        let after = b.add_raw_returning(0, raw);
+        assert_eq!(a.get(0).to_bits(), b.get(0).to_bits());
+        assert_eq!(after.to_bits(), b.get(0).to_bits());
     }
 
     #[test]

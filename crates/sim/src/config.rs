@@ -46,8 +46,11 @@ impl GpuConfig {
     /// throughput costs* under warp-level latency hiding, not raw stall
     /// cycles: with 8-way warp overlap per SMX, a 128-byte global
     /// transaction costs roughly 60–70 warp-slots of DRAM bandwidth
-    /// (288 GB/s across 15 SMX at 745 MHz), a global atomic pays about the
-    /// same L2 round trip, shared memory is an order of magnitude cheaper,
+    /// (288 GB/s across 15 SMX at 745 MHz), a global atomic is a
+    /// read-modify-write that occupies the L2 path for two transactions'
+    /// worth of bandwidth (Kepler microbenchmarks put scattered atomic
+    /// throughput at roughly half of load throughput), shared memory is an
+    /// order of magnitude cheaper,
     /// and each lockstep issue carries the ~2 dozen surrounding ALU
     /// instructions of a typical graph kernel.
     pub fn k40c() -> Self {
@@ -58,7 +61,7 @@ impl GpuConfig {
             warps_overlap_per_sm: 8,
             lat_global: 64,
             lat_shared: 8,
-            lat_atomic: 64,
+            lat_atomic: 128,
             issue_cycles: 24,
             shared_mem_words: 48 * 1024 / 4,
             shared_banks: 32,

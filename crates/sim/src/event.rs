@@ -16,6 +16,12 @@ impl ArrayId {
     pub const NODE_ATTR_AUX: ArrayId = ArrayId(4);
     pub const FRONTIER: ArrayId = ArrayId(5);
     pub const WORKLIST: ArrayId = ArrayId(6);
+    /// CSC mirror offsets (pull-mode gather traversal).
+    pub const T_OFFSETS: ArrayId = ArrayId(7);
+    /// CSC mirror arcs. One access per in-arc models a packed
+    /// `(weight, source)` word, the layout pull kernels use so a gather
+    /// costs a single coalesced stream per edge slice.
+    pub const T_EDGES: ArrayId = ArrayId(8);
 }
 
 /// What a lane did at one lockstep position.

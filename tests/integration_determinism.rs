@@ -129,6 +129,64 @@ fn json_report_byte_identical_at_any_thread_count() {
     }
 }
 
+/// Direction-optimizing execution: pull and auto runs must be value- and
+/// stat-identical at any thread count, and their per-vertex results must
+/// match push bit for bit (the pull kernels are gather re-formulations of
+/// the same fixed-point arithmetic, so this holds exactly, not just within
+/// tolerance).
+#[test]
+fn direction_modes_deterministic_and_bit_identical_to_push() {
+    let g = GraphSpec::new(GraphKind::Rmat, 2_000, 5).generate();
+    let src = sssp::default_source(&g);
+    let cfg = GpuConfig::k40c();
+    let push = sssp::run_sim(&Plan::exact(&g, &cfg, Strategy::Frontier), src);
+    for direction in [Direction::Pull, Direction::Auto] {
+        let plan = Plan::exact(&g, &cfg, Strategy::Frontier).with_direction(direction);
+        let runs: Vec<SimRun> = THREAD_COUNTS
+            .iter()
+            .map(|&n| with_threads(n, || sssp::run_sim(&plan, src)))
+            .collect();
+        for (i, r) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                r.values, runs[0].values,
+                "{direction:?}: values differ at {} threads",
+                THREAD_COUNTS[i]
+            );
+            assert_eq!(
+                r.stats, runs[0].stats,
+                "{direction:?}: stats differ at {} threads",
+                THREAD_COUNTS[i]
+            );
+            assert_eq!(r.iterations, runs[0].iterations);
+        }
+        for (a, b) in push.values.iter().zip(&runs[0].values) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{direction:?} deviates from push");
+        }
+    }
+}
+
+/// The perf claim the bench gate locks in, pinned at test scale: on a
+/// dense-frontier power-law graph, auto direction selection strictly beats
+/// always-push in simulated cycles while producing bit-identical ranks.
+#[test]
+fn auto_direction_beats_push_on_dense_frontiers() {
+    let g = GraphSpec::new(GraphKind::Rmat, 512, 2020).generate();
+    let cfg = GpuConfig::k40c();
+    let push = pagerank::run_sim(&Plan::exact(&g, &cfg, Strategy::Frontier));
+    let auto = pagerank::run_sim(
+        &Plan::exact(&g, &cfg, Strategy::Frontier).with_direction(Direction::Auto),
+    );
+    for (a, b) in push.values.iter().zip(&auto.values) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert!(
+        auto.elapsed_cycles(&cfg) < push.elapsed_cycles(&cfg),
+        "auto ({}) should beat push ({})",
+        auto.elapsed_cycles(&cfg),
+        push.elapsed_cycles(&cfg)
+    );
+}
+
 #[test]
 fn transformed_plan_with_confluence_and_tiles_is_deterministic() {
     // The combined pipeline injects replicas (confluence), shortcut edges,

@@ -127,7 +127,12 @@ fn superstep_snapshots_sum_to_final_stats_for_all_algos() {
     let gpu = GpuConfig::test_tiny();
     let exact = Prepared::exact(g.clone());
     let transformed = Pipeline {
-        coalesce: Some(CoalesceKnobs::for_kind(GraphKind::Rmat)),
+        // The tiny config has 4-lane warps; the paper-default chunk size of
+        // 16 would be rejected by knob validation.
+        coalesce: Some(CoalesceKnobs {
+            chunk_size: gpu.warp_size,
+            ..CoalesceKnobs::for_kind(GraphKind::Rmat)
+        }),
         latency: Some(LatencyKnobs::for_kind(GraphKind::Rmat)),
         divergence: Some(DivergenceKnobs::for_kind(GraphKind::Rmat)),
     }
@@ -199,7 +204,11 @@ fn observed_run_report_carries_v2_sections() {
     let g = graph();
     let gpu = GpuConfig::test_tiny();
     let pipeline = Pipeline {
-        coalesce: Some(CoalesceKnobs::for_kind(GraphKind::Rmat)),
+        // 4-lane warps: clamp the chunk size (see above).
+        coalesce: Some(CoalesceKnobs {
+            chunk_size: gpu.warp_size,
+            ..CoalesceKnobs::for_kind(GraphKind::Rmat)
+        }),
         latency: Some(LatencyKnobs::for_kind(GraphKind::Rmat)),
         divergence: Some(DivergenceKnobs::for_kind(GraphKind::Rmat)),
     };
@@ -210,6 +219,7 @@ fn observed_run_report_carries_v2_sections() {
             algo: Algo::Sssp,
             baseline: Baseline::Lonestar,
             bc_sources: 2,
+            direction: Direction::Push,
             accuracy: true,
             pipeline: Some(&pipeline),
         },
