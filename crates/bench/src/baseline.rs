@@ -9,8 +9,10 @@
 //! baseline file saved on one machine is valid on any other: CI restores a
 //! committed `BENCH_*.json` and compares bit-for-bit comparable numbers.
 //!
-//! Serialized as the `graffix.bench-baseline` v2 schema (v2 added the
-//! per-cell `direction` key alongside the direction-optimization cells).
+//! Serialized as the `graffix.bench-baseline` v3 schema (v2 added the
+//! per-cell `direction` key alongside the direction-optimization cells;
+//! v3 added the `preprocess` array of per-(graph, technique) transform
+//! wall-time cells, always measured on fresh uncached transforms).
 
 use crate::experiments::{cpu_reference, inaccuracy, run_algo, Algo};
 use crate::suite::{Suite, SuiteOptions};
@@ -24,7 +26,7 @@ use std::time::Instant;
 /// Schema identifier for baseline files.
 pub const BASELINE_SCHEMA: &str = "graffix.bench-baseline";
 /// Baseline schema version.
-pub const BASELINE_VERSION: u64 = 2;
+pub const BASELINE_VERSION: u64 = 3;
 
 /// Techniques the gate corpus covers, in order.
 pub const GATE_TECHNIQUES: [Technique; 5] = [
@@ -83,6 +85,62 @@ pub struct CellMeasurement {
     pub wall_seconds_stddev: f64,
 }
 
+/// One preprocess-time cell: wall seconds to run the transform for
+/// (`graph`, `technique`) from scratch — no in-process memoization, no
+/// on-disk cache. Wall-clock is inherently noisy, so the gate judges these
+/// with a coarse tolerance (see `GateOptions::rel_tol_preprocess`): the
+/// cells catch order-of-magnitude preprocessing regressions, not
+/// microsecond jitter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreprocessMeasurement {
+    /// Paper graph name (`rmat26`, `USA-road`, ...).
+    pub graph: String,
+    /// [`Technique::key`].
+    pub technique: String,
+    /// Mean wall seconds over the repeats.
+    pub seconds_mean: f64,
+    /// Stddev of wall seconds over the repeats.
+    pub seconds_stddev: f64,
+}
+
+impl PreprocessMeasurement {
+    /// Stable single-string id, used in gate reports and error messages.
+    pub fn id(&self) -> String {
+        format!("{}/{}/preprocess", self.graph, self.technique)
+    }
+}
+
+/// Measures the preprocess-time cells: every (graph, non-exact technique)
+/// pair, transformed fresh `repeats` times.
+pub fn measure_preprocess(suite: &Suite, repeats: usize) -> Vec<PreprocessMeasurement> {
+    let repeats = repeats.max(1);
+    let mut cells = Vec::new();
+    for gi in 0..suite.len() {
+        for technique in GATE_TECHNIQUES {
+            if technique == Technique::Exact {
+                continue;
+            }
+            let mut secs = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                secs.push(
+                    suite
+                        .prepare_uncached(gi, technique)
+                        .report
+                        .preprocess_seconds,
+                );
+            }
+            let (mean, stddev) = mean_stddev(&secs);
+            cells.push(PreprocessMeasurement {
+                graph: suite.kind(gi).paper_name().to_string(),
+                technique: technique.key().to_string(),
+                seconds_mean: mean,
+                seconds_stddev: stddev,
+            });
+        }
+    }
+    cells
+}
+
 /// Where and how a baseline was produced. `nodes`/`seed`/`bc_sources`
 /// pin the corpus (the gate re-measures with exactly these); the rest is
 /// informational provenance.
@@ -126,11 +184,13 @@ impl Fingerprint {
     }
 }
 
-/// A complete saved baseline: fingerprint + one measurement per cell.
+/// A complete saved baseline: fingerprint + one measurement per cell +
+/// one preprocess-time cell per (graph, technique).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchBaseline {
     pub fingerprint: Fingerprint,
     pub cells: Vec<CellMeasurement>,
+    pub preprocess: Vec<PreprocessMeasurement>,
 }
 
 /// Measures the full gate corpus on `suite`: every (graph, technique)
@@ -244,6 +304,7 @@ impl BenchBaseline {
         BenchBaseline {
             fingerprint: Fingerprint::capture(&suite.options, repeats),
             cells: measure_corpus(suite, repeats),
+            preprocess: measure_preprocess(suite, repeats),
         }
     }
 
@@ -286,6 +347,19 @@ impl BenchBaseline {
             })
             .collect();
         root.set("cells", Json::Arr(cells));
+        let preprocess = self
+            .preprocess
+            .iter()
+            .map(|p| {
+                let mut o = Json::obj();
+                o.set("graph", Json::Str(p.graph.clone()));
+                o.set("technique", Json::Str(p.technique.clone()));
+                o.set("seconds_mean", Json::F64(p.seconds_mean));
+                o.set("seconds_stddev", Json::F64(p.seconds_stddev));
+                o
+            })
+            .collect();
+        root.set("preprocess", Json::Arr(preprocess));
         root
     }
 
@@ -337,7 +411,24 @@ impl BenchBaseline {
                 wall_seconds_stddev: f64_field(c, "wall_seconds_stddev")?,
             });
         }
-        Ok(BenchBaseline { fingerprint, cells })
+        let mut preprocess = Vec::new();
+        for p in doc
+            .get("preprocess")
+            .and_then(Json::as_arr)
+            .ok_or("missing `preprocess` array")?
+        {
+            preprocess.push(PreprocessMeasurement {
+                graph: str_field(p, "graph")?,
+                technique: str_field(p, "technique")?,
+                seconds_mean: f64_field(p, "seconds_mean")?,
+                seconds_stddev: f64_field(p, "seconds_stddev")?,
+            });
+        }
+        Ok(BenchBaseline {
+            fingerprint,
+            cells,
+            preprocess,
+        })
     }
 
     /// Parses from serialized text.
@@ -418,6 +509,23 @@ mod tests {
             assert_eq!(c.cycles_stddev, 0.0, "{} cycles moved", c.key.id());
             assert!(c.inaccuracy.is_finite() && c.inaccuracy >= 0.0);
             assert!(c.wall_seconds_mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn preprocess_cells_cover_every_transform_once() {
+        let s = tiny();
+        let cells = measure_preprocess(&s, 2);
+        assert_eq!(cells.len(), s.len() * (GATE_TECHNIQUES.len() - 1));
+        let mut ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "preprocess ids must be unique");
+        for c in &cells {
+            assert_ne!(c.technique, "exact", "exact has nothing to preprocess");
+            assert!(c.seconds_mean > 0.0, "{} took no time", c.id());
+            assert!(c.seconds_stddev >= 0.0);
         }
     }
 

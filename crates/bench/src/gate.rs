@@ -14,7 +14,7 @@
 //! Output is a human diff table plus a machine-readable
 //! `graffix.gate-report` v1 document.
 
-use crate::baseline::{BenchBaseline, CellMeasurement};
+use crate::baseline::{BenchBaseline, CellMeasurement, PreprocessMeasurement};
 use crate::suite::Suite;
 use crate::tables::TextTable;
 use graffix_sim::Json;
@@ -36,6 +36,13 @@ pub struct GateOptions {
     /// Absolute inaccuracy allowance floor (guards exact cells whose
     /// baseline inaccuracy is ~0).
     pub abs_floor_inaccuracy: f64,
+    /// Relative tolerance on preprocess wall seconds. Deliberately coarse
+    /// (0.5 = +50%): wall clocks are noisy across machines and loads, so
+    /// these cells only catch order-of-magnitude preprocessing blowups.
+    pub rel_tol_preprocess: f64,
+    /// Absolute preprocess allowance floor in seconds, so microsecond-scale
+    /// transforms on tiny CI corpora never produce hair-trigger thresholds.
+    pub abs_floor_preprocess_seconds: f64,
 }
 
 impl Default for GateOptions {
@@ -45,6 +52,8 @@ impl Default for GateOptions {
             sigma_k: 3.0,
             abs_floor_cycles: 500.0,
             abs_floor_inaccuracy: 1e-6,
+            rel_tol_preprocess: 0.5,
+            abs_floor_preprocess_seconds: 0.05,
         }
     }
 }
@@ -111,11 +120,23 @@ pub struct CellVerdict {
     pub inaccuracy_allowance: f64,
 }
 
+/// One preprocess-time comparison row. Statuses reuse [`CellStatus`]
+/// (inaccuracy never applies, so `AccuracyDrift` cannot occur here).
+#[derive(Clone, Debug)]
+pub struct PreprocessVerdict {
+    pub id: String,
+    pub status: CellStatus,
+    pub base_seconds: f64,
+    pub cur_seconds: f64,
+    pub allowance: f64,
+}
+
 /// The whole gate outcome.
 #[derive(Clone, Debug)]
 pub struct GateReport {
     pub options: GateOptions,
     pub verdicts: Vec<CellVerdict>,
+    pub preprocess: Vec<PreprocessVerdict>,
 }
 
 impl GateReport {
@@ -127,9 +148,18 @@ impl GateReport {
             .collect()
     }
 
-    /// True when nothing regressed, drifted, or went missing.
+    /// Preprocess-time cells that fail the gate, in order.
+    pub fn preprocess_failures(&self) -> Vec<&PreprocessVerdict> {
+        self.preprocess
+            .iter()
+            .filter(|v| v.status.is_failure())
+            .collect()
+    }
+
+    /// True when nothing regressed, drifted, or went missing — on the
+    /// algorithm cells and on the preprocess-time cells.
     pub fn passed(&self) -> bool {
-        self.failures().is_empty()
+        self.failures().is_empty() && self.preprocess_failures().is_empty()
     }
 
     /// Count of verdicts with the given status.
@@ -174,6 +204,47 @@ impl GateReport {
         t
     }
 
+    /// The preprocess-time diff table: one row per non-`Ok` preprocess
+    /// cell, same shape as [`GateReport::diff_table`].
+    pub fn preprocess_table(&self) -> TextTable {
+        let failed = self.preprocess_failures().len();
+        let mut t = TextTable::new(
+            format!(
+                "Preprocess gate: {} cells — {} ok, {} improved, {} failed",
+                self.preprocess.len(),
+                self.preprocess
+                    .iter()
+                    .filter(|v| v.status == CellStatus::Ok)
+                    .count(),
+                self.preprocess
+                    .iter()
+                    .filter(|v| v.status == CellStatus::Improved)
+                    .count(),
+                failed
+            ),
+            &[
+                "Cell",
+                "Status",
+                "Seconds (base)",
+                "Seconds (now)",
+                "Allowance",
+            ],
+        );
+        for v in &self.preprocess {
+            if v.status == CellStatus::Ok {
+                continue;
+            }
+            t.row(vec![
+                v.id.clone(),
+                v.status.label().to_string(),
+                format!("{:.4}", v.base_seconds),
+                format!("{:.4}", v.cur_seconds),
+                format!("{:.4}", v.allowance),
+            ]);
+        }
+        t
+    }
+
     /// Serializes the `graffix.gate-report` document.
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj();
@@ -186,6 +257,14 @@ impl GateReport {
         opts.set(
             "abs_floor_inaccuracy",
             Json::F64(self.options.abs_floor_inaccuracy),
+        );
+        opts.set(
+            "rel_tol_preprocess",
+            Json::F64(self.options.rel_tol_preprocess),
+        );
+        opts.set(
+            "abs_floor_preprocess_seconds",
+            Json::F64(self.options.abs_floor_preprocess_seconds),
         );
         root.set("options", opts);
         root.set("passed", Json::Bool(self.passed()));
@@ -218,6 +297,20 @@ impl GateReport {
             })
             .collect();
         root.set("cells", Json::Arr(cells));
+        let preprocess = self
+            .preprocess
+            .iter()
+            .map(|v| {
+                let mut o = Json::obj();
+                o.set("id", Json::Str(v.id.clone()));
+                o.set("status", Json::Str(v.status.label().to_string()));
+                o.set("base_seconds", Json::F64(v.base_seconds));
+                o.set("cur_seconds", Json::F64(v.cur_seconds));
+                o.set("allowance", Json::F64(v.allowance));
+                o
+            })
+            .collect();
+        root.set("preprocess", Json::Arr(preprocess));
         root
     }
 
@@ -258,12 +351,39 @@ fn judge(opts: &GateOptions, base: &CellMeasurement, cur: &CellMeasurement) -> C
     }
 }
 
+/// Compares one preprocess-time cell pair.
+fn judge_preprocess(
+    opts: &GateOptions,
+    base: &PreprocessMeasurement,
+    cur: &PreprocessMeasurement,
+) -> PreprocessVerdict {
+    let allowance = (opts.rel_tol_preprocess * base.seconds_mean.abs())
+        .max(opts.sigma_k * base.seconds_stddev)
+        .max(opts.abs_floor_preprocess_seconds);
+    let ds = cur.seconds_mean - base.seconds_mean;
+    let status = if ds > allowance {
+        CellStatus::PerfRegression
+    } else if ds < -allowance {
+        CellStatus::Improved
+    } else {
+        CellStatus::Ok
+    };
+    PreprocessVerdict {
+        id: base.id(),
+        status,
+        base_seconds: base.seconds_mean,
+        cur_seconds: cur.seconds_mean,
+        allowance,
+    }
+}
+
 /// Evaluates current measurements against a saved baseline. Order follows
 /// the baseline's cells; purely-new cells are appended.
 pub fn evaluate(
     opts: GateOptions,
     baseline: &BenchBaseline,
     current: &[CellMeasurement],
+    current_preprocess: &[PreprocessMeasurement],
 ) -> GateReport {
     let mut verdicts = Vec::new();
     for base in &baseline.cells {
@@ -295,9 +415,34 @@ pub fn evaluate(
             });
         }
     }
+    let mut preprocess = Vec::new();
+    for base in &baseline.preprocess {
+        match current_preprocess.iter().find(|c| c.id() == base.id()) {
+            Some(cur) => preprocess.push(judge_preprocess(&opts, base, cur)),
+            None => preprocess.push(PreprocessVerdict {
+                id: base.id(),
+                status: CellStatus::Missing,
+                base_seconds: base.seconds_mean,
+                cur_seconds: f64::NAN,
+                allowance: 0.0,
+            }),
+        }
+    }
+    for cur in current_preprocess {
+        if !baseline.preprocess.iter().any(|b| b.id() == cur.id()) {
+            preprocess.push(PreprocessVerdict {
+                id: cur.id(),
+                status: CellStatus::New,
+                base_seconds: f64::NAN,
+                cur_seconds: cur.seconds_mean,
+                allowance: 0.0,
+            });
+        }
+    }
     GateReport {
         options: opts,
         verdicts,
+        preprocess,
     }
 }
 
@@ -305,15 +450,27 @@ pub fn evaluate(
 /// The suite is rebuilt from the recorded `nodes`/`seed`/`bc_sources`, so
 /// the comparison is apples-to-apples on any machine.
 pub fn run_gate(opts: GateOptions, baseline: &BenchBaseline) -> GateReport {
-    let suite = Suite::new(baseline.fingerprint.suite_options());
-    let current = crate::baseline::measure_corpus(&suite, baseline.fingerprint.repeats);
-    evaluate(opts, baseline, &current)
+    run_gate_on(
+        opts,
+        baseline,
+        &Suite::new(baseline.fingerprint.suite_options()),
+    )
+}
+
+/// [`run_gate`] on a caller-provided suite — the CLI uses this to enable
+/// the on-disk prepared-graph cache for the algorithm cells. Preprocess
+/// cells always re-transform from scratch regardless of the cache.
+pub fn run_gate_on(opts: GateOptions, baseline: &BenchBaseline, suite: &Suite) -> GateReport {
+    let repeats = baseline.fingerprint.repeats;
+    let current = crate::baseline::measure_corpus(suite, repeats);
+    let current_preprocess = crate::baseline::measure_preprocess(suite, repeats);
+    evaluate(opts, baseline, &current, &current_preprocess)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baseline::measure_corpus;
+    use crate::baseline::{measure_corpus, measure_preprocess};
     use crate::suite::SuiteOptions;
 
     fn tiny_baseline() -> BenchBaseline {
@@ -325,6 +482,7 @@ mod tests {
         BenchBaseline {
             fingerprint: crate::baseline::Fingerprint::capture(&suite.options, 1),
             cells: measure_corpus(&suite, 1),
+            preprocess: measure_preprocess(&suite, 1),
         }
     }
 
@@ -345,7 +503,7 @@ mod tests {
         // Halve one baseline cell's cycles: the current (unchanged) run
         // now looks 2x slower than the recorded baseline.
         b.cells[3].elapsed_cycles /= 2;
-        let report = evaluate(GateOptions::default(), &b, &cur);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -364,7 +522,7 @@ mod tests {
             .position(|c| c.inaccuracy > 1e-3)
             .expect("corpus has an approximate cell with real inaccuracy");
         cur[i].inaccuracy *= 2.0;
-        let report = evaluate(GateOptions::default(), &b, &cur);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].status, CellStatus::AccuracyDrift);
@@ -379,7 +537,7 @@ mod tests {
         let mut extra = dropped.clone();
         extra.key.graph = "extra-graph".into();
         cur.push(extra);
-        let report = evaluate(GateOptions::default(), &b, &cur);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
         assert_eq!(report.count(CellStatus::Missing), 1);
         assert_eq!(report.count(CellStatus::New), 1);
         assert!(!report.passed(), "missing cells must fail the gate");
@@ -390,15 +548,48 @@ mod tests {
         let b = tiny_baseline();
         let mut cur = b.cells.clone();
         cur[0].elapsed_cycles = (cur[0].elapsed_cycles / 2).max(1);
-        let report = evaluate(GateOptions::default(), &b, &cur);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
         assert!(report.passed());
         assert_eq!(report.count(CellStatus::Improved), 1);
     }
 
     #[test]
+    fn preprocess_blowup_fails_gate_naming_the_cell() {
+        let b = tiny_baseline();
+        let mut cur = b.preprocess.clone();
+        // +10s of preprocessing clears any allowance band.
+        cur[0].seconds_mean += 10.0;
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &cur);
+        assert!(!report.passed());
+        assert!(report.failures().is_empty(), "algorithm cells unaffected");
+        let failures = report.preprocess_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].status, CellStatus::PerfRegression);
+        assert_eq!(failures[0].id, b.preprocess[0].id());
+        assert!(report.to_pretty_string().contains(&b.preprocess[0].id()));
+        assert!(report
+            .preprocess_table()
+            .render()
+            .contains("perf-regression"));
+    }
+
+    #[test]
+    fn preprocess_jitter_within_floor_is_ok() {
+        let b = tiny_baseline();
+        let mut cur = b.preprocess.clone();
+        // Tiny-corpus transforms take microseconds; +10ms of jitter sits
+        // under the absolute floor and must not trip the gate.
+        for c in &mut cur {
+            c.seconds_mean += 0.01;
+        }
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &cur);
+        assert!(report.passed(), "{:?}", report.preprocess_failures());
+    }
+
+    #[test]
     fn gate_report_json_is_well_formed() {
         let b = tiny_baseline();
-        let report = evaluate(GateOptions::default(), &b, &b.cells);
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &b.preprocess);
         let doc = Json::parse(&report.to_pretty_string()).unwrap();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(GATE_SCHEMA));
         assert_eq!(doc.get("passed"), Some(&Json::Bool(true)));

@@ -16,8 +16,12 @@ pub mod report;
 pub mod suite;
 pub mod tables;
 
-pub use baseline::{BenchBaseline, CellKey, CellMeasurement, Fingerprint};
+pub use baseline::{
+    measure_preprocess, BenchBaseline, CellKey, CellMeasurement, Fingerprint, PreprocessMeasurement,
+};
 pub use experiments::{measure, run_algo, Algo, Measurement, ALL_ALGOS, CORE_ALGOS};
-pub use gate::{evaluate, run_gate, CellStatus, GateOptions, GateReport};
+pub use gate::{
+    evaluate, run_gate, run_gate_on, CellStatus, GateOptions, GateReport, PreprocessVerdict,
+};
 pub use suite::{Suite, SuiteOptions};
 pub use tables::TextTable;

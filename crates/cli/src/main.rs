@@ -22,6 +22,12 @@
 //! writes a `graffix.bench-baseline` file; `bench --gate` re-measures and
 //! fails (exit 1) on perf regressions or accuracy drift.
 //!
+//! `profile`, `transform`, and `run` route their transform through the
+//! content-addressed prepared-graph cache (`target/graffix-cache/` by
+//! default, override with `--cache-dir`, bypass with `--no-cache`) and log
+//! a `cache: hit|miss (stored)|...` line to stderr. A warm cache loads the
+//! prepared graph bit-identically instead of re-running preprocessing.
+//!
 //! Human diagnostics go to stderr and can be silenced with `--quiet` (or
 //! `GRAFFIX_LOG=quiet`); machine-readable output on stdout stays pure.
 //!
@@ -62,13 +68,17 @@ fn usage() -> ! {
          global    --threads N  host threads for the parallel engine (default:\n\
                    GRAFFIX_THREADS env var, else all cores); results are\n\
                    identical at any thread count\n\
-         global    --quiet      silence stderr diagnostics (also: GRAFFIX_LOG=quiet|info|debug)"
+         global    --quiet      silence stderr diagnostics (also: GRAFFIX_LOG=quiet|info|debug)\n\
+         global    --cache-dir DIR  prepared-graph cache location (default: target/graffix-cache);\n\
+                   transforms are keyed by graph content + knobs + pipeline\n\
+                   version, so a warm cache skips preprocessing entirely\n\
+         global    --no-cache   bypass the prepared-graph cache (always re-transform)"
     );
     exit(2);
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["quiet"];
+const BOOL_FLAGS: &[&str] = &["quiet", "no-cache"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -134,14 +144,27 @@ fn kind_of(name: &str) -> GraphKind {
     }
 }
 
-/// Builds the pipeline for a technique name and applies it. The pipeline
-/// is returned alongside the prepared graph so callers can toggle stages
-/// off for error attribution (the v2 `accuracy` section).
+/// `--cache-dir` / `--no-cache` -> a [`CacheConfig`] for `prepare`.
+fn cache_config(flags: &HashMap<String, String>) -> CacheConfig {
+    if flags.contains_key("no-cache") {
+        return CacheConfig::disabled();
+    }
+    match flags.get("cache-dir") {
+        Some(dir) => CacheConfig::at(dir.as_str()),
+        None => CacheConfig::default(),
+    }
+}
+
+/// Builds the pipeline for a technique name and applies it through the
+/// prepared-graph cache. The pipeline is returned alongside the prepared
+/// graph so callers can toggle stages off for error attribution (the v2
+/// `accuracy` section).
 fn prepare(
     g: &Csr,
     technique: Option<&str>,
     threshold: Option<f64>,
     gpu: &GpuConfig,
+    cache: &CacheConfig,
 ) -> (Prepared, Pipeline) {
     let tuned = auto_tune(g, 7);
     let pipeline = match technique {
@@ -179,8 +202,11 @@ fn prepare(
     };
     // Diagnose invalid knob combinations instead of panicking: transform
     // configuration errors are user errors, not internal bugs.
-    match pipeline.try_apply(g, gpu) {
-        Ok(prepared) => (prepared, pipeline),
+    match prepare_with_cache(g, &pipeline, gpu, cache) {
+        Ok((prepared, outcome)) => {
+            log_info!("cache: {}", outcome.status.label());
+            (prepared, pipeline)
+        }
         Err(e) => {
             eprintln!("invalid transform configuration: {e}");
             exit(2);
@@ -276,6 +302,7 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
         })
     };
     let gpu = GpuConfig::k40c();
+    let cache = cache_config(flags);
 
     match cmd {
         "generate" => {
@@ -356,6 +383,7 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
                 flags.get("technique").map(String::as_str),
                 threshold,
                 &gpu,
+                &cache,
             );
             let baseline = parse_baseline(flags.get("baseline").map(String::as_str));
             let bc_sources = flags
@@ -394,11 +422,14 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
             let threshold = flags
                 .get("threshold")
                 .map(|t| t.parse().expect("bad --threshold"));
-            let (prepared, _) = prepare(&g, Some(get("technique")), threshold, &gpu);
+            let (prepared, _) = prepare(&g, Some(get("technique")), threshold, &gpu, &cache);
             save(&prepared.graph, get("out"));
             let r = &prepared.report;
             println!("technique        {}", r.technique_label);
             println!("preprocess       {:.3}s", r.preprocess_seconds);
+            for p in &r.phase_seconds {
+                println!("  {:<14} {:.3}s", p.phase, p.seconds);
+            }
             println!("nodes            {} -> {}", r.original_nodes, r.new_nodes);
             println!(
                 "edges            {} -> {} (+{})",
@@ -421,6 +452,7 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
                 flags.get("technique").map(String::as_str),
                 threshold,
                 &gpu,
+                &cache,
             );
             let baseline = parse_baseline(flags.get("baseline").map(String::as_str));
             let report_json = flags.get("report-json").map(String::as_str);
@@ -495,14 +527,17 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
                 emit_report(&report, report_json, false);
             }
         }
-        "bench" => bench(flags),
+        "bench" => bench(flags, &cache),
         "report" => report_cmd(positionals),
         _ => usage(),
     }
 }
 
-/// `bench --save-baseline FILE` / `bench --gate FILE`.
-fn bench(flags: &HashMap<String, String>) {
+/// `bench --save-baseline FILE` / `bench --gate FILE`. The suite's
+/// algorithm cells reuse the prepared-graph cache (bit-identical loads, so
+/// gated metrics are unaffected); preprocess-time cells always transform
+/// from scratch.
+fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
     let repeats = flags
         .get("repeats")
         .map_or(3, |r| r.parse().expect("bad --repeats"));
@@ -524,7 +559,8 @@ fn bench(flags: &HashMap<String, String>) {
                 options.seed,
                 repeats
             );
-            let baseline = BenchBaseline::capture(&Suite::new(options), repeats);
+            let baseline =
+                BenchBaseline::capture(&Suite::new(options).with_cache(cache.clone()), repeats);
             if let Err(e) = std::fs::write(path, baseline.to_pretty_string()) {
                 eprintln!("could not write {path}: {e}");
                 exit(1);
@@ -559,8 +595,10 @@ fn bench(flags: &HashMap<String, String>) {
                 baseline.fingerprint.nodes,
                 baseline.fingerprint.seed
             );
-            let report = graffix_bench::run_gate(opts, &baseline);
+            let suite = Suite::new(baseline.fingerprint.suite_options()).with_cache(cache.clone());
+            let report = graffix_bench::run_gate_on(opts, &baseline, &suite);
             print!("{}", report.diff_table().render());
+            print!("{}", report.preprocess_table().render());
             if let Some(out) = flags.get("gate-report") {
                 if let Err(e) = std::fs::write(out, report.to_pretty_string()) {
                     eprintln!("could not write {out}: {e}");
@@ -572,11 +610,14 @@ fn bench(flags: &HashMap<String, String>) {
                 for f in report.failures() {
                     eprintln!("FAIL {} [{}]", f.id, f.status.label());
                 }
+                for f in report.preprocess_failures() {
+                    eprintln!("FAIL {} [{}]", f.id, f.status.label());
+                }
                 exit(1);
             }
             log_info!(
                 "gate passed: {} cells within tolerance",
-                report.verdicts.len()
+                report.verdicts.len() + report.preprocess.len()
             );
         }
         _ => {

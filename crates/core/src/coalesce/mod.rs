@@ -6,7 +6,7 @@ pub mod renumber;
 pub mod replicate;
 
 use crate::knobs::CoalesceKnobs;
-use crate::prepared::{Prepared, StageReport, Technique, TransformReport};
+use crate::prepared::{PhaseTiming, Prepared, StageReport, Technique, TransformReport};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use std::time::Instant;
 
@@ -19,8 +19,15 @@ pub use replicate::{replicate, ReplicationResult};
 pub fn transform(g: &Csr, knobs: &CoalesceKnobs) -> Prepared {
     let start = Instant::now();
     let ren = renumber(g, knobs.chunk_size);
+    let renumber_seconds = start.elapsed().as_secs_f64();
+    let rep_start = Instant::now();
     let rep = replicate(g, &ren, knobs);
+    let replicate_seconds = rep_start.elapsed().as_secs_f64();
     let preprocess_seconds = start.elapsed().as_secs_f64();
+    let phase_seconds = vec![
+        PhaseTiming::new("renumber", renumber_seconds),
+        PhaseTiming::new("replicate", replicate_seconds),
+    ];
 
     let n_new = rep.graph.num_nodes();
     let assignment: Vec<NodeId> = (0..n_new as NodeId)
@@ -38,6 +45,7 @@ pub fn transform(g: &Csr, knobs: &CoalesceKnobs) -> Prepared {
     let report = TransformReport {
         technique_label: Technique::Coalescing.label().to_string(),
         preprocess_seconds,
+        phase_seconds,
         original_nodes: g.num_nodes(),
         original_edges: g.num_edges(),
         new_nodes: n_new,

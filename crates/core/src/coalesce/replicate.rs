@@ -14,6 +14,7 @@
 use super::renumber::{apply_renumbering, Renumbering};
 use crate::knobs::CoalesceKnobs;
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Output of the replication step.
@@ -80,14 +81,16 @@ pub fn replicate(old: &Csr, ren: &Renumbering, knobs: &CoalesceKnobs) -> Replica
     }
 
     // Gather candidates: edges from each non-hole node to chunks whose
-    // parent level has holes.
-    let mut candidates: Vec<Candidate> = Vec::new();
-    let mut counts: HashMap<usize, usize> = HashMap::new();
-    for v in 0..total as NodeId {
-        if to_original[v as usize] == INVALID_NODE {
-            continue;
-        }
-        counts.clear();
+    // parent level has holes. Scoring only reads the renumbered adjacency,
+    // so nodes score in parallel; the per-node HashMap iteration order is
+    // irrelevant because the global sort key below — (chunk, edge_count,
+    // node) — is unique per candidate, making the sorted list (and thus
+    // the sequential commit order) thread-count-invariant.
+    let real_ids: Vec<NodeId> = (0..total as NodeId)
+        .filter(|&v| to_original[v as usize] != INVALID_NODE)
+        .collect();
+    let score_node = |v: NodeId| -> Vec<Candidate> {
+        let mut counts: HashMap<usize, usize> = HashMap::new();
         for &(d, _) in &adj[v as usize] {
             let c = chunk_of(d);
             let lvl = level_of_chunk(c) as usize;
@@ -95,20 +98,30 @@ pub fn replicate(old: &Csr, ren: &Renumbering, knobs: &CoalesceKnobs) -> Replica
                 *counts.entry(c).or_insert(0) += 1;
             }
         }
+        let mut out = Vec::new();
         for (&c, &cnt) in counts.iter() {
             if real_in_chunk[c] == 0 {
                 continue;
             }
             let connectedness = cnt as f64 / real_in_chunk[c] as f64;
             if connectedness >= knobs.threshold && chunk_of(v) != c {
-                candidates.push(Candidate {
+                out.push(Candidate {
                     node: v,
                     chunk: c,
                     edge_count: cnt,
                 });
             }
         }
-    }
+        out
+    };
+    let mut candidates: Vec<Candidate> = real_ids
+        .clone()
+        .into_par_iter()
+        .map(score_node)
+        .collect::<Vec<Vec<Candidate>>>()
+        .into_iter()
+        .flatten()
+        .collect();
     // "When there are more candidate nodes eligible for replication to a
     // chunk than holes in that chunk, the nodes with higher edge-count are
     // prioritized." — the priority is *per chunk*: chunks are served in id

@@ -14,7 +14,7 @@ pub mod bucket;
 pub mod normalize;
 
 use crate::knobs::DivergenceKnobs;
-use crate::prepared::{Prepared, StageReport, Technique, TransformReport};
+use crate::prepared::{PhaseTiming, Prepared, StageReport, Technique, TransformReport};
 use graffix_graph::{Csr, NodeId};
 use std::time::Instant;
 
@@ -31,7 +31,10 @@ pub use normalize::{normalize_degrees, NormalizeOutcome};
 pub fn transform(g: &Csr, knobs: &DivergenceKnobs, warp_size: usize) -> Prepared {
     let start = Instant::now();
     let order = bucket_order(g);
+    let bucket_seconds = start.elapsed().as_secs_f64();
+    let norm_start = Instant::now();
     let norm = normalize_degrees(g, &order, knobs, warp_size);
+    let normalize_seconds = norm_start.elapsed().as_secs_f64();
 
     // Physical renumbering: new id = position in bucket order.
     let n = g.num_nodes();
@@ -70,6 +73,10 @@ pub fn transform(g: &Csr, knobs: &DivergenceKnobs, warp_size: usize) -> Prepared
     let report = TransformReport {
         technique_label: Technique::Divergence.label().to_string(),
         preprocess_seconds,
+        phase_seconds: vec![
+            PhaseTiming::new("bucket", bucket_seconds),
+            PhaseTiming::new("normalize", normalize_seconds),
+        ],
         original_nodes: n,
         original_edges: g.num_edges(),
         new_nodes: n,

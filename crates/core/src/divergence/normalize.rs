@@ -2,6 +2,7 @@
 
 use crate::knobs::DivergenceKnobs;
 use graffix_graph::{Csr, GraphBuilder, NodeId};
+use rayon::prelude::*;
 
 /// Result of the normalization pass.
 #[derive(Clone, Debug)]
@@ -30,13 +31,15 @@ pub fn normalize_degrees(
     let weighted = g.is_weighted();
     let mut warps_normalized = 0usize;
 
-    'outer: for warp in order.chunks(warp_size) {
+    // Selection pass (serial, cheap): which nodes of which warps are
+    // deficient-but-within-threshold, and how many fills each needs.
+    let mut jobs: Vec<(usize, NodeId, usize)> = Vec::new(); // (warp, node, need)
+    for (wi, warp) in order.chunks(warp_size).enumerate() {
         let max_deg = warp.iter().map(|&v| g.degree(v)).max().unwrap_or(0);
         if max_deg == 0 {
             continue;
         }
         let target = (max_deg as f64 * knobs.fill_fraction).round() as usize;
-        let mut warp_touched = false;
         for &v in warp {
             if g.is_hole(v) {
                 continue;
@@ -53,40 +56,47 @@ pub fn normalize_degrees(
             if degree_sim > knobs.degree_sim_threshold {
                 continue;
             }
-            let mut need = target - deg;
-            // 2-hop candidates in deterministic order.
-            let nbrs = g.neighbors(v);
-            let mut new_targets: Vec<(NodeId, u32)> = Vec::new();
-            'fill: for (bi, &b) in nbrs.iter().enumerate() {
-                let wb = if weighted { g.edge_weights(v)[bi] } else { 1 };
-                for (qi, &q) in g.neighbors(b).iter().enumerate() {
-                    if q == v || nbrs.contains(&q) || new_targets.iter().any(|&(t, _)| t == q) {
-                        continue;
-                    }
-                    let wq = if weighted { g.edge_weights(b)[qi] } else { 1 };
-                    new_targets.push((q, wb.saturating_add(wq)));
-                    need -= 1;
-                    if need == 0 {
-                        break 'fill;
-                    }
-                }
-            }
-            if !new_targets.is_empty() {
-                warp_touched = true;
-            }
-            for (q, w) in new_targets {
-                if added.len() >= budget {
-                    if warp_touched {
-                        warps_normalized += 1;
-                    }
-                    break 'outer;
-                }
-                added.push((v, q, w));
-            }
+            jobs.push((wi, v, target - deg));
         }
-        if warp_touched {
-            warps_normalized += 1;
+    }
+
+    // 2-hop enumeration (the hot pass) is pure per node and runs in
+    // parallel; the chunk-ordered merge keeps `fills[i]` aligned with
+    // `jobs[i]`, so the sequential budget-capped commit below walks nodes
+    // in exactly the serial warp-scan order.
+    let fills: Vec<Vec<(NodeId, u32)>> = jobs
+        .clone()
+        .into_par_iter()
+        .map(|(_, v, need)| collect_two_hop(g, v, need, weighted))
+        .collect();
+
+    let mut cur_warp = usize::MAX;
+    let mut warp_touched = false;
+    let mut broke = false;
+    'outer: for (&(wi, v, _), new_targets) in jobs.iter().zip(fills) {
+        if wi != cur_warp {
+            if warp_touched {
+                warps_normalized += 1;
+            }
+            cur_warp = wi;
+            warp_touched = false;
         }
+        if !new_targets.is_empty() {
+            warp_touched = true;
+        }
+        for (q, w) in new_targets {
+            if added.len() >= budget {
+                if warp_touched {
+                    warps_normalized += 1;
+                }
+                broke = true;
+                break 'outer;
+            }
+            added.push((v, q, w));
+        }
+    }
+    if !broke && warp_touched {
+        warps_normalized += 1;
     }
 
     let graph = if added.is_empty() {
@@ -120,6 +130,28 @@ pub fn normalize_degrees(
         edges_added,
         warps_normalized,
     }
+}
+
+/// 2-hop fill targets for `v` in deterministic (neighbor-order) sequence,
+/// with sum-rule weights; stops after `need` targets. Pure in `g`.
+fn collect_two_hop(g: &Csr, v: NodeId, mut need: usize, weighted: bool) -> Vec<(NodeId, u32)> {
+    let nbrs = g.neighbors(v);
+    let mut new_targets: Vec<(NodeId, u32)> = Vec::new();
+    'fill: for (bi, &b) in nbrs.iter().enumerate() {
+        let wb = if weighted { g.edge_weights(v)[bi] } else { 1 };
+        for (qi, &q) in g.neighbors(b).iter().enumerate() {
+            if q == v || nbrs.contains(&q) || new_targets.iter().any(|&(t, _)| t == q) {
+                continue;
+            }
+            let wq = if weighted { g.edge_weights(b)[qi] } else { 1 };
+            new_targets.push((q, wb.saturating_add(wq)));
+            need -= 1;
+            if need == 0 {
+                break 'fill;
+            }
+        }
+    }
+    new_targets
 }
 
 #[cfg(test)]

@@ -2,9 +2,15 @@
 //! scenarios), under a global edge budget.
 
 use crate::knobs::LatencyKnobs;
-use graffix_graph::properties::clustering_coefficients;
+use graffix_graph::properties::{clustering_coefficients, local_clustering_coefficient};
 use graffix_graph::{Csr, GraphBuilder, NodeId};
+use rayon::prelude::*;
 use std::collections::HashSet;
+use std::time::Instant;
+
+/// Pair-scoring work below this size is done serially; the deterministic
+/// pool's chunk dispatch costs more than the intersections it would hide.
+const PAR_PAIR_CUTOFF: usize = 64;
 
 /// Result of the edge-boost phase.
 #[derive(Clone, Debug)]
@@ -15,6 +21,9 @@ pub struct BoostOutcome {
     pub clustering: Vec<f64>,
     /// Directed arcs inserted.
     pub edges_added: usize,
+    /// Wall-clock time of the initial clustering-coefficient pass (the
+    /// `cc` phase of the preprocess breakdown).
+    pub cc_seconds: f64,
 }
 
 /// Undirected dynamic adjacency used while editing.
@@ -70,7 +79,9 @@ impl DynUndirected {
 /// Inserts CC-boosting edges per §3 and returns the new graph plus the
 /// post-boost clustering coefficients.
 pub fn boost_edges(g: &Csr, knobs: &LatencyKnobs) -> BoostOutcome {
+    let cc_start = Instant::now();
     let cc0 = clustering_coefficients(g);
+    let cc_seconds = cc_start.elapsed().as_secs_f64();
     let mut und = DynUndirected::from_csr(g);
     let budget_arcs = (g.num_edges() as f64 * knobs.edge_budget_frac) as usize;
     let mut added: Vec<(NodeId, NodeId, u32)> = Vec::new(); // directed arcs
@@ -124,17 +135,33 @@ pub fn boost_edges(g: &Csr, knobs: &LatencyKnobs) -> BoostOutcome {
             // already share a common neighbor ("preferentially between
             // those neighbors ... that have common neighbors"). Both
             // endpoints are 2-hop neighbors of each other through v.
-            let mut pairs: Vec<(usize, NodeId, NodeId)> = Vec::new();
+            let mut unlinked: Vec<(NodeId, NodeId)> = Vec::new();
             for (i, &a) in nbrs.iter().enumerate() {
                 for &b in &nbrs[i + 1..] {
                     if !und.has(a, b) {
-                        let common = und.nbrs[a as usize]
-                            .intersection(&und.nbrs[b as usize])
-                            .count();
-                        pairs.push((common, a, b));
+                        unlinked.push((a, b));
                     }
                 }
             }
+            // Common-neighbor scoring is the hot part; it reads `und`
+            // immutably, so large centers score their pairs in parallel.
+            // Counts are exact integers and the sort key (common, a, b) is
+            // unique, so the commit order below is thread-count-invariant.
+            let score = |&(a, b): &(NodeId, NodeId)| -> (usize, NodeId, NodeId) {
+                let common = und.nbrs[a as usize]
+                    .intersection(&und.nbrs[b as usize])
+                    .count();
+                (common, a, b)
+            };
+            let mut pairs: Vec<(usize, NodeId, NodeId)> = if unlinked.len() >= PAR_PAIR_CUTOFF {
+                unlinked
+                    .clone()
+                    .into_par_iter()
+                    .map(|p| score(&p))
+                    .collect()
+            } else {
+                unlinked.iter().map(score).collect()
+            };
             pairs.sort_by_key(|&(common, a, b)| (std::cmp::Reverse(common), a, b));
             for (_, a, b) in pairs {
                 if und.cc(v) >= knobs.cc_threshold {
@@ -218,12 +245,77 @@ pub fn boost_edges(g: &Csr, knobs: &LatencyKnobs) -> BoostOutcome {
         out
     };
     let edges_added = graph.num_edges() - g.num_edges();
-    let clustering = clustering_coefficients(&graph);
+    let clustering = dirty_recompute(g, &graph, cc0, &added);
     BoostOutcome {
         graph,
         clustering,
         edges_added,
+        cc_seconds,
     }
+}
+
+/// Post-boost clustering coefficients by recomputing only the *dirty* set:
+/// a node's CC depends solely on its neighborhood and the links inside it,
+/// so an inserted edge (a, b) can only change the CC of `a`, `b`, and the
+/// nodes adjacent to both. Every other node keeps its pre-boost value —
+/// the same integer link/degree counts yield the same f64 bit pattern, so
+/// this equals the full recompute exactly (asserted by tests).
+fn dirty_recompute(
+    g: &Csr,
+    boosted: &Csr,
+    cc0: Vec<f64>,
+    added: &[(NodeId, NodeId, u32)],
+) -> Vec<f64> {
+    if added.is_empty() {
+        // `boosted` is a clone of `g`; cc0 *is* the answer.
+        debug_assert_eq!(boosted.num_edges(), g.num_edges());
+        return cc0;
+    }
+    let undv = boosted.undirected();
+    let undv = &*undv;
+    let mut dirty: HashSet<NodeId> = HashSet::new();
+    let mut seen_pairs: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for &(u, v, _) in added {
+        let (a, b) = (u.min(v), u.max(v));
+        if !seen_pairs.insert((a, b)) {
+            continue; // the mirror arc of an undirected insert
+        }
+        dirty.insert(a);
+        dirty.insert(b);
+        // Common neighbors in the final view (two-pointer merge: both
+        // lists are sorted).
+        let (na, nb) = (undv.neighbors(a), undv.neighbors(b));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < na.len() && j < nb.len() {
+            match na[i].cmp(&nb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dirty.insert(na[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    let mut dirty: Vec<NodeId> = dirty.into_iter().collect();
+    dirty.sort_unstable();
+    let fresh: Vec<f64> = dirty
+        .clone()
+        .into_par_iter()
+        .map(|v| {
+            if undv.is_hole(v) {
+                0.0
+            } else {
+                local_clustering_coefficient(undv, v)
+            }
+        })
+        .collect();
+    let mut clustering = cc0;
+    for (v, c) in dirty.into_iter().zip(fresh) {
+        clustering[v as usize] = c;
+    }
+    clustering
 }
 
 #[cfg(test)]
@@ -283,6 +375,34 @@ mod tests {
             "{} vs budget {budget}",
             out.edges_added
         );
+    }
+
+    #[test]
+    fn dirty_set_recompute_equals_full_recompute() {
+        // The post-boost clustering vector is produced incrementally
+        // (dirty-set only); it must be bit-exactly the full recompute.
+        for (threshold, margin) in [(0.5, 0.25), (0.4, 0.1), (0.3, 0.3)] {
+            let g = social();
+            let knobs = LatencyKnobs {
+                cc_threshold: threshold,
+                margin,
+                edge_budget_frac: 0.2,
+                t_diameter_factor: 2,
+            };
+            let out = boost_edges(&g, &knobs);
+            let full = clustering_coefficients(&out.graph);
+            assert!(
+                out.edges_added > 0 || threshold > 0.45,
+                "sweep should exercise non-trivial boosts"
+            );
+            assert_eq!(out.clustering.len(), full.len(), "clustering vector length");
+            for (v, (&inc, &f)) in out.clustering.iter().zip(full.iter()).enumerate() {
+                assert!(
+                    inc.to_bits() == f.to_bits(),
+                    "cc[{v}] dirty={inc} full={f} (threshold {threshold})"
+                );
+            }
+        }
     }
 
     #[test]

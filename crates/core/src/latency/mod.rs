@@ -20,7 +20,7 @@ pub mod boost;
 pub mod select;
 
 use crate::knobs::LatencyKnobs;
-use crate::prepared::{Prepared, StageReport, Technique, TransformReport};
+use crate::prepared::{PhaseTiming, Prepared, StageReport, Technique, TransformReport};
 use graffix_graph::{Csr, NodeId};
 use graffix_sim::GpuConfig;
 use std::time::Instant;
@@ -35,8 +35,16 @@ pub use select::{select_tiles, TileSelection};
 pub fn transform(g: &Csr, knobs: &LatencyKnobs, cfg: &GpuConfig) -> Prepared {
     let start = Instant::now();
     let boost = boost_edges(g, knobs);
+    let boost_seconds = start.elapsed().as_secs_f64() - boost.cc_seconds;
+    let select_start = Instant::now();
     let selection = select_tiles(&boost.graph, &boost.clustering, knobs, cfg);
+    let tile_select_seconds = select_start.elapsed().as_secs_f64();
     let preprocess_seconds = start.elapsed().as_secs_f64();
+    let phase_seconds = vec![
+        PhaseTiming::new("cc", boost.cc_seconds),
+        PhaseTiming::new("boost", boost_seconds.max(0.0)),
+        PhaseTiming::new("tile-select", tile_select_seconds),
+    ];
 
     let n = boost.graph.num_nodes();
     // Assignment: tile nodes first (tile by tile, so a block's warps cover
@@ -62,6 +70,7 @@ pub fn transform(g: &Csr, knobs: &LatencyKnobs, cfg: &GpuConfig) -> Prepared {
     let report = TransformReport {
         technique_label: Technique::Latency.label().to_string(),
         preprocess_seconds,
+        phase_seconds,
         original_nodes: g.num_nodes(),
         original_edges: g.num_edges(),
         new_nodes: n,

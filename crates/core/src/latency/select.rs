@@ -6,7 +6,8 @@ use crate::knobs::LatencyKnobs;
 use crate::prepared::Tile;
 use graffix_graph::{Csr, NodeId};
 use graffix_sim::GpuConfig;
-use std::collections::VecDeque;
+use rayon::prelude::*;
+use std::collections::{HashMap, VecDeque};
 
 /// Result of tile selection.
 #[derive(Clone, Debug, Default)]
@@ -29,7 +30,8 @@ pub fn select_tiles(
     cfg: &GpuConfig,
 ) -> TileSelection {
     let max_tile_nodes = (cfg.shared_mem_words / WORDS_PER_NODE).max(2);
-    let und = g.to_undirected();
+    let und = g.undirected();
+    let und = &*und;
     let n = g.num_nodes();
     let mut in_tile = vec![false; n];
 
@@ -43,7 +45,11 @@ pub fn select_tiles(
             .then(a.cmp(&b))
     });
 
-    let mut tiles = Vec::new();
+    // Membership is a greedy, order-dependent claim over `in_tile`, so it
+    // stays sequential; the per-tile diameter BFS is pure and runs in
+    // parallel over the claimed tiles afterwards (exact integer results,
+    // merged in tile order — thread-count-invariant).
+    let mut memberships: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
     for &c in &centers {
         if in_tile[c as usize] {
             continue;
@@ -63,14 +69,22 @@ pub fn select_tiles(
         for &v in &nodes {
             in_tile[v as usize] = true;
         }
-        let diameter = tile_diameter(&und, &nodes);
-        let iterations = (knobs.t_diameter_factor * diameter).max(1);
-        tiles.push(Tile {
-            center: c,
-            nodes,
-            iterations,
-        });
+        memberships.push((c, nodes));
     }
+    let diameters: Vec<usize> = memberships
+        .clone()
+        .into_par_iter()
+        .map(|(_, nodes)| tile_diameter(und, &nodes))
+        .collect();
+    let tiles: Vec<Tile> = memberships
+        .into_iter()
+        .zip(diameters)
+        .map(|((center, nodes), diameter)| Tile {
+            center,
+            nodes,
+            iterations: (knobs.t_diameter_factor * diameter).max(1),
+        })
+        .collect();
     let untiled = in_tile.iter().filter(|&&t| !t).count();
     TileSelection { tiles, untiled }
 }
@@ -104,19 +118,21 @@ fn farthest(und: &Csr, nodes: &[NodeId], src: NodeId) -> NodeId {
 }
 
 /// BFS distances restricted to `nodes` (indexed by position in `nodes`).
+/// Positions are indexed by hash map: the old linear `position()` scan per
+/// neighbor visit made this quadratic in tile size.
 fn bfs_in_tile(und: &Csr, nodes: &[NodeId], src: NodeId) -> Vec<Option<usize>> {
-    let pos_of = |v: NodeId| nodes.iter().position(|&x| x == v);
+    let pos: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut dist: Vec<Option<usize>> = vec![None; nodes.len()];
-    let Some(s) = pos_of(src) else {
+    let Some(&s) = pos.get(&src) else {
         return dist;
     };
     dist[s] = Some(0);
     let mut q = VecDeque::new();
     q.push_back(src);
     while let Some(v) = q.pop_front() {
-        let dv = dist[pos_of(v).unwrap()].unwrap();
+        let dv = dist[pos[&v]].unwrap();
         for &w in und.neighbors(v) {
-            if let Some(p) = pos_of(w) {
+            if let Some(&p) = pos.get(&w) {
                 if dist[p].is_none() {
                     dist[p] = Some(dv + 1);
                     q.push_back(w);

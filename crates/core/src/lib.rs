@@ -18,6 +18,7 @@
 //! shared-memory tiles, and a [`TransformReport`] with the preprocessing
 //! cost and space overhead that Table 5 reports.
 
+pub mod cache;
 pub mod coalesce;
 pub mod confluence;
 pub mod divergence;
@@ -27,20 +28,24 @@ pub mod pipeline;
 pub mod prepared;
 pub mod tuning;
 
+pub use cache::{prepare_with_cache, CacheConfig, CacheOutcome, CacheStatus};
 pub use confluence::ConfluenceOp;
 pub use knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs};
 pub use pipeline::{Pipeline, PipelineError};
-pub use prepared::{Prepared, StageReport, Technique, Tile, TransformReport};
+pub use prepared::{PhaseTiming, Prepared, StageReport, Technique, Tile, TransformReport};
 pub use tuning::{auto_tune, GraphProfile, TunedKnobs};
 
 /// Convenience prelude.
 pub mod prelude {
+    pub use crate::cache::{self, prepare_with_cache, CacheConfig, CacheOutcome, CacheStatus};
     pub use crate::coalesce;
     pub use crate::confluence::ConfluenceOp;
     pub use crate::divergence;
     pub use crate::knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs};
     pub use crate::latency;
     pub use crate::pipeline::{Pipeline, PipelineError};
-    pub use crate::prepared::{Prepared, StageReport, Technique, Tile, TransformReport};
+    pub use crate::prepared::{
+        PhaseTiming, Prepared, StageReport, Technique, Tile, TransformReport,
+    };
     pub use crate::tuning::{auto_tune, GraphProfile, TunedKnobs};
 }

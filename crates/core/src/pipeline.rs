@@ -10,7 +10,7 @@ use crate::coalesce;
 use crate::divergence::normalize_degrees;
 use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
 use crate::latency::{boost_edges, select_tiles};
-use crate::prepared::{Prepared, StageReport, Technique};
+use crate::prepared::{PhaseTiming, Prepared, StageReport, Technique};
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use graffix_sim::GpuConfig;
 use std::time::Instant;
@@ -119,8 +119,23 @@ impl Pipeline {
         // graph (ids unchanged).
         if let Some(k) = &self.latency {
             let budget = (prepared.graph.num_edges() as f64 * k.edge_budget_frac) as usize;
+            let boost_start = Instant::now();
             let boost = boost_edges(&prepared.graph, k);
+            let boost_seconds = boost_start.elapsed().as_secs_f64() - boost.cc_seconds;
+            let select_start = Instant::now();
             let selection = select_tiles(&boost.graph, &boost.clustering, k, cfg);
+            prepared
+                .report
+                .phase_seconds
+                .push(PhaseTiming::new("cc", boost.cc_seconds));
+            prepared
+                .report
+                .phase_seconds
+                .push(PhaseTiming::new("boost", boost_seconds.max(0.0)));
+            prepared.report.phase_seconds.push(PhaseTiming::new(
+                "tile-select",
+                select_start.elapsed().as_secs_f64(),
+            ));
             prepared.report.edges_added += boost.edges_added;
             prepared.report.new_edges = boost.graph.num_edges();
             prepared.report.stages.push(StageReport {
@@ -165,7 +180,12 @@ impl Pipeline {
                 .filter(|&v| v != INVALID_NODE)
                 .collect();
             let budget = (prepared.graph.num_edges() as f64 * k.edge_budget_frac) as usize;
+            let norm_start = Instant::now();
             let norm = normalize_degrees(&prepared.graph, &order, k, cfg.warp_size);
+            prepared.report.phase_seconds.push(PhaseTiming::new(
+                "normalize",
+                norm_start.elapsed().as_secs_f64(),
+            ));
             prepared.report.edges_added += norm.edges_added;
             prepared.report.new_edges = norm.graph.num_edges();
             prepared.report.stages.push(StageReport {

@@ -76,12 +76,36 @@ pub struct StageReport {
     pub edge_budget_arcs: usize,
 }
 
+/// Wall-clock duration of one host-side preprocessing phase. These are
+/// diagnostics, not payload: phase timings never enter run reports (which
+/// must be byte-identical across thread counts and cache temperature) —
+/// they surface on the CLI and in the bench-baseline preprocess cells.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase key: `cc`, `renumber`, `replicate`, `boost`, `tile-select`,
+    /// `bucket`, `normalize`, `cache-load`, or `cache-store`.
+    pub phase: String,
+    pub seconds: f64,
+}
+
+impl PhaseTiming {
+    pub fn new(phase: &str, seconds: f64) -> PhaseTiming {
+        PhaseTiming {
+            phase: phase.to_string(),
+            seconds,
+        }
+    }
+}
+
 /// Preprocessing cost and structural delta of a transform (Table 5 rows).
 #[derive(Clone, Debug, Default)]
 pub struct TransformReport {
     pub technique_label: String,
     /// Wall-clock host preprocessing time.
     pub preprocess_seconds: f64,
+    /// Per-phase breakdown of `preprocess_seconds`, in execution order.
+    /// On a cache hit this collapses to a single `cache-load` entry.
+    pub phase_seconds: Vec<PhaseTiming>,
     pub original_nodes: usize,
     pub original_edges: usize,
     pub new_nodes: usize,
@@ -106,7 +130,7 @@ pub struct TransformReport {
 
 /// One shared-memory tile: a high-CC center with its 1-hop neighborhood
 /// (§3). `iterations` is the precomputed `t ≈ 2 × diameter`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Tile {
     pub center: NodeId,
     /// All nodes resident in shared memory for this tile (center included).

@@ -66,9 +66,9 @@ pub mod prelude {
     };
     pub use graffix_baselines::{gunrock, lonestar, tigr, Baseline, ALL_BASELINES};
     pub use graffix_core::{
-        auto_tune, coalesce, divergence, latency, CoalesceKnobs, ConfluenceOp, DivergenceKnobs,
-        GraphProfile, LatencyKnobs, Pipeline, Prepared, Technique, Tile, TransformReport,
-        TunedKnobs,
+        auto_tune, coalesce, divergence, latency, prepare_with_cache, CacheConfig, CacheOutcome,
+        CacheStatus, CoalesceKnobs, ConfluenceOp, DivergenceKnobs, GraphProfile, LatencyKnobs,
+        PhaseTiming, Pipeline, Prepared, Technique, Tile, TransformReport, TunedKnobs,
     };
     pub use graffix_graph::generators::paper_suite;
     pub use graffix_graph::{Csr, GraphBuilder, GraphKind, GraphSpec, NodeId, INVALID_NODE};

@@ -20,6 +20,19 @@ pub type EdgeId = usize;
 pub const INVALID_NODE: NodeId = u32::MAX;
 
 use crate::error::GraphError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide count of undirected-view constructions, exposed so tests can
+/// assert the memoization actually shares work (see
+/// [`undirected_build_count`]).
+static UNDIRECTED_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of times any [`Csr::undirected`] view has been *built* (cache
+/// misses) since process start. Cache hits do not increment this.
+pub fn undirected_build_count() -> usize {
+    UNDIRECTED_BUILDS.load(Ordering::Relaxed)
+}
 
 /// A directed graph in CSR form with optional edge weights and hole support.
 #[derive(Clone, Debug, Default)]
@@ -33,6 +46,10 @@ pub struct Csr {
     /// `hole_mask[v]` is true when slot `v` is a renumbering hole rather
     /// than a logical vertex. Empty when the graph has no holes.
     hole_mask: Vec<bool>,
+    /// Lazily built, shared undirected view (see [`Csr::undirected`]).
+    /// Cloning a `Csr` clones the `Arc`, so clones share the built view;
+    /// the mask setters reset it because the view depends on the mask.
+    undirected: OnceLock<Arc<Csr>>,
 }
 
 impl Csr {
@@ -65,6 +82,7 @@ impl Csr {
             edges,
             weights: flat_weights,
             hole_mask: Vec::new(),
+            undirected: OnceLock::new(),
         }
     }
 
@@ -83,6 +101,7 @@ impl Csr {
             edges,
             weights,
             hole_mask,
+            undirected: OnceLock::new(),
         };
         g.check()?;
         Ok(g)
@@ -355,13 +374,34 @@ impl Csr {
             edges,
             weights,
             hole_mask: self.hole_mask.clone(),
+            undirected: OnceLock::new(),
         }
+    }
+
+    /// Memoized, shared undirected view. The first call builds the closure
+    /// (see [`Csr::to_undirected`]) and caches it behind an `Arc`; later
+    /// calls — including calls on clones of this graph — return the shared
+    /// instance. Preprocessing passes that all need the undirected view
+    /// (clustering coefficients, tile selection, diameter estimation) go
+    /// through here so a full transform builds it once per distinct graph.
+    pub fn undirected(&self) -> Arc<Csr> {
+        self.undirected
+            .get_or_init(|| {
+                UNDIRECTED_BUILDS.fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.build_undirected())
+            })
+            .clone()
     }
 
     /// Builds the undirected closure: for every arc `u -> v` the result also
     /// contains `v -> u` (duplicates removed). Used by clustering-coefficient
     /// analysis, which the paper computes on the undirected view (§3).
+    /// Returns an owned copy; prefer [`Csr::undirected`] for shared access.
     pub fn to_undirected(&self) -> Csr {
+        (*self.undirected()).clone()
+    }
+
+    fn build_undirected(&self) -> Csr {
         let n = self.num_nodes();
         let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
         for (u, v, w) in self.edge_triples() {
@@ -477,6 +517,9 @@ impl Csr {
             return Err(GraphError::EdgeIntoHole { dest: bad });
         }
         self.hole_mask = mask;
+        // The undirected view carries the hole mask, so a mask change
+        // invalidates any cached copy.
+        self.undirected = OnceLock::new();
         Ok(())
     }
 
@@ -632,5 +675,28 @@ mod tests {
         let g = diamond();
         assert_eq!(g.max_degree(), 2);
         assert!((g.mean_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undirected_view_is_memoized_and_shared() {
+        let g = diamond();
+        let a = g.undirected();
+        let b = g.undirected();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        // Clones share the already-built view.
+        let c = g.clone().undirected();
+        assert!(Arc::ptr_eq(&a, &c), "clones must share the cached view");
+        assert_eq!(a.neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn hole_mask_change_invalidates_undirected_view() {
+        let mut g = Csr::from_adjacency(vec![vec![1], vec![], vec![]], None);
+        let before = g.undirected();
+        assert!(!before.is_hole(2));
+        g.set_hole_mask(vec![false, false, true]);
+        let after = g.undirected();
+        assert!(!Arc::ptr_eq(&before, &after), "mask change must rebuild");
+        assert!(after.is_hole(2));
     }
 }

@@ -20,7 +20,7 @@ pub mod serialize;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
-pub use csr::{Csr, EdgeId, NodeId, INVALID_NODE};
+pub use csr::{undirected_build_count, Csr, EdgeId, NodeId, INVALID_NODE};
 pub use error::GraphError;
 pub use generators::{GraphKind, GraphSpec};
 

@@ -11,18 +11,59 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 /// Histogram of out-degrees: `hist[d]` = number of nodes with out-degree `d`.
+/// Chunk-partial histograms are accumulated in parallel and merged in chunk
+/// order; counts are exact integers, so the result is independent of the
+/// thread count.
 pub fn degree_histogram(g: &Csr) -> Vec<usize> {
-    let mut hist = vec![0usize; g.max_degree() + 1];
-    for v in g.real_nodes() {
-        hist[g.degree(v)] += 1;
+    let n = g.num_nodes();
+    let bins = g.max_degree() + 1;
+    let ids: Vec<NodeId> = (0..n as NodeId).collect();
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    let partials: Vec<Vec<usize>> = ids
+        .par_chunks(chunk)
+        .map(|c| {
+            let mut h = vec![0usize; bins];
+            for &v in c {
+                if !g.is_hole(v) {
+                    h[g.degree(v)] += 1;
+                }
+            }
+            h
+        })
+        .collect();
+    let mut hist = vec![0usize; bins];
+    for p in partials {
+        for (d, c) in p.into_iter().enumerate() {
+            hist[d] += c;
+        }
     }
     hist
+}
+
+/// Number of common elements of two *sorted* id slices, via a two-pointer
+/// merge — `O(|a| + |b|)` instead of the `|b| log |a|` of repeated binary
+/// search. This is the triangle-counting workhorse.
+pub fn sorted_intersection_count(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
 }
 
 /// Local clustering coefficient of `v` in the *undirected* graph `und`
 /// (whose neighbor lists must be sorted, as produced by
 /// [`Csr::to_undirected`]): the fraction of neighbor pairs that are
-/// themselves connected. 0 for degree < 2.
+/// themselves connected. 0 for degree < 2. Neighbor-pair links are counted
+/// by sorted-merge intersection, `O(deg_u + deg_v)` per neighbor.
 pub fn local_clustering_coefficient(und: &Csr, v: NodeId) -> f64 {
     let nbrs = und.neighbors(v);
     let k = nbrs.len();
@@ -31,27 +72,23 @@ pub fn local_clustering_coefficient(und: &Csr, v: NodeId) -> f64 {
     }
     let mut links = 0usize;
     for (i, &a) in nbrs.iter().enumerate() {
-        let a_nbrs = und.neighbors(a);
-        for &b in &nbrs[i + 1..] {
-            if a_nbrs.binary_search(&b).is_ok() {
-                links += 1;
-            }
-        }
+        links += sorted_intersection_count(und.neighbors(a), &nbrs[i + 1..]);
     }
     2.0 * links as f64 / (k * (k - 1)) as f64
 }
 
 /// Local clustering coefficients for every node slot of `g` (holes get 0),
-/// computed on the undirected view in parallel.
+/// computed on the shared undirected view in parallel.
 pub fn clustering_coefficients(g: &Csr) -> Vec<f64> {
-    let und = g.to_undirected();
+    let und = g.undirected();
+    let und = &*und;
     (0..g.num_nodes() as NodeId)
         .into_par_iter()
         .map(|v| {
             if und.is_hole(v) {
                 0.0
             } else {
-                local_clustering_coefficient(&und, v)
+                local_clustering_coefficient(und, v)
             }
         })
         .collect()
@@ -60,7 +97,7 @@ pub fn clustering_coefficients(g: &Csr) -> Vec<f64> {
 /// Sampled average clustering coefficient (cheap estimate used by tests and
 /// the threshold-guideline heuristics).
 pub fn average_clustering_coefficient(g: &Csr, samples: usize, seed: u64) -> f64 {
-    let und = g.to_undirected();
+    let und = g.undirected();
     let real: Vec<NodeId> = und.real_nodes().collect();
     if real.is_empty() {
         return 0.0;
@@ -81,7 +118,7 @@ pub fn average_clustering_coefficient(g: &Csr, samples: usize, seed: u64) -> f64
 /// farthest distance of the second sweep lower-bounds the diameter and is
 /// usually tight on real graphs. Returns the max over `sweeps` repetitions.
 pub fn estimate_diameter(g: &Csr, sweeps: usize, seed: u64) -> usize {
-    let und = g.to_undirected();
+    let und = g.undirected();
     let real: Vec<NodeId> = und.real_nodes().collect();
     if real.is_empty() {
         return 0;
@@ -106,10 +143,13 @@ pub fn estimate_diameter(g: &Csr, sweeps: usize, seed: u64) -> usize {
 }
 
 /// Number of weakly connected components over non-hole nodes (union-find
-/// with path halving).
+/// with path halving and union by rank — without the rank rule, ordered
+/// edge streams such as a path graph build linear parent chains and the
+/// scan degenerates toward O(n²)).
 pub fn connected_components(g: &Csr) -> usize {
     let n = g.num_nodes();
     let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u8> = vec![0; n];
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
             parent[x as usize] = parent[parent[x as usize] as usize];
@@ -120,7 +160,14 @@ pub fn connected_components(g: &Csr) -> usize {
     for (u, v, _) in g.edge_triples() {
         let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
         if ru != rv {
-            parent[ru as usize] = rv;
+            match rank[ru as usize].cmp(&rank[rv as usize]) {
+                std::cmp::Ordering::Less => parent[ru as usize] = rv,
+                std::cmp::Ordering::Greater => parent[rv as usize] = ru,
+                std::cmp::Ordering::Equal => {
+                    parent[ru as usize] = rv;
+                    rank[rv as usize] += 1;
+                }
+            }
         }
     }
     let mut count = 0usize;
@@ -210,6 +257,30 @@ mod tests {
         b.add_undirected_edge(2, 3);
         let g = b.build();
         assert_eq!(connected_components(&g), 3); // {0,1}, {2,3}, {4}
+    }
+
+    #[test]
+    fn component_count_on_long_path() {
+        // Ordered path edges (0-1, 1-2, ...) are the adversarial stream for
+        // rank-less union-find: every union used to graft the whole chain
+        // under the new endpoint, driving the scan toward O(n²). With union
+        // by rank the tree stays logarithmic; this must stay instant.
+        let n = 20_000u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 0..n - 1 {
+            b.add_undirected_edge(v, v + 1);
+        }
+        let g = b.build();
+        assert_eq!(connected_components(&g), 1);
+        // Two paths → two components (plus none spurious).
+        let mut b = GraphBuilder::new(10);
+        for v in 0..4u32 {
+            b.add_undirected_edge(v, v + 1);
+        }
+        for v in 5..9u32 {
+            b.add_undirected_edge(v, v + 1);
+        }
+        assert_eq!(connected_components(&b.build()), 2);
     }
 
     #[test]

@@ -187,6 +187,108 @@ fn auto_direction_beats_push_on_dense_frontiers() {
     );
 }
 
+/// The parallel preprocessing engine's determinism clause: the transformed
+/// CSR (and everything the simulator consumes from a `Prepared`) must be
+/// byte-identical at any thread count. Selection/scoring passes fan out
+/// over the deterministic rayon shim, but commits happen in serial order,
+/// so the output cannot depend on scheduling.
+#[test]
+fn transformed_csr_byte_identical_at_any_thread_count() {
+    use graffix::graph::serialize;
+
+    let g = GraphSpec::new(GraphKind::SocialLiveJournal, 1_500, 9).generate();
+    let gpu = GpuConfig::k40c();
+    let kind = GraphKind::SocialLiveJournal;
+    let pipelines: Vec<(&str, Pipeline)> = vec![
+        (
+            "coalescing",
+            Pipeline::default().with_coalesce(CoalesceKnobs::for_kind(kind)),
+        ),
+        (
+            "latency",
+            Pipeline::default().with_latency(LatencyKnobs::for_kind(kind).with_threshold(0.4)),
+        ),
+        (
+            "divergence",
+            Pipeline::default().with_divergence(DivergenceKnobs::for_kind(kind)),
+        ),
+        (
+            "combined",
+            Pipeline {
+                coalesce: Some(CoalesceKnobs::for_kind(kind)),
+                latency: Some(LatencyKnobs::for_kind(kind)),
+                divergence: Some(DivergenceKnobs::for_kind(kind)),
+            },
+        ),
+    ];
+    for (label, pipeline) in &pipelines {
+        let prepared: Vec<Prepared> = THREAD_COUNTS
+            .iter()
+            .map(|&n| with_threads(n, || pipeline.apply(&g, &gpu)))
+            .collect();
+        for (i, p) in prepared.iter().enumerate().skip(1) {
+            let at = THREAD_COUNTS[i];
+            assert_eq!(
+                &serialize::to_bytes(&p.graph)[..],
+                &serialize::to_bytes(&prepared[0].graph)[..],
+                "{label}: transformed CSR bytes differ at {at} threads"
+            );
+            assert_eq!(
+                p.assignment, prepared[0].assignment,
+                "{label}: assignment differs at {at} threads"
+            );
+            assert_eq!(
+                p.tiles, prepared[0].tiles,
+                "{label}: tiles differ at {at} threads"
+            );
+            assert_eq!(
+                p.replica_groups, prepared[0].replica_groups,
+                "{label}: replica groups differ at {at} threads"
+            );
+        }
+    }
+}
+
+/// The prepared-graph cache's determinism clause: a cold-cache run
+/// (transform + store) and a warm-cache run (load) must produce
+/// byte-identical run reports. Phase timings live only in the transform
+/// report diagnostics, never in run reports, so this holds even though the
+/// warm path skips preprocessing entirely.
+#[test]
+fn cold_and_warm_cache_runs_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("graffix-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CacheConfig::at(&dir);
+
+    let g = GraphSpec::new(GraphKind::Rmat, 1_500, 13).generate();
+    let gpu = GpuConfig::k40c();
+    let pipeline = Pipeline {
+        coalesce: Some(CoalesceKnobs::for_kind(GraphKind::Rmat)),
+        latency: Some(LatencyKnobs::for_kind(GraphKind::Rmat)),
+        divergence: Some(DivergenceKnobs::for_kind(GraphKind::Rmat)),
+    };
+
+    let (cold, cold_outcome) = prepare_with_cache(&g, &pipeline, &gpu, &cache).unwrap();
+    assert_eq!(cold_outcome.status, CacheStatus::MissStored);
+    let (warm, warm_outcome) = prepare_with_cache(&g, &pipeline, &gpu, &cache).unwrap();
+    assert_eq!(warm_outcome.status, CacheStatus::Hit);
+
+    for algo in [Algo::Sssp, Algo::Pr] {
+        let report_of = |p: &Prepared| {
+            traced_run("profile", algo, &g, p, Baseline::Lonestar, &gpu, 2)
+                .report
+                .to_pretty_string()
+        };
+        assert_eq!(
+            report_of(&cold),
+            report_of(&warm),
+            "{}: cold vs warm cache run reports differ",
+            algo.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn transformed_plan_with_confluence_and_tiles_is_deterministic() {
     // The combined pipeline injects replicas (confluence), shortcut edges,

@@ -19,12 +19,18 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 /// Saves a small baseline for one test to gate against.
+///
+/// Every bench invocation below pins `--cache-dir` into the harness tmp
+/// dir: the default is relative (`target/graffix-cache`) and would land in
+/// the crate's own cwd when the test launches the binary.
 fn saved_baseline(name: &str) -> PathBuf {
     let path = tmp(name);
     let out = bin()
         .args(["bench", "--save-baseline"])
         .arg(&path)
         .args(["--nodes", "128", "--repeats", "2", "--quiet"])
+        .arg("--cache-dir")
+        .arg(tmp("graffix-cache"))
         .env("GRAFFIX_BENCH_HOST", "test")
         .output()
         .expect("run graffix bench --save-baseline");
@@ -44,6 +50,8 @@ fn gate_passes_three_consecutive_runs_on_unchanged_tree() {
             .args(["bench", "--gate"])
             .arg(&baseline)
             .arg("--quiet")
+            .arg("--cache-dir")
+            .arg(tmp("graffix-cache"))
             .output()
             .expect("run graffix bench --gate");
         assert!(
@@ -79,6 +87,8 @@ fn doctored_perf_cell_fails_gate_naming_the_cell() {
         .arg("--gate-report")
         .arg(&gate_report)
         .arg("--quiet")
+        .arg("--cache-dir")
+        .arg(tmp("graffix-cache"))
         .output()
         .expect("run graffix bench --gate");
     assert!(!out.status.success(), "gate must fail on a 2x slowdown");
@@ -122,6 +132,8 @@ fn doctored_accuracy_cell_fails_gate_as_drift() {
         .args(["bench", "--gate"])
         .arg(&doctored)
         .arg("--quiet")
+        .arg("--cache-dir")
+        .arg(tmp("graffix-cache"))
         .output()
         .expect("run graffix bench --gate");
     assert!(

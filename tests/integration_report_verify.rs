@@ -33,6 +33,8 @@ fn profiled_report(graph: &str, report: &str) -> PathBuf {
         .args(["--technique", "combined", "--report-json"])
         .arg(&report)
         .arg("--quiet")
+        .arg("--cache-dir")
+        .arg(tmp("graffix-cache"))
         .output()
         .expect("run graffix profile");
     assert!(
@@ -151,6 +153,8 @@ fn profile_stdout_is_pure_json_when_quiet() {
         .args(["profile", "--in"])
         .arg(&graph)
         .args(["--technique", "latency", "--quiet"])
+        .arg("--cache-dir")
+        .arg(tmp("graffix-cache"))
         .output()
         .expect("run graffix profile");
     assert!(out.status.success());
