@@ -2,7 +2,7 @@
 
 use graffix_core::{
     coalesce, divergence, latency, prepare_with_cache, CacheConfig, CoalesceKnobs, DivergenceKnobs,
-    LatencyKnobs, Pipeline, Prepared, Technique,
+    LatencyKnobs, Pipeline, Prepared, QueryCtx, Technique,
 };
 use graffix_graph::generators::{paper_suite, GraphKind};
 use graffix_graph::Csr;
@@ -66,6 +66,10 @@ pub struct Suite {
     pub cache: CacheConfig,
     pub graphs: Vec<(GraphKind, Csr)>,
     prepared: RefCell<HashMap<(usize, Technique), Rc<Prepared>>>,
+    /// In-memory memoized stage queries shared by the knob-sweep helpers
+    /// (`prepared_*_with`): a sweep over one knob re-prepares only the
+    /// stages downstream of it, the rest hit this context.
+    stage_ctx: RefCell<QueryCtx>,
 }
 
 impl Suite {
@@ -78,6 +82,7 @@ impl Suite {
             cache: CacheConfig::disabled(),
             graphs,
             prepared: RefCell::new(HashMap::new()),
+            stage_ctx: RefCell::new(QueryCtx::memory()),
         }
     }
 
@@ -176,29 +181,34 @@ impl Suite {
     }
 
     /// Prepared graph with explicit coalescing knobs (Figure 7 sweeps).
+    /// Sweep cells share the renumber stage through the suite's in-memory
+    /// query context — only replication depends on the threshold.
     pub fn prepared_coalescing_with(&self, gi: usize, threshold: f64) -> Prepared {
         let (kind, g) = &self.graphs[gi];
-        coalesce::transform(g, &CoalesceKnobs::for_kind(*kind).with_threshold(threshold))
+        let pipe = Pipeline::default()
+            .with_coalesce(CoalesceKnobs::for_kind(*kind).with_threshold(threshold));
+        pipe.try_apply_with(g, &self.cfg, &mut self.stage_ctx.borrow_mut())
+            .expect("sweep knobs are always valid")
     }
 
-    /// Prepared graph with explicit CC threshold (Figure 8 sweeps).
+    /// Prepared graph with explicit CC threshold (Figure 8 sweeps). Shares
+    /// the clustering-coefficient pass across cells via the query context.
     pub fn prepared_latency_with(&self, gi: usize, threshold: f64) -> Prepared {
         let (kind, g) = &self.graphs[gi];
-        latency::transform(
-            g,
-            &LatencyKnobs::for_kind(*kind).with_threshold(threshold),
-            &self.cfg,
-        )
+        let pipe = Pipeline::default()
+            .with_latency(LatencyKnobs::for_kind(*kind).with_threshold(threshold));
+        pipe.try_apply_with(g, &self.cfg, &mut self.stage_ctx.borrow_mut())
+            .expect("sweep knobs are always valid")
     }
 
     /// Prepared graph with explicit degreeSim threshold (Figure 9 sweeps).
+    /// Shares the bucket order across cells via the query context.
     pub fn prepared_divergence_with(&self, gi: usize, threshold: f64) -> Prepared {
         let (kind, g) = &self.graphs[gi];
-        divergence::transform(
-            g,
-            &DivergenceKnobs::for_kind(*kind).with_threshold(threshold),
-            self.cfg.warp_size,
-        )
+        let pipe = Pipeline::default()
+            .with_divergence(DivergenceKnobs::for_kind(*kind).with_threshold(threshold));
+        pipe.try_apply_with(g, &self.cfg, &mut self.stage_ctx.borrow_mut())
+            .expect("sweep knobs are always valid")
     }
 }
 

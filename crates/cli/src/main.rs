@@ -205,6 +205,20 @@ fn prepare(
     match prepare_with_cache(g, &pipeline, gpu, cache) {
         Ok((prepared, outcome)) => {
             log_info!("cache: {}", outcome.status.label());
+            if let CacheStatus::MissStoreFailed(detail) = &outcome.status {
+                log_info!("cache store failed: {detail}");
+            }
+            for rec in &outcome.stages {
+                log_info!(
+                    "stage {:<12} {:<10} {:.3}s",
+                    rec.stage,
+                    rec.status.label(),
+                    rec.seconds
+                );
+                if let Some(err) = &rec.store_error {
+                    log_info!("stage {} store failed: {err}", rec.stage);
+                }
+            }
             (prepared, pipeline)
         }
         Err(e) => {

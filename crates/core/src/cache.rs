@@ -18,11 +18,18 @@
 //! wall-clock diagnostics (`preprocess_seconds`, `phase_seconds`) on a
 //! hit — run reports never contain those, so cold and warm runs stay
 //! byte-identical.
+//!
+//! Beneath the whole-blob entries, the same directory holds **per-stage**
+//! entries (`{stage}-{key:016x}.gfxs`, see [`crate::query`]) written by the
+//! memoized query graph in [`crate::pipeline`]: when the whole-blob lookup
+//! misses (say, one knob changed), the staged run still reuses every
+//! intermediate upstream of that knob instead of starting from scratch.
 
 use crate::confluence::ConfluenceOp;
 use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
 use crate::pipeline::{Pipeline, PipelineError};
 use crate::prepared::{PhaseTiming, Prepared, StageReport, Technique, Tile, TransformReport};
+use crate::query::{Fingerprint, QueryCtx, StageRecord};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use graffix_graph::{serialize, Csr, NodeId};
 use graffix_sim::GpuConfig;
@@ -35,33 +42,6 @@ const MAGIC: &[u8; 4] = b"GFXP";
 /// Bumped whenever any transform's output for the same (graph, knobs)
 /// changes, so stale cache entries can never resurface old behavior.
 pub const PIPELINE_VERSION: u32 = 1;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Incremental FNV-1a 64-bit hasher over the cache-key inputs.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(FNV_OFFSET)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
-    }
-}
 
 /// Where (and whether) prepared graphs are cached.
 #[derive(Clone, Debug)]
@@ -103,25 +83,26 @@ pub fn default_cache_dir() -> PathBuf {
 }
 
 /// What `prepare_with_cache` did for this preparation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CacheStatus {
     /// Loaded bit-identical from disk; no transform ran.
     Hit,
     /// Computed and stored for next time.
     MissStored,
-    /// Computed; the store failed (e.g. unwritable dir) — non-fatal.
-    MissStoreFailed,
+    /// Computed; the store failed (e.g. unwritable dir) — non-fatal. The
+    /// underlying io error rides along so the CLI can say *why*.
+    MissStoreFailed(String),
     /// Caching was off; computed without touching disk.
     Disabled,
 }
 
 impl CacheStatus {
     /// CLI label (`cache: hit` etc.).
-    pub fn label(self) -> &'static str {
+    pub fn label(&self) -> &'static str {
         match self {
             CacheStatus::Hit => "hit",
             CacheStatus::MissStored => "miss (stored)",
-            CacheStatus::MissStoreFailed => "miss (store failed)",
+            CacheStatus::MissStoreFailed(_) => "miss (store failed)",
             CacheStatus::Disabled => "disabled",
         }
     }
@@ -135,6 +116,10 @@ pub struct CacheOutcome {
     pub key: u64,
     /// Entry file, when one was read or written.
     pub path: Option<PathBuf>,
+    /// Per-stage hit/cutoff/recomputed records from the memoized query
+    /// graph. Empty on a whole-blob hit (no stage ran) and when caching is
+    /// disabled (the null context records nothing worth surfacing).
+    pub stages: Vec<StageRecord>,
 }
 
 /// Content key of a preparation request. Hashes the pipeline code version,
@@ -144,7 +129,7 @@ pub struct CacheOutcome {
 /// bits). Disabled stages contribute nothing, so `--coalesce` alone and
 /// `--coalesce --latency` never collide with each other's entries.
 pub fn cache_key(g: &Csr, pipeline: &Pipeline, warp_size: usize) -> u64 {
-    let mut h = Fnv::new();
+    let mut h = Fingerprint::new();
     h.write(MAGIC);
     h.write(&PIPELINE_VERSION.to_le_bytes());
     h.write_u64(warp_size as u64);
@@ -184,7 +169,7 @@ pub fn cache_key(g: &Csr, pipeline: &Pipeline, warp_size: usize) -> u64 {
         h.write_f64(fill_fraction);
         h.write_f64(edge_budget_frac);
     }
-    h.0
+    h.finish()
 }
 
 /// Cache entry file for `key` under `dir`.
@@ -482,13 +467,15 @@ pub fn store(dir: &Path, key: u64, p: &Prepared) -> io::Result<PathBuf> {
     Ok(path)
 }
 
-/// Applies `pipeline` through the cache: on a hit the stored `Prepared` is
-/// returned (payload bit-identical to the cold computation) with its
-/// wall-clock diagnostics rewritten to the actual load time, so the phase
-/// breakdown shows a single `cache-load` entry; on a miss the pipeline
-/// runs and the result is stored (a failed store degrades gracefully).
-/// Exact (no-stage) pipelines bypass the cache — there is nothing to
-/// amortize.
+/// Applies `pipeline` through the cache: on a whole-blob hit the stored
+/// `Prepared` is returned (payload bit-identical to the cold computation)
+/// with its wall-clock diagnostics rewritten to the actual load time, so
+/// the phase breakdown shows a single `cache-load` entry; on a miss the
+/// pipeline runs as a memoized query graph over per-stage entries in the
+/// same directory — a one-knob change reuses every stage upstream of the
+/// knob — and the final result is stored as a whole blob (a failed store
+/// degrades gracefully, carrying the io error in the status). Exact
+/// (no-stage) pipelines bypass the cache — there is nothing to amortize.
 pub fn prepare_with_cache(
     g: &Csr,
     pipeline: &Pipeline,
@@ -505,6 +492,7 @@ pub fn prepare_with_cache(
                 status: CacheStatus::Disabled,
                 key: 0,
                 path: None,
+                stages: Vec::new(),
             },
         ));
     }
@@ -520,14 +508,16 @@ pub fn prepare_with_cache(
                 status: CacheStatus::Hit,
                 key,
                 path: Some(entry_path(&cache.dir, key)),
+                stages: Vec::new(),
             },
         ));
     }
-    let mut prepared = pipeline.try_apply(g, cfg)?;
+    let mut ctx = QueryCtx::at(&cache.dir);
+    let mut prepared = pipeline.try_apply_with(g, cfg, &mut ctx)?;
     let store_start = Instant::now();
     let (status, path) = match store(&cache.dir, key, &prepared) {
         Ok(path) => (CacheStatus::MissStored, Some(path)),
-        Err(_) => (CacheStatus::MissStoreFailed, None),
+        Err(e) => (CacheStatus::MissStoreFailed(e.to_string()), None),
     };
     // The store cost is part of this (cold) run's preprocessing bill; it
     // is recorded *after* the entry is written so the stored entry keeps
@@ -536,7 +526,15 @@ pub fn prepare_with_cache(
         "cache-store",
         store_start.elapsed().as_secs_f64(),
     ));
-    Ok((prepared, CacheOutcome { status, key, path }))
+    Ok((
+        prepared,
+        CacheOutcome {
+            status,
+            key,
+            path,
+            stages: ctx.records().to_vec(),
+        },
+    ))
 }
 
 #[cfg(test)]

@@ -10,8 +10,8 @@ use crate::prepared::{PhaseTiming, Prepared, StageReport, Technique, TransformRe
 use graffix_graph::{Csr, NodeId, INVALID_NODE};
 use std::time::Instant;
 
-pub use renumber::{renumber, Renumbering};
-pub use replicate::{replicate, ReplicationResult};
+pub use renumber::{apply_renumbering, renumber, Renumbering};
+pub use replicate::{replicate, replicate_renumbered, ReplicationResult};
 
 /// Applies the full coalescing transform (renumber + replicate) and returns
 /// a [`Prepared`] graph whose warp assignment follows the new numbering, so
@@ -19,16 +19,28 @@ pub use replicate::{replicate, ReplicationResult};
 pub fn transform(g: &Csr, knobs: &CoalesceKnobs) -> Prepared {
     let start = Instant::now();
     let ren = renumber(g, knobs.chunk_size);
+    let renumbered = apply_renumbering(g, &ren);
     let renumber_seconds = start.elapsed().as_secs_f64();
     let rep_start = Instant::now();
-    let rep = replicate(g, &ren, knobs);
+    let rep = replicate_renumbered(&renumbered, &ren, knobs);
     let replicate_seconds = rep_start.elapsed().as_secs_f64();
-    let preprocess_seconds = start.elapsed().as_secs_f64();
     let phase_seconds = vec![
         PhaseTiming::new("renumber", renumber_seconds),
         PhaseTiming::new("replicate", replicate_seconds),
     ];
+    assemble(g, &ren, rep, phase_seconds, start.elapsed().as_secs_f64())
+}
 
+/// Builds the coalescing [`Prepared`] from the stage outputs. Shared by the
+/// monolithic [`transform`] and the memoized query graph in
+/// [`crate::pipeline`], so both produce byte-identical results.
+pub(crate) fn assemble(
+    g: &Csr,
+    ren: &Renumbering,
+    rep: ReplicationResult,
+    phase_seconds: Vec<PhaseTiming>,
+    preprocess_seconds: f64,
+) -> Prepared {
     let n_new = rep.graph.num_nodes();
     let assignment: Vec<NodeId> = (0..n_new as NodeId)
         .map(|v| {

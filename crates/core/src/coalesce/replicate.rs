@@ -42,8 +42,18 @@ struct Candidate {
 /// Performs replication on the renumbered form of `old` and returns the
 /// final transformed graph.
 pub fn replicate(old: &Csr, ren: &Renumbering, knobs: &CoalesceKnobs) -> ReplicationResult {
+    replicate_renumbered(&apply_renumbering(old, ren), ren, knobs)
+}
+
+/// Same as [`replicate`], but takes the already-renumbered graph — the
+/// memoized query graph computes `apply_renumbering` once in the renumber
+/// stage and must not redo it per replication knob.
+pub fn replicate_renumbered(
+    renumbered: &Csr,
+    ren: &Renumbering,
+    knobs: &CoalesceKnobs,
+) -> ReplicationResult {
     let k = knobs.chunk_size;
-    let renumbered = apply_renumbering(old, ren);
     let total = renumbered.num_nodes();
     let num_chunks = total / k;
 

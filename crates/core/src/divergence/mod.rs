@@ -35,22 +35,40 @@ pub fn transform(g: &Csr, knobs: &DivergenceKnobs, warp_size: usize) -> Prepared
     let norm_start = Instant::now();
     let norm = normalize_degrees(g, &order, knobs, warp_size);
     let normalize_seconds = norm_start.elapsed().as_secs_f64();
+    let relabel_start = Instant::now();
+    let graph = relabel_by_order(&norm.graph, &order);
+    let relabel_seconds = relabel_start.elapsed().as_secs_f64();
+    let phase_seconds = vec![
+        PhaseTiming::new("bucket", bucket_seconds),
+        PhaseTiming::new("normalize", normalize_seconds),
+        PhaseTiming::new("relabel", relabel_seconds),
+    ];
+    assemble(
+        g,
+        order,
+        norm.edges_added,
+        graph,
+        knobs,
+        phase_seconds,
+        start.elapsed().as_secs_f64(),
+    )
+}
 
-    // Physical renumbering: new id = position in bucket order.
+/// Physically relabels `g` so a node's new id is its position in `order`
+/// (the paper sorts "the nodes array"). Adjacency lists are rebuilt in the
+/// new id space, sorted.
+pub fn relabel_by_order(g: &Csr, order: &[NodeId]) -> Csr {
     let n = g.num_nodes();
     let mut new_of_old = vec![0 as NodeId; n];
     for (pos, &old) in order.iter().enumerate() {
         new_of_old[old as usize] = pos as NodeId;
     }
-    let weighted = norm.graph.is_weighted();
+    let weighted = g.is_weighted();
     let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
     for old_u in 0..n as NodeId {
         let nu = new_of_old[old_u as usize] as usize;
-        for e in norm.graph.edge_range(old_u) {
-            adj[nu].push((
-                new_of_old[norm.graph.edges_raw()[e] as usize],
-                norm.graph.weight_at(e),
-            ));
+        for e in g.edge_range(old_u) {
+            adj[nu].push((new_of_old[g.edges_raw()[e] as usize], g.weight_at(e)));
         }
         adj[nu].sort_unstable();
     }
@@ -66,27 +84,41 @@ pub fn transform(g: &Csr, knobs: &DivergenceKnobs, warp_size: usize) -> Prepared
             w.push(l.iter().map(|p| p.1).collect::<Vec<_>>());
         }
     }
-    let graph = Csr::from_adjacency(lists, wlists);
-    let preprocess_seconds = start.elapsed().as_secs_f64();
+    Csr::from_adjacency(lists, wlists)
+}
 
+/// Builds the divergence [`Prepared`] from the stage outputs. Shared by the
+/// monolithic [`transform`] and the memoized query graph in
+/// [`crate::pipeline`], so both produce byte-identical results.
+pub(crate) fn assemble(
+    g: &Csr,
+    order: Vec<NodeId>,
+    edges_added: usize,
+    graph: Csr,
+    knobs: &DivergenceKnobs,
+    phase_seconds: Vec<PhaseTiming>,
+    preprocess_seconds: f64,
+) -> Prepared {
+    let n = g.num_nodes();
+    let mut new_of_old = vec![0 as NodeId; n];
+    for (pos, &old) in order.iter().enumerate() {
+        new_of_old[old as usize] = pos as NodeId;
+    }
     let old_fp = g.footprint_bytes().max(1);
     let report = TransformReport {
         technique_label: Technique::Divergence.label().to_string(),
         preprocess_seconds,
-        phase_seconds: vec![
-            PhaseTiming::new("bucket", bucket_seconds),
-            PhaseTiming::new("normalize", normalize_seconds),
-        ],
+        phase_seconds,
         original_nodes: n,
         original_edges: g.num_edges(),
         new_nodes: n,
         new_edges: graph.num_edges(),
-        edges_added: norm.edges_added,
+        edges_added,
         space_overhead: graph.footprint_bytes() as f64 / old_fp as f64 - 1.0,
         stages: vec![StageReport {
             transform: Technique::Divergence.key().to_string(),
             replicas: 0,
-            edges_added: norm.edges_added,
+            edges_added,
             edge_budget_arcs: (g.num_edges() as f64 * knobs.edge_budget_frac) as usize,
         }],
         ..Default::default()

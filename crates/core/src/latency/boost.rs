@@ -82,6 +82,18 @@ pub fn boost_edges(g: &Csr, knobs: &LatencyKnobs) -> BoostOutcome {
     let cc_start = Instant::now();
     let cc0 = clustering_coefficients(g);
     let cc_seconds = cc_start.elapsed().as_secs_f64();
+    let mut out = boost_with_cc(g, cc0, knobs);
+    out.cc_seconds = cc_seconds;
+    out
+}
+
+/// The edit phase of [`boost_edges`], taking pre-computed clustering
+/// coefficients. The memoized query graph caches the `cc` pass separately
+/// (it reads no knobs, only the graph), so a boost-knob change reuses it.
+/// `cc_seconds` in the returned outcome is zero; callers that timed the cc
+/// pass themselves fill it in.
+pub fn boost_with_cc(g: &Csr, cc0: Vec<f64>, knobs: &LatencyKnobs) -> BoostOutcome {
+    let cc_seconds = 0.0;
     let mut und = DynUndirected::from_csr(g);
     let budget_arcs = (g.num_edges() as f64 * knobs.edge_budget_frac) as usize;
     let mut added: Vec<(NodeId, NodeId, u32)> = Vec::new(); // directed arcs

@@ -26,6 +26,8 @@ pub mod knobs;
 pub mod latency;
 pub mod pipeline;
 pub mod prepared;
+pub mod query;
+pub(crate) mod stages;
 pub mod tuning;
 
 pub use cache::{prepare_with_cache, CacheConfig, CacheOutcome, CacheStatus};
@@ -33,6 +35,7 @@ pub use confluence::ConfluenceOp;
 pub use knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs};
 pub use pipeline::{Pipeline, PipelineError};
 pub use prepared::{PhaseTiming, Prepared, StageReport, Technique, Tile, TransformReport};
+pub use query::{Fingerprint, QueryCtx, StageRecord, StageStatus};
 pub use tuning::{auto_tune, GraphProfile, TunedKnobs};
 
 /// Convenience prelude.
@@ -47,5 +50,6 @@ pub mod prelude {
     pub use crate::prepared::{
         PhaseTiming, Prepared, StageReport, Technique, Tile, TransformReport,
     };
+    pub use crate::query::{QueryCtx, StageRecord, StageStatus};
     pub use crate::tuning::{auto_tune, GraphProfile, TunedKnobs};
 }

@@ -6,14 +6,33 @@
 //! the renumbered graph, and degree normalization runs last so it sees the
 //! final edge set.
 
-use crate::coalesce;
-use crate::divergence::normalize_degrees;
+use crate::coalesce::{self, apply_renumbering, renumber, replicate_renumbered};
+use crate::divergence::{self, bucket_order, normalize_degrees, relabel_by_order};
 use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
-use crate::latency::{boost_edges, select_tiles};
+use crate::latency::{boost_with_cc, select_tiles};
 use crate::prepared::{PhaseTiming, Prepared, StageReport, Technique};
-use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use crate::query::{fingerprint_bytes, Fingerprint, QueryCtx};
+use crate::stages::{self, RenumberOut};
+use graffix_graph::properties::clustering_coefficients;
+use graffix_graph::{serialize, Csr, NodeId, INVALID_NODE};
 use graffix_sim::GpuConfig;
 use std::time::Instant;
+
+/// Key of a stage query: the pipeline version, the stage tag, every
+/// upstream output fingerprint, and the knob fields the stage declares
+/// (written by `extra`). Anything else — other stages' knobs, wall-clock,
+/// thread count — must not leak in, or warm reuse breaks.
+fn stage_key(tag: &str, upstream: &[u64], extra: impl FnOnce(&mut Fingerprint)) -> u64 {
+    let mut h = Fingerprint::new();
+    h.write(&crate::cache::PIPELINE_VERSION.to_le_bytes());
+    h.write(tag.as_bytes());
+    h.write_u64(upstream.len() as u64);
+    for &fp in upstream {
+        h.write_u64(fp);
+    }
+    extra(&mut h);
+    h.finish()
+}
 
 /// Why a pipeline could not produce a [`Prepared`] graph. Surfaced to the
 /// CLI as a diagnostic instead of the `validate().unwrap()` abort the knob
@@ -86,7 +105,30 @@ impl Pipeline {
     /// Validates the enabled knob sets against `cfg`, then applies the
     /// stages in order. A bad knob combination (e.g. from CLI flags) comes
     /// back as a [`PipelineError`] diagnostic instead of aborting.
+    ///
+    /// This is [`Pipeline::try_apply_with`] on a null [`QueryCtx`]: the
+    /// cold monolithic run and the memoized query graph share one code
+    /// path, which is what guarantees their outputs are byte-identical.
     pub fn try_apply(&self, g: &Csr, cfg: &GpuConfig) -> Result<Prepared, PipelineError> {
+        self.try_apply_with(g, cfg, &mut QueryCtx::null())
+    }
+
+    /// Applies the pipeline as a dependency graph of memoized stage
+    /// queries. Each stage's key is (pipeline version, stage tag, upstream
+    /// output fingerprints, declared knob fields — see
+    /// [`crate::knobs::CoalesceKnobs::stage_inputs`]); its output is
+    /// content-fingerprinted via the bit-exact codecs in `stages`. A warm
+    /// `ctx` therefore recomputes only the stages downstream of a changed
+    /// input, and a recomputed stage whose bytes come out identical lets
+    /// every downstream stage reuse its cache (early cutoff — reported as
+    /// [`crate::query::StageStatus::Cutoff`]). Per-stage hit/cutoff/
+    /// recomputed records are left in `ctx` for the caller to surface.
+    pub fn try_apply_with(
+        &self,
+        g: &Csr,
+        cfg: &GpuConfig,
+        ctx: &mut QueryCtx,
+    ) -> Result<Prepared, PipelineError> {
         if let Some(k) = &self.coalesce {
             k.validate(cfg.warp_size)
                 .map_err(PipelineError::InvalidKnobs)?;
@@ -97,11 +139,68 @@ impl Pipeline {
         if let Some(k) = &self.divergence {
             k.validate().map_err(PipelineError::InvalidKnobs)?;
         }
-        // A divergence-only pipeline is exactly the standalone transform
-        // (which renumbers physically); delegate so both paths agree.
+        ctx.begin_run();
+        // Fingerprinting serializes the input graph; skip it on the null
+        // (cold, uncached) path where no key is ever looked up.
+        let graph_fp = if ctx.is_null() {
+            0
+        } else {
+            fingerprint_bytes(&serialize::to_bytes(g))
+        };
+
+        // A divergence-only pipeline matches the standalone transform
+        // (which renumbers physically): bucket → normalize → relabel, then
+        // the same assembly, so both paths agree byte-for-byte.
         if self.coalesce.is_none() && self.latency.is_none() {
             if let Some(k) = &self.divergence {
-                let prepared = crate::divergence::transform(g, k, cfg.warp_size);
+                let start = Instant::now();
+                let bkey = stage_key("bucket", &[graph_fp], |_| {});
+                let (order, order_fp) = ctx.query(
+                    "bucket",
+                    bkey,
+                    || bucket_order(g),
+                    |v| stages::encode_ids(v),
+                    stages::decode_ids,
+                );
+                let bucket_seconds = ctx.last_seconds();
+                let ni = k.stage_inputs().normalize;
+                let nkey = stage_key("normalize", &[graph_fp, order_fp], |h| {
+                    h.write_f64(ni.degree_sim_threshold);
+                    h.write_f64(ni.fill_fraction);
+                    h.write_f64(ni.edge_budget_frac);
+                    h.write_u64(cfg.warp_size as u64);
+                });
+                let (norm, norm_fp) = ctx.query(
+                    "normalize",
+                    nkey,
+                    || normalize_degrees(g, &order, k, cfg.warp_size),
+                    stages::encode_normalize,
+                    stages::decode_normalize,
+                );
+                let normalize_seconds = ctx.last_seconds();
+                let rkey = stage_key("relabel", &[norm_fp, order_fp], |_| {});
+                let (graph, _) = ctx.query(
+                    "relabel",
+                    rkey,
+                    || relabel_by_order(&norm.graph, &order),
+                    stages::encode_csr,
+                    stages::decode_csr,
+                );
+                let relabel_seconds = ctx.last_seconds();
+                let phase_seconds = vec![
+                    PhaseTiming::new("bucket", bucket_seconds),
+                    PhaseTiming::new("normalize", normalize_seconds),
+                    PhaseTiming::new("relabel", relabel_seconds),
+                ];
+                let prepared = divergence::assemble(
+                    g,
+                    order,
+                    norm.edges_added,
+                    graph,
+                    k,
+                    phase_seconds,
+                    start.elapsed().as_secs_f64(),
+                );
                 prepared
                     .validate()
                     .map_err(PipelineError::InvalidPrepared)?;
@@ -109,33 +208,112 @@ impl Pipeline {
             }
         }
         let start = Instant::now();
-        // Stage 1: coalescing (or identity).
-        let mut prepared = match &self.coalesce {
-            Some(k) => coalesce::transform(g, k),
-            None => Prepared::exact(g.clone()),
+        // Stage 1: coalescing (or identity). `cur_fp` tracks the identity
+        // of the current graph for downstream stage keys.
+        let (mut prepared, mut cur_fp) = match &self.coalesce {
+            Some(k) => {
+                let ci = k.stage_inputs();
+                let rkey = stage_key("renumber", &[graph_fp], |h| {
+                    h.write_u64(ci.renumber.chunk_size as u64);
+                });
+                let (ren_out, ren_fp) = ctx.query(
+                    "renumber",
+                    rkey,
+                    || {
+                        let ren = renumber(g, k.chunk_size);
+                        let graph = apply_renumbering(g, &ren);
+                        RenumberOut { ren, graph }
+                    },
+                    stages::encode_renumber,
+                    stages::decode_renumber,
+                );
+                let renumber_seconds = ctx.last_seconds();
+                let pkey = stage_key("replicate", &[ren_fp], |h| {
+                    h.write_f64(ci.replicate.threshold);
+                    h.write_u64(ci.replicate.max_replicas_per_node as u64);
+                });
+                let (rep, rep_fp) = ctx.query(
+                    "replicate",
+                    pkey,
+                    || replicate_renumbered(&ren_out.graph, &ren_out.ren, k),
+                    stages::encode_replication,
+                    stages::decode_replication,
+                );
+                let phase_seconds = vec![
+                    PhaseTiming::new("renumber", renumber_seconds),
+                    PhaseTiming::new("replicate", ctx.last_seconds()),
+                ];
+                let p = coalesce::assemble(
+                    g,
+                    &ren_out.ren,
+                    rep,
+                    phase_seconds,
+                    start.elapsed().as_secs_f64(),
+                );
+                (p, rep_fp)
+            }
+            None => (Prepared::exact(g.clone()), graph_fp),
         };
 
         // Stage 2: latency — boost edges and select tiles on the current
-        // graph (ids unchanged).
+        // graph (ids unchanged). The cc pass is its own query (it reads no
+        // knobs), so boost-knob changes reuse it.
         if let Some(k) = &self.latency {
+            let li = k.stage_inputs();
             let budget = (prepared.graph.num_edges() as f64 * k.edge_budget_frac) as usize;
-            let boost_start = Instant::now();
-            let boost = boost_edges(&prepared.graph, k);
-            let boost_seconds = boost_start.elapsed().as_secs_f64() - boost.cc_seconds;
-            let select_start = Instant::now();
-            let selection = select_tiles(&boost.graph, &boost.clustering, k, cfg);
+            let cckey = stage_key("cc", &[cur_fp], |_| {});
+            let (cc0, cc_fp) = ctx.query(
+                "cc",
+                cckey,
+                || clustering_coefficients(&prepared.graph),
+                stages::encode_f64s,
+                stages::decode_f64s,
+            );
             prepared
                 .report
                 .phase_seconds
-                .push(PhaseTiming::new("cc", boost.cc_seconds));
+                .push(PhaseTiming::new("cc", ctx.last_seconds()));
+            let boost_input_fp = {
+                let mut h = Fingerprint::new();
+                h.write_f64(li.boost.cc_threshold);
+                h.write_f64(li.boost.margin);
+                h.write_f64(li.boost.edge_budget_frac);
+                h.finish()
+            };
+            let bkey = stage_key("boost", &[cur_fp, cc_fp], |h| {
+                h.write_u64(boost_input_fp);
+            });
+            let (boost, boost_fp) = ctx.query(
+                "boost",
+                bkey,
+                || boost_with_cc(&prepared.graph, cc0, k),
+                stages::encode_boost,
+                stages::decode_boost,
+            );
             prepared
                 .report
                 .phase_seconds
-                .push(PhaseTiming::new("boost", boost_seconds.max(0.0)));
-            prepared.report.phase_seconds.push(PhaseTiming::new(
+                .push(PhaseTiming::new("boost", ctx.last_seconds()));
+            // tile-select reads `cc_threshold` (a boost knob) when filtering
+            // centers, so its key carries the whole boost input set on top
+            // of the boosted graph's content — over-invalidating on margin/
+            // budget changes whose output happened to be identical is the
+            // price of never reusing tiles across a cc_threshold change.
+            let tkey = stage_key("tile-select", &[boost_fp, boost_input_fp], |h| {
+                h.write_u64(li.tile_select.t_diameter_factor as u64);
+                h.write_u64(cfg.shared_mem_words as u64);
+            });
+            let (selection, _) = ctx.query(
                 "tile-select",
-                select_start.elapsed().as_secs_f64(),
-            ));
+                tkey,
+                || select_tiles(&boost.graph, &boost.clustering, k, cfg),
+                stages::encode_tiles,
+                stages::decode_tiles,
+            );
+            prepared
+                .report
+                .phase_seconds
+                .push(PhaseTiming::new("tile-select", ctx.last_seconds()));
             prepared.report.edges_added += boost.edges_added;
             prepared.report.new_edges = boost.graph.num_edges();
             prepared.report.stages.push(StageReport {
@@ -168,10 +346,12 @@ impl Pipeline {
                 }
                 prepared.assignment = assignment;
             }
+            cur_fp = boost_fp;
         }
 
         // Stage 3: divergence — normalize warp degrees along the current
-        // assignment order.
+        // assignment order. The order is derived state (assignment), so it
+        // joins the key as its own fingerprint next to the graph identity.
         if let Some(k) = &self.divergence {
             let order: Vec<NodeId> = prepared
                 .assignment
@@ -180,12 +360,29 @@ impl Pipeline {
                 .filter(|&v| v != INVALID_NODE)
                 .collect();
             let budget = (prepared.graph.num_edges() as f64 * k.edge_budget_frac) as usize;
-            let norm_start = Instant::now();
-            let norm = normalize_degrees(&prepared.graph, &order, k, cfg.warp_size);
-            prepared.report.phase_seconds.push(PhaseTiming::new(
+            let ni = k.stage_inputs().normalize;
+            let order_fp = if ctx.is_null() {
+                0
+            } else {
+                fingerprint_bytes(&stages::encode_ids(&order))
+            };
+            let nkey = stage_key("normalize", &[cur_fp, order_fp], |h| {
+                h.write_f64(ni.degree_sim_threshold);
+                h.write_f64(ni.fill_fraction);
+                h.write_f64(ni.edge_budget_frac);
+                h.write_u64(cfg.warp_size as u64);
+            });
+            let (norm, _) = ctx.query(
                 "normalize",
-                norm_start.elapsed().as_secs_f64(),
-            ));
+                nkey,
+                || normalize_degrees(&prepared.graph, &order, k, cfg.warp_size),
+                stages::encode_normalize,
+                stages::decode_normalize,
+            );
+            prepared
+                .report
+                .phase_seconds
+                .push(PhaseTiming::new("normalize", ctx.last_seconds()));
             prepared.report.edges_added += norm.edges_added;
             prepared.report.new_edges = norm.graph.num_edges();
             prepared.report.stages.push(StageReport {

@@ -83,7 +83,7 @@ pub struct StageReport {
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseTiming {
     /// Phase key: `cc`, `renumber`, `replicate`, `boost`, `tile-select`,
-    /// `bucket`, `normalize`, `cache-load`, or `cache-store`.
+    /// `bucket`, `normalize`, `relabel`, `cache-load`, or `cache-store`.
     pub phase: String,
     pub seconds: f64,
 }

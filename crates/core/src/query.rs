@@ -1,0 +1,444 @@
+//! Demand-driven stage queries — the memoization engine under the
+//! preparation pipeline.
+//!
+//! Preprocessing is an explicit dependency graph of *stage queries*
+//! (renumber → replicate, cc → boost → tile-select, bucket → normalize →
+//! relabel). Each stage declares its inputs as a content key: a
+//! [`Fingerprint`] over the pipeline code version, the upstream stages'
+//! *output* fingerprints, and exactly the knob fields the stage reads (see
+//! the `stage_inputs` partitions in [`crate::knobs`]). The stage's output
+//! is serialized bit-exactly and fingerprinted, so downstream keys are
+//! functions of upstream *content*, not of whether upstream was cached.
+//!
+//! That content keying is what buys **early cutoff** for free: when a knob
+//! change forces a stage to recompute but the recomputed output is
+//! byte-identical to the cached one, every downstream key is unchanged and
+//! downstream stages reuse their cached results without re-running. Such
+//! reuses are reported as [`StageStatus::Cutoff`] (cached result used even
+//! though something upstream re-ran) to distinguish them from plain
+//! [`StageStatus::Hit`]s.
+//!
+//! A [`QueryCtx`] holds the memo tables: an in-process map (shared across
+//! pipeline runs, e.g. bench knob-sweep cells) and, optionally, per-stage
+//! disk entries next to the whole-`Prepared` blobs of [`crate::cache`].
+//! The [`QueryCtx::null`] context skips memoization, encoding, and
+//! fingerprinting entirely — it is the zero-overhead cold path that
+//! `Pipeline::try_apply` runs on, and the reference the cached paths must
+//! match byte-for-byte.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher — the content fingerprint used for
+/// stage keys, stage outputs, and the whole-`Prepared` cache key.
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    pub fn new() -> Fingerprint {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes one byte slice.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fingerprint::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// How one stage query was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Cached result used; nothing upstream re-ran this pipeline run.
+    Hit,
+    /// Cached result used even though an upstream stage recomputed — the
+    /// recomputed upstream output was content-identical, so this stage's
+    /// key did not change (early cutoff).
+    Cutoff,
+    /// No cached result under this key (or a corrupt entry); the stage ran.
+    Recomputed,
+}
+
+impl StageStatus {
+    /// CLI label (`stage renumber: hit` etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            StageStatus::Hit => "hit",
+            StageStatus::Cutoff => "cutoff",
+            StageStatus::Recomputed => "recomputed",
+        }
+    }
+
+    /// True when a cached result was reused (hit or cutoff).
+    pub fn reused(self) -> bool {
+        !matches!(self, StageStatus::Recomputed)
+    }
+}
+
+/// Diagnostics for one stage query of a pipeline run, in execution order.
+#[derive(Clone, Debug)]
+pub struct StageRecord {
+    /// Stage name (`renumber`, `replicate`, `cc`, `boost`, `tile-select`,
+    /// `bucket`, `normalize`, `relabel`).
+    pub stage: &'static str,
+    pub status: StageStatus,
+    /// Wall seconds to satisfy the query (compute + encode + store on a
+    /// recompute; load + decode on a reuse).
+    pub seconds: f64,
+    /// The stage's content key (0 in a null context).
+    pub key: u64,
+    /// Detail of a failed per-stage disk store, when one happened
+    /// (non-fatal: the result is still returned and memoized in process).
+    pub store_error: Option<String>,
+}
+
+/// Memoization context for staged preparation. See the module docs.
+pub struct QueryCtx {
+    /// `false` = null context: compute everything, encode nothing.
+    enabled: bool,
+    /// Per-stage disk entries live here when set.
+    dir: Option<PathBuf>,
+    /// In-process memo of encoded stage outputs, shared across runs.
+    memo: HashMap<(&'static str, u64), Bytes>,
+    /// Per-run stage diagnostics (reset by [`QueryCtx::begin_run`]).
+    records: Vec<StageRecord>,
+    /// Whether any stage recomputed in the current run (drives the
+    /// hit-vs-cutoff distinction).
+    any_recomputed: bool,
+}
+
+impl QueryCtx {
+    /// The zero-overhead context: every query computes, nothing is
+    /// encoded, fingerprints are 0. This is the cold monolithic path.
+    pub fn null() -> QueryCtx {
+        QueryCtx {
+            enabled: false,
+            dir: None,
+            memo: HashMap::new(),
+            records: Vec::new(),
+            any_recomputed: false,
+        }
+    }
+
+    /// In-process memoization only — what `graffix bench` shares across
+    /// knob-sweep cells. No disk is touched.
+    pub fn memory() -> QueryCtx {
+        QueryCtx {
+            enabled: true,
+            dir: None,
+            memo: HashMap::new(),
+            records: Vec::new(),
+            any_recomputed: false,
+        }
+    }
+
+    /// In-process memoization plus per-stage disk entries under `dir`.
+    pub fn at<P: Into<PathBuf>>(dir: P) -> QueryCtx {
+        QueryCtx {
+            enabled: true,
+            dir: Some(dir.into()),
+            memo: HashMap::new(),
+            records: Vec::new(),
+            any_recomputed: false,
+        }
+    }
+
+    /// True for [`QueryCtx::null`] — callers skip key computation.
+    pub fn is_null(&self) -> bool {
+        !self.enabled
+    }
+
+    /// Starts a fresh pipeline run: clears the per-run diagnostics while
+    /// keeping the memo tables warm.
+    pub fn begin_run(&mut self) {
+        self.records.clear();
+        self.any_recomputed = false;
+    }
+
+    /// Stage diagnostics of the current run, in execution order.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Wall seconds of the most recent stage query.
+    pub fn last_seconds(&self) -> f64 {
+        self.records.last().map_or(0.0, |r| r.seconds)
+    }
+
+    /// Satisfies one stage query: returns the stage value plus the
+    /// fingerprint of its encoded output (0 in a null context).
+    ///
+    /// `key` must cover the pipeline version, every upstream output
+    /// fingerprint, and the knob fields the stage reads; `encode`/`decode`
+    /// must round-trip bit-exactly (the decoded value re-encodes to the
+    /// same bytes), which makes cached and computed results
+    /// interchangeable.
+    pub fn query<T>(
+        &mut self,
+        stage: &'static str,
+        key: u64,
+        compute: impl FnOnce() -> T,
+        encode: impl FnOnce(&T) -> Bytes,
+        decode: impl FnOnce(Bytes) -> io::Result<T>,
+    ) -> (T, u64) {
+        let start = Instant::now();
+        if !self.enabled {
+            let value = compute();
+            self.records.push(StageRecord {
+                stage,
+                status: StageStatus::Recomputed,
+                seconds: start.elapsed().as_secs_f64(),
+                key: 0,
+                store_error: None,
+            });
+            return (value, 0);
+        }
+
+        let reuse_status = if self.any_recomputed {
+            StageStatus::Cutoff
+        } else {
+            StageStatus::Hit
+        };
+        // In-process memo first, then the per-stage disk entry. A corrupt
+        // or undecodable entry degrades to a miss for this stage alone.
+        let cached = self
+            .memo
+            .get(&(stage, key))
+            .cloned()
+            .or_else(|| self.dir.as_deref().and_then(|d| load_stage(d, stage, key)));
+        if let Some(payload) = cached {
+            if let Ok(value) = decode(payload.clone()) {
+                let fp = fingerprint_bytes(&payload);
+                self.memo.insert((stage, key), payload);
+                self.records.push(StageRecord {
+                    stage,
+                    status: reuse_status,
+                    seconds: start.elapsed().as_secs_f64(),
+                    key,
+                    store_error: None,
+                });
+                return (value, fp);
+            }
+        }
+
+        let value = compute();
+        let payload = encode(&value);
+        let fp = fingerprint_bytes(&payload);
+        let store_error = match self.dir.as_deref() {
+            Some(d) => store_stage(d, stage, key, &payload)
+                .err()
+                .map(|e| e.to_string()),
+            None => None,
+        };
+        self.memo.insert((stage, key), payload);
+        self.any_recomputed = true;
+        self.records.push(StageRecord {
+            stage,
+            status: StageStatus::Recomputed,
+            seconds: start.elapsed().as_secs_f64(),
+            key,
+            store_error,
+        });
+        (value, fp)
+    }
+}
+
+const STAGE_MAGIC: &[u8; 4] = b"GFXS";
+
+/// Per-stage cache entry file for (`stage`, `key`) under `dir`.
+pub fn stage_entry_path(dir: &Path, stage: &str, key: u64) -> PathBuf {
+    dir.join(format!("{stage}-{key:016x}.gfxs"))
+}
+
+/// Loads a stage payload, or `None` when absent, truncated, mislabeled,
+/// or checksum-mismatched (a corrupt entry is a miss, never an error).
+/// The header carries the payload fingerprint, so *any* flipped payload
+/// byte — not just structural damage — degrades to a per-stage miss.
+fn load_stage(dir: &Path, stage: &str, key: u64) -> Option<Bytes> {
+    let raw = std::fs::read(stage_entry_path(dir, stage, key)).ok()?;
+    let header = STAGE_MAGIC.len() + 4 + 2 + stage.len() + 8;
+    if raw.len() < header
+        || &raw[..4] != STAGE_MAGIC
+        || u32::from_le_bytes(raw[4..8].try_into().ok()?) != crate::cache::PIPELINE_VERSION
+        || u16::from_le_bytes(raw[8..10].try_into().ok()?) as usize != stage.len()
+        || &raw[10..10 + stage.len()] != stage.as_bytes()
+    {
+        return None;
+    }
+    let fp_at = 10 + stage.len();
+    let stored_fp = u64::from_le_bytes(raw[fp_at..fp_at + 8].try_into().ok()?);
+    let total = raw.len();
+    let payload = Bytes::from(raw).slice(header..total);
+    if fingerprint_bytes(&payload) != stored_fp {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Stores a stage payload atomically (tmp file + rename), mirroring the
+/// whole-`Prepared` store in [`crate::cache`].
+fn store_stage(dir: &Path, stage: &str, key: u64, payload: &[u8]) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = stage_entry_path(dir, stage, key);
+    let tmp = dir.join(format!("{stage}-{key:016x}.tmp-{}", std::process::id()));
+    let mut raw = Vec::with_capacity(18 + stage.len() + payload.len());
+    raw.extend_from_slice(STAGE_MAGIC);
+    raw.extend_from_slice(&crate::cache::PIPELINE_VERSION.to_le_bytes());
+    raw.extend_from_slice(&(stage.len() as u16).to_le_bytes());
+    raw.extend_from_slice(stage.as_bytes());
+    raw.extend_from_slice(&fingerprint_bytes(payload).to_le_bytes());
+    raw.extend_from_slice(payload);
+    std::fs::write(&tmp, raw)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("graffix-query-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn enc(v: &u64) -> Bytes {
+        Bytes::from(v.to_le_bytes().to_vec())
+    }
+
+    fn dec(b: Bytes) -> io::Result<u64> {
+        let raw: [u8; 8] = b[..]
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    #[test]
+    fn null_context_always_computes() {
+        let mut ctx = QueryCtx::null();
+        let (a, fp_a) = ctx.query("s", 1, || 42u64, enc, dec);
+        let (b, fp_b) = ctx.query("s", 1, || 43u64, enc, dec);
+        assert_eq!((a, b), (42, 43), "null ctx must never memoize");
+        assert_eq!((fp_a, fp_b), (0, 0));
+        assert_eq!(ctx.records().len(), 2);
+        assert!(ctx
+            .records()
+            .iter()
+            .all(|r| r.status == StageStatus::Recomputed));
+    }
+
+    #[test]
+    fn memory_context_memoizes_within_and_across_runs() {
+        let mut ctx = QueryCtx::memory();
+        let (a, fp_a) = ctx.query("s", 9, || 7u64, enc, dec);
+        ctx.begin_run();
+        let (b, fp_b) = ctx.query("s", 9, || panic!("must not recompute"), enc, dec);
+        assert_eq!((a, b), (7, 7));
+        assert_eq!(fp_a, fp_b, "same bytes, same fingerprint");
+        assert_eq!(ctx.records()[0].status, StageStatus::Hit);
+    }
+
+    #[test]
+    fn cutoff_reported_when_upstream_recomputed() {
+        let mut ctx = QueryCtx::memory();
+        ctx.query("up", 1, || 1u64, enc, dec);
+        ctx.query("down", 2, || 2u64, enc, dec);
+        // New run: `up` forced to recompute (new key), but its output is
+        // content-identical, so `down`'s key is unchanged -> cutoff.
+        ctx.begin_run();
+        ctx.query("up", 3, || 1u64, enc, dec);
+        let (_, _) = ctx.query("down", 2, || panic!("cutoff must reuse"), enc, dec);
+        assert_eq!(ctx.records()[0].status, StageStatus::Recomputed);
+        assert_eq!(ctx.records()[1].status, StageStatus::Cutoff);
+    }
+
+    #[test]
+    fn disk_entries_survive_a_fresh_context() {
+        let dir = tmp_dir("disk");
+        {
+            let mut ctx = QueryCtx::at(&dir);
+            ctx.query("s", 5, || 11u64, enc, dec);
+        }
+        let mut ctx = QueryCtx::at(&dir);
+        let (v, _) = ctx.query("s", 5, || panic!("disk entry must hit"), enc, dec);
+        assert_eq!(v, 11);
+        assert_eq!(ctx.records()[0].status, StageStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_per_stage_miss() {
+        let dir = tmp_dir("corrupt");
+        let mut ctx = QueryCtx::at(&dir);
+        ctx.query("s", 5, || 11u64, enc, dec);
+        std::fs::write(stage_entry_path(&dir, "s", 5), b"GFXSgarbage").unwrap();
+        let mut fresh = QueryCtx::at(&dir);
+        let (v, _) = fresh.query("s", 5, || 11u64, enc, dec);
+        assert_eq!(v, 11);
+        assert_eq!(fresh.records()[0].status, StageStatus::Recomputed);
+        // The overwrite repaired the entry.
+        let mut again = QueryCtx::at(&dir);
+        again.query("s", 5, || panic!("repaired entry must hit"), enc, dec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_failure_is_reported_not_fatal() {
+        // A file where the cache dir should be makes create_dir_all fail.
+        let dir = tmp_dir("storefail");
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let mut ctx = QueryCtx::at(&dir);
+        let (v, _) = ctx.query("s", 5, || 11u64, enc, dec);
+        assert_eq!(v, 11);
+        let rec = &ctx.records()[0];
+        assert_eq!(rec.status, StageStatus::Recomputed);
+        assert!(rec.store_error.is_some(), "store failure must carry detail");
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn stage_name_guards_the_entry_file() {
+        let dir = tmp_dir("name");
+        let mut ctx = QueryCtx::at(&dir);
+        ctx.query("alpha", 5, || 1u64, enc, dec);
+        // Same key under a different stage name must not alias.
+        let mut fresh = QueryCtx::at(&dir);
+        let (v, _) = fresh.query("beta", 5, || 2u64, enc, dec);
+        assert_eq!(v, 2);
+        assert_eq!(fresh.records()[0].status, StageStatus::Recomputed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,402 @@
+//! Bit-exact serialization of per-stage outputs for the memoized query
+//! graph ([`crate::query`]).
+//!
+//! Every stage output round-trips through these codecs byte-for-byte: the
+//! encoding *is* the stage's content fingerprint input, so two computations
+//! that produce equal values produce equal fingerprints (the early-cutoff
+//! property), and a decoded cache hit is indistinguishable from a fresh
+//! computation. Graphs embed the GFX1 format from `graffix_graph::serialize`
+//! (already bit-exact and validated on load); floats are raw IEEE bits;
+//! lengths are u64 little-endian. Decoders reject trailing bytes so a
+//! concatenation accident can never masquerade as a valid entry.
+
+use crate::coalesce::{Renumbering, ReplicationResult};
+use crate::latency::{BoostOutcome, TileSelection};
+use crate::prepared::Tile;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use graffix_graph::{serialize, Csr, NodeId};
+use std::io;
+use std::ops::Range;
+
+/// Output of the renumber stage: the numbering plus the renumbered graph,
+/// so the replicate stage never redoes `apply_renumbering`.
+#[derive(Clone, Debug)]
+pub struct RenumberOut {
+    pub ren: Renumbering,
+    pub graph: Csr,
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("gfxs: {msg}"))
+}
+
+fn put_ids(buf: &mut BytesMut, ids: &[NodeId]) {
+    buf.put_u64_le(ids.len() as u64);
+    for &v in ids {
+        buf.put_u32_le(v);
+    }
+}
+
+fn put_graph(buf: &mut BytesMut, g: &Csr) {
+    let raw = serialize::to_bytes(g);
+    buf.put_u64_le(raw.len() as u64);
+    buf.put_slice(&raw);
+}
+
+fn get_len(bytes: &mut Bytes, what: &str) -> io::Result<usize> {
+    if bytes.remaining() < 8 {
+        return Err(invalid(&format!("truncated {what} length")));
+    }
+    Ok(bytes.get_u64_le() as usize)
+}
+
+fn get_ids(bytes: &mut Bytes, what: &str) -> io::Result<Vec<NodeId>> {
+    let len = get_len(bytes, what)?;
+    if bytes.remaining() < len * 4 {
+        return Err(invalid(&format!("truncated {what}")));
+    }
+    Ok((0..len).map(|_| bytes.get_u32_le()).collect())
+}
+
+fn get_graph(bytes: &mut Bytes, what: &str) -> io::Result<Csr> {
+    let len = get_len(bytes, what)?;
+    if bytes.remaining() < len {
+        return Err(invalid(&format!("truncated {what}")));
+    }
+    let raw = bytes.slice(0..len);
+    *bytes = bytes.slice(len..bytes.remaining());
+    serialize::from_bytes(raw)
+}
+
+fn get_u64(bytes: &mut Bytes, what: &str) -> io::Result<u64> {
+    if bytes.remaining() < 8 {
+        return Err(invalid(&format!("truncated {what}")));
+    }
+    Ok(bytes.get_u64_le())
+}
+
+fn done(bytes: &Bytes, what: &str) -> io::Result<()> {
+    if bytes.remaining() > 0 {
+        return Err(invalid(&format!("trailing bytes after {what}")));
+    }
+    Ok(())
+}
+
+pub(crate) fn encode_ids(ids: &[NodeId]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + ids.len() * 4);
+    put_ids(&mut buf, ids);
+    buf.freeze()
+}
+
+pub(crate) fn decode_ids(mut bytes: Bytes) -> io::Result<Vec<NodeId>> {
+    let ids = get_ids(&mut bytes, "id list")?;
+    done(&bytes, "id list")?;
+    Ok(ids)
+}
+
+pub(crate) fn encode_f64s(vals: &Vec<f64>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + vals.len() * 8);
+    buf.put_u64_le(vals.len() as u64);
+    for &v in vals {
+        buf.put_u64_le(v.to_bits());
+    }
+    buf.freeze()
+}
+
+pub(crate) fn decode_f64s(mut bytes: Bytes) -> io::Result<Vec<f64>> {
+    let len = get_len(&mut bytes, "f64 list")?;
+    if bytes.remaining() < len * 8 {
+        return Err(invalid("truncated f64 list"));
+    }
+    let vals = (0..len)
+        .map(|_| f64::from_bits(bytes.get_u64_le()))
+        .collect();
+    done(&bytes, "f64 list")?;
+    Ok(vals)
+}
+
+pub(crate) fn encode_csr(g: &Csr) -> Bytes {
+    serialize::to_bytes(g)
+}
+
+pub(crate) fn decode_csr(bytes: Bytes) -> io::Result<Csr> {
+    serialize::from_bytes(bytes)
+}
+
+pub(crate) fn encode_renumber(out: &RenumberOut) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_ids(&mut buf, &out.ren.new_of_old);
+    put_ids(&mut buf, &out.ren.old_of_new);
+    buf.put_u64_le(out.ren.level_ranges.len() as u64);
+    for r in &out.ren.level_ranges {
+        buf.put_u64_le(r.start as u64);
+        buf.put_u64_le(r.end as u64);
+    }
+    buf.put_u64_le(out.ren.level_of_new.len() as u64);
+    for &l in &out.ren.level_of_new {
+        buf.put_u32_le(l);
+    }
+    buf.put_u64_le(out.ren.holes_created as u64);
+    buf.put_u64_le(out.ren.k as u64);
+    put_graph(&mut buf, &out.graph);
+    buf.freeze()
+}
+
+pub(crate) fn decode_renumber(mut bytes: Bytes) -> io::Result<RenumberOut> {
+    let new_of_old = get_ids(&mut bytes, "new_of_old")?;
+    let old_of_new = get_ids(&mut bytes, "old_of_new")?;
+    let n_ranges = get_len(&mut bytes, "level_ranges")?;
+    if bytes.remaining() < n_ranges * 16 {
+        return Err(invalid("truncated level_ranges"));
+    }
+    let level_ranges: Vec<Range<usize>> = (0..n_ranges)
+        .map(|_| {
+            let start = bytes.get_u64_le() as usize;
+            let end = bytes.get_u64_le() as usize;
+            start..end
+        })
+        .collect();
+    let n_levels = get_len(&mut bytes, "level_of_new")?;
+    if bytes.remaining() < n_levels * 4 {
+        return Err(invalid("truncated level_of_new"));
+    }
+    let level_of_new = (0..n_levels).map(|_| bytes.get_u32_le()).collect();
+    let holes_created = get_u64(&mut bytes, "holes_created")? as usize;
+    let k = get_u64(&mut bytes, "k")? as usize;
+    let graph = get_graph(&mut bytes, "renumbered graph")?;
+    done(&bytes, "renumber output")?;
+    Ok(RenumberOut {
+        ren: Renumbering {
+            new_of_old,
+            old_of_new,
+            level_ranges,
+            level_of_new,
+            holes_created,
+            k,
+        },
+        graph,
+    })
+}
+
+pub(crate) fn encode_replication(rep: &ReplicationResult) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_graph(&mut buf, &rep.graph);
+    put_ids(&mut buf, &rep.to_original);
+    buf.put_u64_le(rep.replica_groups.len() as u64);
+    for (orig, members) in &rep.replica_groups {
+        buf.put_u32_le(*orig);
+        put_ids(&mut buf, members);
+    }
+    buf.put_u64_le(rep.holes_filled as u64);
+    buf.put_u64_le(rep.edges_added as u64);
+    buf.put_u64_le(rep.replicas as u64);
+    buf.freeze()
+}
+
+pub(crate) fn decode_replication(mut bytes: Bytes) -> io::Result<ReplicationResult> {
+    let graph = get_graph(&mut bytes, "replicated graph")?;
+    let to_original = get_ids(&mut bytes, "to_original")?;
+    let n_groups = get_len(&mut bytes, "replica_groups")?;
+    let mut replica_groups = Vec::with_capacity(n_groups.min(1 << 20));
+    for _ in 0..n_groups {
+        if bytes.remaining() < 4 {
+            return Err(invalid("truncated replica group"));
+        }
+        let orig = bytes.get_u32_le();
+        let members = get_ids(&mut bytes, "replica members")?;
+        replica_groups.push((orig, members));
+    }
+    let holes_filled = get_u64(&mut bytes, "holes_filled")? as usize;
+    let edges_added = get_u64(&mut bytes, "edges_added")? as usize;
+    let replicas = get_u64(&mut bytes, "replicas")? as usize;
+    done(&bytes, "replication output")?;
+    Ok(ReplicationResult {
+        graph,
+        to_original,
+        replica_groups,
+        holes_filled,
+        edges_added,
+        replicas,
+    })
+}
+
+/// `cc_seconds` is intentionally excluded: it is a wall-clock diagnostic,
+/// not content, and including it would defeat early cutoff (no two runs
+/// time identically). Decoded outcomes carry `cc_seconds = 0.0`; the
+/// pipeline reports stage timings from the query context instead.
+pub(crate) fn encode_boost(out: &BoostOutcome) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_graph(&mut buf, &out.graph);
+    buf.put_u64_le(out.clustering.len() as u64);
+    for &c in &out.clustering {
+        buf.put_u64_le(c.to_bits());
+    }
+    buf.put_u64_le(out.edges_added as u64);
+    buf.freeze()
+}
+
+pub(crate) fn decode_boost(mut bytes: Bytes) -> io::Result<BoostOutcome> {
+    let graph = get_graph(&mut bytes, "boosted graph")?;
+    let len = get_len(&mut bytes, "clustering")?;
+    if bytes.remaining() < len * 8 {
+        return Err(invalid("truncated clustering"));
+    }
+    let clustering = (0..len)
+        .map(|_| f64::from_bits(bytes.get_u64_le()))
+        .collect();
+    let edges_added = get_u64(&mut bytes, "edges_added")? as usize;
+    done(&bytes, "boost output")?;
+    Ok(BoostOutcome {
+        graph,
+        clustering,
+        edges_added,
+        cc_seconds: 0.0,
+    })
+}
+
+pub(crate) fn encode_tiles(sel: &TileSelection) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(sel.tiles.len() as u64);
+    for tile in &sel.tiles {
+        buf.put_u32_le(tile.center);
+        buf.put_u64_le(tile.iterations as u64);
+        put_ids(&mut buf, &tile.nodes);
+    }
+    buf.put_u64_le(sel.untiled as u64);
+    buf.freeze()
+}
+
+pub(crate) fn decode_tiles(mut bytes: Bytes) -> io::Result<TileSelection> {
+    let n_tiles = get_len(&mut bytes, "tiles")?;
+    let mut tiles = Vec::with_capacity(n_tiles.min(1 << 20));
+    for _ in 0..n_tiles {
+        if bytes.remaining() < 12 {
+            return Err(invalid("truncated tile"));
+        }
+        let center = bytes.get_u32_le();
+        let iterations = bytes.get_u64_le() as usize;
+        let nodes = get_ids(&mut bytes, "tile nodes")?;
+        tiles.push(Tile {
+            center,
+            nodes,
+            iterations,
+        });
+    }
+    let untiled = get_u64(&mut bytes, "untiled")? as usize;
+    done(&bytes, "tile selection")?;
+    Ok(TileSelection { tiles, untiled })
+}
+
+pub(crate) fn encode_normalize(out: &crate::divergence::NormalizeOutcome) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_graph(&mut buf, &out.graph);
+    buf.put_u64_le(out.edges_added as u64);
+    buf.put_u64_le(out.warps_normalized as u64);
+    buf.freeze()
+}
+
+pub(crate) fn decode_normalize(
+    mut bytes: Bytes,
+) -> io::Result<crate::divergence::NormalizeOutcome> {
+    let graph = get_graph(&mut bytes, "normalized graph")?;
+    let edges_added = get_u64(&mut bytes, "edges_added")? as usize;
+    let warps_normalized = get_u64(&mut bytes, "warps_normalized")? as usize;
+    done(&bytes, "normalize output")?;
+    Ok(crate::divergence::NormalizeOutcome {
+        graph,
+        edges_added,
+        warps_normalized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::{apply_renumbering, renumber, replicate_renumbered};
+    use crate::divergence::{bucket_order, normalize_degrees};
+    use crate::knobs::{CoalesceKnobs, DivergenceKnobs, LatencyKnobs};
+    use crate::latency::{boost_edges, select_tiles};
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+    use graffix_sim::GpuConfig;
+
+    fn graph() -> Csr {
+        GraphSpec::new(GraphKind::SocialLiveJournal, 300, 11).generate()
+    }
+
+    #[test]
+    fn every_stage_output_round_trips_bit_exactly() {
+        let g = graph();
+        let cfg = GpuConfig::k40c();
+
+        let ren = renumber(&g, 16);
+        let renumbered = apply_renumbering(&g, &ren);
+        let ren_out = RenumberOut {
+            ren,
+            graph: renumbered,
+        };
+        let enc = encode_renumber(&ren_out);
+        let dec = decode_renumber(enc.clone()).unwrap();
+        assert_eq!(
+            &encode_renumber(&dec)[..],
+            &enc[..],
+            "renumber codec not bit-exact"
+        );
+
+        let knobs = CoalesceKnobs::default().with_threshold(0.4);
+        let rep = replicate_renumbered(&ren_out.graph, &ren_out.ren, &knobs);
+        let enc = encode_replication(&rep);
+        let dec = decode_replication(enc.clone()).unwrap();
+        assert_eq!(&encode_replication(&dec)[..], &enc[..], "replication codec");
+        assert!(rep.replicas > 0, "fixture should exercise replica groups");
+
+        let lknobs = LatencyKnobs::default().with_threshold(0.4);
+        let boost = boost_edges(&g, &lknobs);
+        let enc = encode_boost(&boost);
+        let dec = decode_boost(enc.clone()).unwrap();
+        assert_eq!(&encode_boost(&dec)[..], &enc[..], "boost codec");
+        assert_eq!(dec.cc_seconds, 0.0, "timings are not content");
+
+        let sel = select_tiles(&boost.graph, &boost.clustering, &lknobs, &cfg);
+        let enc = encode_tiles(&sel);
+        let dec = decode_tiles(enc.clone()).unwrap();
+        assert_eq!(&encode_tiles(&dec)[..], &enc[..], "tile codec");
+        assert!(!sel.tiles.is_empty(), "fixture should produce tiles");
+
+        let order = bucket_order(&g);
+        let enc = encode_ids(&order);
+        let dec = decode_ids(enc.clone()).unwrap();
+        assert_eq!(dec, order, "id codec");
+
+        let dknobs = DivergenceKnobs::default();
+        let norm = normalize_degrees(&g, &order, &dknobs, 32);
+        let enc = encode_normalize(&norm);
+        let dec = decode_normalize(enc.clone()).unwrap();
+        assert_eq!(&encode_normalize(&dec)[..], &enc[..], "normalize codec");
+
+        let enc = encode_csr(&g);
+        let dec = decode_csr(enc.clone()).unwrap();
+        assert_eq!(&encode_csr(&dec)[..], &enc[..], "csr codec");
+
+        let cc = boost.clustering.clone();
+        let enc = encode_f64s(&cc);
+        let dec = decode_f64s(enc.clone()).unwrap();
+        assert_eq!(
+            dec.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            cc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "f64 codec"
+        );
+    }
+
+    #[test]
+    fn decoders_reject_trailing_garbage_and_truncation() {
+        let order = vec![2u32, 0, 1];
+        let enc = encode_ids(&order);
+        let mut padded = enc.to_vec();
+        padded.push(0);
+        assert!(decode_ids(Bytes::from(padded)).is_err(), "trailing byte");
+        let truncated = enc.slice(0..enc.len() - 1);
+        assert!(decode_ids(truncated).is_err(), "truncated list");
+        assert!(decode_boost(Bytes::from(b"nope".to_vec())).is_err());
+        assert!(decode_renumber(Bytes::default()).is_err());
+    }
+}

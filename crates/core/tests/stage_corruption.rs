@@ -1,0 +1,192 @@
+//! Corrupt per-stage cache entries must degrade to a miss for *that stage
+//! only*: the damaged stage silently re-runs (and repairs its entry),
+//! upstream stages still hit, downstream stages reuse via early cutoff,
+//! and the result is identical to an undamaged run.
+
+use graffix_core::query::stage_entry_path;
+use graffix_core::{
+    CoalesceKnobs, DivergenceKnobs, LatencyKnobs, Pipeline, Prepared, QueryCtx, StageRecord,
+    StageStatus,
+};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_graph::{serialize, Csr};
+use graffix_sim::GpuConfig;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "graffix-stage-corruption-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn graph() -> Csr {
+    GraphSpec::new(GraphKind::SocialLiveJournal, 350, 5).generate()
+}
+
+fn pipeline() -> Pipeline {
+    Pipeline::default()
+        .with_coalesce(CoalesceKnobs::default())
+        .with_latency(LatencyKnobs::default())
+        .with_divergence(DivergenceKnobs::default())
+}
+
+fn staged_run(pipe: &Pipeline, g: &Csr, dir: &Path) -> (Prepared, Vec<StageRecord>) {
+    let mut ctx = QueryCtx::at(dir);
+    let p = pipe
+        .try_apply_with(g, &GpuConfig::k40c(), &mut ctx)
+        .expect("valid knobs");
+    (p, ctx.records().to_vec())
+}
+
+fn status_of(records: &[StageRecord], stage: &str) -> StageStatus {
+    records
+        .iter()
+        .find(|r| r.stage == stage)
+        .unwrap_or_else(|| panic!("no record for stage {stage}"))
+        .status
+}
+
+fn key_of(records: &[StageRecord], stage: &str) -> u64 {
+    records
+        .iter()
+        .find(|r| r.stage == stage)
+        .unwrap_or_else(|| panic!("no record for stage {stage}"))
+        .key
+}
+
+fn assert_same_prepared(a: &Prepared, b: &Prepared, ctx: &str) {
+    assert_eq!(
+        &serialize::to_bytes(&a.graph)[..],
+        &serialize::to_bytes(&b.graph)[..],
+        "{ctx}: transformed CSR bytes differ"
+    );
+    assert_eq!(a.assignment, b.assignment, "{ctx}: assignment differs");
+    assert_eq!(a.to_original, b.to_original, "{ctx}: to_original differs");
+    assert_eq!(a.primary, b.primary, "{ctx}: primary differs");
+    assert_eq!(
+        a.replica_groups, b.replica_groups,
+        "{ctx}: replica groups differ"
+    );
+    assert_eq!(a.tiles, b.tiles, "{ctx}: tiles differ");
+}
+
+/// After corrupting the `boost` entry, a fresh run must re-run boost only:
+/// renumber/replicate/cc hit, tile-select/normalize reuse via cutoff (the
+/// recomputed boost output is content-identical), result unchanged.
+fn assert_boost_degrades_alone(
+    corrupt: impl FnOnce(&Path),
+    g: &Csr,
+    dir: &Path,
+    reference: &Prepared,
+    boost_key: u64,
+    case: &str,
+) {
+    let entry = stage_entry_path(dir, "boost", boost_key);
+    assert!(
+        entry.exists(),
+        "{case}: boost entry must exist before damage"
+    );
+    corrupt(&entry);
+
+    let (rerun, records) = staged_run(&pipeline(), g, dir);
+    for stage in ["renumber", "replicate", "cc"] {
+        assert_eq!(
+            status_of(&records, stage),
+            StageStatus::Hit,
+            "{case}: upstream {stage} must still hit"
+        );
+    }
+    assert_eq!(
+        status_of(&records, "boost"),
+        StageStatus::Recomputed,
+        "{case}: corrupt boost entry must be a miss for boost alone"
+    );
+    for stage in ["tile-select", "normalize"] {
+        assert_eq!(
+            status_of(&records, stage),
+            StageStatus::Cutoff,
+            "{case}: downstream {stage} must reuse via cutoff"
+        );
+    }
+    assert_same_prepared(&rerun, reference, case);
+
+    // The recompute rewrote the entry: a clean follow-up run hits again.
+    let (_, records) = staged_run(&pipeline(), g, dir);
+    assert_eq!(
+        status_of(&records, "boost"),
+        StageStatus::Hit,
+        "{case}: recompute must repair the damaged entry"
+    );
+}
+
+#[test]
+fn truncated_stage_entry_degrades_to_a_miss_for_that_stage_only() {
+    let g = graph();
+    let dir = tmp_dir("truncate");
+    let (reference, records) = staged_run(&pipeline(), &g, &dir);
+    let boost_key = key_of(&records, "boost");
+    assert_boost_degrades_alone(
+        |entry| {
+            let raw = std::fs::read(entry).unwrap();
+            std::fs::write(entry, &raw[..raw.len() / 2]).unwrap();
+        },
+        &g,
+        &dir,
+        &reference,
+        boost_key,
+        "truncated entry",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_payload_byte_degrades_to_a_miss_for_that_stage_only() {
+    let g = graph();
+    let dir = tmp_dir("bitflip");
+    let (reference, records) = staged_run(&pipeline(), &g, &dir);
+    let boost_key = key_of(&records, "boost");
+    // A single flipped payload byte leaves the file structurally valid —
+    // only the checksum in the GFXS header catches it.
+    assert_boost_degrades_alone(
+        |entry| {
+            let mut raw = std::fs::read(entry).unwrap();
+            let last = raw.len() - 1;
+            raw[last] ^= 0xff;
+            std::fs::write(entry, raw).unwrap();
+        },
+        &g,
+        &dir,
+        &reference,
+        boost_key,
+        "flipped payload byte",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_entry_degrades_to_a_miss_for_that_stage_only() {
+    let g = graph();
+    let dir = tmp_dir("garbage");
+    let (reference, records) = staged_run(&pipeline(), &g, &dir);
+    let nkey = key_of(&records, "normalize");
+    std::fs::write(
+        stage_entry_path(&dir, "normalize", nkey),
+        b"not a GFXS file",
+    )
+    .unwrap();
+
+    let (rerun, records) = staged_run(&pipeline(), &g, &dir);
+    for stage in ["renumber", "replicate", "cc", "boost", "tile-select"] {
+        assert_eq!(
+            status_of(&records, stage),
+            StageStatus::Hit,
+            "garbage normalize entry must not disturb {stage}"
+        );
+    }
+    assert_eq!(status_of(&records, "normalize"), StageStatus::Recomputed);
+    assert_same_prepared(&rerun, &reference, "garbage normalize entry");
+    let _ = std::fs::remove_dir_all(&dir);
+}

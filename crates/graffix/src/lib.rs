@@ -68,7 +68,8 @@ pub mod prelude {
     pub use graffix_core::{
         auto_tune, coalesce, divergence, latency, prepare_with_cache, CacheConfig, CacheOutcome,
         CacheStatus, CoalesceKnobs, ConfluenceOp, DivergenceKnobs, GraphProfile, LatencyKnobs,
-        PhaseTiming, Pipeline, Prepared, Technique, Tile, TransformReport, TunedKnobs,
+        PhaseTiming, Pipeline, Prepared, QueryCtx, StageRecord, StageStatus, Technique, Tile,
+        TransformReport, TunedKnobs,
     };
     pub use graffix_graph::generators::paper_suite;
     pub use graffix_graph::{Csr, GraphBuilder, GraphKind, GraphSpec, NodeId, INVALID_NODE};
