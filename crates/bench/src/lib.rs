@@ -13,6 +13,7 @@ pub mod baseline;
 pub mod experiments;
 pub mod gate;
 pub mod report;
+pub mod serving;
 pub mod suite;
 pub mod tables;
 
@@ -22,6 +23,10 @@ pub use baseline::{
 pub use experiments::{measure, run_algo, Algo, Measurement, ALL_ALGOS, CORE_ALGOS};
 pub use gate::{
     evaluate, run_gate, run_gate_on, CellStatus, GateOptions, GateReport, PreprocessVerdict,
+};
+pub use serving::{
+    evaluate_serving, measure_serving, run_serve_gate, ServeBaseline, ServeCell, ServeCellStatus,
+    ServeGateOptions, ServeGateReport,
 };
 pub use suite::{Suite, SuiteOptions};
 pub use tables::TextTable;

@@ -7,7 +7,10 @@
 //! graffix transform --in g.gfx --technique coalescing --out t.gfx
 //! graffix run      --in g.gfx --algo sssp [--technique coalescing] [--baseline lonestar]
 //! graffix bench    --save-baseline BENCH_ci.json | --gate BENCH_ci.json
+//! graffix bench    --save-serve-baseline SERVE_ci.json | --serve-gate SERVE_ci.json
 //! graffix report   verify report.json
+//! graffix serve    --graphs "web=rmat:4096:1" [--listen 127.0.0.1:7411]
+//! graffix client   --request '{"graph":"web","algo":"bfs"}' [--connect ADDR]
 //! ```
 //!
 //! `profile` executes one algorithm (default `sssp`) with the observability
@@ -33,6 +36,15 @@
 //!
 //! Graph files: `.gfx` (binary GFX1), `.gr` (DIMACS), anything else is read
 //! as a whitespace edge list.
+//!
+//! `serve` runs the long-lived daemon from `graffix-server`: a newline-
+//! delimited JSON protocol over TCP (`--listen`) or a Unix socket
+//! (`--unix`), a capacity-bounded LRU pool of prepared graphs backed by
+//! the same disk cache, request batching, bounded-queue admission control,
+//! and graceful drain on the `shutdown` op. `client` is the matching
+//! one-shot front end; `bench --save-serve-baseline`/`--serve-gate` save
+//! and gate the serving throughput/latency cells (coarse tolerances — see
+//! `graffix_bench::serving`).
 
 use graffix::prelude::*;
 use graffix::{log_info, logging};
@@ -45,7 +57,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graffix <generate|convert|profile|transform|run|bench|report> [--key value]...\n\
+        "usage: graffix <generate|convert|profile|transform|run|bench|report|serve|client> [--key value]...\n\
          \n\
          generate  --kind rmat|random|livejournal|twitter|road [--nodes N] [--seed S] --out FILE\n\
          convert   --in FILE --out FILE\n\
@@ -63,7 +75,20 @@ fn usage() -> ! {
                    measure the gate corpus and save a bench baseline\n\
          bench     --gate FILE [--gate-report FILE] [--rel-tol X] [--sigma K]\n\
                    re-measure and compare; exit 1 on regression or drift\n\
+         bench     --save-serve-baseline FILE [--serve-iterations N]\n\
+                   measure the serving scenarios and save a serve baseline\n\
+         bench     --serve-gate FILE [--latency-factor X] [--throughput-factor X]\n\
+                   re-measure serving rps/p99 and compare (coarse bands); exit 1 on collapse\n\
          report    verify FILE   schema-verify a run report (v1 or v2) from disk\n\
+         serve     --graphs \"name=kind:nodes:seed|path,...\" [--listen HOST:PORT | --unix PATH]\n\
+                   [--workers N] [--pool-capacity N] [--queue-depth N] [--batch-max N]\n\
+                   long-running daemon: newline-delimited JSON requests, LRU\n\
+                   prepared-graph pool over the disk cache, request batching,\n\
+                   typed overload rejection, graceful shutdown via the\n\
+                   shutdown op\n\
+         client    [--connect HOST:PORT | --unix PATH] one of:\n\
+                   --request JSON | --file FILE | --raw LINE | --ping | --stats | --shutdown\n\
+                   one-shot protocol client; responses print to stdout\n\
          \n\
          global    --threads N  host threads for the parallel engine (default:\n\
                    GRAFFIX_THREADS env var, else all cores); results are\n\
@@ -78,7 +103,7 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["quiet", "no-cache"];
+const BOOL_FLAGS: &[&str] = &["quiet", "no-cache", "ping", "stats", "shutdown"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -543,7 +568,159 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
         }
         "bench" => bench(flags, &cache),
         "report" => report_cmd(positionals),
+        "serve" => serve_cmd(flags, cache),
+        "client" => client_cmd(flags),
         _ => usage(),
+    }
+}
+
+/// `graffix serve` — the long-running daemon. Blocks until a `shutdown`
+/// admin op drains it.
+fn serve_cmd(flags: &HashMap<String, String>, cache: CacheConfig) {
+    use graffix_server::{Bind, GraphRegistry, ServeConfig, Server};
+
+    let graphs =
+        match GraphRegistry::parse_list(flags.get("graphs").map(String::as_str).unwrap_or("")) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bad --graphs: {e} (want \"name=kind:nodes:seed|path,...\")");
+                usage();
+            }
+        };
+    let num = |key: &str, default: usize| -> usize {
+        flags.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --{key} value: {v}");
+                usage();
+            })
+        })
+    };
+    let bind = match (flags.get("unix"), flags.get("listen")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--unix and --listen are mutually exclusive");
+            usage();
+        }
+        #[cfg(unix)]
+        (Some(path), None) => Bind::Unix(path.into()),
+        #[cfg(not(unix))]
+        (Some(_), None) => {
+            eprintln!("--unix is not supported on this platform");
+            usage();
+        }
+        (None, addr) => Bind::Tcp(addr.map_or_else(|| "127.0.0.1:7411".to_string(), Clone::clone)),
+    };
+
+    let mut config = ServeConfig::local(graphs);
+    config.bind = bind;
+    config.workers = num("workers", 2);
+    config.engine_threads = num("engine-threads", 1);
+    config.pool_capacity = num("pool-capacity", 8);
+    config.queue_depth = num("queue-depth", 256);
+    config.batch_max = num("batch-max", 16);
+    config.cache = cache;
+
+    let names: Vec<&str> = config.graphs.names().collect();
+    log_info!(
+        "serve: {} graphs [{}], {} workers, pool capacity {}, queue depth {}, batch max {}",
+        names.len(),
+        names.join(", "),
+        config.workers,
+        config.pool_capacity,
+        config.queue_depth,
+        config.batch_max
+    );
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: could not start: {e}");
+            exit(1);
+        }
+    };
+    match server.local_addr() {
+        Some(addr) => log_info!("serve: listening on {addr}"),
+        None => log_info!("serve: listening on unix socket {}", flags["unix"]),
+    }
+    // Blocks until a `shutdown` op drains the queue and stops the workers.
+    server.join();
+    log_info!("serve: drained and stopped");
+}
+
+/// `graffix client` — one-shot protocol front end. Responses go to stdout
+/// verbatim (one JSON document per line).
+fn client_cmd(flags: &HashMap<String, String>) {
+    use graffix_server::Client;
+
+    let mut client = match (flags.get("unix"), flags.get("connect")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--unix and --connect are mutually exclusive");
+            usage();
+        }
+        #[cfg(unix)]
+        (Some(path), None) => Client::connect_unix(Path::new(path)),
+        #[cfg(not(unix))]
+        (Some(_), None) => {
+            eprintln!("--unix is not supported on this platform");
+            usage();
+        }
+        (None, addr) => Client::connect_tcp(addr.map_or("127.0.0.1:7411", String::as_str)),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("client: could not connect: {e}");
+        exit(1);
+    });
+
+    let fail = |e: std::io::Error| -> ! {
+        eprintln!("client: {e}");
+        exit(1);
+    };
+    let mut responses = Vec::new();
+    if let Some(line) = flags.get("request").or_else(|| flags.get("raw")) {
+        // --raw and --request both send one line verbatim; --raw exists so
+        // scripts (and the CI smoke job) can send deliberately malformed
+        // frames without the flag name implying they are well-formed.
+        responses.push(client.call_line(line).unwrap_or_else(|e| fail(e)));
+    } else if let Some(path) = flags.get("file") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("client: could not read {path}: {e}");
+            exit(1);
+        });
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            responses.push(client.call_line(line).unwrap_or_else(|e| fail(e)));
+        }
+    } else if flags.contains_key("ping") {
+        responses.push(
+            client
+                .ping()
+                .unwrap_or_else(|e| fail(e))
+                .to_compact_string(),
+        );
+    } else if flags.contains_key("stats") {
+        responses.push(
+            client
+                .stats()
+                .unwrap_or_else(|e| fail(e))
+                .to_compact_string(),
+        );
+    } else if flags.contains_key("shutdown") {
+        responses.push(
+            client
+                .shutdown()
+                .unwrap_or_else(|e| fail(e))
+                .to_compact_string(),
+        );
+    } else {
+        eprintln!("client needs one of --request/--file/--raw/--ping/--stats/--shutdown");
+        usage();
+    }
+    let mut ok = true;
+    for line in responses {
+        ok &= !line.contains("\"ok\":false");
+        println!("{line}");
+    }
+    // Error responses are still *answered* requests — exit 1 so scripts
+    // can assert on outcomes, after printing everything.
+    if !ok {
+        exit(1);
     }
 }
 
@@ -552,6 +729,10 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
 /// gated metrics are unaffected); preprocess-time cells always transform
 /// from scratch.
 fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
+    if flags.contains_key("save-serve-baseline") || flags.contains_key("serve-gate") {
+        serve_bench(flags);
+        return;
+    }
     let repeats = flags
         .get("repeats")
         .map_or(3, |r| r.parse().expect("bad --repeats"));
@@ -636,6 +817,85 @@ fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
         }
         _ => {
             eprintln!("bench needs exactly one of --save-baseline FILE or --gate FILE");
+            usage();
+        }
+    }
+}
+
+/// `bench --save-serve-baseline FILE` / `bench --serve-gate FILE`: the
+/// serving throughput/latency cells, measured against a live in-process
+/// daemon. Tolerances are deliberately coarse (wall-clock through a real
+/// socket); the gate catches serving-path collapses, not jitter.
+fn serve_bench(flags: &HashMap<String, String>) {
+    use graffix_bench::serving::SERVE_SCHEMA;
+    use graffix_bench::{run_serve_gate, ServeBaseline, ServeGateOptions};
+
+    match (flags.get("save-serve-baseline"), flags.get("serve-gate")) {
+        (Some(path), None) => {
+            let iterations = flags
+                .get("serve-iterations")
+                .map_or(1, |n| n.parse().expect("bad --serve-iterations"));
+            log_info!("measuring serving scenarios ({iterations} iterations)");
+            let baseline = ServeBaseline::capture(iterations);
+            if let Err(e) = std::fs::write(path, baseline.to_pretty_string()) {
+                eprintln!("could not write {path}: {e}");
+                exit(1);
+            }
+            for c in &baseline.cells {
+                log_info!(
+                    "  {:<22} {:>8.1} req/s, p50 {:>7.3}ms, p99 {:>7.3}ms",
+                    c.id,
+                    c.rps,
+                    c.p50_ms,
+                    c.p99_ms
+                );
+            }
+            log_info!(
+                "wrote serve baseline {path} ({} cells, schema {SERVE_SCHEMA})",
+                baseline.cells.len()
+            );
+        }
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("could not read {path}: {e}");
+                    exit(1);
+                }
+            };
+            let baseline = match ServeBaseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{path} is not a serve baseline: {e}");
+                    exit(1);
+                }
+            };
+            let mut opts = ServeGateOptions::default();
+            if let Some(f) = flags.get("latency-factor") {
+                opts.latency_factor = f.parse().expect("bad --latency-factor");
+            }
+            if let Some(f) = flags.get("throughput-factor") {
+                opts.throughput_factor = f.parse().expect("bad --throughput-factor");
+            }
+            log_info!(
+                "serve-gating against {path} ({} cells)",
+                baseline.cells.len()
+            );
+            let report = run_serve_gate(opts, &baseline);
+            print!("{}", report.render());
+            if !report.passed() {
+                for f in report.failures() {
+                    eprintln!("FAIL {} [{}]", f.id, f.status.label());
+                }
+                exit(1);
+            }
+            log_info!(
+                "serve gate passed: {} cells within bands",
+                report.verdicts.len()
+            );
+        }
+        _ => {
+            eprintln!("bench needs exactly one of --save-serve-baseline FILE or --serve-gate FILE");
             usage();
         }
     }

@@ -62,7 +62,7 @@ impl GraphKind {
 }
 
 /// Parameters for generating one input graph.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GraphSpec {
     pub kind: GraphKind,
     /// Target number of vertices (road rounds to a grid).

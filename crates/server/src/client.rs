@@ -1,0 +1,173 @@
+//! A minimal blocking client for the `graffix serve` protocol.
+//!
+//! One request line out, one response line back — no pipelining. The CLI's
+//! `graffix client` subcommand, the serving tests, and the serving bench
+//! all sit on this.
+
+use crate::protocol::MAX_REQUEST_BYTES;
+use graffix_sim::Json;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<ClientStream>,
+}
+
+impl io::Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl ClientStream {
+    fn write_all_flush(&mut self, bytes: &[u8]) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => {
+                s.write_all(bytes)?;
+                s.flush()
+            }
+            #[cfg(unix)]
+            ClientStream::Unix(s) => {
+                s.write_all(bytes)?;
+                s.flush()
+            }
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<ClientStream> {
+        Ok(match self {
+            ClientStream::Tcp(s) => ClientStream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => ClientStream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // One-line frames; don't let Nagle batch them.
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            reader: BufReader::new(ClientStream::Tcp(stream)),
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(ClientStream::Unix(UnixStream::connect(path)?)),
+        })
+    }
+
+    /// Sends one raw line (no trailing newline needed) and reads one
+    /// response line. The raw path exists so tests and the CLI can send
+    /// deliberately malformed frames.
+    pub fn call_line(&mut self, line: &str) -> io::Result<String> {
+        let mut frame = Vec::with_capacity(line.len() + 1);
+        frame.extend_from_slice(line.as_bytes());
+        if !line.ends_with('\n') {
+            frame.push(b'\n');
+        }
+        self.reader.get_mut().write_all_flush(&frame)?;
+        self.read_response_line()
+    }
+
+    /// Sends raw bytes exactly as given (for truncated-frame tests) without
+    /// waiting for a response.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.reader.get_mut().write_all_flush(bytes)
+    }
+
+    /// Reads the next response line.
+    pub fn read_response_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        // Responses are server-produced and bounded in practice, but guard
+        // against a runaway peer anyway.
+        let n = self
+            .reader
+            .by_ref()
+            .take((4 * MAX_REQUEST_BYTES) as u64)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a JSON request document and parses the JSON response.
+    pub fn call(&mut self, request: &Json) -> io::Result<Json> {
+        let line = self.call_line(&request.to_compact_string())?;
+        Json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    fn admin(&mut self, op: &str, id: u64) -> io::Result<Json> {
+        let mut req = Json::obj();
+        req.set("id", Json::U64(id));
+        req.set("op", Json::Str(op.to_string()));
+        self.call(&req)
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> io::Result<Json> {
+        self.admin("ping", 0)
+    }
+
+    /// Fetches the server's metrics/pool stats document.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.admin("stats", 0)
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.admin("shutdown", 0)
+    }
+
+    /// A second independent connection to the same peer.
+    pub fn reconnect(&self) -> io::Result<Client> {
+        Ok(Client {
+            reader: BufReader::new(self.reader.get_ref().try_clone().and_then(
+                |s| -> io::Result<ClientStream> {
+                    match &s {
+                        ClientStream::Tcp(t) => {
+                            let s = TcpStream::connect(t.peer_addr()?)?;
+                            let _ = s.set_nodelay(true);
+                            Ok(ClientStream::Tcp(s))
+                        }
+                        #[cfg(unix)]
+                        ClientStream::Unix(u) => {
+                            let addr = u.peer_addr()?;
+                            let path = addr.as_pathname().ok_or_else(|| {
+                                io::Error::new(io::ErrorKind::InvalidInput, "unnamed peer")
+                            })?;
+                            Ok(ClientStream::Unix(UnixStream::connect(path)?))
+                        }
+                    }
+                },
+            )?),
+        })
+    }
+}

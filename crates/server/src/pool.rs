@@ -1,0 +1,376 @@
+//! The shared prepared-graph pool: a capacity-bounded LRU of hot
+//! [`Prepared`] graphs, backed by the content-addressed disk cache.
+//!
+//! The pool is what makes the daemon worth running: the (stage-cached)
+//! preparation cost is paid once per `(graph, technique, threshold)` key
+//! and amortized across every subsequent request. A miss loads the graph
+//! from its registered source, prepares it through
+//! [`prepare_with_cache`] (so a previous process's disk entries are
+//! reused), and inserts it; when the pool is over capacity the
+//! least-recently-used entry is evicted — it can always be rebuilt from
+//! the disk cache at roughly deserialization cost.
+//!
+//! Accounting invariants (pinned by `tests/pool_property.rs`):
+//!
+//! * `len() <= capacity` at every quiescent point;
+//! * `hits + misses == checkouts`;
+//! * `misses == evictions + len()` (every miss inserts exactly one entry;
+//!   every eviction removes exactly one).
+//!
+//! Loads happen **under the pool lock**: concurrent requests for the same
+//! missing key never duplicate work (single-flight by construction), at
+//! the price of serializing cold loads. Hot checkouts only clone two
+//! `Arc`s.
+
+use crate::protocol::{ErrorKind, ServeError};
+use crate::registry::GraphRegistry;
+use graffix_core::{
+    auto_tune, prepare_with_cache, CacheConfig, CacheStatus, Pipeline, Prepared, StageRecord,
+};
+use graffix_graph::Csr;
+use graffix_sim::GpuConfig;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Identity of one pooled preparation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PoolKey {
+    pub graph: String,
+    pub technique: String,
+    /// Threshold override as raw bits (`u64::MAX` when absent) so the key
+    /// stays `Eq + Hash` without float comparisons.
+    pub threshold_bits: u64,
+}
+
+impl PoolKey {
+    pub fn new(graph: &str, technique: &str, threshold: Option<f64>) -> PoolKey {
+        PoolKey {
+            graph: graph.to_string(),
+            technique: technique.to_string(),
+            threshold_bits: threshold.map_or(u64::MAX, f64::to_bits),
+        }
+    }
+}
+
+/// Builds the pipeline for a request's technique/threshold on `g`,
+/// mirroring the CLI's `prepare` (auto-tuned knobs, threshold override on
+/// the technique's primary knob). `None` for `exact`.
+pub fn pipeline_for_request(g: &Csr, technique: &str, threshold: Option<f64>) -> Option<Pipeline> {
+    if technique == "exact" {
+        return None;
+    }
+    let tuned = auto_tune(g, 7);
+    Some(match technique {
+        "coalescing" => {
+            let mut k = tuned.coalesce;
+            if let Some(t) = threshold {
+                k.threshold = t;
+            }
+            Pipeline::default().with_coalesce(k)
+        }
+        "latency" => {
+            let mut k = tuned.latency;
+            if let Some(t) = threshold {
+                k.cc_threshold = t;
+            }
+            Pipeline::default().with_latency(k)
+        }
+        "divergence" => {
+            let mut k = tuned.divergence;
+            if let Some(t) = threshold {
+                k.degree_sim_threshold = t;
+            }
+            Pipeline::default().with_divergence(k)
+        }
+        "combined" => Pipeline {
+            coalesce: Some(tuned.coalesce),
+            latency: Some(tuned.latency),
+            divergence: Some(tuned.divergence),
+        },
+        other => unreachable!("technique `{other}` validated at parse time"),
+    })
+}
+
+struct PoolEntry {
+    original: Arc<Csr>,
+    prepared: Arc<Prepared>,
+    /// LRU clock value at last touch.
+    tick: u64,
+}
+
+/// Cumulative pool accounting, exposed through server metrics and the
+/// `stats` admin op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Preparations whose disk-cache store failed (e.g. read-only cache
+    /// dir). The request still succeeds; this is the operator warning
+    /// counter.
+    pub store_failures: u64,
+}
+
+/// What one checkout observed — the `serving` metadata source.
+#[derive(Clone, Debug)]
+pub struct Checkout {
+    pub original: Arc<Csr>,
+    pub prepared: Arc<Prepared>,
+    /// True when served from the in-memory pool (no preparation ran).
+    pub pool_hit: bool,
+    /// Disk-cache status label of the preparation (`pooled` on a pool
+    /// hit — the disk was not consulted).
+    pub cache: String,
+    /// The io error behind a `miss (store failed)`, for response metadata.
+    pub store_warning: Option<String>,
+    /// Per-stage records from the memoized query graph (empty on pool or
+    /// whole-blob hits).
+    pub stages: Vec<StageRecord>,
+}
+
+struct Inner {
+    entries: HashMap<PoolKey, PoolEntry>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+/// The capacity-bounded LRU pool.
+pub struct PreparedPool {
+    capacity: usize,
+    gpu: GpuConfig,
+    cache: CacheConfig,
+    inner: Mutex<Inner>,
+}
+
+impl PreparedPool {
+    /// An empty pool holding at most `capacity` prepared graphs (min 1).
+    pub fn new(capacity: usize, gpu: GpuConfig, cache: CacheConfig) -> PreparedPool {
+        PreparedPool {
+            capacity: capacity.max(1),
+            gpu,
+            cache,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).stats
+    }
+
+    /// Checks the preparation for `key` out of the pool, loading and
+    /// preparing it on a miss (and evicting the LRU entry if that pushes
+    /// the pool over capacity).
+    pub fn checkout(
+        &self,
+        key: &PoolKey,
+        registry: &GraphRegistry,
+    ) -> Result<Checkout, ServeError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.clock += 1;
+        let tick = inner.clock;
+        if let Some(entry) = inner.entries.get_mut(key) {
+            entry.tick = tick;
+            let out = Checkout {
+                original: Arc::clone(&entry.original),
+                prepared: Arc::clone(&entry.prepared),
+                pool_hit: true,
+                cache: "pooled".to_string(),
+                store_warning: None,
+                stages: Vec::new(),
+            };
+            inner.stats.hits += 1;
+            return Ok(out);
+        }
+        inner.stats.misses += 1;
+
+        let source = registry.get(&key.graph).ok_or_else(|| {
+            ServeError::new(
+                ErrorKind::UnknownGraph,
+                format!("graph `{}` is not registered", key.graph),
+            )
+        })?;
+        let original = Arc::new(source.load().map_err(|e| {
+            ServeError::new(
+                ErrorKind::GraphLoad,
+                format!("could not load graph `{}`: {e}", key.graph),
+            )
+        })?);
+
+        let threshold =
+            (key.threshold_bits != u64::MAX).then(|| f64::from_bits(key.threshold_bits));
+        let (prepared, cache, store_warning, stages) =
+            match pipeline_for_request(&original, &key.technique, threshold) {
+                None => (
+                    Prepared::exact((*original).clone()),
+                    "exact (not cached)".to_string(),
+                    None,
+                    Vec::new(),
+                ),
+                Some(pipeline) => {
+                    let (prepared, outcome) =
+                        prepare_with_cache(&original, &pipeline, &self.gpu, &self.cache).map_err(
+                            |e| {
+                                ServeError::new(
+                                    ErrorKind::BadRequest,
+                                    format!("invalid transform configuration: {e}"),
+                                )
+                            },
+                        )?;
+                    let warning = match &outcome.status {
+                        CacheStatus::MissStoreFailed(detail) => {
+                            inner.stats.store_failures += 1;
+                            Some(detail.clone())
+                        }
+                        _ => None,
+                    };
+                    (
+                        prepared,
+                        outcome.status.label().to_string(),
+                        warning,
+                        outcome.stages,
+                    )
+                }
+            };
+        let prepared = Arc::new(prepared);
+
+        inner.entries.insert(
+            key.clone(),
+            PoolEntry {
+                original: Arc::clone(&original),
+                prepared: Arc::clone(&prepared),
+                tick,
+            },
+        );
+        while inner.entries.len() > self.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity pool is non-empty");
+            inner.entries.remove(&lru);
+            inner.stats.evictions += 1;
+        }
+        Ok(Checkout {
+            original,
+            prepared,
+            pool_hit: false,
+            cache,
+            store_warning,
+            stages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::GraphSource;
+
+    fn registry(n: usize) -> GraphRegistry {
+        let mut reg = GraphRegistry::new();
+        for i in 0..n {
+            reg.insert_entry(&format!("g{i}=rmat:300:{}", i + 1))
+                .unwrap();
+        }
+        reg
+    }
+
+    fn pool(capacity: usize) -> PreparedPool {
+        PreparedPool::new(capacity, GpuConfig::k40c(), CacheConfig::disabled())
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_arc() {
+        let reg = registry(1);
+        let p = pool(2);
+        let key = PoolKey::new("g0", "exact", None);
+        let a = p.checkout(&key, &reg).unwrap();
+        assert!(!a.pool_hit);
+        let b = p.checkout(&key, &reg).unwrap();
+        assert!(b.pool_hit);
+        assert!(Arc::ptr_eq(&a.prepared, &b.prepared));
+        assert_eq!(b.cache, "pooled");
+        assert_eq!(
+            p.stats(),
+            PoolStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                store_failures: 0
+            }
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let reg = registry(3);
+        let p = pool(2);
+        let k0 = PoolKey::new("g0", "exact", None);
+        let k1 = PoolKey::new("g1", "exact", None);
+        let k2 = PoolKey::new("g2", "exact", None);
+        p.checkout(&k0, &reg).unwrap();
+        p.checkout(&k1, &reg).unwrap();
+        p.checkout(&k0, &reg).unwrap(); // g0 now most recent
+        p.checkout(&k2, &reg).unwrap(); // evicts g1 (LRU)
+        assert_eq!(p.len(), 2);
+        assert!(p.checkout(&k0, &reg).unwrap().pool_hit, "g0 must survive");
+        assert!(!p.checkout(&k1, &reg).unwrap().pool_hit, "g1 was evicted");
+    }
+
+    #[test]
+    fn unknown_graph_is_typed() {
+        let reg = registry(1);
+        let p = pool(1);
+        let err = p
+            .checkout(&PoolKey::new("nope", "exact", None), &reg)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownGraph);
+        // A failed checkout must not count as an insert.
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn unreadable_file_is_typed_graph_load() {
+        let mut reg = GraphRegistry::new();
+        reg.insert("bad", GraphSource::File("/definitely/not/here.gfx".into()));
+        let err = pool(1)
+            .checkout(&PoolKey::new("bad", "exact", None), &reg)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::GraphLoad);
+    }
+
+    #[test]
+    fn threshold_distinguishes_keys() {
+        assert_ne!(
+            PoolKey::new("g", "coalescing", Some(0.5)),
+            PoolKey::new("g", "coalescing", Some(0.6))
+        );
+        assert_ne!(
+            PoolKey::new("g", "coalescing", Some(0.5)),
+            PoolKey::new("g", "coalescing", None)
+        );
+    }
+}
