@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod gate;
 pub mod report;
 pub mod serving;
+pub mod streaming;
 pub mod suite;
 pub mod tables;
 
@@ -27,6 +28,9 @@ pub use gate::{
 pub use serving::{
     evaluate_serving, measure_serving, run_serve_gate, ServeBaseline, ServeCell, ServeCellStatus,
     ServeGateOptions, ServeGateReport,
+};
+pub use streaming::{
+    measure_streaming, run_stream_gate, StreamCell, StreamGateOptions, StreamGateReport,
 };
 pub use suite::{Suite, SuiteOptions};
 pub use tables::TextTable;

@@ -57,7 +57,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graffix <generate|convert|profile|transform|run|bench|report|serve|client> [--key value]...\n\
+        "usage: graffix <generate|convert|profile|transform|run|stream|bench|report|serve|client> [--key value]...\n\
          \n\
          generate  --kind rmat|random|livejournal|twitter|road [--nodes N] [--seed S] --out FILE\n\
          convert   --in FILE --out FILE\n\
@@ -71,6 +71,15 @@ fn usage() -> ! {
                    --direction steers frontier supersteps: push scatters over\n\
                    the CSR, pull gathers over a cached CSC mirror, auto picks\n\
                    per superstep from frontier density\n\
+         stream    --in FILE --stream FILE [--algo A] [--technique T] [--threshold T]\n\
+                   [--debt-threshold X] [--checkpoint-every N] [--oracle] [--out FILE]\n\
+                   ingest batched edge mutations (`+ u v [w]` / `- u v` lines,\n\
+                   blank line = batch boundary) and keep the prepared graph up\n\
+                   to date incrementally; stale reuse is bounded by the\n\
+                   staleness-debt threshold (0 = always exact). Checkpoints run\n\
+                   the chosen algorithm every N batches (and at end) and print\n\
+                   a result digest; --oracle re-prepares from scratch at each\n\
+                   checkpoint and fails on any digest mismatch\n\
          bench     --save-baseline FILE [--nodes N] [--seed S] [--bc-sources N] [--repeats N]\n\
                    measure the gate corpus and save a bench baseline\n\
          bench     --gate FILE [--gate-report FILE] [--rel-tol X] [--sigma K]\n\
@@ -79,6 +88,9 @@ fn usage() -> ! {
                    measure the serving scenarios and save a serve baseline\n\
          bench     --serve-gate FILE [--latency-factor X] [--throughput-factor X]\n\
                    re-measure serving rps/p99 and compare (coarse bands); exit 1 on collapse\n\
+         bench     --stream-gate [--min-speedup X]\n\
+                   measure incremental vs full re-prepare under 1% churn and\n\
+                   gate on an absolute speedup floor + exact-mode identity\n\
          report    verify FILE   schema-verify a run report (v1 or v2) from disk\n\
          serve     --graphs \"name=kind:nodes:seed|path,...\" [--listen HOST:PORT | --unix PATH]\n\
                    [--workers N] [--pool-capacity N] [--queue-depth N] [--batch-max N]\n\
@@ -103,7 +115,15 @@ fn usage() -> ! {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["quiet", "no-cache", "ping", "stats", "shutdown"];
+const BOOL_FLAGS: &[&str] = &[
+    "quiet",
+    "no-cache",
+    "ping",
+    "stats",
+    "shutdown",
+    "oracle",
+    "stream-gate",
+];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
@@ -180,19 +200,11 @@ fn cache_config(flags: &HashMap<String, String>) -> CacheConfig {
     }
 }
 
-/// Builds the pipeline for a technique name and applies it through the
-/// prepared-graph cache. The pipeline is returned alongside the prepared
-/// graph so callers can toggle stages off for error attribution (the v2
-/// `accuracy` section).
-fn prepare(
-    g: &Csr,
-    technique: Option<&str>,
-    threshold: Option<f64>,
-    gpu: &GpuConfig,
-    cache: &CacheConfig,
-) -> (Prepared, Pipeline) {
+/// Builds the pipeline for a technique name, auto-tuning the knobs against
+/// `g` (a `--threshold` override lands on the technique's primary knob).
+fn build_pipeline(g: &Csr, technique: Option<&str>, threshold: Option<f64>) -> Pipeline {
     let tuned = auto_tune(g, 7);
-    let pipeline = match technique {
+    match technique {
         None | Some("exact") => Pipeline::default(),
         Some("coalescing") => {
             let mut k = tuned.coalesce;
@@ -224,7 +236,21 @@ fn prepare(
             eprintln!("unknown technique: {other}");
             usage();
         }
-    };
+    }
+}
+
+/// Builds the pipeline for a technique name and applies it through the
+/// prepared-graph cache. The pipeline is returned alongside the prepared
+/// graph so callers can toggle stages off for error attribution (the v2
+/// `accuracy` section).
+fn prepare(
+    g: &Csr,
+    technique: Option<&str>,
+    threshold: Option<f64>,
+    gpu: &GpuConfig,
+    cache: &CacheConfig,
+) -> (Prepared, Pipeline) {
+    let pipeline = build_pipeline(g, technique, threshold);
     // Diagnose invalid knob combinations instead of panicking: transform
     // configuration errors are user errors, not internal bugs.
     match prepare_with_cache(g, &pipeline, gpu, cache) {
@@ -566,12 +592,168 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
                 emit_report(&report, report_json, false);
             }
         }
+        "stream" => stream_cmd(flags, &gpu),
         "bench" => bench(flags, &cache),
         "report" => report_cmd(positionals),
         "serve" => serve_cmd(flags, cache),
         "client" => client_cmd(flags),
         _ => usage(),
     }
+}
+
+/// `graffix stream` — ingest a batched edge-mutation stream and keep the
+/// prepared graph up to date through [`IncrementalPrepare`], checkpointing
+/// the chosen algorithm every N batches. Per-batch mode/debt and per-stage
+/// hit/stale/recomputed lines go to stderr; checkpoint digests to stdout.
+fn stream_cmd(flags: &HashMap<String, String>, gpu: &GpuConfig) {
+    use graffix_graph::mutation;
+
+    let get = |key: &str| -> &str {
+        flags.get(key).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("missing --{key}");
+            usage();
+        })
+    };
+    let g = load(get("in"));
+    let stream_path = get("stream");
+    let batches = match std::fs::File::open(stream_path).and_then(mutation::parse_stream) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("could not read {stream_path}: {e}");
+            exit(1);
+        }
+    };
+    let threshold = flags
+        .get("threshold")
+        .map(|t| t.parse().expect("bad --threshold"));
+    let pipeline = build_pipeline(&g, flags.get("technique").map(String::as_str), threshold);
+    let debt_threshold = flags
+        .get("debt-threshold")
+        .map_or(StreamKnobs::default().debt_threshold, |v| {
+            v.parse().expect("bad --debt-threshold")
+        });
+    let every = flags
+        .get("checkpoint-every")
+        .map_or(0usize, |v| v.parse().expect("bad --checkpoint-every"));
+    let algo = flags.get("algo").map_or("pr", String::as_str);
+    let oracle = flags.contains_key("oracle");
+
+    let knobs = StreamKnobs::default().with_debt_threshold(debt_threshold);
+    let mut inc = match IncrementalPrepare::new(g, pipeline.clone(), gpu.clone(), knobs) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("invalid stream configuration: {e}");
+            exit(2);
+        }
+    };
+    log_info!(
+        "initial prepare: {} nodes, {} edges, {} batches queued (debt threshold {})",
+        inc.graph().num_nodes(),
+        inc.graph().num_edges(),
+        batches.len(),
+        debt_threshold
+    );
+    let total = batches.len();
+    for (i, batch) in batches.iter().enumerate() {
+        let out = match inc.apply_batch(batch) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("batch {}/{total} failed: {e}", i + 1);
+                exit(1);
+            }
+        };
+        log_info!(
+            "batch {}/{total}: +{} -{} ~{} mode={} debt={:.4} prepare {:.4}s",
+            i + 1,
+            out.batch.inserted.len(),
+            out.batch.deleted.len(),
+            out.batch.reweighted,
+            out.mode.label(),
+            out.debt,
+            out.prepare_seconds
+        );
+        for rec in &out.stages {
+            log_info!(
+                "stage {:<12} {:<10} {:.3}s",
+                rec.stage,
+                rec.status.label(),
+                rec.seconds
+            );
+        }
+        if (every > 0 && (i + 1) % every == 0) || i + 1 == total {
+            stream_checkpoint(i + 1, algo, &inc, &pipeline, gpu, oracle);
+        }
+    }
+    log_info!(
+        "stream done: {} exact / {} stale prepares",
+        inc.exact_prepares(),
+        inc.stale_prepares()
+    );
+    if let Some(out_path) = flags.get("out") {
+        save(inc.graph(), out_path);
+        log_info!("wrote {out_path}");
+    }
+}
+
+/// One stream checkpoint: run the algorithm on the incrementally prepared
+/// graph and print a deterministic result digest. With `--oracle`, also
+/// prepare the current true graph from scratch and require an identical
+/// digest (exit 1 on divergence).
+fn stream_checkpoint(
+    batch_no: usize,
+    algo: &str,
+    inc: &IncrementalPrepare,
+    pipeline: &Pipeline,
+    gpu: &GpuConfig,
+    oracle: bool,
+) {
+    let digest = run_digest(algo, inc.prepared(), inc.graph(), gpu);
+    println!("checkpoint {batch_no} {algo} {digest}");
+    if oracle {
+        let cold = match pipeline.try_apply(inc.graph(), gpu) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("oracle prepare failed at batch {batch_no}: {e}");
+                exit(1);
+            }
+        };
+        let cold_digest = run_digest(algo, &cold, inc.graph(), gpu);
+        if digest != cold_digest {
+            eprintln!(
+                "oracle mismatch at batch {batch_no}: incremental {digest} vs from-scratch {cold_digest}"
+            );
+            exit(1);
+        }
+        log_info!("oracle ok at batch {batch_no}");
+    }
+}
+
+/// Runs `algo` on a prepared graph and condenses the result vector (and the
+/// simulated cost) into a short deterministic digest string.
+fn run_digest(algo: &str, prepared: &Prepared, g: &Csr, gpu: &GpuConfig) -> String {
+    let plan = Baseline::Lonestar.plan(prepared, gpu);
+    let run = match algo {
+        "sssp" => sssp::run_sim(&plan, sssp::default_source(g)),
+        "bfs" => bfs::run_sim(&plan, sssp::default_source(g)),
+        "pr" => pagerank::run_sim(&plan),
+        "bc" => bc::run_sim(&plan, &bc::sample_sources(g, 4)),
+        "scc" => scc::run_sim(&plan).run,
+        "mst" => mst::run_sim(&plan).run,
+        "wcc" => wcc::run_sim(&plan).run,
+        other => {
+            eprintln!("unknown algo: {other}");
+            usage();
+        }
+    };
+    let mut bytes = Vec::with_capacity(run.values.len() * 8);
+    for v in &run.values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    format!(
+        "fp={:016x} cycles={}",
+        graffix::core::query::fingerprint_bytes(&bytes),
+        run.stats.elapsed_cycles(gpu)
+    )
 }
 
 /// `graffix serve` — the long-running daemon. Blocks until a `shutdown`
@@ -731,6 +913,10 @@ fn client_cmd(flags: &HashMap<String, String>) {
 fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
     if flags.contains_key("save-serve-baseline") || flags.contains_key("serve-gate") {
         serve_bench(flags);
+        return;
+    }
+    if flags.contains_key("stream-gate") {
+        stream_bench(flags);
         return;
     }
     let repeats = flags
@@ -899,6 +1085,38 @@ fn serve_bench(flags: &HashMap<String, String>) {
             usage();
         }
     }
+}
+
+/// `bench --stream-gate` — the streaming cell: incremental vs full
+/// re-preparation under 1% churn, gated on an absolute speedup floor plus
+/// exact-regime identity. No baseline file: both sides of the ratio are
+/// measured back to back on this machine, so the floor is host-independent.
+fn stream_bench(flags: &HashMap<String, String>) {
+    use graffix_bench::{run_stream_gate, StreamGateOptions};
+
+    let mut opts = StreamGateOptions::default();
+    if let Some(f) = flags.get("min-speedup") {
+        opts.min_speedup = f.parse().expect("bad --min-speedup");
+    }
+    log_info!(
+        "measuring streaming cell (speedup floor {:.1}x)",
+        opts.min_speedup
+    );
+    let report = run_stream_gate(opts);
+    print!("{}", report.render());
+    if !report.passed() {
+        for f in report.failures() {
+            eprintln!(
+                "FAIL {} [speedup {:.1}x, exact {}]",
+                f.id, f.speedup, f.exact_identical
+            );
+        }
+        exit(1);
+    }
+    log_info!(
+        "stream gate passed: {} cells above the floor",
+        report.cells.len()
+    );
 }
 
 /// `report verify FILE` — schema-verify a run report from disk.

@@ -1,0 +1,601 @@
+//! Incremental preparation over a stream of edge mutations.
+//!
+//! [`IncrementalPrepare`] owns a graph, a [`Pipeline`], and a warm
+//! [`QueryCtx`], and keeps the prepared output up to date as edge batches
+//! arrive. Each batch is applied through [`Csr::apply_batch`] and then the
+//! pipeline is re-run through the memoized stage-query layer; the only new
+//! machinery here decides *how much* of that re-run is real work:
+//!
+//! * **Exact mode** — every stage whose inputs changed recomputes. When the
+//!   pipeline shape allows it (latency without coalescing, where the `cc`
+//!   stage is computed on the input graph itself), the clustering
+//!   coefficients are maintained incrementally on the side and seeded into
+//!   the context as a bit-exact payload, so the most expensive stage of the
+//!   latency pipeline becomes a hit while the output stays byte-identical
+//!   to a from-scratch prepare.
+//! * **Stale mode** — the head stage of the pipeline is served from its
+//!   previous output ([`QueryCtx::seed_stale`]), which makes every
+//!   downstream key match and the whole prepare collapse into cache hits.
+//!   The prepared graph then lags the true graph; the accumulated lag is
+//!   tracked as *staleness debt* (churned arcs / arcs at the last exact
+//!   prepare) and once it would exceed [`StreamKnobs::debt_threshold`] the
+//!   next prepare is forced exact and the debt resets. A threshold of `0`
+//!   disables stale mode entirely: every batch re-prepares exactly.
+//!
+//! Clustering-coefficient maintenance mirrors
+//! [`graffix_graph::properties::local_clustering_coefficient`] bit for bit:
+//! the undirected adjacency is kept as sorted neighbor lists, a mutated
+//! undirected edge `{u, v}` dirties `u`, `v`, and every common neighbor of
+//! the pair in the old *and* new adjacency (the complete set of nodes whose
+//! triangle counts can change), and only dirty slots are recomputed.
+
+use crate::knobs::StreamKnobs;
+use crate::pipeline::{Pipeline, PipelineError};
+use crate::prepared::Prepared;
+use crate::query::{QueryCtx, StageRecord};
+use crate::stages;
+use graffix_graph::mutation::{BatchOutcome, EdgeBatch};
+use graffix_graph::properties::{clustering_coefficients, sorted_intersection_count};
+use graffix_graph::{Csr, GraphError, NodeId};
+use graffix_sim::GpuConfig;
+use std::time::Instant;
+
+/// Error from streaming preparation: either the mutation was invalid or the
+/// pipeline rejected its inputs.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The edge batch could not be applied to the graph.
+    Graph(GraphError),
+    /// The pipeline rejected the (mutated) graph or its knobs.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Graph(e) => write!(f, "mutation failed: {e}"),
+            StreamError::Pipeline(e) => write!(f, "prepare failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<GraphError> for StreamError {
+    fn from(e: GraphError) -> Self {
+        StreamError::Graph(e)
+    }
+}
+
+impl From<PipelineError> for StreamError {
+    fn from(e: PipelineError) -> Self {
+        StreamError::Pipeline(e)
+    }
+}
+
+/// How a batch's re-prepare was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrepareMode {
+    /// Every changed stage recomputed (possibly accelerated by a bit-exact
+    /// incremental `cc` seed); output byte-identical to a cold prepare.
+    Exact,
+    /// Head stage served stale; the prepared output lags the true graph.
+    Stale,
+}
+
+impl PrepareMode {
+    /// Lower-case label for logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrepareMode::Exact => "exact",
+            PrepareMode::Stale => "stale",
+        }
+    }
+}
+
+/// Per-batch result of [`IncrementalPrepare::apply_batch`].
+#[derive(Clone, Debug)]
+pub struct IncrementalOutcome {
+    /// How the re-prepare was satisfied.
+    pub mode: PrepareMode,
+    /// Wall seconds spent inside the pipeline re-run (mutation excluded).
+    pub prepare_seconds: f64,
+    /// Staleness debt after this batch (0 after an exact prepare).
+    pub debt: f64,
+    /// Arcs actually inserted or deleted by the batch.
+    pub churn_arcs: usize,
+    /// Nodes whose clustering coefficient was recomputed incrementally
+    /// (0 when the pipeline shape does not use the `cc` seed).
+    pub cc_dirty: usize,
+    /// The raw mutation outcome from [`Csr::apply_batch`].
+    pub batch: BatchOutcome,
+    /// Stage-by-stage records of the re-prepare, in execution order.
+    pub stages: Vec<StageRecord>,
+}
+
+/// A graph + pipeline pair that stays prepared across edge-batch mutations.
+/// See the module docs for the exact/stale split and the debt model.
+pub struct IncrementalPrepare {
+    pipeline: Pipeline,
+    cfg: GpuConfig,
+    knobs: StreamKnobs,
+    ctx: QueryCtx,
+    graph: Csr,
+    prepared: Prepared,
+    /// Sorted undirected neighbor lists, maintained only when `cc` is.
+    und: Vec<Vec<NodeId>>,
+    /// Incrementally maintained clustering coefficients of the *true*
+    /// graph, present iff the pipeline computes `cc` on the input graph
+    /// itself (latency without coalescing).
+    cc: Option<Vec<f64>>,
+    debt: f64,
+    /// Edge count at the last exact prepare; the denominator of debt.
+    base_arcs: usize,
+    exact_prepares: usize,
+    stale_prepares: usize,
+}
+
+impl IncrementalPrepare {
+    /// Runs the initial full prepare and captures the state needed for
+    /// incremental maintenance.
+    pub fn new(
+        graph: Csr,
+        pipeline: Pipeline,
+        cfg: GpuConfig,
+        knobs: StreamKnobs,
+    ) -> Result<IncrementalPrepare, StreamError> {
+        knobs
+            .validate()
+            .map_err(|e| StreamError::Pipeline(PipelineError::InvalidKnobs(e)))?;
+        let mut ctx = QueryCtx::memory();
+        let prepared = pipeline.try_apply_with(&graph, &cfg, &mut ctx)?;
+        // The `cc` stage runs on the input graph itself only when latency
+        // is enabled without coalescing (otherwise it sees the replicated
+        // graph, whose id space the incremental view does not track).
+        let cc_seedable = pipeline.coalesce.is_none() && pipeline.latency.is_some();
+        let (und, cc) = if cc_seedable {
+            let und_csr = graph.undirected();
+            let und: Vec<Vec<NodeId>> = (0..graph.num_nodes())
+                .map(|v| und_csr.neighbors(v as NodeId).to_vec())
+                .collect();
+            // The pipeline just computed cc; recover the exact payload it
+            // produced rather than recomputing.
+            let cc = match ctx
+                .last_payload("cc")
+                .and_then(|p| stages::decode_f64s(p).ok())
+            {
+                Some(v) => v,
+                None => clustering_coefficients(&graph),
+            };
+            (und, Some(cc))
+        } else {
+            (Vec::new(), None)
+        };
+        let base_arcs = graph.num_edges().max(1);
+        Ok(IncrementalPrepare {
+            pipeline,
+            cfg,
+            knobs,
+            ctx,
+            graph,
+            prepared,
+            und,
+            cc,
+            debt: 0.0,
+            base_arcs,
+            exact_prepares: 1,
+            stale_prepares: 0,
+        })
+    }
+
+    /// The current true graph (always reflects every applied batch, even
+    /// when the prepared output is stale).
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The most recent prepared output.
+    pub fn prepared(&self) -> &Prepared {
+        &self.prepared
+    }
+
+    /// Current staleness debt (0 right after an exact prepare).
+    pub fn debt(&self) -> f64 {
+        self.debt
+    }
+
+    /// Number of exact prepares so far (the initial one included).
+    pub fn exact_prepares(&self) -> usize {
+        self.exact_prepares
+    }
+
+    /// Number of stale prepares so far.
+    pub fn stale_prepares(&self) -> usize {
+        self.stale_prepares
+    }
+
+    /// The head stage that a stale prepare reuses, per pipeline shape.
+    fn stale_stage(&self) -> Option<&'static str> {
+        if self.pipeline.coalesce.is_some() {
+            Some("renumber")
+        } else if self.pipeline.latency.is_some() {
+            Some("boost")
+        } else if self.pipeline.divergence.is_some() {
+            Some("bucket")
+        } else {
+            None
+        }
+    }
+
+    /// Applies one edge batch to the graph and brings the prepared output
+    /// up to date (exactly or stale, per the debt model).
+    pub fn apply_batch(&mut self, batch: &EdgeBatch) -> Result<IncrementalOutcome, StreamError> {
+        let outcome = self.graph.apply_batch(batch)?;
+        let cc_dirty = if self.cc.is_some() {
+            self.refresh_cc(&outcome)
+        } else {
+            0
+        };
+        let churn = outcome.churn_arcs();
+        let churn_frac = churn as f64 / self.base_arcs as f64;
+        let threshold = self.knobs.debt_threshold;
+        let mode = if threshold > 0.0
+            && self.debt + churn_frac <= threshold
+            && self.stale_stage().is_some()
+        {
+            PrepareMode::Stale
+        } else {
+            PrepareMode::Exact
+        };
+        match mode {
+            PrepareMode::Stale => {
+                self.debt += churn_frac;
+                self.stale_prepares += 1;
+                self.ctx.seed_stale(self.stale_stage().unwrap());
+            }
+            PrepareMode::Exact => {
+                self.debt = 0.0;
+                self.base_arcs = self.graph.num_edges().max(1);
+                self.exact_prepares += 1;
+            }
+        }
+        // The cc seed is maintained on the true graph, so it is correct to
+        // inject in *both* modes (in stale mode the stage keys upstream of
+        // it are already satisfied, so the seed simply goes unqueried).
+        if let Some(cc) = &self.cc {
+            self.ctx.seed_payload("cc", stages::encode_f64s(cc));
+        }
+        let started = Instant::now();
+        let prepared = self
+            .pipeline
+            .try_apply_with(&self.graph, &self.cfg, &mut self.ctx);
+        self.ctx.clear_seeds();
+        let prepared = prepared?;
+        let prepare_seconds = started.elapsed().as_secs_f64();
+        self.prepared = prepared;
+        Ok(IncrementalOutcome {
+            mode,
+            prepare_seconds,
+            debt: self.debt,
+            churn_arcs: churn,
+            cc_dirty,
+            batch: outcome,
+            stages: self.ctx.records().to_vec(),
+        })
+    }
+
+    /// Updates the undirected adjacency and the clustering coefficients of
+    /// every node whose value can have changed. Returns the dirty count.
+    fn refresh_cc(&mut self, out: &BatchOutcome) -> usize {
+        let mut pairs: Vec<(NodeId, NodeId)> = out
+            .inserted
+            .iter()
+            .chain(out.deleted.iter())
+            .filter(|(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        if pairs.is_empty() {
+            return 0;
+        }
+        let mut dirty: Vec<NodeId> = Vec::new();
+        // Common neighbors in the OLD adjacency (triangles a removed edge
+        // destroys), plus the endpoints themselves.
+        for &(u, v) in &pairs {
+            dirty.push(u);
+            dirty.push(v);
+            common_into(&self.und[u as usize], &self.und[v as usize], &mut dirty);
+        }
+        // Undirected membership of {u, v} is decided against the final
+        // directed graph: present iff either arc survives the batch.
+        for &(u, v) in &pairs {
+            let present = self.graph.has_edge(u, v) || self.graph.has_edge(v, u);
+            set_membership(&mut self.und[u as usize], v, present);
+            set_membership(&mut self.und[v as usize], u, present);
+        }
+        // Common neighbors in the NEW adjacency (triangles an added edge
+        // creates).
+        for &(u, v) in &pairs {
+            common_into(&self.und[u as usize], &self.und[v as usize], &mut dirty);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        let cc = self.cc.as_mut().expect("refresh_cc called without cc");
+        for &d in &dirty {
+            cc[d as usize] = local_cc(&self.und, d);
+        }
+        dirty.len()
+    }
+}
+
+/// Bitwise mirror of
+/// [`graffix_graph::properties::local_clustering_coefficient`] over the
+/// maintained sorted neighbor lists.
+fn local_cc(und: &[Vec<NodeId>], v: NodeId) -> f64 {
+    let nbrs = &und[v as usize];
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        links += sorted_intersection_count(&und[a as usize], &nbrs[i + 1..]);
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Appends the sorted-merge intersection of `a` and `b` to `out`.
+fn common_into(a: &[NodeId], b: &[NodeId], out: &mut Vec<NodeId>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Inserts or removes `x` in a sorted list so that `x ∈ list == present`.
+fn set_membership(list: &mut Vec<NodeId>, x: NodeId, present: bool) {
+    match list.binary_search(&x) {
+        Ok(pos) => {
+            if !present {
+                list.remove(pos);
+            }
+        }
+        Err(pos) => {
+            if present {
+                list.insert(pos, x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::{DivergenceKnobs, LatencyKnobs};
+    use crate::query::StageStatus;
+    use graffix_graph::generators::{GraphKind, GraphSpec};
+    use graffix_graph::serialize;
+    use rand::Rng;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_graph(seed: u64) -> Csr {
+        GraphSpec::new(GraphKind::SocialLiveJournal, 300, seed).generate()
+    }
+
+    fn random_batch(g: &Csr, rng: &mut ChaCha8Rng, arcs: usize) -> EdgeBatch {
+        let n = g.num_nodes() as NodeId;
+        let mut b = EdgeBatch::new();
+        for _ in 0..arcs {
+            let u = loop {
+                let c = rng.random_range(0..n);
+                if !g.is_hole(c) {
+                    break c;
+                }
+            };
+            let v = loop {
+                let c = rng.random_range(0..n);
+                if !g.is_hole(c) {
+                    break c;
+                }
+            };
+            if rng.random_range(0..3usize) == 0 && g.degree(u) > 0 {
+                let nbrs = g.neighbors(u);
+                b.delete(u, nbrs[rng.random_range(0..nbrs.len())]);
+            } else {
+                b.insert(u, v, 1);
+            }
+        }
+        b
+    }
+
+    /// Semantic equality of two prepared outputs (ignores wall timings).
+    fn assert_same_prepared(a: &Prepared, b: &Prepared) {
+        assert_eq!(
+            serialize::to_bytes(&a.graph).as_ref(),
+            serialize::to_bytes(&b.graph).as_ref(),
+            "prepared graphs differ"
+        );
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.to_original, b.to_original);
+        assert_eq!(a.primary, b.primary);
+        assert_eq!(a.replica_groups, b.replica_groups);
+        assert_eq!(a.tiles, b.tiles);
+        assert_eq!(a.technique, b.technique);
+    }
+
+    fn latency_pipeline() -> Pipeline {
+        Pipeline::default()
+            .with_latency(LatencyKnobs::default())
+            .with_divergence(DivergenceKnobs::default())
+    }
+
+    #[test]
+    fn zero_threshold_stays_byte_identical_to_cold_prepare() {
+        let g = test_graph(7);
+        let pipe = latency_pipeline();
+        let cfg = GpuConfig::k40c();
+        let mut inc = IncrementalPrepare::new(
+            g.clone(),
+            pipe.clone(),
+            cfg.clone(),
+            StreamKnobs::default().with_debt_threshold(0.0),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for round in 0..6 {
+            let batch = random_batch(inc.graph(), &mut rng, 8);
+            let out = inc.apply_batch(&batch).unwrap();
+            assert_eq!(out.mode, PrepareMode::Exact, "round {round}");
+            assert_eq!(out.debt, 0.0);
+            let cold = pipe.try_apply(inc.graph(), &cfg).unwrap();
+            assert_same_prepared(inc.prepared(), &cold);
+        }
+        assert_eq!(inc.stale_prepares(), 0);
+    }
+
+    #[test]
+    fn exact_mode_serves_cc_as_a_seeded_hit() {
+        let g = test_graph(11);
+        let mut inc = IncrementalPrepare::new(
+            g,
+            latency_pipeline(),
+            GpuConfig::k40c(),
+            StreamKnobs::default().with_debt_threshold(0.0),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let batch = random_batch(inc.graph(), &mut rng, 5);
+        let out = inc.apply_batch(&batch).unwrap();
+        let cc_rec = out.stages.iter().find(|r| r.stage == "cc").unwrap();
+        assert_eq!(
+            cc_rec.status,
+            StageStatus::Hit,
+            "cc should come from the seed"
+        );
+    }
+
+    #[test]
+    fn incremental_cc_matches_fresh_computation_bitwise() {
+        let g = test_graph(3);
+        let mut inc = IncrementalPrepare::new(
+            g,
+            latency_pipeline(),
+            GpuConfig::k40c(),
+            StreamKnobs::default().with_debt_threshold(0.0),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for round in 0..10 {
+            let batch = random_batch(inc.graph(), &mut rng, 12);
+            inc.apply_batch(&batch).unwrap();
+            let fresh = clustering_coefficients(inc.graph());
+            let kept = inc.cc.as_ref().unwrap();
+            assert_eq!(kept.len(), fresh.len());
+            for (v, (a, b)) in kept.iter().zip(fresh.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "cc[{v}] diverged on round {round}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stale_mode_reuses_head_stage_and_accrues_debt() {
+        let g = test_graph(13);
+        let mut inc = IncrementalPrepare::new(
+            g,
+            Pipeline::all_defaults(),
+            GpuConfig::k40c(),
+            StreamKnobs::default().with_debt_threshold(0.5),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let batch = random_batch(inc.graph(), &mut rng, 4);
+        let out = inc.apply_batch(&batch).unwrap();
+        assert_eq!(out.mode, PrepareMode::Stale);
+        assert!(out.debt > 0.0);
+        let head = out.stages.iter().find(|r| r.stage == "renumber").unwrap();
+        assert_eq!(head.status, StageStatus::Stale);
+        // Every stage downstream of the stale head should be a cache hit —
+        // nothing recomputes.
+        for r in &out.stages {
+            assert!(
+                r.status.reused(),
+                "stage {} recomputed in stale mode",
+                r.stage
+            );
+        }
+        assert_eq!(inc.stale_prepares(), 1);
+    }
+
+    #[test]
+    fn debt_over_threshold_forces_exact_refresh() {
+        let g = test_graph(17);
+        let pipe = Pipeline::all_defaults();
+        let cfg = GpuConfig::k40c();
+        let mut inc = IncrementalPrepare::new(
+            g,
+            pipe.clone(),
+            cfg.clone(),
+            StreamKnobs::default().with_debt_threshold(0.002),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // A churn-heavy batch: the per-batch fraction alone exceeds the
+        // threshold, so the prepare must go exact and reset the debt.
+        let batch = random_batch(inc.graph(), &mut rng, 200);
+        let out = inc.apply_batch(&batch).unwrap();
+        assert_eq!(out.mode, PrepareMode::Exact);
+        assert_eq!(out.debt, 0.0);
+        let cold = pipe.try_apply(inc.graph(), &cfg).unwrap();
+        assert_same_prepared(inc.prepared(), &cold);
+    }
+
+    #[test]
+    fn divergence_only_pipeline_supports_stale_mode() {
+        let g = test_graph(23);
+        let mut inc = IncrementalPrepare::new(
+            g,
+            Pipeline::default().with_divergence(DivergenceKnobs::default()),
+            GpuConfig::k40c(),
+            StreamKnobs::default().with_debt_threshold(0.5),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let out = inc
+            .apply_batch(&random_batch(inc.graph(), &mut rng, 4))
+            .unwrap();
+        assert_eq!(out.mode, PrepareMode::Stale);
+        let head = out.stages.iter().find(|r| r.stage == "bucket").unwrap();
+        assert_eq!(head.status, StageStatus::Stale);
+    }
+
+    #[test]
+    fn empty_pipeline_always_prepares_exactly() {
+        let g = test_graph(29);
+        let mut inc = IncrementalPrepare::new(
+            g,
+            Pipeline::default(),
+            GpuConfig::k40c(),
+            StreamKnobs::default().with_debt_threshold(0.5),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let out = inc
+            .apply_batch(&random_batch(inc.graph(), &mut rng, 4))
+            .unwrap();
+        assert_eq!(out.mode, PrepareMode::Exact);
+    }
+}

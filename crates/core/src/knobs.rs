@@ -284,6 +284,54 @@ impl DivergenceKnobs {
     }
 }
 
+/// Knobs for incremental preparation over a mutation stream (the
+/// streaming layer in `crate::incremental`).
+///
+/// Unlike the transform knobs above, these never enter any cache key: they
+/// control *when* the incremental layer refreshes, not *what* any stage
+/// computes, and stale reuse is confined to the in-process seeding hook
+/// (never written to the content-addressed caches).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamKnobs {
+    /// Cumulative staleness-debt threshold, as a fraction of the base
+    /// graph's arcs. Each batch served with stale structure adds its churn
+    /// fraction (changed arcs / arcs at the last full prepare) to the
+    /// debt; when serving the next batch stale would push debt past this
+    /// threshold, the layer runs a full re-prepare instead and resets the
+    /// debt to zero. `0.0` disables stale reuse entirely — every prepare
+    /// is exact, which is the byte-identity oracle regime.
+    pub debt_threshold: f64,
+}
+
+impl Default for StreamKnobs {
+    fn default() -> Self {
+        // ~5 batches of 1% churn between refreshes: drift stays within the
+        // same order as the transforms' own edge budgets (2–4% of |E|).
+        StreamKnobs {
+            debt_threshold: 0.05,
+        }
+    }
+}
+
+impl StreamKnobs {
+    /// Overrides the staleness-debt threshold.
+    pub fn with_debt_threshold(mut self, t: f64) -> Self {
+        self.debt_threshold = t;
+        self
+    }
+
+    /// Rejects thresholds the debt accounting cannot honor.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.debt_threshold.is_finite() || self.debt_threshold < 0.0 {
+            return Err(format!(
+                "stream debt_threshold must be finite and non-negative, got {}",
+                self.debt_threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Knob fields the `renumber` stage reads.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RenumberInputs {

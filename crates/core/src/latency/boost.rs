@@ -418,6 +418,56 @@ mod tests {
     }
 
     #[test]
+    fn dirty_set_includes_common_neighbors_of_inserted_edges() {
+        // Regression guard for the dirty-set rule: when boost inserts
+        // (a, b), any node adjacent to *both* endpoints gains a closed
+        // triangle and its CC changes even though none of its own edges
+        // did. Sweep random graphs and assert (1) at least one boosted
+        // edge has a common neighbor that is not itself an endpoint — so
+        // the common-neighbor clause is genuinely exercised — and (2) the
+        // incremental vector still matches the full recompute bit for bit.
+        let mut third_party_dirty = 0usize;
+        for seed in [1u64, 7, 21, 33, 52] {
+            let g = GraphSpec::new(GraphKind::SocialLiveJournal, 250, seed).generate();
+            let knobs = LatencyKnobs {
+                cc_threshold: 0.35,
+                margin: 0.2,
+                edge_budget_frac: 0.3,
+                t_diameter_factor: 2,
+            };
+            let out = boost_edges(&g, &knobs);
+            let endpoints: HashSet<NodeId> = out
+                .graph
+                .edge_triples()
+                .filter(|&(u, v, _)| !g.has_edge(u, v))
+                .flat_map(|(u, v, _)| [u, v])
+                .collect();
+            let und = out.graph.undirected();
+            for (u, v, _) in out.graph.edge_triples() {
+                if g.has_edge(u, v) {
+                    continue;
+                }
+                let (nu, nv) = (und.neighbors(u), und.neighbors(v));
+                third_party_dirty += nu
+                    .iter()
+                    .filter(|w| nv.binary_search(w).is_ok() && !endpoints.contains(w))
+                    .count();
+            }
+            let full = clustering_coefficients(&out.graph);
+            for (v, (&inc, &f)) in out.clustering.iter().zip(full.iter()).enumerate() {
+                assert!(
+                    inc.to_bits() == f.to_bits(),
+                    "cc[{v}] dirty={inc} full={f} (seed {seed})"
+                );
+            }
+        }
+        assert!(
+            third_party_dirty > 0,
+            "sweep never produced a common neighbor outside the inserted endpoints"
+        );
+    }
+
+    #[test]
     fn added_arcs_are_symmetric() {
         let g = social();
         let out = boost_edges(&g, &LatencyKnobs::default().with_threshold(0.4));

@@ -22,6 +22,7 @@ pub mod cache;
 pub mod coalesce;
 pub mod confluence;
 pub mod divergence;
+pub mod incremental;
 pub mod knobs;
 pub mod latency;
 pub mod pipeline;
@@ -32,7 +33,8 @@ pub mod tuning;
 
 pub use cache::{prepare_with_cache, CacheConfig, CacheOutcome, CacheStatus};
 pub use confluence::ConfluenceOp;
-pub use knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs};
+pub use incremental::{IncrementalOutcome, IncrementalPrepare, PrepareMode, StreamError};
+pub use knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs, StreamKnobs};
 pub use pipeline::{Pipeline, PipelineError};
 pub use prepared::{PhaseTiming, Prepared, StageReport, Technique, Tile, TransformReport};
 pub use query::{Fingerprint, QueryCtx, StageRecord, StageStatus};

@@ -88,6 +88,10 @@ pub enum StageStatus {
     Cutoff,
     /// No cached result under this key (or a corrupt entry); the stage ran.
     Recomputed,
+    /// A previous run's output was reused *without* checking the key — the
+    /// incremental layer deliberately served a stale approximation (see
+    /// [`QueryCtx::seed_stale`]). Never stored in the memo tables.
+    Stale,
 }
 
 impl StageStatus {
@@ -97,6 +101,7 @@ impl StageStatus {
             StageStatus::Hit => "hit",
             StageStatus::Cutoff => "cutoff",
             StageStatus::Recomputed => "recomputed",
+            StageStatus::Stale => "stale",
         }
     }
 
@@ -136,6 +141,25 @@ pub struct QueryCtx {
     /// Whether any stage recomputed in the current run (drives the
     /// hit-vs-cutoff distinction).
     any_recomputed: bool,
+    /// One-shot per-stage overrides consumed by the next query of that
+    /// stage (the incremental layer's seeding hook). Survives
+    /// [`QueryCtx::begin_run`] — seeds are planted *before* the run starts.
+    overrides: HashMap<&'static str, StageOverride>,
+    /// Last payload served (computed or reused) per stage, feeding
+    /// [`StageOverride::ReuseLast`].
+    last_by_stage: HashMap<&'static str, Bytes>,
+}
+
+/// A planted answer for one stage query (see [`QueryCtx::seed_payload`] and
+/// [`QueryCtx::seed_stale`]).
+enum StageOverride {
+    /// Exact bytes the stage would produce — inserted into the memo under
+    /// the queried key and reported as a [`StageStatus::Hit`].
+    Payload(Bytes),
+    /// Reuse whatever the stage produced last run, ignoring the key — a
+    /// deliberate approximation, reported as [`StageStatus::Stale`] and
+    /// kept out of the memo tables.
+    ReuseLast,
 }
 
 impl QueryCtx {
@@ -148,6 +172,8 @@ impl QueryCtx {
             memo: HashMap::new(),
             records: Vec::new(),
             any_recomputed: false,
+            overrides: HashMap::new(),
+            last_by_stage: HashMap::new(),
         }
     }
 
@@ -160,6 +186,8 @@ impl QueryCtx {
             memo: HashMap::new(),
             records: Vec::new(),
             any_recomputed: false,
+            overrides: HashMap::new(),
+            last_by_stage: HashMap::new(),
         }
     }
 
@@ -171,6 +199,8 @@ impl QueryCtx {
             memo: HashMap::new(),
             records: Vec::new(),
             any_recomputed: false,
+            overrides: HashMap::new(),
+            last_by_stage: HashMap::new(),
         }
     }
 
@@ -189,6 +219,44 @@ impl QueryCtx {
     /// Stage diagnostics of the current run, in execution order.
     pub fn records(&self) -> &[StageRecord] {
         &self.records
+    }
+
+    /// Plants the exact payload the next `stage` query must serve,
+    /// bypassing compute. The payload must be byte-identical to what the
+    /// stage would produce (the incremental layer maintains such payloads
+    /// for exactly-maintainable stages); it is memoized under the queried
+    /// key and reported as a [`StageStatus::Hit`]. One-shot: consumed by
+    /// the next query of that stage. No-op on a null context.
+    pub fn seed_payload(&mut self, stage: &'static str, payload: Bytes) {
+        if self.enabled {
+            self.overrides
+                .insert(stage, StageOverride::Payload(payload));
+        }
+    }
+
+    /// Plants a stale-reuse override: the next `stage` query serves
+    /// whatever that stage produced last run, ignoring its key. This is a
+    /// deliberate approximation (the staleness-debt window); the result is
+    /// reported as [`StageStatus::Stale`] and kept out of the memo tables
+    /// so it can never masquerade as exact. One-shot; falls through to a
+    /// normal lookup when the stage has no prior output. No-op on a null
+    /// context.
+    pub fn seed_stale(&mut self, stage: &'static str) {
+        if self.enabled {
+            self.overrides.insert(stage, StageOverride::ReuseLast);
+        }
+    }
+
+    /// Drops any unconsumed seeds (a run may not query every seeded stage).
+    pub fn clear_seeds(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// The payload `stage` served most recently (computed or reused), if
+    /// any. The incremental layer bootstraps its maintained state from
+    /// this.
+    pub fn last_payload(&self, stage: &'static str) -> Option<Bytes> {
+        self.last_by_stage.get(stage).cloned()
     }
 
     /// Wall seconds of the most recent stage query.
@@ -210,7 +278,7 @@ impl QueryCtx {
         key: u64,
         compute: impl FnOnce() -> T,
         encode: impl FnOnce(&T) -> Bytes,
-        decode: impl FnOnce(Bytes) -> io::Result<T>,
+        decode: impl Fn(Bytes) -> io::Result<T>,
     ) -> (T, u64) {
         let start = Instant::now();
         if !self.enabled {
@@ -223,6 +291,37 @@ impl QueryCtx {
                 store_error: None,
             });
             return (value, 0);
+        }
+
+        // A planted override wins over the memo tables. Exact payloads act
+        // like a hit (and are memoized under the queried key); stale reuse
+        // serves last run's output under whatever key, stays out of the
+        // memo, and is labeled distinctly. Either way the override is
+        // consumed; an unusable one falls through to the normal path.
+        if let Some(ov) = self.overrides.remove(stage) {
+            let (payload, status) = match ov {
+                StageOverride::Payload(p) => (Some(p), StageStatus::Hit),
+                StageOverride::ReuseLast => {
+                    (self.last_by_stage.get(stage).cloned(), StageStatus::Stale)
+                }
+            };
+            if let Some(payload) = payload {
+                if let Ok(value) = decode(payload.clone()) {
+                    let fp = fingerprint_bytes(&payload);
+                    if status == StageStatus::Hit {
+                        self.memo.insert((stage, key), payload.clone());
+                    }
+                    self.last_by_stage.insert(stage, payload);
+                    self.records.push(StageRecord {
+                        stage,
+                        status,
+                        seconds: start.elapsed().as_secs_f64(),
+                        key,
+                        store_error: None,
+                    });
+                    return (value, fp);
+                }
+            }
         }
 
         let reuse_status = if self.any_recomputed {
@@ -240,7 +339,8 @@ impl QueryCtx {
         if let Some(payload) = cached {
             if let Ok(value) = decode(payload.clone()) {
                 let fp = fingerprint_bytes(&payload);
-                self.memo.insert((stage, key), payload);
+                self.memo.insert((stage, key), payload.clone());
+                self.last_by_stage.insert(stage, payload);
                 self.records.push(StageRecord {
                     stage,
                     status: reuse_status,
@@ -261,7 +361,8 @@ impl QueryCtx {
                 .map(|e| e.to_string()),
             None => None,
         };
-        self.memo.insert((stage, key), payload);
+        self.memo.insert((stage, key), payload.clone());
+        self.last_by_stage.insert(stage, payload);
         self.any_recomputed = true;
         self.records.push(StageRecord {
             stage,
@@ -440,5 +541,98 @@ mod tests {
         assert_eq!(v, 2);
         assert_eq!(fresh.records()[0].status, StageStatus::Recomputed);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_payload_is_a_hit_and_memoized() {
+        let mut ctx = QueryCtx::memory();
+        ctx.seed_payload("s", enc(&42));
+        ctx.begin_run(); // seeds must survive begin_run
+        let (v, fp) = ctx.query("s", 7, || panic!("seed must bypass compute"), enc, dec);
+        assert_eq!(v, 42);
+        assert_eq!(fp, fingerprint_bytes(&enc(&42)));
+        assert_eq!(ctx.records()[0].status, StageStatus::Hit);
+        // The seed landed in the memo under the queried key.
+        ctx.begin_run();
+        let (v, _) = ctx.query("s", 7, || panic!("memoized seed must hit"), enc, dec);
+        assert_eq!(v, 42);
+        // One-shot: a different key now misses.
+        ctx.begin_run();
+        let (v, _) = ctx.query("s", 8, || 1u64, enc, dec);
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn stale_seed_reuses_last_run_and_stays_out_of_memo() {
+        let mut ctx = QueryCtx::memory();
+        ctx.query("s", 1, || 5u64, enc, dec);
+        ctx.seed_stale("s");
+        ctx.begin_run();
+        // New key (inputs changed) but the stale seed serves the old bytes.
+        let (v, _) = ctx.query("s", 2, || panic!("stale seed must reuse"), enc, dec);
+        assert_eq!(v, 5);
+        assert_eq!(ctx.records()[0].status, StageStatus::Stale);
+        assert!(ctx.records()[0].status.reused());
+        // Not memoized under key 2: the next run recomputes honestly.
+        ctx.begin_run();
+        let (v, _) = ctx.query("s", 2, || 9u64, enc, dec);
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn stale_seed_without_history_falls_through() {
+        let mut ctx = QueryCtx::memory();
+        ctx.seed_stale("s");
+        let (v, _) = ctx.query("s", 1, || 3u64, enc, dec);
+        assert_eq!(v, 3);
+        assert_eq!(ctx.records()[0].status, StageStatus::Recomputed);
+    }
+
+    #[test]
+    fn stale_does_not_break_downstream_hit_labels() {
+        let mut ctx = QueryCtx::memory();
+        ctx.query("up", 1, || 1u64, enc, dec);
+        ctx.query("down", 10, || 2u64, enc, dec);
+        ctx.seed_stale("up");
+        ctx.begin_run();
+        ctx.query("up", 2, || panic!("stale"), enc, dec);
+        // Downstream keyed off the (unchanged) stale output fingerprint:
+        // plain hit, not cutoff — nothing recomputed.
+        ctx.query("down", 10, || panic!("hit"), enc, dec);
+        assert_eq!(ctx.records()[0].status, StageStatus::Stale);
+        assert_eq!(ctx.records()[1].status, StageStatus::Hit);
+    }
+
+    #[test]
+    fn clear_seeds_drops_pending_overrides() {
+        let mut ctx = QueryCtx::memory();
+        ctx.seed_payload("s", enc(&42));
+        ctx.clear_seeds();
+        let (v, _) = ctx.query("s", 1, || 7u64, enc, dec);
+        assert_eq!(v, 7);
+        assert_eq!(ctx.records()[0].status, StageStatus::Recomputed);
+    }
+
+    #[test]
+    fn last_payload_tracks_every_serve_path() {
+        let mut ctx = QueryCtx::memory();
+        assert!(ctx.last_payload("s").is_none());
+        ctx.query("s", 1, || 5u64, enc, dec);
+        assert_eq!(ctx.last_payload("s").as_deref(), Some(&enc(&5)[..]));
+        ctx.begin_run();
+        ctx.query("s", 1, || panic!("hit"), enc, dec);
+        assert_eq!(ctx.last_payload("s").as_deref(), Some(&enc(&5)[..]));
+        ctx.seed_payload("s", enc(&6));
+        ctx.begin_run();
+        ctx.query("s", 2, || panic!("seed"), enc, dec);
+        assert_eq!(ctx.last_payload("s").as_deref(), Some(&enc(&6)[..]));
+    }
+
+    #[test]
+    fn null_context_ignores_seeds() {
+        let mut ctx = QueryCtx::null();
+        ctx.seed_payload("s", enc(&42));
+        let (v, _) = ctx.query("s", 1, || 7u64, enc, dec);
+        assert_eq!(v, 7);
     }
 }

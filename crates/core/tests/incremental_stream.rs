@@ -1,0 +1,135 @@
+//! Streaming acceptance suite: a 20k-node graph under 1%-churn edge
+//! batches through the full combined pipeline.
+//!
+//! Pins the two halves of the streaming contract at acceptance scale:
+//!
+//! * **Exactness** — with debt threshold 0 every batch re-prepares
+//!   exactly, and the maintained output is semantically identical to a
+//!   from-scratch [`Pipeline::try_apply`] on the mutated graph.
+//! * **Speedup** — in the stale regime a 1%-churn batch re-prepares at
+//!   least 10x faster than the full pipeline, because every stage
+//!   collapses into a reuse of the memoized query layer.
+//!
+//! The release-mode counterpart (tighter timing, CI-gated) is
+//! `graffix bench --stream-gate`.
+
+use graffix_core::{IncrementalPrepare, Pipeline, PrepareMode, Prepared, StreamKnobs};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_graph::mutation::EdgeBatch;
+use graffix_graph::{serialize, Csr, NodeId};
+use graffix_sim::GpuConfig;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+const NODES: usize = 20_000;
+
+fn acceptance_graph() -> Csr {
+    GraphSpec::new(GraphKind::Rmat, NODES, 2020).generate()
+}
+
+/// A batch mutating ~1% of the graph's arcs: two thirds inserts of fresh
+/// arcs, one third deletes of existing ones.
+fn one_percent_batch(g: &Csr, rng: &mut ChaCha8Rng) -> EdgeBatch {
+    let arcs = g.num_edges() / 100;
+    let n = g.num_nodes() as NodeId;
+    let mut batch = EdgeBatch::new();
+    let pick = |rng: &mut ChaCha8Rng| loop {
+        let c = rng.random_range(0..n);
+        if !g.is_hole(c) {
+            break c;
+        }
+    };
+    for _ in 0..arcs {
+        let u = pick(rng);
+        if rng.random_range(0..3usize) == 0 && g.degree(u) > 0 {
+            let nbrs = g.neighbors(u);
+            batch.delete(u, nbrs[rng.random_range(0..nbrs.len())]);
+        } else {
+            let v = pick(rng);
+            batch.insert(u, v, 1);
+        }
+    }
+    batch
+}
+
+/// Semantic equality of two prepared outputs (wall timings excluded).
+fn assert_same_prepared(a: &Prepared, b: &Prepared) {
+    assert_eq!(
+        serialize::to_bytes(&a.graph).as_ref(),
+        serialize::to_bytes(&b.graph).as_ref(),
+        "prepared graphs differ"
+    );
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.to_original, b.to_original);
+    assert_eq!(a.primary, b.primary);
+    assert_eq!(a.replica_groups, b.replica_groups);
+    assert_eq!(a.tiles, b.tiles);
+    assert_eq!(a.technique, b.technique);
+}
+
+#[test]
+fn exact_regime_matches_cold_prepare_at_acceptance_scale() {
+    let g = acceptance_graph();
+    let pipe = Pipeline::all_defaults();
+    let cfg = GpuConfig::k40c();
+    let mut inc = IncrementalPrepare::new(
+        g,
+        pipe.clone(),
+        cfg.clone(),
+        StreamKnobs::default().with_debt_threshold(0.0),
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(2020);
+    for round in 0..2 {
+        let batch = one_percent_batch(inc.graph(), &mut rng);
+        let out = inc.apply_batch(&batch).unwrap();
+        assert_eq!(out.mode, PrepareMode::Exact, "round {round}");
+        assert_eq!(out.debt, 0.0, "round {round}");
+        let cold = pipe.try_apply(inc.graph(), &cfg).unwrap();
+        assert_same_prepared(inc.prepared(), &cold);
+    }
+    assert_eq!(inc.stale_prepares(), 0);
+}
+
+#[test]
+fn stale_regime_is_an_order_of_magnitude_faster_at_one_percent_churn() {
+    const BATCHES: usize = 3;
+    let g = acceptance_graph();
+    let pipe = Pipeline::all_defaults();
+    let cfg = GpuConfig::k40c();
+    // Threshold sized so every measured batch stays in the stale regime.
+    let threshold = 0.011 * (BATCHES + 1) as f64;
+    let mut inc = IncrementalPrepare::new(
+        g,
+        pipe.clone(),
+        cfg.clone(),
+        StreamKnobs::default().with_debt_threshold(threshold),
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let (mut stale_secs, mut full_secs) = (0.0f64, 0.0f64);
+    for round in 0..BATCHES {
+        let batch = one_percent_batch(inc.graph(), &mut rng);
+        let out = inc.apply_batch(&batch).unwrap();
+        assert_eq!(
+            out.mode,
+            PrepareMode::Stale,
+            "round {round} left stale regime"
+        );
+        stale_secs += out.prepare_seconds;
+        let t = Instant::now();
+        let _ = pipe.try_apply(inc.graph(), &cfg).unwrap();
+        full_secs += t.elapsed().as_secs_f64();
+    }
+    let speedup = full_secs / stale_secs.max(1e-9);
+    assert!(
+        speedup >= 10.0,
+        "incremental stale re-prepare must be >=10x faster than full \
+         (full {:.3}s vs incremental {:.3}s over {BATCHES} batches = {:.1}x)",
+        full_secs,
+        stale_secs,
+        speedup
+    );
+}

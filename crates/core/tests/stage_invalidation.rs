@@ -212,6 +212,67 @@ fn divergence_only_flip_reuses_bucket_order() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Mutating the graph between runs must invalidate every stage (all keys
+/// derive from the input fingerprint), and reverting the mutation must
+/// bring every stage back from the cache byte-identically — the staged
+/// cache keys on content, not on identity or time.
+#[test]
+fn mutation_invalidates_all_stages_and_revert_restores_hits() {
+    use graffix_graph::mutation::EdgeBatch;
+
+    let g = graph();
+    let dir = tmp_dir("mutate");
+    let pipe = base_pipeline();
+
+    let (reference, records) = staged_run(&pipe, &g, &dir);
+    assert!(records.iter().all(|r| r.status == StageStatus::Recomputed));
+
+    // Insert a couple of fresh arcs between non-hole nodes.
+    let mut mutated = g.clone();
+    let mut batch = EdgeBatch::new();
+    let picks = [(0u32, 7u32), (3, 11), (5, 2)];
+    for &(u, v) in &picks {
+        assert!(
+            !mutated.is_hole(u) && !mutated.is_hole(v),
+            "pick hit a hole"
+        );
+        batch.insert(u, v, 1);
+    }
+    let outcome = mutated.apply_batch(&batch).expect("valid batch");
+    assert!(
+        !outcome.inserted.is_empty(),
+        "batch must actually change the graph"
+    );
+
+    let (warm, records) = staged_run(&pipe, &mutated, &dir);
+    assert!(
+        records.iter().all(|r| r.status == StageStatus::Recomputed),
+        "a mutated graph must invalidate every stage key: {records:?}"
+    );
+    let cold = pipe.try_apply(&mutated, &GpuConfig::k40c()).unwrap();
+    assert_same_prepared(&warm, &cold, "mutate-then-prepare warm vs cold");
+
+    // Revert: delete exactly the arcs the batch inserted. The graph bytes
+    // return to the original, so every stage must come back as a Hit.
+    let mut revert = EdgeBatch::new();
+    for &(u, v) in &outcome.inserted {
+        revert.delete(u, v);
+    }
+    mutated.apply_batch(&revert).expect("valid revert");
+    assert_eq!(
+        &serialize::to_bytes(&mutated)[..],
+        &serialize::to_bytes(&g)[..],
+        "revert must restore the original bytes"
+    );
+    let (restored, records) = staged_run(&pipe, &mutated, &dir);
+    assert!(
+        records.iter().all(|r| r.status == StageStatus::Hit),
+        "reverted graph must hit every stage: {records:?}"
+    );
+    assert_same_prepared(&restored, &reference, "reverted warm vs original");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Early cutoff: force one mid-graph stage to re-run (by deleting its disk
 /// entry) with unchanged knobs. Its recomputed bytes are identical, so
 /// every downstream stage must reuse its cache and report `Cutoff`, and

@@ -67,8 +67,9 @@ pub mod prelude {
     pub use graffix_baselines::{gunrock, lonestar, tigr, Baseline, ALL_BASELINES};
     pub use graffix_core::{
         auto_tune, coalesce, divergence, latency, prepare_with_cache, CacheConfig, CacheOutcome,
-        CacheStatus, CoalesceKnobs, ConfluenceOp, DivergenceKnobs, GraphProfile, LatencyKnobs,
-        PhaseTiming, Pipeline, Prepared, QueryCtx, StageRecord, StageStatus, Technique, Tile,
+        CacheStatus, CoalesceKnobs, ConfluenceOp, DivergenceKnobs, GraphProfile,
+        IncrementalOutcome, IncrementalPrepare, LatencyKnobs, PhaseTiming, Pipeline, PrepareMode,
+        Prepared, QueryCtx, StageRecord, StageStatus, StreamError, StreamKnobs, Technique, Tile,
         TransformReport, TunedKnobs,
     };
     pub use graffix_graph::generators::paper_suite;

@@ -20,8 +20,15 @@ pub struct GraphBuilder {
 }
 
 impl GraphBuilder {
-    /// Creates a builder for a graph with `num_nodes` vertices.
+    /// Creates a builder for a graph with `num_nodes` vertices. Panics when
+    /// the slot count would include id `u32::MAX` (the `INVALID_NODE`
+    /// sentinel); callers with untrusted counts must range-check first.
     pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes <= crate::csr::INVALID_NODE as usize,
+            "{num_nodes} node slots would include id {}, reserved as INVALID_NODE",
+            u32::MAX
+        );
         GraphBuilder {
             num_nodes,
             ..Default::default()

@@ -57,6 +57,11 @@ impl Csr {
     /// the same shape as `adj`.
     pub fn from_adjacency(adj: Vec<Vec<NodeId>>, weights: Option<Vec<Vec<u32>>>) -> Self {
         let n = adj.len();
+        assert!(
+            n <= INVALID_NODE as usize,
+            "{n} node slots would include id {}, reserved as INVALID_NODE",
+            u32::MAX
+        );
         let mut offsets = Vec::with_capacity(n + 1);
         let total: usize = adj.iter().map(Vec::len).sum();
         let mut edges = Vec::with_capacity(total);
@@ -438,6 +443,11 @@ impl Csr {
             return Err(GraphError::EmptyOffsets);
         }
         let n = self.num_nodes();
+        // Slot count n means ids 0..n-1; n > u32::MAX would put the
+        // INVALID_NODE sentinel into the live id space.
+        if n > INVALID_NODE as usize {
+            return Err(GraphError::TooManyNodes { nodes: n });
+        }
         if let Some(at) = self.offsets.windows(2).position(|w| w[0] > w[1]) {
             return Err(GraphError::NonMonotoneOffsets { at });
         }

@@ -33,6 +33,19 @@ pub enum GraphError {
     EdgeIntoHole { dest: NodeId },
     /// A weighted accessor was called on an unweighted graph.
     Unweighted,
+    /// The slot count would include node id `u32::MAX`, which is reserved
+    /// as the `INVALID_NODE` sentinel used by traversals and transforms.
+    TooManyNodes { nodes: usize },
+    /// An untrusted scalar (header field, stream token, knob) does not fit
+    /// the range its destination type can represent.
+    ValueOutOfRange {
+        what: &'static str,
+        value: u64,
+        max: u64,
+    },
+    /// A mutation tried to attach an edge to a hole slot (holes are not
+    /// logical vertices and must stay edge-free).
+    MutationIntoHole { node: NodeId },
 }
 
 impl fmt::Display for GraphError {
@@ -70,6 +83,19 @@ impl fmt::Display for GraphError {
                 write!(f, "edge destination {dest} is a hole slot")
             }
             GraphError::Unweighted => write!(f, "graph is unweighted"),
+            GraphError::TooManyNodes { nodes } => {
+                write!(
+                    f,
+                    "{nodes} node slots would include id {}, reserved as INVALID_NODE",
+                    u32::MAX
+                )
+            }
+            GraphError::ValueOutOfRange { what, value, max } => {
+                write!(f, "{what} {value} out of range (max {max})")
+            }
+            GraphError::MutationIntoHole { node } => {
+                write!(f, "mutation attaches an edge to hole slot {node}")
+            }
         }
     }
 }

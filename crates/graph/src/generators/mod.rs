@@ -111,6 +111,25 @@ impl GraphSpec {
     /// them unshuffled would hand the exact baseline a layout quality the
     /// paper's inputs never had.
     pub fn generate(&self) -> Csr {
+        match self.try_generate() {
+            Ok(g) => g,
+            Err(e) => panic!("invalid graph spec: {e}"),
+        }
+    }
+
+    /// Like [`GraphSpec::generate`] but reports an out-of-range scale as a
+    /// typed error instead of panicking — the entry point for specs parsed
+    /// from untrusted input (registry entries, CLI flags).
+    pub fn try_generate(&self) -> Result<Csr, crate::error::GraphError> {
+        // Generators may round the node count up (road grids); keep a
+        // conservative margin below the u32::MAX sentinel boundary.
+        if self.nodes > u32::MAX as usize / 2 {
+            return Err(crate::error::GraphError::ValueOutOfRange {
+                what: "generator node count",
+                value: self.nodes as u64,
+                max: u32::MAX as u64 / 2,
+            });
+        }
         let g = match self.kind {
             GraphKind::Rmat => rmat::generate(self.nodes, self.nodes * self.avg_degree, self.seed),
             GraphKind::Random => {
@@ -125,11 +144,11 @@ impl GraphSpec {
             GraphKind::Road => road::generate(self.nodes, self.seed),
         };
         let g = shuffle_ids(&g, self.seed ^ 0x5eed_0002);
-        if self.max_weight == 0 {
+        Ok(if self.max_weight == 0 {
             g
         } else {
             attach_weights(&g, self.max_weight, self.seed ^ 0x5eed_0001)
-        }
+        })
     }
 }
 

@@ -38,8 +38,19 @@ pub fn read_edge_list<R: Read>(input: R, num_nodes: Option<usize>) -> io::Result
                 .parse::<u64>()
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}: {e}")))
         };
-        let src = parse(parts.next(), "src")? as usize;
-        let dst = parse(parts.next(), "dst")? as usize;
+        let check_id = |x: u64, what: &str| {
+            // Ids must stay below the INVALID_NODE sentinel (u32::MAX).
+            if x >= u32::MAX as u64 {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{what} {x} exceeds the u32 id space"),
+                ))
+            } else {
+                Ok(x as usize)
+            }
+        };
+        let src = check_id(parse(parts.next(), "src")?, "src")?;
+        let dst = check_id(parse(parts.next(), "dst")?, "dst")?;
         let weight = match parts.next() {
             Some(w) => Some(w.parse::<u32>().map_err(|e| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("bad weight: {e}"))
@@ -91,6 +102,12 @@ pub fn read_dimacs<R: Read>(input: R) -> io::Result<Csr> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad p line"))?;
+            if n > u32::MAX as usize {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("node count {n} exceeds the u32 id space"),
+                ));
+            }
             builder = Some(GraphBuilder::new(n));
         } else if let Some(rest) = t.strip_prefix("a ") {
             let b = builder
@@ -106,10 +123,28 @@ pub fn read_dimacs<R: Read>(input: R) -> io::Result<Csr> {
                         io::Error::new(io::ErrorKind::InvalidData, format!("bad a line: {e}"))
                     })
             };
-            let u = next_num()? as NodeId - 1;
-            let v = next_num()? as NodeId - 1;
-            let w = next_num()? as u32;
-            b.add_weighted_edge(u, v, w);
+            // Ids are 1-based; range-check *before* narrowing so an id of 0
+            // cannot wrap to u32::MAX and a huge id cannot truncate.
+            let mut node = |what: &'static str| -> io::Result<NodeId> {
+                let x = next_num()?;
+                if x == 0 || x > u32::MAX as u64 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{what} {x} outside the 1-based u32 id space"),
+                    ));
+                }
+                Ok((x - 1) as NodeId)
+            };
+            let u = node("src")?;
+            let v = node("dst")?;
+            let w = next_num()?;
+            if w > u32::MAX as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("weight {w} exceeds u32"),
+                ));
+            }
+            b.add_weighted_edge(u, v, w as u32);
         }
     }
     builder

@@ -15,6 +15,7 @@ pub mod csr;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod mutation;
 pub mod properties;
 pub mod serialize;
 pub mod traversal;
@@ -23,6 +24,7 @@ pub use builder::GraphBuilder;
 pub use csr::{undirected_build_count, Csr, EdgeId, NodeId, INVALID_NODE};
 pub use error::GraphError;
 pub use generators::{GraphKind, GraphSpec};
+pub use mutation::{parse_stream, BatchOutcome, DeltaLog, EdgeBatch};
 
 /// Convenience prelude bringing the most common items into scope.
 pub mod prelude {

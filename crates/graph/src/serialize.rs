@@ -87,11 +87,29 @@ pub fn from_bytes(mut bytes: Bytes) -> io::Result<Csr> {
     if flags & !(FLAG_WEIGHTED | FLAG_HOLES) != 0 {
         return Err(err("unknown flags"));
     }
-    let n = bytes.get_u64_le() as usize;
-    let m = bytes.get_u64_le() as usize;
+    let n64 = bytes.get_u64_le();
+    let m64 = bytes.get_u64_le();
     let weighted = flags & FLAG_WEIGHTED != 0;
     let has_holes = flags & FLAG_HOLES != 0;
 
+    // Checked conversions: a hostile header can claim counts that would
+    // truncate through `as usize` (32-bit hosts) or overflow the size
+    // arithmetic below. Node slots beyond u32::MAX would also collide with
+    // the INVALID_NODE sentinel.
+    if n64 > u32::MAX as u64 {
+        return Err(err("node count exceeds the u32 id space"));
+    }
+    // Each offset costs 8 bytes and each edge at least 4, so any honest n/m
+    // is bounded by the remaining payload; this also keeps `need` from
+    // overflowing on 32-bit hosts.
+    if n64 > bytes.remaining() as u64 / 8 {
+        return Err(err("truncated body"));
+    }
+    if m64 > bytes.remaining() as u64 / 4 {
+        return Err(err("truncated body"));
+    }
+    let n = n64 as usize;
+    let m = m64 as usize;
     let need = (n + 1) * 8
         + m * 4
         + if weighted { m * 4 } else { 0 }
@@ -101,7 +119,11 @@ pub fn from_bytes(mut bytes: Bytes) -> io::Result<Csr> {
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
-        offsets.push(bytes.get_u64_le() as usize);
+        let o = bytes.get_u64_le();
+        if o > m64 {
+            return Err(err("offset beyond edge count"));
+        }
+        offsets.push(o as usize);
     }
     if *offsets.last().unwrap() != m {
         return Err(err("offset/edge-count mismatch"));

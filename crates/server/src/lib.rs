@@ -31,8 +31,8 @@ pub use exec::{run_direct, run_on_plan, Executed};
 pub use metrics::ServerMetrics;
 pub use pool::{pipeline_for_request, Checkout, PoolKey, PoolStats, PreparedPool};
 pub use protocol::{
-    error_response, ok_response, parse_request, AdminOp, ErrorKind, Request, RunRequest,
-    ServeError, ALL_ERROR_KINDS, MAX_REQUEST_BYTES,
+    error_response, ok_response, parse_request, AdminOp, ErrorKind, MutateRequest, Request,
+    RunRequest, ServeError, ALL_ERROR_KINDS, MAX_REQUEST_BYTES,
 };
 pub use registry::{GraphRegistry, GraphSource};
 pub use server::{Bind, ServeConfig, Server};

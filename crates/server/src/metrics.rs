@@ -31,6 +31,8 @@ pub struct ServerMetrics {
     pub queue_peak: AtomicU64,
     /// Admin ops served.
     pub admin_ops: AtomicU64,
+    /// `mutate` ops applied successfully.
+    pub mutations: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -64,6 +66,10 @@ impl ServerMetrics {
             "admin_ops",
             Json::U64(self.admin_ops.load(Ordering::Relaxed)),
         );
+        m.set(
+            "mutations",
+            Json::U64(self.mutations.load(Ordering::Relaxed)),
+        );
         m.set("batches", Json::U64(self.batches.load(Ordering::Relaxed)));
         m.set(
             "batched_requests",
@@ -92,6 +98,7 @@ impl ServerMetrics {
         p.set("hits", Json::U64(pool.hits));
         p.set("misses", Json::U64(pool.misses));
         p.set("evictions", Json::U64(pool.evictions));
+        p.set("invalidations", Json::U64(pool.invalidations));
 
         let mut root = Json::obj();
         root.set("op", Json::Str("stats".to_string()));

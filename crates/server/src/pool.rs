@@ -27,6 +27,7 @@ use crate::registry::GraphRegistry;
 use graffix_core::{
     auto_tune, prepare_with_cache, CacheConfig, CacheStatus, Pipeline, Prepared, StageRecord,
 };
+use graffix_graph::mutation::{BatchOutcome, EdgeBatch};
 use graffix_graph::Csr;
 use graffix_sim::GpuConfig;
 use std::collections::HashMap;
@@ -105,6 +106,9 @@ pub struct PoolStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Pool entries retired by a graph mutation (distinct from LRU
+    /// `evictions`, which the capacity invariants count).
+    pub invalidations: u64,
     /// Preparations whose disk-cache store failed (e.g. read-only cache
     /// dir). The request still succeeds; this is the operator warning
     /// counter.
@@ -130,6 +134,10 @@ pub struct Checkout {
 
 struct Inner {
     entries: HashMap<PoolKey, PoolEntry>,
+    /// Post-mutation graphs by name. A checkout miss consults this before
+    /// the registry source, so mutations survive LRU eviction of every
+    /// prepared entry.
+    overlays: HashMap<String, Arc<Csr>>,
     clock: u64,
     stats: PoolStats,
 }
@@ -151,6 +159,7 @@ impl PreparedPool {
             cache,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                overlays: HashMap::new(),
                 clock: 0,
                 stats: PoolStats::default(),
             }),
@@ -211,12 +220,17 @@ impl PreparedPool {
                 format!("graph `{}` is not registered", key.graph),
             )
         })?;
-        let original = Arc::new(source.load().map_err(|e| {
-            ServeError::new(
-                ErrorKind::GraphLoad,
-                format!("could not load graph `{}`: {e}", key.graph),
-            )
-        })?);
+        // A mutated graph lives in the overlay; the registry source only
+        // provides the pristine bytes.
+        let original = match inner.overlays.get(&key.graph) {
+            Some(g) => Arc::clone(g),
+            None => Arc::new(source.load().map_err(|e| {
+                ServeError::new(
+                    ErrorKind::GraphLoad,
+                    format!("could not load graph `{}`: {e}", key.graph),
+                )
+            })?),
+        };
 
         let threshold =
             (key.threshold_bits != u64::MAX).then(|| f64::from_bits(key.threshold_bits));
@@ -282,6 +296,61 @@ impl PreparedPool {
             stages,
         })
     }
+
+    /// Applies an edge batch to `graph`'s current view (overlay if it was
+    /// mutated before, registry source otherwise), stores the result as the
+    /// new overlay, and retires every pooled preparation of that graph —
+    /// they were built from the pre-mutation bytes. Returns the batch
+    /// outcome and the number of entries invalidated. On error (unknown
+    /// graph, unloadable source, invalid batch) nothing changes.
+    pub fn mutate(
+        &self,
+        graph: &str,
+        batch: &EdgeBatch,
+        registry: &GraphRegistry,
+    ) -> Result<(BatchOutcome, usize), ServeError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut g: Csr = match inner.overlays.get(graph) {
+            Some(a) => (**a).clone(),
+            None => {
+                let source = registry.get(graph).ok_or_else(|| {
+                    ServeError::new(
+                        ErrorKind::UnknownGraph,
+                        format!("graph `{graph}` is not registered"),
+                    )
+                })?;
+                source.load().map_err(|e| {
+                    ServeError::new(
+                        ErrorKind::GraphLoad,
+                        format!("could not load graph `{graph}`: {e}"),
+                    )
+                })?
+            }
+        };
+        let outcome = g.apply_batch(batch).map_err(|e| {
+            ServeError::new(
+                ErrorKind::BadMutation,
+                format!("cannot apply batch to `{graph}`: {e}"),
+            )
+        })?;
+        inner.overlays.insert(graph.to_string(), Arc::new(g));
+        let before = inner.entries.len();
+        inner.entries.retain(|k, _| k.graph != graph);
+        let dropped = before - inner.entries.len();
+        inner.stats.invalidations += dropped as u64;
+        Ok((outcome, dropped))
+    }
+
+    /// Drops every pooled preparation of `graph` without touching its
+    /// overlay. Returns the number of entries removed.
+    pub fn invalidate_graph(&self, graph: &str) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let before = inner.entries.len();
+        inner.entries.retain(|k, _| k.graph != graph);
+        let dropped = before - inner.entries.len();
+        inner.stats.invalidations += dropped as u64;
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +388,7 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 evictions: 0,
+                invalidations: 0,
                 store_failures: 0
             }
         );
@@ -360,6 +430,62 @@ mod tests {
             .checkout(&PoolKey::new("bad", "exact", None), &reg)
             .unwrap_err();
         assert_eq!(err.kind, ErrorKind::GraphLoad);
+    }
+
+    #[test]
+    fn mutation_invalidates_pooled_entries_and_persists() {
+        let reg = registry(2);
+        let p = pool(4);
+        let k_exact = PoolKey::new("g0", "exact", None);
+        let k_div = PoolKey::new("g0", "divergence", None);
+        let k_other = PoolKey::new("g1", "exact", None);
+        let before = p.checkout(&k_exact, &reg).unwrap();
+        p.checkout(&k_div, &reg).unwrap();
+        p.checkout(&k_other, &reg).unwrap();
+
+        let mut batch = EdgeBatch::new();
+        batch.insert(0, 7, 1);
+        batch.insert(7, 0, 1);
+        let (outcome, dropped) = p.mutate("g0", &batch, &reg).unwrap();
+        assert_eq!(dropped, 2, "both g0 preparations retire");
+        assert!(!outcome.inserted.is_empty() || outcome.reweighted > 0);
+        assert_eq!(p.stats().invalidations, 2);
+        assert_eq!(p.len(), 1, "g1 is untouched");
+
+        // The next checkout re-prepares from the overlay, not the source.
+        let after = p.checkout(&k_exact, &reg).unwrap();
+        assert!(!after.pool_hit);
+        assert!(after.original.has_edge(0, 7), "mutation must be visible");
+        assert!(!before.original.has_edge(0, 7), "old Arc is untouched");
+
+        // A second mutation stacks on the first overlay.
+        let mut batch2 = EdgeBatch::new();
+        batch2.delete(0, 7);
+        p.mutate("g0", &batch2, &reg).unwrap();
+        let third = p.checkout(&k_exact, &reg).unwrap();
+        assert!(!third.original.has_edge(0, 7));
+        assert!(
+            third.original.has_edge(7, 0),
+            "first batch's mirror arc survives"
+        );
+    }
+
+    #[test]
+    fn mutation_errors_are_typed_and_leave_state_alone() {
+        let reg = registry(1);
+        let p = pool(2);
+        let err = p.mutate("nope", &EdgeBatch::new(), &reg).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownGraph);
+
+        // Out-of-range endpoint: typed BadMutation, pool untouched.
+        p.checkout(&PoolKey::new("g0", "exact", None), &reg)
+            .unwrap();
+        let mut bad = EdgeBatch::new();
+        bad.insert(0, 1_000_000, 1); // far beyond the 300-node graph
+        let err = p.mutate("g0", &bad, &reg).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadMutation);
+        assert_eq!(p.len(), 1, "failed mutation must not invalidate");
+        assert_eq!(p.stats().invalidations, 0);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 use graffix::prelude::Algo;
 use graffix_algos::Direction;
 use graffix_baselines::Baseline;
+use graffix_graph::mutation::EdgeBatch;
+use graffix_graph::NodeId;
 use graffix_sim::Json;
 
 /// Hard cap on one request line. Anything longer is answered with an
@@ -49,6 +51,9 @@ pub enum ErrorKind {
     UnknownBaseline,
     /// `source` is outside the graph's vertex range.
     BadSource,
+    /// A `mutate` batch is malformed or cannot apply to the graph (id out
+    /// of range, edge attached to a hole slot, ...).
+    BadMutation,
     /// The request line exceeded [`MAX_REQUEST_BYTES`].
     Oversized,
     /// The bounded admission queue is full; retry later.
@@ -62,7 +67,7 @@ pub enum ErrorKind {
 }
 
 /// All kinds, for metrics table construction.
-pub const ALL_ERROR_KINDS: [ErrorKind; 13] = [
+pub const ALL_ERROR_KINDS: [ErrorKind; 14] = [
     ErrorKind::BadRequest,
     ErrorKind::UnknownOp,
     ErrorKind::UnknownAlgo,
@@ -71,6 +76,7 @@ pub const ALL_ERROR_KINDS: [ErrorKind; 13] = [
     ErrorKind::UnknownDirection,
     ErrorKind::UnknownBaseline,
     ErrorKind::BadSource,
+    ErrorKind::BadMutation,
     ErrorKind::Oversized,
     ErrorKind::Overloaded,
     ErrorKind::ShuttingDown,
@@ -90,6 +96,7 @@ impl ErrorKind {
             ErrorKind::UnknownDirection => "unknown-direction",
             ErrorKind::UnknownBaseline => "unknown-baseline",
             ErrorKind::BadSource => "bad-source",
+            ErrorKind::BadMutation => "bad-mutation",
             ErrorKind::Oversized => "oversized",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting-down",
@@ -157,11 +164,25 @@ pub struct RunRequest {
     pub debug_sleep_ms: u64,
 }
 
-/// A parsed request line: an admin op or a run.
+/// One parsed `mutate` request: a batch of edge inserts/deletes against a
+/// registered graph. Applying it retires every pooled preparation of that
+/// graph (they were built from the pre-mutation bytes).
+#[derive(Clone, Debug)]
+pub struct MutateRequest {
+    /// Client-chosen correlation id, echoed on the response. Defaults 0.
+    pub id: u64,
+    /// Registered graph name.
+    pub graph: String,
+    /// The edge mutations to apply atomically.
+    pub batch: EdgeBatch,
+}
+
+/// A parsed request line: an admin op, a run, or a mutation.
 #[derive(Clone, Debug)]
 pub enum Request {
     Admin { id: u64, op: AdminOp },
     Run(Box<RunRequest>),
+    Mutate(Box<MutateRequest>),
 }
 
 impl Request {
@@ -169,6 +190,7 @@ impl Request {
         match self {
             Request::Admin { id, .. } => *id,
             Request::Run(r) => r.id,
+            Request::Mutate(m) => m.id,
         }
     }
 }
@@ -225,10 +247,15 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, ServeError)> {
                     .map(|r| Request::Run(Box::new(r)))
                     .map_err(fail);
             }
+            "mutate" => {
+                return parse_mutate(&doc, id)
+                    .map(|m| Request::Mutate(Box::new(m)))
+                    .map_err(fail);
+            }
             other => {
                 return Err(fail(ServeError::new(
                     ErrorKind::UnknownOp,
-                    format!("unknown op `{other}` (want run|ping|stats|shutdown)"),
+                    format!("unknown op `{other}` (want run|mutate|ping|stats|shutdown)"),
                 )));
             }
         };
@@ -307,6 +334,76 @@ fn parse_run(doc: &Json, id: u64) -> Result<RunRequest, ServeError> {
     })
 }
 
+/// One wire-encoded node id: a u64 strictly below `u32::MAX` (the
+/// `INVALID_NODE` sentinel is not addressable).
+fn mutation_id(v: &Json, what: &str) -> Result<NodeId, ServeError> {
+    v.as_u64()
+        .filter(|&x| x < u32::MAX as u64)
+        .map(|x| x as NodeId)
+        .ok_or_else(|| {
+            ServeError::new(
+                ErrorKind::BadMutation,
+                format!("{what} must be a node id below {}", u32::MAX),
+            )
+        })
+}
+
+/// Parses a `mutate` op: `insert` is an array of `[u, v]` / `[u, v, w]`
+/// triples, `delete` an array of `[u, v]` pairs; both optional (an empty
+/// batch is legal and a no-op).
+fn parse_mutate(doc: &Json, id: u64) -> Result<MutateRequest, ServeError> {
+    let graph = field_str(doc, "graph")?
+        .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, "missing `graph`"))?
+        .to_string();
+    let mut batch = EdgeBatch::new();
+    let entries = |key: &str| -> Result<&[Json], ServeError> {
+        match doc.get(key) {
+            None | Some(Json::Null) => Ok(&[]),
+            Some(v) => v.as_arr().ok_or_else(|| {
+                ServeError::new(
+                    ErrorKind::BadMutation,
+                    format!("`{key}` must be an array of edge tuples"),
+                )
+            }),
+        }
+    };
+    for e in entries("insert")? {
+        let tuple = e.as_arr().filter(|t| t.len() == 2 || t.len() == 3);
+        let Some(tuple) = tuple else {
+            return Err(ServeError::new(
+                ErrorKind::BadMutation,
+                "`insert` entries must be [u, v] or [u, v, w]",
+            ));
+        };
+        let u = mutation_id(&tuple[0], "insert src")?;
+        let v = mutation_id(&tuple[1], "insert dst")?;
+        let w = match tuple.get(2) {
+            None => 1,
+            Some(w) => w
+                .as_u64()
+                .filter(|&x| x <= u32::MAX as u64)
+                .map(|x| x as u32)
+                .ok_or_else(|| {
+                    ServeError::new(ErrorKind::BadMutation, "insert weight must be a u32")
+                })?,
+        };
+        batch.insert(u, v, w);
+    }
+    for e in entries("delete")? {
+        let tuple = e.as_arr().filter(|t| t.len() == 2);
+        let Some(tuple) = tuple else {
+            return Err(ServeError::new(
+                ErrorKind::BadMutation,
+                "`delete` entries must be [u, v]",
+            ));
+        };
+        let u = mutation_id(&tuple[0], "delete src")?;
+        let v = mutation_id(&tuple[1], "delete dst")?;
+        batch.delete(u, v);
+    }
+    Ok(MutateRequest { id, graph, batch })
+}
+
 /// Encodes an error response line.
 pub fn error_response(id: u64, err: &ServeError) -> Json {
     let mut e = Json::obj();
@@ -367,6 +464,67 @@ mod tests {
         assert_eq!(r.direction, Direction::Auto);
         assert_eq!(r.baseline, Baseline::Gunrock);
         assert_eq!(r.bc_sources, 2);
+    }
+
+    #[test]
+    fn parses_mutate_op() {
+        let r = parse_request(
+            r#"{"id":5,"op":"mutate","graph":"g","insert":[[1,2],[3,4,9]],"delete":[[0,1]]}"#,
+        )
+        .unwrap();
+        let Request::Mutate(m) = r else {
+            panic!("want mutate")
+        };
+        assert_eq!(m.id, 5);
+        assert_eq!(m.graph, "g");
+        assert_eq!(m.batch.inserts(), &[(1, 2, 1), (3, 4, 9)]);
+        assert_eq!(m.batch.deletes(), &[(0, 1)]);
+
+        // Both edge lists are optional: an empty mutation parses.
+        let r = parse_request(r#"{"op":"mutate","graph":"g"}"#).unwrap();
+        let Request::Mutate(m) = r else {
+            panic!("want mutate")
+        };
+        assert!(m.batch.is_empty());
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_mutations() {
+        let cases: &[(&str, ErrorKind)] = &[
+            (r#"{"op":"mutate"}"#, ErrorKind::BadRequest),
+            (
+                r#"{"op":"mutate","graph":"g","insert":3}"#,
+                ErrorKind::BadMutation,
+            ),
+            (
+                r#"{"op":"mutate","graph":"g","insert":[[1]]}"#,
+                ErrorKind::BadMutation,
+            ),
+            (
+                r#"{"op":"mutate","graph":"g","insert":[[1,2,3,4]]}"#,
+                ErrorKind::BadMutation,
+            ),
+            (
+                r#"{"op":"mutate","graph":"g","delete":[[1,2,3]]}"#,
+                ErrorKind::BadMutation,
+            ),
+            (
+                r#"{"op":"mutate","graph":"g","insert":[[1,4294967295]]}"#,
+                ErrorKind::BadMutation,
+            ),
+            (
+                r#"{"op":"mutate","graph":"g","delete":[[-1,2]]}"#,
+                ErrorKind::BadMutation,
+            ),
+            (
+                r#"{"op":"mutate","graph":"g","insert":[[1,2,4294967296]]}"#,
+                ErrorKind::BadMutation,
+            ),
+        ];
+        for (line, want) in cases {
+            let (_, err) = parse_request(line).expect_err(line);
+            assert_eq!(err.kind, *want, "{line}: {}", err.message);
+        }
     }
 
     #[test]

@@ -38,8 +38,8 @@ use crate::exec::{effective_source, result_excerpt, run_on_plan, Executed};
 use crate::metrics::ServerMetrics;
 use crate::pool::{PoolKey, PreparedPool};
 use crate::protocol::{
-    error_response, ok_response, parse_request, AdminOp, ErrorKind, Request, RunRequest,
-    ServeError, MAX_REQUEST_BYTES,
+    error_response, ok_response, parse_request, AdminOp, ErrorKind, MutateRequest, Request,
+    RunRequest, ServeError, MAX_REQUEST_BYTES,
 };
 use crate::registry::GraphRegistry;
 use graffix::prelude::Algo;
@@ -446,6 +446,7 @@ fn connection_loop(stream: Stream, shared: &Arc<Shared>) {
             Err((id, err)) => respond_error(shared, &tx, id, &err),
             Ok(Request::Admin { id, op }) => handle_admin(shared, &tx, id, op),
             Ok(Request::Run(req)) => submit(shared, &tx, *req),
+            Ok(Request::Mutate(req)) => handle_mutate(shared, &tx, *req),
         }
     }
     drop(tx);
@@ -477,6 +478,35 @@ fn handle_admin(shared: &Arc<Shared>, tx: &Sender<String>, id: u64, op: AdminOp)
             r.set("draining", Json::Bool(true));
             let _ = tx.send(ok_response(id, r, None).to_compact_string());
             shared.begin_shutdown();
+        }
+    }
+}
+
+/// Applies a `mutate` batch synchronously on the connection thread: the
+/// pool applies it to the graph's current view, stores the new overlay,
+/// and retires every pooled preparation of that graph, so any run request
+/// sent *after* the mutate response on the same connection observes the
+/// mutated graph. Mutations are rejected while draining (they change state
+/// the drain is trying to settle).
+fn handle_mutate(shared: &Arc<Shared>, tx: &Sender<String>, req: MutateRequest) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let err = ServeError::new(ErrorKind::ShuttingDown, "server is draining");
+        respond_error(shared, tx, req.id, &err);
+        return;
+    }
+    match shared.pool.mutate(&req.graph, &req.batch, &shared.registry) {
+        Err(err) => respond_error(shared, tx, req.id, &err),
+        Ok((outcome, invalidated)) => {
+            shared.metrics.mutations.fetch_add(1, Ordering::Relaxed);
+            let mut r = Json::obj();
+            r.set("op", Json::Str("mutate".to_string()));
+            r.set("graph", Json::Str(req.graph));
+            r.set("inserted", Json::U64(outcome.inserted.len() as u64));
+            r.set("deleted", Json::U64(outcome.deleted.len() as u64));
+            r.set("reweighted", Json::U64(outcome.reweighted as u64));
+            r.set("dirty_nodes", Json::U64(outcome.dirty.len() as u64));
+            r.set("invalidated", Json::U64(invalidated as u64));
+            let _ = tx.send(ok_response(req.id, r, None).to_compact_string());
         }
     }
 }

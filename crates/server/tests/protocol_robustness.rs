@@ -115,6 +115,52 @@ fn oversized_lines_are_rejected_and_discarded() {
     server.join();
 }
 
+/// Builds a valid run request padded to exactly `len` bytes (no newline).
+fn padded_request(len: usize) -> String {
+    let prefix = "{\"graph\":\"small\",\"algo\":\"sssp\",\"pad\":\"";
+    let suffix = "\"}";
+    let pad = len
+        .checked_sub(prefix.len() + suffix.len())
+        .expect("len larger than the JSON scaffolding");
+    format!("{prefix}{}{suffix}", "x".repeat(pad))
+}
+
+#[test]
+fn frame_cap_boundary_is_exact() {
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect_tcp(&addr).unwrap();
+
+    // A line of exactly MAX_REQUEST_BYTES (newline excluded) is within the
+    // contract and must be served normally.
+    let at_cap = padded_request(MAX_REQUEST_BYTES);
+    assert_eq!(at_cap.len(), MAX_REQUEST_BYTES);
+    let resp = c.call_line(&at_cap).unwrap();
+    assert_eq!(
+        Json::parse(&resp).unwrap().get("ok"),
+        Some(&Json::Bool(true)),
+        "exactly-at-cap frame must be accepted: {resp}"
+    );
+
+    // One byte over the cap flips to the typed `oversized` rejection.
+    let over_cap = padded_request(MAX_REQUEST_BYTES + 1);
+    assert_eq!(over_cap.len(), MAX_REQUEST_BYTES + 1);
+    let resp = c.call_line(&over_cap).unwrap();
+    assert_eq!(error_kind(&resp), "oversized");
+
+    // The over-cap line was discarded through its newline: the connection
+    // is still in frame sync and serves the next request.
+    let resp = c
+        .call_line("{\"graph\":\"small\",\"algo\":\"sssp\"}")
+        .unwrap();
+    assert_eq!(
+        Json::parse(&resp).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
 #[test]
 fn truncated_frames_do_not_kill_the_server() {
     let (server, addr) = start(|_| {});
