@@ -1,9 +1,9 @@
 //! Execution plans: everything an algorithm needs to run on the simulator.
 
 use graffix_core::{ConfluenceOp, DirectionKnobs, Prepared, Tile};
-use graffix_graph::{Csr, NodeId, INVALID_NODE};
+use graffix_graph::{Csr, NodeId, Segmentation, INVALID_NODE};
 use graffix_sim::{GpuConfig, KernelStats, Lane, TraceHandle};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Processing style of the executing framework.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -92,6 +92,12 @@ pub struct Plan {
     /// caller (see `graffix_sim::trace`). Disabled by default — every
     /// recording call is then a single no-op branch. Clones share the sink.
     pub trace: TraceHandle,
+    /// Cache-sized vertex-range segmentation (DESIGN.md §12). `Some` makes
+    /// the runner execute supersteps segment-major: one block per active
+    /// segment, each carrying its attribute window as an L2 residency span.
+    /// Only valid for identity-attribute plans — a segment's node range
+    /// must coincide with an attribute range for the span pricing to hold.
+    pub segments: Option<Arc<Segmentation>>,
     /// Lazily-derived execution maps (see [`PlanDerived`]).
     pub derived: PlanDerived,
 }
@@ -106,8 +112,9 @@ pub struct PlanDerived {
     procs_of_slot: OnceLock<Option<Vec<Vec<NodeId>>>>,
     /// logical (original) vertex → processing copies.
     procs_of_logical: OnceLock<Vec<Vec<NodeId>>>,
-    /// CSC mirror of the processing graph (pull-mode gather topology).
-    csc: OnceLock<Csr>,
+    /// CSC mirror of the processing graph (pull-mode gather topology),
+    /// shared with the graph's memoized transpose view.
+    csc: OnceLock<Arc<Csr>>,
 }
 
 impl Clone for PlanDerived {
@@ -138,6 +145,7 @@ impl Plan {
             direction: Direction::Push,
             direction_knobs: DirectionKnobs::default(),
             trace: TraceHandle::default(),
+            segments: None,
             derived: PlanDerived::default(),
         }
     }
@@ -145,6 +153,19 @@ impl Plan {
     /// Sets the traversal direction policy (builder style).
     pub fn with_direction(mut self, direction: Direction) -> Plan {
         self.direction = direction;
+        self
+    }
+
+    /// Installs a vertex-range segmentation, switching the runner into
+    /// segment-major execution (builder style). Panics on non-identity
+    /// attribute plans — segment spans price attribute windows, which only
+    /// line up with node ranges when `attr_of` is the identity.
+    pub fn with_segments(mut self, segments: Arc<Segmentation>) -> Plan {
+        assert!(
+            self.identity_attrs(),
+            "segment-major execution requires an identity-attribute plan"
+        );
+        self.segments = Some(segments);
         self
     }
 
@@ -164,7 +185,7 @@ impl Plan {
     /// unchanged: the transpose preserves node count and ids, so plan slot
     /// and logical mappings apply to it directly.
     pub fn csc(&self) -> &Csr {
-        self.derived.csc.get_or_init(|| self.graph.transpose())
+        self.derived.csc.get_or_init(|| self.graph.transposed())
     }
 
     /// Number of logical (original) vertices.

@@ -180,12 +180,17 @@ impl<'a> Runner<'a> {
     /// pricing**: nodes belonging to a shared-memory tile execute in that
     /// tile's block (their tile-resident attribute accesses cost shared
     /// latency), everything else runs in untiled blocks at global prices.
-    /// Without tiles this is a plain superstep.
+    /// Without tiles this is a plain superstep — or, when the plan carries
+    /// a [`Segmentation`](graffix_graph::Segmentation), a segment-major
+    /// launch (see [`Runner::run_segmented_superstep`]).
     pub fn run_tiled_superstep<F>(&self, assignment: &[NodeId], kernel: F) -> SuperstepOutcome
     where
         F: Fn(NodeId, &mut Lane) -> bool + Sync,
     {
         if self.plan.tiles.is_empty() {
+            if self.plan.segments.is_some() {
+                return self.run_segmented_superstep(assignment, kernel);
+            }
             let outcome = run_superstep(
                 &self.plan.cfg,
                 Superstep {
@@ -213,6 +218,7 @@ impl<'a> Runner<'a> {
                 t => groups[t as usize].push(v),
             }
         }
+        let rest_groups: Vec<Vec<NodeId>>;
         let mut blocks: Vec<Block<'_>> = Vec::with_capacity(groups.len() + 1);
         let mut staged_words = 0u64;
         for (t, g) in groups.iter().enumerate() {
@@ -220,6 +226,7 @@ impl<'a> Runner<'a> {
                 blocks.push(Block {
                     assignment: g,
                     resident: Some(&self.tile_masks[t]),
+                    span: None,
                 });
                 // Words staged into this superblock's shared memory: its
                 // CSR slice (offset + edges per node) plus attribute words
@@ -229,13 +236,45 @@ impl<'a> Runner<'a> {
                 staged_words += (edge_words + 3 * g.len()) as u64;
             }
         }
+        let mut segments_processed = 0u64;
+        let mut segments_skipped = 0u64;
         if !rest.is_empty() {
-            blocks.push(Block {
-                assignment: &rest,
-                resident: None,
-            });
+            match &self.plan.segments {
+                // Segment-aware rest blocks: tile blocks keep their shared-
+                // memory masks, everything untiled runs one block per active
+                // segment with that segment's attribute window as its L2
+                // span. Idle slots are dropped — they issue nothing.
+                Some(segs) => {
+                    let mut g: Vec<Vec<NodeId>> = vec![Vec::new(); segs.len()];
+                    for &v in &rest {
+                        if v != INVALID_NODE {
+                            g[segs.segment_of(v) as usize].push(v);
+                        }
+                    }
+                    rest_groups = g;
+                    for (seg, grp) in segs.segments().iter().zip(&rest_groups) {
+                        if grp.is_empty() {
+                            segments_skipped += 1;
+                            continue;
+                        }
+                        segments_processed += 1;
+                        blocks.push(Block {
+                            assignment: grp,
+                            resident: None,
+                            span: Some((seg.start as u64, seg.end as u64)),
+                        });
+                    }
+                }
+                None => blocks.push(Block {
+                    assignment: &rest,
+                    resident: None,
+                    span: None,
+                }),
+            }
         }
         let mut outcome = run_blocks(&self.plan.cfg, &blocks, kernel);
+        outcome.stats.segments_processed += segments_processed;
+        outcome.stats.segments_skipped += segments_skipped;
         if staged_words > 0 {
             // Metered load + writeback: fully coalesced bulk transfers.
             let tx = 2 * staged_words.div_ceil(self.plan.cfg.segment_words);
@@ -249,6 +288,91 @@ impl<'a> Runner<'a> {
         self.plan
             .trace
             .snapshot(Phase::Launch, "tiled-superstep", &outcome.stats);
+        outcome
+    }
+
+    /// Segment-major superstep (DESIGN.md §12): one thread block per
+    /// *active* segment, in ascending segment order, all folded into a
+    /// **single** kernel launch (same launch overhead as the flat path).
+    /// Each block carries its segment's node range as an L2 residency span,
+    /// so in-segment attribute traffic and the segment's CSR slice price at
+    /// `lat_l2` while cross-segment destinations pay full DRAM latency.
+    ///
+    /// Sorted assignments (frontiers out of [`HybridFrontier::compact`])
+    /// route through
+    /// [`split_sorted`](graffix_graph::Segmentation::split_sorted)'s
+    /// zero-copy subslices —
+    /// the per-segment frontier routing buffers; unsorted topology
+    /// assignments take a stable bucketing pass. Segments whose routing
+    /// buffer is empty are skipped outright and counted in
+    /// `segments_skipped`. Values are byte-identical to the flat path at
+    /// any thread count and segment size: re-grouping the same kernel
+    /// invocations into segment blocks is just another schedule, and the
+    /// engine's determinism contract (commutative folds, snapshot reads,
+    /// order-independent stat sums, compacted frontiers) is
+    /// schedule-independent.
+    pub fn run_segmented_superstep<F>(&self, assignment: &[NodeId], kernel: F) -> SuperstepOutcome
+    where
+        F: Fn(NodeId, &mut Lane) -> bool + Sync,
+    {
+        let segs = self
+            .plan
+            .segments
+            .as_deref()
+            .expect("run_segmented_superstep requires plan.segments");
+        let mut processed = 0u64;
+        let mut skipped = 0u64;
+        let groups: Vec<Vec<NodeId>>;
+        let mut blocks: Vec<Block<'_>> = Vec::with_capacity(segs.len());
+        let sorted = assignment.windows(2).all(|w| w[0] <= w[1]);
+        if sorted {
+            for (seg, r) in segs.segments().iter().zip(segs.split_sorted(assignment)) {
+                if r.is_empty() {
+                    skipped += 1;
+                    continue;
+                }
+                processed += 1;
+                blocks.push(Block {
+                    assignment: &assignment[r],
+                    resident: None,
+                    span: Some((seg.start as u64, seg.end as u64)),
+                });
+            }
+        } else {
+            let mut g: Vec<Vec<NodeId>> = vec![Vec::new(); segs.len()];
+            for &v in assignment {
+                if v != INVALID_NODE {
+                    g[segs.segment_of(v) as usize].push(v);
+                }
+            }
+            groups = g;
+            for (seg, grp) in segs.segments().iter().zip(&groups) {
+                if grp.is_empty() {
+                    skipped += 1;
+                    continue;
+                }
+                processed += 1;
+                blocks.push(Block {
+                    assignment: grp,
+                    resident: None,
+                    span: Some((seg.start as u64, seg.end as u64)),
+                });
+            }
+        }
+        let mut outcome = run_blocks(&self.plan.cfg, &blocks, kernel);
+        // Counters land in the stats *before* the snapshot so per-launch
+        // snapshots still sum to run totals (the observability invariant).
+        outcome.stats.segments_processed += processed;
+        outcome.stats.segments_skipped += skipped;
+        self.plan
+            .trace
+            .add_counter(Phase::Launch, "segments-processed", processed);
+        self.plan
+            .trace
+            .add_counter(Phase::Launch, "segments-skipped", skipped);
+        self.plan
+            .trace
+            .snapshot(Phase::Launch, "segmented-superstep", &outcome.stats);
         outcome
     }
 
@@ -348,6 +472,7 @@ impl<'a> Runner<'a> {
             .map(|i| Block {
                 assignment: &self.tile_nodes[i],
                 resident: Some(&self.tile_masks[i]),
+                span: None,
             })
             .collect();
         self.plan.trace.span_enter(Phase::TilePhase, "tile-phase");
@@ -736,5 +861,77 @@ mod tests {
         let (stats, changed) = runner.confluence(&mut attrs);
         assert_eq!(stats, KernelStats::default());
         assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn segmented_fixpoint_matches_flat_values() {
+        use graffix_graph::Segmentation;
+        use std::sync::Arc;
+        let plan_flat = chain_plan(Strategy::Topology);
+        // 6-node chain at 20 bytes/node -> 40-byte budget = 3 segments.
+        let seg = Arc::new(Segmentation::build(&plan_flat.graph, 40));
+        assert_eq!(seg.len(), 3);
+        let plan_seg = plan_flat.clone().with_segments(seg);
+        let runner_flat = Runner::new(&plan_flat);
+        let runner_seg = Runner::new(&plan_seg);
+        let mut prog_flat = dist_program(&plan_flat, false);
+        let mut prog_seg = dist_program(&plan_seg, false);
+        let (stats_flat, iters_flat) = runner_flat.fixpoint(100, &mut prog_flat);
+        let (stats_seg, iters_seg) = runner_seg.fixpoint(100, &mut prog_seg);
+        assert_eq!(iters_flat, iters_seg);
+        for v in 0..6 {
+            assert_eq!(prog_flat.dist.read(v), prog_seg.dist.read(v));
+        }
+        // One launch per superstep either way — segment blocks fold into a
+        // single launch.
+        assert_eq!(stats_flat.launches, stats_seg.launches);
+        assert!(stats_seg.segments_processed > 0);
+        assert!(stats_seg.l2_accesses > 0, "segment spans must price L2");
+        assert_eq!(stats_flat.segments_processed, 0);
+        assert_eq!(stats_flat.l2_accesses, 0);
+    }
+
+    #[test]
+    fn segmented_frontier_skips_empty_segments() {
+        use graffix_graph::Segmentation;
+        use std::sync::Arc;
+        let flat = chain_plan(Strategy::Frontier);
+        let seg = Arc::new(Segmentation::build(&flat.graph, 40));
+        let plan = flat.clone().with_segments(seg);
+        let runner = Runner::new(&plan);
+        let mut prog = dist_program(&plan, true);
+        let (stats, iters) = runner.frontier_loop(vec![0], 100, &mut prog);
+        assert_eq!(prog.dist.read(5), 5.0);
+        assert_eq!(iters, 6);
+        // Early waves touch only the first segment; the other two are
+        // skipped without any replay work.
+        assert!(stats.segments_skipped > 0, "skips: {stats:?}");
+        assert!(stats.segments_processed > 0);
+    }
+
+    #[test]
+    fn segmented_run_is_thread_count_independent() {
+        use graffix_graph::Segmentation;
+        use std::sync::Arc;
+        let flat = chain_plan(Strategy::Frontier);
+        let seg = Arc::new(Segmentation::build(&flat.graph, 40));
+        let plan = flat.clone().with_segments(seg);
+        let run = || {
+            let runner = Runner::new(&plan);
+            let mut prog = dist_program(&plan, true);
+            let (stats, iters) = runner.frontier_loop(vec![0], 100, &mut prog);
+            let dists: Vec<f64> = (0..6).map(|v| prog.dist.read(v)).collect();
+            (stats, iters, dists)
+        };
+        let mut outcomes = Vec::new();
+        for threads in [1, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            outcomes.push(pool.install(run));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
     }
 }

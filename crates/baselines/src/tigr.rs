@@ -110,6 +110,7 @@ pub fn plan(prepared: &Prepared, cfg: &GpuConfig, max_virtual_degree: usize) -> 
         direction: Direction::Push,
         direction_knobs: Default::default(),
         trace: Default::default(),
+        segments: None,
         derived: PlanDerived::default(),
     };
     debug_assert_eq!(plan.validate(), Ok(()));

@@ -9,24 +9,28 @@
 //! baseline file saved on one machine is valid on any other: CI restores a
 //! committed `BENCH_*.json` and compares bit-for-bit comparable numbers.
 //!
-//! Serialized as the `graffix.bench-baseline` v3 schema (v2 added the
+//! Serialized as the `graffix.bench-baseline` v4 schema (v2 added the
 //! per-cell `direction` key alongside the direction-optimization cells;
 //! v3 added the `preprocess` array of per-(graph, technique) transform
-//! wall-time cells, always measured on fresh uncached transforms).
+//! wall-time cells, always measured on fresh uncached transforms; v4
+//! added the `large` array of segmented 2^20-node bfs/pr cells gated
+//! behind a coarse band).
 
 use crate::experiments::{cpu_reference, inaccuracy, run_algo, Algo};
 use crate::suite::{Suite, SuiteOptions};
-use graffix_algos::{Direction, Plan};
+use graffix_algos::{bfs, pagerank, sssp, Direction, Plan};
 use graffix_baselines::Baseline;
-use graffix_core::Technique;
-use graffix_graph::generators::GraphKind;
-use graffix_sim::Json;
+use graffix_core::{Prepared, Technique};
+use graffix_graph::generators::{GraphKind, GraphSpec};
+use graffix_graph::Segmentation;
+use graffix_sim::{GpuConfig, Json};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema identifier for baseline files.
 pub const BASELINE_SCHEMA: &str = "graffix.bench-baseline";
 /// Baseline schema version.
-pub const BASELINE_VERSION: u64 = 3;
+pub const BASELINE_VERSION: u64 = 4;
 
 /// Techniques the gate corpus covers, in order.
 pub const GATE_TECHNIQUES: [Technique; 5] = [
@@ -110,6 +114,80 @@ impl PreprocessMeasurement {
     }
 }
 
+/// Algorithms the large-graph cells run. One traversal and one fixpoint,
+/// both with per-vertex vector outputs so the runs stay cheap enough for
+/// CI at 2^20 nodes.
+pub const LARGE_ALGOS: [&str; 2] = ["bfs", "pr"];
+
+/// One large-graph cell: a segmented run on a 2^20-scale rmat graph.
+/// These cells exist to keep the out-of-core path honest at a scale the
+/// regular corpus never reaches; their cycles are deterministic but the
+/// gate judges them behind a coarse band (see
+/// `GateOptions::rel_tol_large`) so routine pricing tweaks don't force a
+/// baseline refresh.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LargeCellMeasurement {
+    /// Paper graph name (always `rmat26` today).
+    pub graph: String,
+    /// Node count the graph was generated at (e.g. `1048576`).
+    pub nodes: usize,
+    /// Algorithm key (`bfs` or `pr`).
+    pub algo: String,
+    /// Segment byte budget the run was segmented under.
+    pub segment_bytes: usize,
+    /// Number of segments the budget produced (sanity: must be > 1).
+    pub segments: usize,
+    /// Gated: deterministic simulated elapsed cycles of the segmented run.
+    pub elapsed_cycles: u64,
+    /// Informational: host wall seconds for the single measured run.
+    pub wall_seconds: f64,
+}
+
+impl LargeCellMeasurement {
+    /// Stable single-string id, used in gate reports and error messages.
+    pub fn id(&self) -> String {
+        format!(
+            "{}:{}/{}/segmented/large",
+            self.graph, self.nodes, self.algo
+        )
+    }
+}
+
+/// Measures the large-graph cells: one rmat graph at `nodes` vertices,
+/// segmented under `segment_bytes`, running each of [`LARGE_ALGOS`] once.
+/// Cycles are pure functions of (nodes, seed, segment_bytes), so a single
+/// run per cell is exact; only the informational wall time is noisy.
+pub fn measure_large(nodes: usize, seed: u64, segment_bytes: usize) -> Vec<LargeCellMeasurement> {
+    let cfg = GpuConfig::k40c();
+    let g = GraphSpec::new(GraphKind::Rmat, nodes, seed).generate();
+    let segments = Arc::new(Segmentation::build(&g, segment_bytes));
+    let n_segments = segments.len();
+    let prepared = Prepared::exact(g.clone());
+    LARGE_ALGOS
+        .iter()
+        .map(|&algo| {
+            let plan = Baseline::Lonestar
+                .plan(&prepared, &cfg)
+                .with_segments(Arc::clone(&segments));
+            let t0 = Instant::now();
+            let run = match algo {
+                "bfs" => bfs::run_sim(&plan, sssp::default_source(&g)),
+                "pr" => pagerank::run_sim(&plan),
+                other => unreachable!("unknown large-cell algo {other}"),
+            };
+            LargeCellMeasurement {
+                graph: GraphKind::Rmat.paper_name().to_string(),
+                nodes,
+                algo: algo.to_string(),
+                segment_bytes,
+                segments: n_segments,
+                elapsed_cycles: run.stats.elapsed_cycles(&cfg),
+                wall_seconds: t0.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
 /// Measures the preprocess-time cells: every (graph, non-exact technique)
 /// pair, transformed fresh `repeats` times.
 pub fn measure_preprocess(suite: &Suite, repeats: usize) -> Vec<PreprocessMeasurement> {
@@ -185,12 +263,17 @@ impl Fingerprint {
 }
 
 /// A complete saved baseline: fingerprint + one measurement per cell +
-/// one preprocess-time cell per (graph, technique).
+/// one preprocess-time cell per (graph, technique) + optional segmented
+/// large-graph cells.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchBaseline {
     pub fingerprint: Fingerprint,
     pub cells: Vec<CellMeasurement>,
     pub preprocess: Vec<PreprocessMeasurement>,
+    /// Segmented 2^20-scale cells. Empty unless the baseline was saved
+    /// with `--large-nodes` — [`BenchBaseline::capture`] never measures
+    /// them implicitly because they dominate save time.
+    pub large: Vec<LargeCellMeasurement>,
 }
 
 /// Measures the full gate corpus on `suite`: every (graph, technique)
@@ -305,6 +388,7 @@ impl BenchBaseline {
             fingerprint: Fingerprint::capture(&suite.options, repeats),
             cells: measure_corpus(suite, repeats),
             preprocess: measure_preprocess(suite, repeats),
+            large: Vec::new(),
         }
     }
 
@@ -360,6 +444,22 @@ impl BenchBaseline {
             })
             .collect();
         root.set("preprocess", Json::Arr(preprocess));
+        let large = self
+            .large
+            .iter()
+            .map(|c| {
+                let mut o = Json::obj();
+                o.set("graph", Json::Str(c.graph.clone()));
+                o.set("nodes", Json::U64(c.nodes as u64));
+                o.set("algo", Json::Str(c.algo.clone()));
+                o.set("segment_bytes", Json::U64(c.segment_bytes as u64));
+                o.set("segments", Json::U64(c.segments as u64));
+                o.set("elapsed_cycles", Json::U64(c.elapsed_cycles));
+                o.set("wall_seconds", Json::F64(c.wall_seconds));
+                o
+            })
+            .collect();
+        root.set("large", Json::Arr(large));
         root
     }
 
@@ -424,10 +524,25 @@ impl BenchBaseline {
                 seconds_stddev: f64_field(p, "seconds_stddev")?,
             });
         }
+        let mut large = Vec::new();
+        if let Some(arr) = doc.get("large").and_then(Json::as_arr) {
+            for c in arr {
+                large.push(LargeCellMeasurement {
+                    graph: str_field(c, "graph")?,
+                    nodes: u64_field(c, "nodes")? as usize,
+                    algo: str_field(c, "algo")?,
+                    segment_bytes: u64_field(c, "segment_bytes")? as usize,
+                    segments: u64_field(c, "segments")? as usize,
+                    elapsed_cycles: u64_field(c, "elapsed_cycles")?,
+                    wall_seconds: f64_field(c, "wall_seconds")?,
+                });
+            }
+        }
         Ok(BenchBaseline {
             fingerprint,
             cells,
             preprocess,
+            large,
         })
     }
 
@@ -532,11 +647,44 @@ mod tests {
     #[test]
     fn baseline_round_trips_through_json() {
         let s = tiny();
-        let b = BenchBaseline::capture(&s, 1);
+        let mut b = BenchBaseline::capture(&s, 1);
+        b.large.push(LargeCellMeasurement {
+            graph: "rmat26".into(),
+            nodes: 1 << 20,
+            algo: "pr".into(),
+            segment_bytes: 1536 * 1024,
+            segments: 5580,
+            elapsed_cycles: 694_380_574,
+            wall_seconds: 49.4,
+        });
         let text = b.to_pretty_string();
         let back = BenchBaseline::parse(&text).unwrap();
         assert_eq!(back, b);
         assert_eq!(back.to_pretty_string(), text);
+    }
+
+    /// Large cells at test scale: the measurement function must produce
+    /// one cell per [`LARGE_ALGOS`] entry, each recording a genuinely
+    /// multi-segment run, and the gated cycles must be deterministic.
+    #[test]
+    fn large_cells_are_segmented_and_deterministic() {
+        let a = measure_large(1500, 11, 8 * 1024);
+        let b = measure_large(1500, 11, 8 * 1024);
+        assert_eq!(a.len(), LARGE_ALGOS.len());
+        let mut ids: Vec<String> = a.iter().map(|c| c.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), LARGE_ALGOS.len(), "large ids must be unique");
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.segments > 1, "{} ran un-segmented", x.id());
+            assert_eq!(
+                x.elapsed_cycles,
+                y.elapsed_cycles,
+                "{} cycles moved",
+                x.id()
+            );
+            assert!(x.wall_seconds > 0.0);
+        }
     }
 
     #[test]

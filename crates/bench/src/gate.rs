@@ -14,7 +14,9 @@
 //! Output is a human diff table plus a machine-readable
 //! `graffix.gate-report` v1 document.
 
-use crate::baseline::{BenchBaseline, CellMeasurement, PreprocessMeasurement};
+use crate::baseline::{
+    BenchBaseline, CellMeasurement, LargeCellMeasurement, PreprocessMeasurement,
+};
 use crate::suite::Suite;
 use crate::tables::TextTable;
 use graffix_sim::Json;
@@ -43,6 +45,20 @@ pub struct GateOptions {
     /// Absolute preprocess allowance floor in seconds, so microsecond-scale
     /// transforms on tiny CI corpora never produce hair-trigger thresholds.
     pub abs_floor_preprocess_seconds: f64,
+    /// The preprocess floor scales with the baseline: the effective floor
+    /// is `max(abs_floor_preprocess_seconds, preprocess_floor_frac · base)`.
+    /// A fixed 0.05 s floor sized for microsecond CI transforms is far too
+    /// tight for multi-second 2^20-node cells — scheduler jitter alone
+    /// exceeds it — so large cells get a floor proportional to their own
+    /// magnitude instead of flapping on noise.
+    pub preprocess_floor_frac: f64,
+    /// Coarse relative tolerance on the large-graph cells' cycles. These
+    /// cells exist to catch out-of-core path collapses, not to pin pricing
+    /// to the cycle: a wide band means routine cost-model tweaks don't
+    /// force a 2^20 baseline refresh.
+    pub rel_tol_large: f64,
+    /// Absolute cycle allowance floor for large cells.
+    pub abs_floor_large_cycles: f64,
 }
 
 impl Default for GateOptions {
@@ -54,6 +70,9 @@ impl Default for GateOptions {
             abs_floor_inaccuracy: 1e-6,
             rel_tol_preprocess: 0.5,
             abs_floor_preprocess_seconds: 0.05,
+            preprocess_floor_frac: 0.1,
+            rel_tol_large: 0.25,
+            abs_floor_large_cycles: 1e6,
         }
     }
 }
@@ -131,12 +150,24 @@ pub struct PreprocessVerdict {
     pub allowance: f64,
 }
 
+/// One large-graph comparison row. Statuses reuse [`CellStatus`]
+/// (inaccuracy never applies here either).
+#[derive(Clone, Debug)]
+pub struct LargeVerdict {
+    pub id: String,
+    pub status: CellStatus,
+    pub base_cycles: u64,
+    pub cur_cycles: u64,
+    pub allowance: f64,
+}
+
 /// The whole gate outcome.
 #[derive(Clone, Debug)]
 pub struct GateReport {
     pub options: GateOptions,
     pub verdicts: Vec<CellVerdict>,
     pub preprocess: Vec<PreprocessVerdict>,
+    pub large: Vec<LargeVerdict>,
 }
 
 impl GateReport {
@@ -156,10 +187,21 @@ impl GateReport {
             .collect()
     }
 
+    /// Large-graph cells that fail the gate, in order.
+    pub fn large_failures(&self) -> Vec<&LargeVerdict> {
+        self.large
+            .iter()
+            .filter(|v| v.status.is_failure())
+            .collect()
+    }
+
     /// True when nothing regressed, drifted, or went missing — on the
-    /// algorithm cells and on the preprocess-time cells.
+    /// algorithm cells, the preprocess-time cells, and the large-graph
+    /// cells.
     pub fn passed(&self) -> bool {
-        self.failures().is_empty() && self.preprocess_failures().is_empty()
+        self.failures().is_empty()
+            && self.preprocess_failures().is_empty()
+            && self.large_failures().is_empty()
     }
 
     /// Count of verdicts with the given status.
@@ -245,6 +287,47 @@ impl GateReport {
         t
     }
 
+    /// The large-cell diff table: one row per non-`Ok` large cell, same
+    /// shape as [`GateReport::diff_table`].
+    pub fn large_table(&self) -> TextTable {
+        let failed = self.large_failures().len();
+        let mut t = TextTable::new(
+            format!(
+                "Large-graph gate: {} cells — {} ok, {} improved, {} failed",
+                self.large.len(),
+                self.large
+                    .iter()
+                    .filter(|v| v.status == CellStatus::Ok)
+                    .count(),
+                self.large
+                    .iter()
+                    .filter(|v| v.status == CellStatus::Improved)
+                    .count(),
+                failed
+            ),
+            &[
+                "Cell",
+                "Status",
+                "Cycles (base)",
+                "Cycles (now)",
+                "Allowance",
+            ],
+        );
+        for v in &self.large {
+            if v.status == CellStatus::Ok {
+                continue;
+            }
+            t.row(vec![
+                v.id.clone(),
+                v.status.label().to_string(),
+                v.base_cycles.to_string(),
+                v.cur_cycles.to_string(),
+                format!("{:.3e}", v.allowance),
+            ]);
+        }
+        t
+    }
+
     /// Serializes the `graffix.gate-report` document.
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj();
@@ -265,6 +348,15 @@ impl GateReport {
         opts.set(
             "abs_floor_preprocess_seconds",
             Json::F64(self.options.abs_floor_preprocess_seconds),
+        );
+        opts.set(
+            "preprocess_floor_frac",
+            Json::F64(self.options.preprocess_floor_frac),
+        );
+        opts.set("rel_tol_large", Json::F64(self.options.rel_tol_large));
+        opts.set(
+            "abs_floor_large_cycles",
+            Json::F64(self.options.abs_floor_large_cycles),
         );
         root.set("options", opts);
         root.set("passed", Json::Bool(self.passed()));
@@ -311,6 +403,20 @@ impl GateReport {
             })
             .collect();
         root.set("preprocess", Json::Arr(preprocess));
+        let large = self
+            .large
+            .iter()
+            .map(|v| {
+                let mut o = Json::obj();
+                o.set("id", Json::Str(v.id.clone()));
+                o.set("status", Json::Str(v.status.label().to_string()));
+                o.set("base_cycles", Json::U64(v.base_cycles));
+                o.set("cur_cycles", Json::U64(v.cur_cycles));
+                o.set("allowance", Json::F64(v.allowance));
+                o
+            })
+            .collect();
+        root.set("large", Json::Arr(large));
         root
     }
 
@@ -351,15 +457,21 @@ fn judge(opts: &GateOptions, base: &CellMeasurement, cur: &CellMeasurement) -> C
     }
 }
 
-/// Compares one preprocess-time cell pair.
+/// Compares one preprocess-time cell pair. The floor scales with the
+/// baseline (`preprocess_floor_frac`), so a 0.05 s floor sized for
+/// microsecond CI transforms doesn't turn multi-second 2^20 cells into
+/// noise-flappers.
 fn judge_preprocess(
     opts: &GateOptions,
     base: &PreprocessMeasurement,
     cur: &PreprocessMeasurement,
 ) -> PreprocessVerdict {
+    let floor = opts
+        .abs_floor_preprocess_seconds
+        .max(opts.preprocess_floor_frac * base.seconds_mean.abs());
     let allowance = (opts.rel_tol_preprocess * base.seconds_mean.abs())
         .max(opts.sigma_k * base.seconds_stddev)
-        .max(opts.abs_floor_preprocess_seconds);
+        .max(floor);
     let ds = cur.seconds_mean - base.seconds_mean;
     let status = if ds > allowance {
         CellStatus::PerfRegression
@@ -377,6 +489,31 @@ fn judge_preprocess(
     }
 }
 
+/// Compares one large-graph cell pair behind the coarse band.
+fn judge_large(
+    opts: &GateOptions,
+    base: &LargeCellMeasurement,
+    cur: &LargeCellMeasurement,
+) -> LargeVerdict {
+    let allowance =
+        (opts.rel_tol_large * base.elapsed_cycles as f64).max(opts.abs_floor_large_cycles);
+    let dc = cur.elapsed_cycles as f64 - base.elapsed_cycles as f64;
+    let status = if dc > allowance {
+        CellStatus::PerfRegression
+    } else if dc < -allowance {
+        CellStatus::Improved
+    } else {
+        CellStatus::Ok
+    };
+    LargeVerdict {
+        id: base.id(),
+        status,
+        base_cycles: base.elapsed_cycles,
+        cur_cycles: cur.elapsed_cycles,
+        allowance,
+    }
+}
+
 /// Evaluates current measurements against a saved baseline. Order follows
 /// the baseline's cells; purely-new cells are appended.
 pub fn evaluate(
@@ -384,6 +521,7 @@ pub fn evaluate(
     baseline: &BenchBaseline,
     current: &[CellMeasurement],
     current_preprocess: &[PreprocessMeasurement],
+    current_large: &[LargeCellMeasurement],
 ) -> GateReport {
     let mut verdicts = Vec::new();
     for base in &baseline.cells {
@@ -439,10 +577,35 @@ pub fn evaluate(
             });
         }
     }
+    let mut large = Vec::new();
+    for base in &baseline.large {
+        match current_large.iter().find(|c| c.id() == base.id()) {
+            Some(cur) => large.push(judge_large(&opts, base, cur)),
+            None => large.push(LargeVerdict {
+                id: base.id(),
+                status: CellStatus::Missing,
+                base_cycles: base.elapsed_cycles,
+                cur_cycles: 0,
+                allowance: 0.0,
+            }),
+        }
+    }
+    for cur in current_large {
+        if !baseline.large.iter().any(|b| b.id() == cur.id()) {
+            large.push(LargeVerdict {
+                id: cur.id(),
+                status: CellStatus::New,
+                base_cycles: 0,
+                cur_cycles: cur.elapsed_cycles,
+                allowance: 0.0,
+            });
+        }
+    }
     GateReport {
         options: opts,
         verdicts,
         preprocess,
+        large,
     }
 }
 
@@ -464,7 +627,22 @@ pub fn run_gate_on(opts: GateOptions, baseline: &BenchBaseline, suite: &Suite) -
     let repeats = baseline.fingerprint.repeats;
     let current = crate::baseline::measure_corpus(suite, repeats);
     let current_preprocess = crate::baseline::measure_preprocess(suite, repeats);
-    evaluate(opts, baseline, &current, &current_preprocess)
+    // Large cells share one (nodes, segment_bytes) configuration per
+    // baseline; the generator seed comes from the fingerprint so the
+    // re-measured graph is the recorded one.
+    let current_large = match baseline.large.first() {
+        Some(c) => {
+            crate::baseline::measure_large(c.nodes, baseline.fingerprint.seed, c.segment_bytes)
+        }
+        None => Vec::new(),
+    };
+    evaluate(
+        opts,
+        baseline,
+        &current,
+        &current_preprocess,
+        &current_large,
+    )
 }
 
 #[cfg(test)]
@@ -483,6 +661,7 @@ mod tests {
             fingerprint: crate::baseline::Fingerprint::capture(&suite.options, 1),
             cells: measure_corpus(&suite, 1),
             preprocess: measure_preprocess(&suite, 1),
+            large: Vec::new(),
         }
     }
 
@@ -503,7 +682,7 @@ mod tests {
         // Halve one baseline cell's cycles: the current (unchanged) run
         // now looks 2x slower than the recorded baseline.
         b.cells[3].elapsed_cycles /= 2;
-        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess, &b.large);
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -522,7 +701,7 @@ mod tests {
             .position(|c| c.inaccuracy > 1e-3)
             .expect("corpus has an approximate cell with real inaccuracy");
         cur[i].inaccuracy *= 2.0;
-        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess, &b.large);
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].status, CellStatus::AccuracyDrift);
@@ -537,7 +716,7 @@ mod tests {
         let mut extra = dropped.clone();
         extra.key.graph = "extra-graph".into();
         cur.push(extra);
-        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess, &b.large);
         assert_eq!(report.count(CellStatus::Missing), 1);
         assert_eq!(report.count(CellStatus::New), 1);
         assert!(!report.passed(), "missing cells must fail the gate");
@@ -548,7 +727,7 @@ mod tests {
         let b = tiny_baseline();
         let mut cur = b.cells.clone();
         cur[0].elapsed_cycles = (cur[0].elapsed_cycles / 2).max(1);
-        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess);
+        let report = evaluate(GateOptions::default(), &b, &cur, &b.preprocess, &b.large);
         assert!(report.passed());
         assert_eq!(report.count(CellStatus::Improved), 1);
     }
@@ -559,7 +738,7 @@ mod tests {
         let mut cur = b.preprocess.clone();
         // +10s of preprocessing clears any allowance band.
         cur[0].seconds_mean += 10.0;
-        let report = evaluate(GateOptions::default(), &b, &b.cells, &cur);
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &cur, &b.large);
         assert!(!report.passed());
         assert!(report.failures().is_empty(), "algorithm cells unaffected");
         let failures = report.preprocess_failures();
@@ -582,14 +761,88 @@ mod tests {
         for c in &mut cur {
             c.seconds_mean += 0.01;
         }
-        let report = evaluate(GateOptions::default(), &b, &b.cells, &cur);
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &cur, &b.large);
         assert!(report.passed(), "{:?}", report.preprocess_failures());
+    }
+
+    /// The scaled preprocess floor: multi-second baseline cells get an
+    /// allowance floor proportional to their own magnitude, not the fixed
+    /// 0.05 s sized for microsecond CI transforms. Relative and sigma
+    /// bands are zeroed so the floor is the only thing under test.
+    #[test]
+    fn preprocess_floor_scales_with_baseline_magnitude() {
+        let opts = GateOptions {
+            rel_tol_preprocess: 0.0,
+            sigma_k: 0.0,
+            ..GateOptions::default()
+        };
+        let mut b = tiny_baseline();
+        b.preprocess[0].seconds_mean = 4.0;
+        b.preprocess[0].seconds_stddev = 0.0;
+        let mut cur = b.preprocess.clone();
+        // +0.3 s: far above the fixed 0.05 s floor, within the scaled
+        // 10%-of-baseline floor (0.4 s).
+        cur[0].seconds_mean = 4.3;
+        let report = evaluate(opts, &b, &b.cells, &cur, &b.large);
+        assert!(report.passed(), "{:?}", report.preprocess_failures());
+        // +0.5 s clears the scaled floor and must still fail.
+        cur[0].seconds_mean = 4.5;
+        let report = evaluate(opts, &b, &b.cells, &cur, &b.large);
+        let failures = report.preprocess_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].id, b.preprocess[0].id());
+    }
+
+    fn large_cell(algo: &str, cycles: u64) -> LargeCellMeasurement {
+        LargeCellMeasurement {
+            graph: "rmat26".into(),
+            nodes: 1 << 20,
+            algo: algo.into(),
+            segment_bytes: 1536 * 1024,
+            segments: 5580,
+            elapsed_cycles: cycles,
+            wall_seconds: 1.0,
+        }
+    }
+
+    /// Large cells sit behind the coarse band: ±25% drift is tolerated,
+    /// beyond it the gate fails naming the cell, and a missing large cell
+    /// fails like any missing corpus cell.
+    #[test]
+    fn large_cells_judged_behind_coarse_band() {
+        let mut b = tiny_baseline();
+        b.large = vec![
+            large_cell("bfs", 1_000_000_000),
+            large_cell("pr", 2_000_000_000),
+        ];
+        let mut cur = b.large.clone();
+        cur[0].elapsed_cycles = 1_200_000_000; // +20%: inside the band
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &b.preprocess, &cur);
+        assert!(report.passed(), "{:?}", report.large_failures());
+        cur[0].elapsed_cycles = 1_300_000_000; // +30%: regression
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &b.preprocess, &cur);
+        assert!(!report.passed());
+        let failures = report.large_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].status, CellStatus::PerfRegression);
+        assert_eq!(failures[0].id, b.large[0].id());
+        assert!(report.large_table().render().contains("perf-regression"));
+        assert!(report.to_pretty_string().contains(&b.large[0].id()));
+        let report = evaluate(GateOptions::default(), &b, &b.cells, &b.preprocess, &[]);
+        assert_eq!(report.large_failures().len(), 2);
+        assert!(!report.passed(), "missing large cells must fail the gate");
     }
 
     #[test]
     fn gate_report_json_is_well_formed() {
         let b = tiny_baseline();
-        let report = evaluate(GateOptions::default(), &b, &b.cells, &b.preprocess);
+        let report = evaluate(
+            GateOptions::default(),
+            &b,
+            &b.cells,
+            &b.preprocess,
+            &b.large,
+        );
         let doc = Json::parse(&report.to_pretty_string()).unwrap();
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(GATE_SCHEMA));
         assert_eq!(doc.get("passed"), Some(&Json::Bool(true)));

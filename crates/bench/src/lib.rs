@@ -13,17 +13,22 @@ pub mod baseline;
 pub mod experiments;
 pub mod gate;
 pub mod report;
+pub mod segmented;
 pub mod serving;
 pub mod streaming;
 pub mod suite;
 pub mod tables;
 
 pub use baseline::{
-    measure_preprocess, BenchBaseline, CellKey, CellMeasurement, Fingerprint, PreprocessMeasurement,
+    measure_large, measure_preprocess, BenchBaseline, CellKey, CellMeasurement, Fingerprint,
+    LargeCellMeasurement, PreprocessMeasurement, LARGE_ALGOS,
 };
 pub use experiments::{measure, run_algo, Algo, Measurement, ALL_ALGOS, CORE_ALGOS};
 pub use gate::{
     evaluate, run_gate, run_gate_on, CellStatus, GateOptions, GateReport, PreprocessVerdict,
+};
+pub use segmented::{
+    compare_segmented, run_segment_gate, SegmentCompareRow, SegmentGateOptions, SegmentGateReport,
 };
 pub use serving::{
     evaluate_serving, measure_serving, run_serve_gate, ServeBaseline, ServeCell, ServeCellStatus,

@@ -1,0 +1,234 @@
+//! Segmented-vs-flat comparison cells: the same corpus cell run once on
+//! the flat plan and once segment-major under an L2-sized byte budget.
+//!
+//! Two claims are checked per cell. **Identity**: the segmented run's
+//! per-vertex values must be bit-identical to the flat run's — the
+//! segment-major superstep is a scheduling change, not an approximation.
+//! **Win**: with segments sized to fit L2, intra-segment traffic is priced
+//! at the L2 tier instead of global, so the segmented run should be
+//! cheaper in simulated cycles wherever boundary traffic doesn't dominate.
+//! The gate requires identity on *every* cell and the win on at least
+//! `min_cells` cells — power-law graphs at small scale can be
+//! boundary-heavy, so the win is a corpus-level claim, not per-cell.
+
+use crate::baseline::GATE_ALGOS;
+use crate::experiments::{run_algo, AlgoValue};
+use crate::suite::Suite;
+use crate::tables::TextTable;
+use graffix_baselines::Baseline;
+use graffix_core::Technique;
+use graffix_graph::Segmentation;
+use std::sync::Arc;
+
+/// One flat-vs-segmented comparison row.
+#[derive(Clone, Debug)]
+pub struct SegmentCompareRow {
+    pub graph: String,
+    pub algo: String,
+    /// Simulated elapsed cycles of the flat run.
+    pub flat_cycles: u64,
+    /// Simulated elapsed cycles of the segmented run.
+    pub segmented_cycles: u64,
+    /// Segments the budget produced for this graph.
+    pub segments: usize,
+    /// Segment visits skipped because the routed frontier was empty.
+    pub segments_skipped: u64,
+    /// True when the segmented values are bit-identical to the flat ones.
+    pub identical: bool,
+}
+
+impl SegmentCompareRow {
+    /// Fractional cycle win of the segmented run (0.05 = 5% faster;
+    /// negative when segmentation lost).
+    pub fn win(&self) -> f64 {
+        1.0 - self.segmented_cycles as f64 / self.flat_cycles.max(1) as f64
+    }
+}
+
+/// Runs every (graph, gate algorithm) cell of `suite` flat and segmented
+/// under `segment_bytes`, on the exact technique's Baseline-I plan (the
+/// same cells the regression gate measures).
+pub fn compare_segmented(suite: &Suite, segment_bytes: usize) -> Vec<SegmentCompareRow> {
+    let mut rows = Vec::new();
+    for gi in 0..suite.len() {
+        let prepared = suite.prepared(gi, Technique::Exact);
+        let segments = Arc::new(Segmentation::build(&prepared.graph, segment_bytes));
+        for algo in GATE_ALGOS {
+            let flat_plan = Baseline::Lonestar.plan(&prepared, &suite.cfg);
+            let seg_plan = Baseline::Lonestar
+                .plan(&prepared, &suite.cfg)
+                .with_segments(Arc::clone(&segments));
+            let flat = run_algo(suite, &flat_plan, algo, suite.graph(gi));
+            let seg = run_algo(suite, &seg_plan, algo, suite.graph(gi));
+            let identical = match (&flat.value, &seg.value) {
+                (AlgoValue::Vector(a), AlgoValue::Vector(b)) => {
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                }
+                (AlgoValue::Scalar(a), AlgoValue::Scalar(b)) => a.to_bits() == b.to_bits(),
+                _ => false,
+            };
+            rows.push(SegmentCompareRow {
+                graph: suite.kind(gi).paper_name().to_string(),
+                algo: algo.key().to_string(),
+                flat_cycles: flat.cycles,
+                segmented_cycles: seg.cycles,
+                segments: segments.len(),
+                segments_skipped: seg.stats.segments_skipped,
+                identical,
+            });
+        }
+    }
+    rows
+}
+
+/// Thresholds for the segmented-execution gate.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentGateOptions {
+    /// Minimum fractional cycle win for a cell to count (0.05 = 5%).
+    pub min_win: f64,
+    /// Minimum number of winning cells for the gate to pass.
+    pub min_cells: usize,
+}
+
+impl Default for SegmentGateOptions {
+    fn default() -> Self {
+        SegmentGateOptions {
+            min_win: 0.05,
+            min_cells: 2,
+        }
+    }
+}
+
+/// Outcome of the segmented-execution gate.
+#[derive(Clone, Debug)]
+pub struct SegmentGateReport {
+    pub options: SegmentGateOptions,
+    pub segment_bytes: usize,
+    pub rows: Vec<SegmentCompareRow>,
+}
+
+impl SegmentGateReport {
+    /// Rows whose segmented values diverged from the flat run.
+    pub fn divergent(&self) -> Vec<&SegmentCompareRow> {
+        self.rows.iter().filter(|r| !r.identical).collect()
+    }
+
+    /// Rows at least `min_win` faster segmented.
+    pub fn winners(&self) -> Vec<&SegmentCompareRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.win() >= self.options.min_win)
+            .collect()
+    }
+
+    /// Identity everywhere, win on enough cells.
+    pub fn passed(&self) -> bool {
+        self.divergent().is_empty() && self.winners().len() >= self.options.min_cells
+    }
+
+    /// The human-facing comparison table (all rows — the per-cell win is
+    /// the interesting number even when a cell passes).
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!(
+                "Segmented vs flat at {} B budget: {} cells — {} winners (≥{:.0}%), {} divergent",
+                self.segment_bytes,
+                self.rows.len(),
+                self.winners().len(),
+                self.options.min_win * 100.0,
+                self.divergent().len()
+            ),
+            &[
+                "Graph",
+                "Algo",
+                "Flat",
+                "Segmented",
+                "Win",
+                "Segments",
+                "Skipped",
+                "Identical",
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.graph.clone(),
+                r.algo.clone(),
+                r.flat_cycles.to_string(),
+                r.segmented_cycles.to_string(),
+                format!("{:+.1}%", r.win() * 100.0),
+                r.segments.to_string(),
+                r.segments_skipped.to_string(),
+                if r.identical { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Measures and judges the segmented-execution gate on `suite`.
+pub fn run_segment_gate(
+    opts: SegmentGateOptions,
+    suite: &Suite,
+    segment_bytes: usize,
+) -> SegmentGateReport {
+    SegmentGateReport {
+        options: opts,
+        segment_bytes,
+        rows: compare_segmented(suite, segment_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SuiteOptions;
+
+    fn tiny_suite() -> Suite {
+        Suite::new(SuiteOptions {
+            nodes: 300,
+            seed: 7,
+            bc_sources: 2,
+        })
+    }
+
+    /// Identity is the hard guarantee: at any budget, every cell's
+    /// segmented values must match the flat run bit for bit.
+    #[test]
+    fn segmented_values_identical_at_multi_segment_budget() {
+        let s = tiny_suite();
+        let rows = compare_segmented(&s, 2048);
+        assert_eq!(rows.len(), s.len() * GATE_ALGOS.len());
+        for r in &rows {
+            assert!(r.identical, "{}/{} diverged", r.graph, r.algo);
+            assert!(r.segments > 1, "{}/{} ran in one segment", r.graph, r.algo);
+        }
+    }
+
+    /// The 1-segment degenerate budget must also be value-identical (it
+    /// exercises the segment-major loop with everything resident).
+    #[test]
+    fn segmented_values_identical_at_one_segment_budget() {
+        let s = tiny_suite();
+        for r in compare_segmented(&s, usize::MAX / 2) {
+            assert!(r.identical, "{}/{} diverged", r.graph, r.algo);
+            assert_eq!(
+                r.segments, 1,
+                "{}/{} should be one segment",
+                r.graph, r.algo
+            );
+        }
+    }
+
+    #[test]
+    fn gate_report_counts_winners_and_divergence() {
+        let s = tiny_suite();
+        let report = run_segment_gate(SegmentGateOptions::default(), &s, 4096);
+        assert!(report.divergent().is_empty());
+        let rendered = report.table().render();
+        assert!(rendered.contains("Segmented vs flat"));
+        // Synthetic failure: flip one row to divergent and the gate fails.
+        let mut bad = report.clone();
+        bad.rows[0].identical = false;
+        assert!(!bad.passed());
+    }
+}

@@ -57,20 +57,29 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graffix <generate|convert|profile|transform|run|stream|bench|report|serve|client> [--key value]...\n\
+        "usage: graffix <generate|convert|info|profile|transform|run|stream|bench|report|serve|client> [--key value]...\n\
          \n\
          generate  --kind rmat|random|livejournal|twitter|road [--nodes N] [--seed S] --out FILE\n\
          convert   --in FILE --out FILE\n\
+         info      FILE [--segment-bytes N]\n\
+                   node/edge counts, degree stats, and the flat vs segmented\n\
+                   peak-resident estimate (segment count at the given budget;\n\
+                   default 1572864 bytes = a K40c's 1.5 MiB L2)\n\
          profile   --in FILE [--seed S] [--algo A] [--technique T] [--baseline B]\n\
                    [--bc-sources N] [--accuracy on|off] [--direction push|pull|auto]\n\
                    [--report-json FILE]\n\
                    traced run -> JSON report (v2: accuracy attribution + provenance)\n\
          transform --in FILE --technique coalescing|latency|divergence|combined [--threshold T] --out FILE\n\
          run       --in FILE --algo sssp|bfs|pr|bc|scc|mst|wcc [--technique ...] [--baseline lonestar|tigr|gunrock]\n\
-                   [--direction push|pull|auto] [--report-json FILE]\n\
+                   [--direction push|pull|auto] [--segment-bytes N] [--report-json FILE]\n\
+                   [--values-out FILE]  raw little-endian f64 result vector, for\n\
+                   byte-level comparison across execution modes\n\
                    --direction steers frontier supersteps: push scatters over\n\
                    the CSR, pull gathers over a cached CSC mirror, auto picks\n\
                    per superstep from frontier density\n\
+                   --segment-bytes runs supersteps segment-major over cache-\n\
+                   sized CSR partitions (byte-identical results; empty-frontier\n\
+                   segments are skipped, and resident segments price at L2)\n\
          stream    --in FILE --stream FILE [--algo A] [--technique T] [--threshold T]\n\
                    [--debt-threshold X] [--checkpoint-every N] [--oracle] [--out FILE]\n\
                    ingest batched edge mutations (`+ u v [w]` / `- u v` lines,\n\
@@ -81,9 +90,16 @@ fn usage() -> ! {
                    a result digest; --oracle re-prepares from scratch at each\n\
                    checkpoint and fails on any digest mismatch\n\
          bench     --save-baseline FILE [--nodes N] [--seed S] [--bc-sources N] [--repeats N]\n\
-                   measure the gate corpus and save a bench baseline\n\
+                   [--large-nodes N]  measure the gate corpus and save a bench\n\
+                   baseline; --large-nodes adds segmented 2^20-scale bfs/pr\n\
+                   cells (default 1048576, 0 to skip)\n\
          bench     --gate FILE [--gate-report FILE] [--rel-tol X] [--sigma K]\n\
                    re-measure and compare; exit 1 on regression or drift\n\
+         bench     --segment-gate [--nodes N] [--seed S] [--segment-bytes N]\n\
+                   [--min-win X] [--min-cells N]\n\
+                   flat vs segmented on the gate cells: values must be byte-\n\
+                   identical everywhere and >= min-cells cells at least\n\
+                   min-win faster segmented (default 2 cells at 5%)\n\
          bench     --save-serve-baseline FILE [--serve-iterations N]\n\
                    measure the serving scenarios and save a serve baseline\n\
          bench     --serve-gate FILE [--latency-factor X] [--throughput-factor X]\n\
@@ -94,6 +110,8 @@ fn usage() -> ! {
          report    verify FILE   schema-verify a run report (v1 or v2) from disk\n\
          serve     --graphs \"name=kind:nodes:seed|path,...\" [--listen HOST:PORT | --unix PATH]\n\
                    [--workers N] [--pool-capacity N] [--queue-depth N] [--batch-max N]\n\
+                   [--segment-bytes N]  segment-major execution over the pool's\n\
+                   shared segmentations (byte-identical results)\n\
                    long-running daemon: newline-delimited JSON requests, LRU\n\
                    prepared-graph pool over the disk cache, request batching,\n\
                    typed overload rejection, graceful shutdown via the\n\
@@ -123,6 +141,7 @@ const BOOL_FLAGS: &[&str] = &[
     "shutdown",
     "oracle",
     "stream-gate",
+    "segment-gate",
 ];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -148,8 +167,11 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn load(path: &str) -> Csr {
     let p = Path::new(path);
+    // `.gfx` opens through the mmap-backed loader: the offset/edge/weight
+    // arrays stay file-backed, so only the segments a run actually touches
+    // page in (falls back to a copying read off POSIX/64-bit LE).
     let result = match p.extension().and_then(|e| e.to_str()) {
-        Some("gfx") => serialize::load_binary(p),
+        Some("gfx") => serialize::open_mapped(p),
         Some("gr") => std::fs::File::open(p).and_then(gio::read_dimacs),
         _ => gio::load_edge_list(p),
     };
@@ -187,6 +209,19 @@ fn kind_of(name: &str) -> GraphKind {
             usage();
         }
     }
+}
+
+/// `--segment-bytes N` -> a validated byte budget, `None` when absent.
+fn segment_bytes_flag(flags: &HashMap<String, String>) -> Option<usize> {
+    let bytes: usize = flags.get("segment-bytes")?.parse().unwrap_or_else(|_| {
+        eprintln!("bad --segment-bytes value: {}", flags["segment-bytes"]);
+        usage();
+    });
+    if let Err(e) = SegmentKnobs::default().with_segment_bytes(bytes).validate() {
+        eprintln!("bad --segment-bytes value: {e}");
+        usage();
+    }
+    Some(bytes)
 }
 
 /// `--cache-dir` / `--no-cache` -> a [`CacheConfig`] for `prepare`.
@@ -327,9 +362,9 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
-    // `report verify FILE` takes positionals; peel them off before flag
-    // parsing.
-    let (positionals, rest) = if cmd == "report" {
+    // `report verify FILE` and `info FILE` take positionals; peel them off
+    // before flag parsing.
+    let (positionals, rest) = if cmd == "report" || cmd == "info" {
         let n = rest.iter().take_while(|a| !a.starts_with("--")).count();
         (rest[..n].to_vec(), &rest[n..])
     } else {
@@ -523,6 +558,25 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
             let report_json = flags.get("report-json").map(String::as_str);
             let direction = parse_direction(flags.get("direction").map(String::as_str));
             let mut plan = baseline.plan(&prepared, &gpu).with_direction(direction);
+            let segmented = match segment_bytes_flag(flags) {
+                Some(bytes) if plan.identity_attrs() => {
+                    let segs = Segmentation::build(&plan.graph, bytes);
+                    log_info!(
+                        "segments: {} at budget {} bytes (max resident {} bytes, {} boundary arcs)",
+                        segs.len(),
+                        bytes,
+                        segs.max_segment_bytes(plan.graph.is_weighted()),
+                        segs.boundary_edges()
+                    );
+                    plan = plan.with_segments(std::sync::Arc::new(segs));
+                    true
+                }
+                Some(_) => {
+                    eprintln!("--segment-bytes needs an identity-attribute plan; this baseline remaps attributes, running flat");
+                    false
+                }
+                None => false,
+            };
             let trace = match report_json {
                 Some(_) => instrument_plan(&mut plan, &prepared),
                 None => plan.trace.clone(), // disabled: zero-cost no-op sink
@@ -585,7 +639,24 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
                 run.stats.elapsed_cycles(&gpu),
                 run.stats.elapsed_seconds(&gpu)
             );
+            if segmented {
+                println!(
+                    "segments {} processed, {} skipped (empty frontier)",
+                    run.stats.segments_processed, run.stats.segments_skipped
+                );
+            }
             print!("{}", CostBreakdown::attribute(&run.stats, &gpu));
+            if let Some(out) = flags.get("values-out") {
+                let mut bytes = Vec::with_capacity(run.values.len() * 8);
+                for v in &run.values {
+                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                if let Err(e) = std::fs::write(out, &bytes) {
+                    eprintln!("could not write {out}: {e}");
+                    exit(1);
+                }
+                log_info!("wrote {} result values to {out}", run.values.len());
+            }
             if report_json.is_some() {
                 let report =
                     assemble_report("run", get("algo"), &prepared, baseline, &plan, &run, &trace);
@@ -593,12 +664,69 @@ fn dispatch(cmd: &str, positionals: &[String], flags: &HashMap<String, String>) 
             }
         }
         "stream" => stream_cmd(flags, &gpu),
+        "info" => info_cmd(positionals, flags),
         "bench" => bench(flags, &cache),
         "report" => report_cmd(positionals),
         "serve" => serve_cmd(flags, cache),
         "client" => client_cmd(flags),
         _ => usage(),
     }
+}
+
+/// `graffix info FILE` — structural summary plus the flat vs segmented
+/// peak-resident-bytes estimate at the given `--segment-bytes` budget.
+/// Everything prints to stdout; no simulation runs.
+fn info_cmd(positionals: &[String], flags: &HashMap<String, String>) {
+    use graffix::graph::segment::{bytes_per_edge, BYTES_PER_NODE};
+
+    let path = positionals
+        .first()
+        .map(String::as_str)
+        .or_else(|| flags.get("in").map(String::as_str))
+        .unwrap_or_else(|| {
+            eprintln!("usage: graffix info FILE [--segment-bytes N]");
+            usage();
+        });
+    let g = load(path);
+    let n = g.num_nodes();
+    let m = g.num_edges();
+    let holes = g.num_holes();
+    let occupied = (n - holes).max(1);
+    let mut max_deg = 0usize;
+    for v in 0..n as NodeId {
+        max_deg = max_deg.max(g.degree(v));
+    }
+    let mean_deg = m as f64 / occupied as f64;
+    let weighted = g.is_weighted();
+    let flat_bytes = n * BYTES_PER_NODE + m * bytes_per_edge(weighted);
+
+    let budget = segment_bytes_flag(flags).unwrap_or(SegmentKnobs::default().segment_bytes);
+    let segs = Segmentation::build(&g, budget);
+    let seg_bytes = segs.max_segment_bytes(weighted);
+    let boundary = segs.boundary_edges();
+
+    println!("graph            {path}");
+    println!(
+        "nodes            {n} ({holes} holes), {}",
+        if weighted { "weighted" } else { "unweighted" }
+    );
+    println!("edges            {m}");
+    println!("degree           max {max_deg}, mean {mean_deg:.2}");
+    println!("flat resident    {flat_bytes} bytes (whole CSR + node attrs)");
+    println!("segment budget   {budget} bytes");
+    println!(
+        "segments         {} (largest {seg_bytes} bytes resident)",
+        segs.len()
+    );
+    println!(
+        "boundary arcs    {boundary} of {m} ({:.1}%)",
+        100.0 * boundary as f64 / m.max(1) as f64
+    );
+    println!(
+        "segmented peak   {} bytes ({:.1}% of flat)",
+        seg_bytes,
+        100.0 * seg_bytes as f64 / flat_bytes.max(1) as f64
+    );
 }
 
 /// `graffix stream` — ingest a batched edge-mutation stream and keep the
@@ -799,6 +927,7 @@ fn serve_cmd(flags: &HashMap<String, String>, cache: CacheConfig) {
     config.pool_capacity = num("pool-capacity", 8);
     config.queue_depth = num("queue-depth", 256);
     config.batch_max = num("batch-max", 16);
+    config.segment_bytes = segment_bytes_flag(flags);
     config.cache = cache;
 
     let names: Vec<&str> = config.graphs.names().collect();
@@ -919,6 +1048,10 @@ fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
         stream_bench(flags);
         return;
     }
+    if flags.contains_key("segment-gate") {
+        segment_bench(flags);
+        return;
+    }
     let repeats = flags
         .get("repeats")
         .map_or(3, |r| r.parse().expect("bad --repeats"));
@@ -940,13 +1073,36 @@ fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
                 options.seed,
                 repeats
             );
-            let baseline =
-                BenchBaseline::capture(&Suite::new(options).with_cache(cache.clone()), repeats);
+            let large_nodes: usize = flags
+                .get("large-nodes")
+                .map_or(1 << 20, |n| n.parse().expect("bad --large-nodes"));
+            let mut baseline = BenchBaseline::capture(
+                &Suite::new(options.clone()).with_cache(cache.clone()),
+                repeats,
+            );
+            if large_nodes > 0 {
+                let budget = SegmentKnobs::default().segment_bytes;
+                log_info!("measuring large cells: {large_nodes} nodes segmented at {budget} bytes");
+                baseline.large = graffix_bench::measure_large(large_nodes, options.seed, budget);
+                for c in &baseline.large {
+                    log_info!(
+                        "  {} -> {} cycles across {} segments ({:.1}s wall)",
+                        c.id(),
+                        c.elapsed_cycles,
+                        c.segments,
+                        c.wall_seconds
+                    );
+                }
+            }
             if let Err(e) = std::fs::write(path, baseline.to_pretty_string()) {
                 eprintln!("could not write {path}: {e}");
                 exit(1);
             }
-            log_info!("wrote baseline {path} ({} cells)", baseline.cells.len());
+            log_info!(
+                "wrote baseline {path} ({} cells, {} large)",
+                baseline.cells.len(),
+                baseline.large.len()
+            );
         }
         (None, Some(path)) => {
             let text = match std::fs::read_to_string(path) {
@@ -977,9 +1133,19 @@ fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
                 baseline.fingerprint.seed
             );
             let suite = Suite::new(baseline.fingerprint.suite_options()).with_cache(cache.clone());
+            if !baseline.large.is_empty() {
+                log_info!(
+                    "re-measuring {} large cells at {} nodes (takes a minute or two)",
+                    baseline.large.len(),
+                    baseline.large[0].nodes
+                );
+            }
             let report = graffix_bench::run_gate_on(opts, &baseline, &suite);
             print!("{}", report.diff_table().render());
             print!("{}", report.preprocess_table().render());
+            if !report.large.is_empty() {
+                print!("{}", report.large_table().render());
+            }
             if let Some(out) = flags.get("gate-report") {
                 if let Err(e) = std::fs::write(out, report.to_pretty_string()) {
                     eprintln!("could not write {out}: {e}");
@@ -994,11 +1160,14 @@ fn bench(flags: &HashMap<String, String>, cache: &CacheConfig) {
                 for f in report.preprocess_failures() {
                     eprintln!("FAIL {} [{}]", f.id, f.status.label());
                 }
+                for f in report.large_failures() {
+                    eprintln!("FAIL {} [{}]", f.id, f.status.label());
+                }
                 exit(1);
             }
             log_info!(
                 "gate passed: {} cells within tolerance",
-                report.verdicts.len() + report.preprocess.len()
+                report.verdicts.len() + report.preprocess.len() + report.large.len()
             );
         }
         _ => {
@@ -1116,6 +1285,61 @@ fn stream_bench(flags: &HashMap<String, String>) {
     log_info!(
         "stream gate passed: {} cells above the floor",
         report.cells.len()
+    );
+}
+
+/// `bench --segment-gate` — flat vs segment-major execution on the gate
+/// cells: byte-identical values everywhere, and enough cells where
+/// L2-resident segments make the segmented run measurably cheaper. Both
+/// sides are deterministic simulated cycles, so the gate is
+/// machine-independent.
+fn segment_bench(flags: &HashMap<String, String>) {
+    use graffix_bench::{run_segment_gate, SegmentGateOptions};
+
+    let mut options = SuiteOptions::from_env();
+    // Default to the 2^17 scale the segmented-win claim is made at.
+    options.nodes = flags
+        .get("nodes")
+        .map_or(1 << 17, |n| n.parse().expect("bad --nodes"));
+    if let Some(s) = flags.get("seed") {
+        options.seed = s.parse().expect("bad --seed");
+    }
+    let segment_bytes =
+        segment_bytes_flag(flags).unwrap_or_else(|| SegmentKnobs::default().segment_bytes);
+    let mut opts = SegmentGateOptions::default();
+    if let Some(w) = flags.get("min-win") {
+        opts.min_win = w.parse().expect("bad --min-win");
+    }
+    if let Some(c) = flags.get("min-cells") {
+        opts.min_cells = c.parse().expect("bad --min-cells");
+    }
+    log_info!(
+        "measuring flat vs segmented at {} nodes, {} byte budget",
+        options.nodes,
+        segment_bytes
+    );
+    let suite = Suite::new(options);
+    let report = run_segment_gate(opts, &suite, segment_bytes);
+    print!("{}", report.table().render());
+    if !report.passed() {
+        for r in report.divergent() {
+            eprintln!("FAIL {}/{} [segmented values diverged]", r.graph, r.algo);
+        }
+        if report.winners().len() < opts.min_cells {
+            eprintln!(
+                "FAIL only {} of the required {} cells won >= {:.0}%",
+                report.winners().len(),
+                opts.min_cells,
+                opts.min_win * 100.0
+            );
+        }
+        exit(1);
+    }
+    log_info!(
+        "segment gate passed: {} cells identical, {} at least {:.0}% faster segmented",
+        report.rows.len(),
+        report.winners().len(),
+        opts.min_win * 100.0
     );
 }
 

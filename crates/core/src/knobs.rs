@@ -332,6 +332,71 @@ impl StreamKnobs {
     }
 }
 
+/// Knobs for segmented execution (DESIGN.md §12): cache-sized contiguous
+/// vertex-range partitions with L2-resident pricing and bounded-RSS
+/// processing of mmap-backed graphs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentKnobs {
+    /// Byte budget per segment — the estimated working set (offsets +
+    /// attributes + edge slice) each segment keeps resident while it is
+    /// being processed. Defaults to the K40C's 1.5 MiB L2, so default
+    /// segments are exactly L2-resident.
+    pub segment_bytes: usize,
+}
+
+impl Default for SegmentKnobs {
+    fn default() -> Self {
+        SegmentKnobs {
+            segment_bytes: 1536 * 1024,
+        }
+    }
+}
+
+impl SegmentKnobs {
+    /// Overrides the per-segment byte budget.
+    pub fn with_segment_bytes(mut self, bytes: usize) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Rejects budgets the greedy splitter cannot honor: a budget below
+    /// one node's fixed cost degenerates into one segment per node.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segment_bytes < graffix_graph::segment::BYTES_PER_NODE {
+            return Err(format!(
+                "segment_bytes must be at least {} (one node's fixed cost), got {}",
+                graffix_graph::segment::BYTES_PER_NODE,
+                self.segment_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Knob fields the `segment` stage reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentInputs {
+    pub segment_bytes: usize,
+}
+
+/// [`SegmentKnobs`] partitioned into per-stage input sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentStageInputs {
+    pub segment: SegmentInputs,
+}
+
+impl SegmentKnobs {
+    /// Partitions the knobs into the input set of each segmenting stage;
+    /// see [`CoalesceKnobs::stage_inputs`] for the compile-error guard
+    /// this destructuring provides.
+    pub fn stage_inputs(&self) -> SegmentStageInputs {
+        let SegmentKnobs { segment_bytes } = *self;
+        SegmentStageInputs {
+            segment: SegmentInputs { segment_bytes },
+        }
+    }
+}
+
 /// Knob fields the `renumber` stage reads.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RenumberInputs {
@@ -609,6 +674,27 @@ mod tests {
                 "{tweaked:?} -> normalize"
             );
         }
+
+        let base = SegmentKnobs::default().stage_inputs();
+        let budget = SegmentKnobs::default()
+            .with_segment_bytes(4096)
+            .stage_inputs();
+        assert_ne!(base.segment, budget.segment, "segment_bytes -> segment");
+    }
+
+    #[test]
+    fn segment_knobs_default_and_validation() {
+        let s = SegmentKnobs::default();
+        assert_eq!(s.segment_bytes, 1536 * 1024);
+        s.validate().unwrap();
+        assert!(SegmentKnobs::default()
+            .with_segment_bytes(0)
+            .validate()
+            .is_err());
+        assert!(SegmentKnobs::default()
+            .with_segment_bytes(16)
+            .validate()
+            .is_ok());
     }
 
     #[test]

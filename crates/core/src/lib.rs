@@ -28,16 +28,20 @@ pub mod latency;
 pub mod pipeline;
 pub mod prepared;
 pub mod query;
+pub mod segmenting;
 pub(crate) mod stages;
 pub mod tuning;
 
 pub use cache::{prepare_with_cache, CacheConfig, CacheOutcome, CacheStatus};
 pub use confluence::ConfluenceOp;
 pub use incremental::{IncrementalOutcome, IncrementalPrepare, PrepareMode, StreamError};
-pub use knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs, StreamKnobs};
+pub use knobs::{
+    CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs, SegmentKnobs, StreamKnobs,
+};
 pub use pipeline::{Pipeline, PipelineError};
 pub use prepared::{PhaseTiming, Prepared, StageReport, Technique, Tile, TransformReport};
 pub use query::{Fingerprint, QueryCtx, StageRecord, StageStatus};
+pub use segmenting::segmentation_with_ctx;
 pub use tuning::{auto_tune, GraphProfile, TunedKnobs};
 
 /// Convenience prelude.
@@ -46,7 +50,9 @@ pub mod prelude {
     pub use crate::coalesce;
     pub use crate::confluence::ConfluenceOp;
     pub use crate::divergence;
-    pub use crate::knobs::{CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs};
+    pub use crate::knobs::{
+        CoalesceKnobs, DirectionKnobs, DivergenceKnobs, LatencyKnobs, SegmentKnobs,
+    };
     pub use crate::latency;
     pub use crate::pipeline::{Pipeline, PipelineError};
     pub use crate::prepared::{

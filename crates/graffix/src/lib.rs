@@ -66,14 +66,16 @@ pub mod prelude {
     };
     pub use graffix_baselines::{gunrock, lonestar, tigr, Baseline, ALL_BASELINES};
     pub use graffix_core::{
-        auto_tune, coalesce, divergence, latency, prepare_with_cache, CacheConfig, CacheOutcome,
-        CacheStatus, CoalesceKnobs, ConfluenceOp, DivergenceKnobs, GraphProfile,
-        IncrementalOutcome, IncrementalPrepare, LatencyKnobs, PhaseTiming, Pipeline, PrepareMode,
-        Prepared, QueryCtx, StageRecord, StageStatus, StreamError, StreamKnobs, Technique, Tile,
-        TransformReport, TunedKnobs,
+        auto_tune, coalesce, divergence, latency, prepare_with_cache, segmentation_with_ctx,
+        CacheConfig, CacheOutcome, CacheStatus, CoalesceKnobs, ConfluenceOp, DivergenceKnobs,
+        GraphProfile, IncrementalOutcome, IncrementalPrepare, LatencyKnobs, PhaseTiming, Pipeline,
+        PrepareMode, Prepared, QueryCtx, SegmentKnobs, StageRecord, StageStatus, StreamError,
+        StreamKnobs, Technique, Tile, TransformReport, TunedKnobs,
     };
     pub use graffix_graph::generators::paper_suite;
-    pub use graffix_graph::{Csr, GraphBuilder, GraphKind, GraphSpec, NodeId, INVALID_NODE};
+    pub use graffix_graph::{
+        Csr, GraphBuilder, GraphKind, GraphSpec, NodeId, Segment, Segmentation, INVALID_NODE,
+    };
     pub use graffix_sim::attrs::{
         AtomicF64Array, AtomicU32Array, AtomicU64Array, DoubleBuffered, FixedPointF64Array,
     };

@@ -20,6 +20,7 @@ pub type EdgeId = usize;
 pub const INVALID_NODE: NodeId = u32::MAX;
 
 use crate::error::GraphError;
+use crate::storage::Buf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -38,18 +39,24 @@ pub fn undirected_build_count() -> usize {
 #[derive(Clone, Debug, Default)]
 pub struct Csr {
     /// `offsets[v]..offsets[v+1]` spans `v`'s out-edges. Length `n + 1`.
-    offsets: Vec<EdgeId>,
+    /// Owned, or a window into a shared GFX1 file mapping (see
+    /// [`crate::storage::Buf`] and `Csr::open_mapped`).
+    offsets: Buf<EdgeId>,
     /// Flat destination array.
-    edges: Vec<NodeId>,
+    edges: Buf<NodeId>,
     /// Parallel weight array; empty for unweighted graphs.
-    weights: Vec<u32>,
+    weights: Buf<u32>,
     /// `hole_mask[v]` is true when slot `v` is a renumbering hole rather
-    /// than a logical vertex. Empty when the graph has no holes.
+    /// than a logical vertex. Empty when the graph has no holes. Always
+    /// owned (unpacked eagerly from the bit-packed on-disk form).
     hole_mask: Vec<bool>,
     /// Lazily built, shared undirected view (see [`Csr::undirected`]).
     /// Cloning a `Csr` clones the `Arc`, so clones share the built view;
     /// the mask setters reset it because the view depends on the mask.
     undirected: OnceLock<Arc<Csr>>,
+    /// Lazily built, shared transpose (CSC mirror), memoized like the
+    /// undirected view so every plan over the same graph shares one CSC.
+    transposed: OnceLock<Arc<Csr>>,
 }
 
 impl Csr {
@@ -83,11 +90,12 @@ impl Csr {
             offsets.push(edges.len());
         }
         Csr {
-            offsets,
-            edges,
-            weights: flat_weights,
+            offsets: offsets.into(),
+            edges: edges.into(),
+            weights: flat_weights.into(),
             hole_mask: Vec::new(),
             undirected: OnceLock::new(),
+            transposed: OnceLock::new(),
         }
     }
 
@@ -102,14 +110,42 @@ impl Csr {
         hole_mask: Vec<bool>,
     ) -> Result<Self, GraphError> {
         let g = Csr {
+            offsets: offsets.into(),
+            edges: edges.into(),
+            weights: weights.into(),
+            hole_mask,
+            undirected: OnceLock::new(),
+            transposed: OnceLock::new(),
+        };
+        g.check()?;
+        Ok(g)
+    }
+
+    /// Builds a CSR from pre-validated storage buffers (owned or mapped).
+    /// Runs the same invariant checks as [`Csr::try_from_parts`]; this is
+    /// the mmap-backed loading entry point (`Csr::open_mapped`).
+    pub(crate) fn from_checked_buffers(
+        offsets: Buf<EdgeId>,
+        edges: Buf<NodeId>,
+        weights: Buf<u32>,
+        hole_mask: Vec<bool>,
+    ) -> Result<Self, GraphError> {
+        let g = Csr {
             offsets,
             edges,
             weights,
             hole_mask,
             undirected: OnceLock::new(),
+            transposed: OnceLock::new(),
         };
         g.check()?;
         Ok(g)
+    }
+
+    /// True when any CSR array borrows a file mapping instead of owning
+    /// its storage (see `Csr::open_mapped`).
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.edges.is_mapped() || self.weights.is_mapped()
     }
 
     /// Builds a CSR directly from raw parts. Panics when the invariants do
@@ -340,7 +376,7 @@ impl Csr {
     pub fn in_degrees(&self) -> Vec<usize> {
         let n = self.num_nodes();
         let mut in_deg = vec![0usize; n];
-        for &d in &self.edges {
+        for &d in self.edges.iter() {
             in_deg[d as usize] += 1;
         }
         in_deg
@@ -375,12 +411,24 @@ impl Csr {
             }
         }
         Csr {
-            offsets,
-            edges,
-            weights,
+            offsets: offsets.into(),
+            edges: edges.into(),
+            weights: weights.into(),
             hole_mask: self.hole_mask.clone(),
             undirected: OnceLock::new(),
+            transposed: OnceLock::new(),
         }
+    }
+
+    /// Memoized, shared transpose view. The first call builds the CSC
+    /// mirror via [`Csr::transpose`] and caches it behind an `Arc`; later
+    /// calls — including calls on clones of this graph — return the shared
+    /// instance. Pull-direction plans all need the CSC, so sharing it here
+    /// means one transpose per distinct graph instead of one per plan.
+    pub fn transposed(&self) -> Arc<Csr> {
+        self.transposed
+            .get_or_init(|| Arc::new(self.transpose()))
+            .clone()
     }
 
     /// Memoized, shared undirected view. The first call builds the closure
@@ -408,31 +456,65 @@ impl Csr {
 
     fn build_undirected(&self) -> Csr {
         let n = self.num_nodes();
-        let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
+        let weighted = self.is_weighted();
+        // Counting pass: undirected degree with duplicates, self-loops
+        // dropped — replaces the per-node `Vec` pushes that dominated
+        // preparation at 2^20 nodes with one flat counting sort.
+        let mut bounds = vec![0usize; n + 1];
+        for (u, v, _) in self.edge_triples() {
+            if u != v {
+                bounds[u as usize + 1] += 1;
+                bounds[v as usize + 1] += 1;
+            }
+        }
+        for v in 0..n {
+            bounds[v + 1] += bounds[v];
+        }
+        let total = bounds[n];
+        let mut cursor = bounds.clone();
+        let mut pairs: Vec<(NodeId, u32)> = vec![(0, 0); total];
         for (u, v, w) in self.edge_triples() {
             if u != v {
-                adj[u as usize].push((v, w));
-                adj[v as usize].push((u, w));
+                pairs[cursor[u as usize]] = (v, w);
+                cursor[u as usize] += 1;
+                pairs[cursor[v as usize]] = (u, w);
+                cursor[v as usize] += 1;
             }
         }
-        let weighted = self.is_weighted();
-        let mut lists = Vec::with_capacity(n);
-        let mut wlists = if weighted {
-            Some(Vec::with_capacity(n))
+        // Canonicalize each neighbor range exactly as the old per-node
+        // path did: sort by (neighbor, weight), keep the first (minimum-
+        // weight) copy of each neighbor.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut edges = Vec::with_capacity(total);
+        let mut weights = if weighted {
+            Vec::with_capacity(total)
         } else {
-            None
+            Vec::new()
         };
-        for l in adj.iter_mut() {
-            l.sort_unstable();
-            l.dedup_by_key(|p| p.0);
-            lists.push(l.iter().map(|p| p.0).collect::<Vec<_>>());
-            if let Some(w) = &mut wlists {
-                w.push(l.iter().map(|p| p.1).collect::<Vec<_>>());
+        for v in 0..n {
+            let range = &mut pairs[bounds[v]..bounds[v + 1]];
+            range.sort_unstable();
+            let mut last = INVALID_NODE;
+            for &(nbr, w) in range.iter() {
+                if nbr != last {
+                    edges.push(nbr);
+                    if weighted {
+                        weights.push(w);
+                    }
+                    last = nbr;
+                }
             }
+            offsets.push(edges.len());
         }
-        let mut g = Csr::from_adjacency(lists, wlists);
-        g.hole_mask = self.hole_mask.clone();
-        g
+        Csr {
+            offsets: offsets.into(),
+            edges: edges.into(),
+            weights: weights.into(),
+            hole_mask: self.hole_mask.clone(),
+            undirected: OnceLock::new(),
+            transposed: OnceLock::new(),
+        }
     }
 
     /// Checks structural invariants, reporting the first violation as a
@@ -527,9 +609,10 @@ impl Csr {
             return Err(GraphError::EdgeIntoHole { dest: bad });
         }
         self.hole_mask = mask;
-        // The undirected view carries the hole mask, so a mask change
-        // invalidates any cached copy.
+        // The undirected and transpose views carry the hole mask, so a
+        // mask change invalidates any cached copy of either.
         self.undirected = OnceLock::new();
+        self.transposed = OnceLock::new();
         Ok(())
     }
 
@@ -697,6 +780,46 @@ mod tests {
         let c = g.clone().undirected();
         assert!(Arc::ptr_eq(&a, &c), "clones must share the cached view");
         assert_eq!(a.neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn transposed_view_is_memoized_and_shared() {
+        let g = diamond();
+        let a = g.transposed();
+        let b = g.transposed();
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the cache");
+        let c = g.clone().transposed();
+        assert!(Arc::ptr_eq(&a, &c), "clones must share the cached view");
+        assert_eq!(a.neighbors(3), &[1, 2]);
+        assert_eq!(a.neighbors(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn hole_mask_change_invalidates_transposed_view() {
+        let mut g = Csr::from_adjacency(vec![vec![1], vec![], vec![]], None);
+        let before = g.transposed();
+        g.set_hole_mask(vec![false, false, true]);
+        let after = g.transposed();
+        assert!(!Arc::ptr_eq(&before, &after), "mask change must rebuild");
+        assert!(after.is_hole(2));
+    }
+
+    #[test]
+    fn undirected_counting_build_matches_reference() {
+        // Duplicate arcs with different weights plus a self-loop: the
+        // canonical view keeps the minimum weight and drops the loop.
+        let g = Csr::from_adjacency(
+            vec![vec![1, 1, 0], vec![2], vec![0]],
+            Some(vec![vec![9, 4, 7], vec![5], vec![3]]),
+        );
+        let u = g.to_undirected();
+        assert_eq!(u.neighbors(0), &[1, 2]);
+        assert_eq!(u.edge_weights(0), &[4, 3]);
+        assert_eq!(u.neighbors(1), &[0, 2]);
+        assert_eq!(u.edge_weights(1), &[4, 5]);
+        assert_eq!(u.neighbors(2), &[0, 1]);
+        assert_eq!(u.edge_weights(2), &[3, 5]);
+        u.validate().unwrap();
     }
 
     #[test]

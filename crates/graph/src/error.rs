@@ -46,6 +46,16 @@ pub enum GraphError {
     /// A mutation tried to attach an edge to a hole slot (holes are not
     /// logical vertices and must stay edge-free).
     MutationIntoHole { node: NodeId },
+    /// A serialized graph's byte payload is shorter than its header
+    /// claims (`need` bytes required, `have` present).
+    Truncated {
+        what: &'static str,
+        need: u64,
+        have: u64,
+    },
+    /// A serialized graph's fixed header is malformed (bad magic, unknown
+    /// flags, or a misaligned array start).
+    BadHeader { what: &'static str },
 }
 
 impl fmt::Display for GraphError {
@@ -96,6 +106,10 @@ impl fmt::Display for GraphError {
             GraphError::MutationIntoHole { node } => {
                 write!(f, "mutation attaches an edge to hole slot {node}")
             }
+            GraphError::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            GraphError::BadHeader { what } => write!(f, "bad GFX1 header: {what}"),
         }
     }
 }
@@ -104,6 +118,18 @@ impl std::error::Error for GraphError {}
 
 impl From<GraphError> for std::io::Error {
     fn from(e: GraphError) -> Self {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        // Wrap the typed value (not its string) so callers can downcast
+        // via `io::Error::get_ref` and match on the variant; the Display
+        // text is unchanged because io::Error displays its source.
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+impl GraphError {
+    /// Recovers the typed error from an [`std::io::Error`] produced by the
+    /// `From<GraphError>` conversion above (graph deserialization and
+    /// mmap-backed loading both route structural failures through it).
+    pub fn from_io(e: &std::io::Error) -> Option<&GraphError> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
     }
 }

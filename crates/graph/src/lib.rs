@@ -17,7 +17,9 @@ pub mod generators;
 pub mod io;
 pub mod mutation;
 pub mod properties;
+pub mod segment;
 pub mod serialize;
+pub(crate) mod storage;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
@@ -25,6 +27,7 @@ pub use csr::{undirected_build_count, Csr, EdgeId, NodeId, INVALID_NODE};
 pub use error::GraphError;
 pub use generators::{GraphKind, GraphSpec};
 pub use mutation::{parse_stream, BatchOutcome, DeltaLog, EdgeBatch};
+pub use segment::{Segment, Segmentation};
 
 /// Convenience prelude bringing the most common items into scope.
 pub mod prelude {
@@ -33,5 +36,6 @@ pub mod prelude {
     pub use crate::error::GraphError;
     pub use crate::generators::{GraphKind, GraphSpec};
     pub use crate::properties;
+    pub use crate::segment::{Segment, Segmentation};
     pub use crate::traversal;
 }

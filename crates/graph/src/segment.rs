@@ -1,0 +1,416 @@
+//! Cache-sized contiguous vertex-range partitions of a [`Csr`].
+//!
+//! The segmented execution path (DESIGN.md §12) splits the node range
+//! into contiguous segments sized to a byte budget; each segment's
+//! offset/edge/weight data is a contiguous window of the parent arrays,
+//! so a segment is described by four indices plus a *boundary-edge
+//! table* counting how many of its arcs land in every other segment.
+//! Because segments are contiguous vertex ranges, a sorted frontier
+//! splits into per-segment subslices with two binary searches per
+//! segment — those subslices are the frontier routing buffers the
+//! runner feeds to each segment in order.
+//!
+//! The byte model per node mirrors what a superstep actually touches:
+//! one `u64` offset entry, one `u64` of node attribute, and 4 bytes per
+//! out-edge (8 when weighted). Segments sized under the L2 budget keep
+//! their working set resident across the superstep — the cache-reuse
+//! win GraphCage reports — while segments of an mmap-backed graph page
+//! in on demand, bounding peak RSS by the budget instead of the file.
+
+use crate::csr::{Csr, EdgeId, NodeId};
+
+/// Bytes charged per node slot beyond its edges: a `u64` offset entry
+/// plus a `u64` of per-node attribute state.
+pub const BYTES_PER_NODE: usize = 16;
+
+/// Bytes charged per out-edge: the `u32` destination, plus a `u32`
+/// weight when the graph is weighted.
+pub const fn bytes_per_edge(weighted: bool) -> usize {
+    if weighted {
+        8
+    } else {
+        4
+    }
+}
+
+/// One contiguous vertex-range partition of a CSR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// First node slot (inclusive).
+    pub start: NodeId,
+    /// One past the last node slot (exclusive).
+    pub end: NodeId,
+    /// First edge index (`offsets[start]`).
+    pub edge_start: EdgeId,
+    /// One past the last edge index (`offsets[end]`).
+    pub edge_end: EdgeId,
+    /// Boundary-edge table: `(destination segment, arc count)` for every
+    /// *other* segment this segment has arcs into, ascending by segment
+    /// index. Intra-segment arcs are in [`Segment::internal_edges`].
+    pub routes: Vec<(u32, u64)>,
+    /// Arcs whose destination stays inside this segment.
+    pub internal_edges: u64,
+}
+
+impl Segment {
+    /// Node slots covered by this segment.
+    #[inline]
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        self.start..self.end
+    }
+
+    /// Number of node slots.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Number of out-edges sourced in this segment.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_end - self.edge_start
+    }
+
+    /// Arcs that cross into other segments (sum of the routing table).
+    pub fn boundary_edges(&self) -> u64 {
+        self.routes.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// This segment's window of the parent offsets array
+    /// (`num_nodes() + 1` entries; subtract `edge_start` to localize).
+    pub fn offsets<'a>(&self, g: &'a Csr) -> &'a [EdgeId] {
+        &g.offsets()[self.start as usize..=self.end as usize]
+    }
+
+    /// This segment's window of the parent edge array.
+    pub fn edges<'a>(&self, g: &'a Csr) -> &'a [NodeId] {
+        &g.edges_raw()[self.edge_start..self.edge_end]
+    }
+
+    /// This segment's window of the parent weight array (`None` for
+    /// unweighted graphs).
+    pub fn weights<'a>(&self, g: &'a Csr) -> Option<&'a [u32]> {
+        if g.is_weighted() {
+            Some(&g.weights_raw()[self.edge_start..self.edge_end])
+        } else {
+            None
+        }
+    }
+
+    /// Estimated resident bytes while this segment is being processed.
+    pub fn bytes(&self, weighted: bool) -> usize {
+        self.num_nodes() * BYTES_PER_NODE + self.num_edges() * bytes_per_edge(weighted)
+    }
+}
+
+/// A complete partition of a CSR's node range into contiguous segments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segmentation {
+    segment_bytes: usize,
+    segments: Vec<Segment>,
+    /// `starts[i] == segments[i].start`, for binary-search routing.
+    starts: Vec<NodeId>,
+}
+
+impl Segmentation {
+    /// Greedily splits `g` into contiguous segments of at most
+    /// `segment_bytes` estimated bytes each (a single node whose edge
+    /// list alone exceeds the budget still gets its own segment — the
+    /// partition always covers every slot).
+    pub fn build(g: &Csr, segment_bytes: usize) -> Segmentation {
+        let ranges = Segmentation::split_ranges(g, segment_bytes);
+        let starts: Vec<NodeId> = ranges.iter().map(|r| r.start).collect();
+        let segments = ranges
+            .into_iter()
+            .map(|r| Segmentation::analyze_range(g, r, &starts))
+            .collect();
+        Segmentation::from_segments(segment_bytes, segments)
+    }
+
+    /// The greedy boundary pass alone: contiguous node ranges of at most
+    /// `segment_bytes` estimated bytes, covering every slot, with no
+    /// routing analysis. O(|V|) — cheap enough to always recompute; the
+    /// per-range [`Segmentation::analyze_range`] pass is the O(|E|) part
+    /// worth caching segment-by-segment.
+    pub fn split_ranges(g: &Csr, segment_bytes: usize) -> Vec<std::ops::Range<NodeId>> {
+        let n = g.num_nodes();
+        let per_edge = bytes_per_edge(g.is_weighted());
+        let offsets = g.offsets();
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for v in 0..n {
+            let cost = BYTES_PER_NODE + (offsets[v + 1] - offsets[v]) * per_edge;
+            if acc > 0 && acc + cost > segment_bytes {
+                ranges.push(start as NodeId..v as NodeId);
+                start = v;
+                acc = 0;
+            }
+            acc += cost;
+        }
+        if n > 0 {
+            ranges.push(start as NodeId..n as NodeId);
+        }
+        ranges
+    }
+
+    /// Routing analysis for one range of a split: counts the range's arcs
+    /// by destination segment against the full boundary list (`starts`
+    /// must be the starts of *every* range, ascending). Independent per
+    /// range, so callers may cache each resulting [`Segment`] keyed on
+    /// that range's content alone (plus the boundary list).
+    pub fn analyze_range(g: &Csr, range: std::ops::Range<NodeId>, starts: &[NodeId]) -> Segment {
+        let offsets = g.offsets();
+        let edges = g.edges_raw();
+        let edge_start = offsets[range.start as usize];
+        let edge_end = offsets[range.end as usize];
+        let own = match starts.binary_search(&range.start) {
+            Ok(j) => j,
+            Err(j) => j - 1,
+        };
+        let mut counts = vec![0u64; starts.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        for &d in &edges[edge_start..edge_end] {
+            let t = match starts.binary_search(&d) {
+                Ok(j) => j,
+                Err(j) => j - 1,
+            };
+            if counts[t] == 0 {
+                touched.push(t as u32);
+            }
+            counts[t] += 1;
+        }
+        touched.sort_unstable();
+        let mut seg = Segment {
+            start: range.start,
+            end: range.end,
+            edge_start,
+            edge_end,
+            routes: Vec::new(),
+            internal_edges: 0,
+        };
+        for &t in &touched {
+            if t as usize == own {
+                seg.internal_edges = counts[t as usize];
+            } else {
+                seg.routes.push((t, counts[t as usize]));
+            }
+        }
+        seg
+    }
+
+    /// Assembles a partition from per-range segments. The segments must
+    /// tile the node range in ascending order (debug-asserted) — the shape
+    /// [`Segmentation::build`] produces, whether the per-range analyses
+    /// were computed fresh or served from a cache.
+    pub fn from_segments(segment_bytes: usize, segments: Vec<Segment>) -> Segmentation {
+        debug_assert!(segments.windows(2).all(|w| w[0].end == w[1].start));
+        debug_assert!(segments.first().is_none_or(|s| s.start == 0));
+        let starts: Vec<NodeId> = segments.iter().map(|s| s.start).collect();
+        Segmentation {
+            segment_bytes,
+            segments,
+            starts,
+        }
+    }
+
+    /// The byte budget this partition was built for.
+    #[inline]
+    pub fn segment_bytes(&self) -> usize {
+        self.segment_bytes
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True for the empty graph (no segments).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The segments, in ascending vertex order.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Index of the segment containing slot `v` (which must be in range).
+    #[inline]
+    pub fn segment_of(&self, v: NodeId) -> u32 {
+        match self.starts.binary_search(&v) {
+            Ok(j) => j as u32,
+            Err(j) => (j - 1) as u32,
+        }
+    }
+
+    /// Splits an ascending-sorted node list into one contiguous subrange
+    /// per segment — the frontier routing buffers. `out[i]` indexes into
+    /// `nodes`; empty ranges mark segments the runner skips entirely.
+    pub fn split_sorted(&self, nodes: &[NodeId]) -> Vec<std::ops::Range<usize>> {
+        debug_assert!(nodes.windows(2).all(|w| w[0] <= w[1]));
+        let mut out = Vec::with_capacity(self.segments.len());
+        let mut lo = 0usize;
+        for seg in &self.segments {
+            let hi = lo + nodes[lo..].partition_point(|&v| v < seg.end);
+            out.push(lo..hi);
+            lo = hi;
+        }
+        out
+    }
+
+    /// Largest estimated per-segment resident size — with an mmap-backed
+    /// graph this bounds the CSR portion of peak RSS.
+    pub fn max_segment_bytes(&self, weighted: bool) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.bytes(weighted))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total cross-segment arcs (size of the routing workload).
+    pub fn boundary_edges(&self) -> u64 {
+        self.segments.iter().map(|s| s.boundary_edges()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GraphKind, GraphSpec};
+
+    fn line(n: usize) -> Csr {
+        let adj: Vec<Vec<NodeId>> = (0..n)
+            .map(|v| {
+                if v + 1 < n {
+                    vec![(v + 1) as NodeId]
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
+        Csr::from_adjacency(adj, None)
+    }
+
+    #[test]
+    fn covers_every_slot_in_order() {
+        let g = GraphSpec::new(GraphKind::Rmat, 500, 4).generate();
+        for budget in [512usize, 4096, usize::MAX / 2] {
+            let s = Segmentation::build(&g, budget);
+            assert!(!s.is_empty());
+            assert_eq!(s.segments()[0].start, 0);
+            assert_eq!(s.segments().last().unwrap().end as usize, g.num_nodes());
+            for w in s.segments().windows(2) {
+                assert_eq!(w[0].end, w[1].start, "segments must tile the range");
+                assert_eq!(w[0].edge_end, w[1].edge_start);
+            }
+            let m: usize = s.segments().iter().map(|x| x.num_edges()).sum();
+            assert_eq!(m, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn budget_bounds_every_multi_node_segment() {
+        let g = GraphSpec::new(GraphKind::SocialTwitter, 400, 8).generate();
+        let budget = 2048;
+        let s = Segmentation::build(&g, budget);
+        assert!(s.len() > 1, "budget should force multiple segments");
+        for seg in s.segments() {
+            assert!(
+                seg.bytes(g.is_weighted()) <= budget || seg.num_nodes() == 1,
+                "segment [{}, {}) holds {} bytes over budget {budget}",
+                seg.start,
+                seg.end,
+                seg.bytes(g.is_weighted()),
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_single_segment() {
+        let g = line(10);
+        let s = Segmentation::build(&g, usize::MAX / 2);
+        assert_eq!(s.len(), 1);
+        let seg = &s.segments()[0];
+        assert_eq!(seg.routes, vec![]);
+        assert_eq!(seg.internal_edges, g.num_edges() as u64);
+        assert_eq!(s.segment_of(9), 0);
+        assert_eq!(s.split_sorted(&[0, 3, 9]), vec![0..3]);
+    }
+
+    #[test]
+    fn routes_count_cross_segment_arcs() {
+        // Line graph, 2 nodes per segment (cost 2*16 + edges*4):
+        // every odd node's arc crosses into the next segment.
+        let g = line(8);
+        let s = Segmentation::build(&g, 40);
+        assert_eq!(s.len(), 4);
+        for (i, seg) in s.segments().iter().enumerate() {
+            assert_eq!(seg.num_nodes(), 2);
+            assert_eq!(seg.internal_edges, 1);
+            if i + 1 < s.len() {
+                assert_eq!(seg.routes, vec![(i as u32 + 1, 1)]);
+            } else {
+                assert_eq!(seg.routes, vec![]);
+            }
+        }
+        let total: u64 = s
+            .segments()
+            .iter()
+            .map(|x| x.internal_edges + x.boundary_edges())
+            .sum();
+        assert_eq!(total, g.num_edges() as u64);
+        assert_eq!(s.boundary_edges(), 3);
+    }
+
+    #[test]
+    fn segment_of_and_split_sorted_agree() {
+        let g = GraphSpec::new(GraphKind::Road, 300, 2).generate();
+        let s = Segmentation::build(&g, 1024);
+        let frontier: Vec<NodeId> = (0..g.num_nodes() as NodeId).step_by(7).collect();
+        let ranges = s.split_sorted(&frontier);
+        assert_eq!(ranges.len(), s.len());
+        let mut covered = 0;
+        for (i, r) in ranges.iter().enumerate() {
+            for &v in &frontier[r.clone()] {
+                assert_eq!(s.segment_of(v), i as u32);
+            }
+            covered += r.len();
+        }
+        assert_eq!(covered, frontier.len());
+    }
+
+    #[test]
+    fn segment_windows_match_parent_arrays() {
+        let g = GraphSpec::new(GraphKind::Rmat, 200, 4).generate();
+        let s = Segmentation::build(&g, 1500);
+        for seg in s.segments() {
+            let offs = seg.offsets(&g);
+            assert_eq!(offs.len(), seg.num_nodes() + 1);
+            assert_eq!(offs[0], seg.edge_start);
+            assert_eq!(*offs.last().unwrap(), seg.edge_end);
+            assert_eq!(seg.edges(&g).len(), seg.num_edges());
+            if g.is_weighted() {
+                assert_eq!(seg.weights(&g).unwrap().len(), seg.num_edges());
+            }
+            for (local, v) in seg.nodes().enumerate() {
+                let lo = offs[local] - seg.edge_start;
+                let hi = offs[local + 1] - seg.edge_start;
+                assert_eq!(&seg.edges(&g)[lo..hi], g.neighbors(v));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_segments() {
+        let g = Csr::from_adjacency(vec![], None);
+        let s = Segmentation::build(&g, 4096);
+        assert!(s.is_empty());
+        assert_eq!(s.split_sorted(&[]), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(s.max_segment_bytes(false), 0);
+    }
+}

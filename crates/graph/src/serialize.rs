@@ -72,20 +72,34 @@ pub fn to_bytes(g: &Csr) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a graph from `bytes`, validating the structure.
+/// Deserializes a graph from `bytes`, validating the structure. Failures
+/// are typed [`crate::error::GraphError`]s wrapped in `io::Error`
+/// (recoverable via [`crate::error::GraphError::from_io`]).
 pub fn from_bytes(mut bytes: Bytes) -> io::Result<Csr> {
-    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    use crate::error::GraphError;
+    let total = bytes.remaining() as u64;
     if bytes.remaining() < 24 {
-        return Err(err("truncated header"));
+        return Err(GraphError::Truncated {
+            what: "GFX1 header",
+            need: 24,
+            have: total,
+        }
+        .into());
     }
     let mut magic = [0u8; 4];
     bytes.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(err("bad magic (not a GFX1 file)"));
+        return Err(GraphError::BadHeader {
+            what: "magic (not a GFX1 file)",
+        }
+        .into());
     }
     let flags = bytes.get_u32_le();
     if flags & !(FLAG_WEIGHTED | FLAG_HOLES) != 0 {
-        return Err(err("unknown flags"));
+        return Err(GraphError::BadHeader {
+            what: "unknown flags",
+        }
+        .into());
     }
     let n64 = bytes.get_u64_le();
     let m64 = bytes.get_u64_le();
@@ -97,16 +111,21 @@ pub fn from_bytes(mut bytes: Bytes) -> io::Result<Csr> {
     // arithmetic below. Node slots beyond u32::MAX would also collide with
     // the INVALID_NODE sentinel.
     if n64 > u32::MAX as u64 {
-        return Err(err("node count exceeds the u32 id space"));
+        return Err(GraphError::TooManyNodes {
+            nodes: n64 as usize,
+        }
+        .into());
     }
     // Each offset costs 8 bytes and each edge at least 4, so any honest n/m
     // is bounded by the remaining payload; this also keeps `need` from
     // overflowing on 32-bit hosts.
-    if n64 > bytes.remaining() as u64 / 8 {
-        return Err(err("truncated body"));
-    }
-    if m64 > bytes.remaining() as u64 / 4 {
-        return Err(err("truncated body"));
+    if n64 > bytes.remaining() as u64 / 8 || m64 > bytes.remaining() as u64 / 4 {
+        return Err(GraphError::Truncated {
+            what: "GFX1 body",
+            need: 24 + n64.saturating_mul(8).saturating_add(m64.saturating_mul(4)),
+            have: total,
+        }
+        .into());
     }
     let n = n64 as usize;
     let m = m64 as usize;
@@ -115,27 +134,41 @@ pub fn from_bytes(mut bytes: Bytes) -> io::Result<Csr> {
         + if weighted { m * 4 } else { 0 }
         + if has_holes { n.div_ceil(8) } else { 0 };
     if bytes.remaining() < need {
-        return Err(err("truncated body"));
+        return Err(GraphError::Truncated {
+            what: "GFX1 body",
+            need: 24 + need as u64,
+            have: total,
+        }
+        .into());
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         let o = bytes.get_u64_le();
         if o > m64 {
-            return Err(err("offset beyond edge count"));
+            return Err(GraphError::ValueOutOfRange {
+                what: "offset",
+                value: o,
+                max: m64,
+            }
+            .into());
         }
         offsets.push(o as usize);
     }
     if *offsets.last().unwrap() != m {
-        return Err(err("offset/edge-count mismatch"));
+        return Err(GraphError::OffsetEdgeMismatch {
+            last: *offsets.last().unwrap(),
+            edges: m,
+        }
+        .into());
     }
-    if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(err("offsets not monotone"));
+    if let Some(at) = offsets.windows(2).position(|w| w[0] > w[1]) {
+        return Err(GraphError::NonMonotoneOffsets { at }.into());
     }
     let mut edges = Vec::with_capacity(m);
     for _ in 0..m {
         let e = bytes.get_u32_le();
         if e as usize >= n {
-            return Err(err("edge destination out of range"));
+            return Err(GraphError::EdgeTargetOutOfRange { dest: e, nodes: n }.into());
         }
         edges.push(e);
     }
@@ -188,6 +221,137 @@ pub fn save_binary<P: AsRef<Path>>(g: &Csr, path: P) -> io::Result<()> {
 /// Convenience: loads from `path`.
 pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
     read_binary(std::fs::File::open(path)?)
+}
+
+/// Memory-maps a GFX1 file and builds a `Csr` whose offset/edge/weight
+/// arrays are zero-copy windows into the mapping, so segments of graphs
+/// larger than RAM page in on demand instead of being read up front.
+///
+/// The entire layout is validated *before* the `Csr` is constructed — the
+/// same header, bounds, monotonicity, and hole checks as [`from_bytes`] —
+/// so a truncated or bit-flipped file surfaces as a typed
+/// [`GraphError`] (recoverable from the returned `io::Error` via
+/// [`GraphError::from_io`]), never as UB or a panic from a short map.
+///
+/// The file must not be truncated while the graph is alive: GFX1 files
+/// are written whole and replaced atomically, and a shrink under an
+/// established mapping is a `SIGBUS` on any POSIX mmap consumer (see
+/// DESIGN.md §12 for the lifetime/safety argument). Mutation via
+/// `Csr::apply_batch` is safe — it rebuilds owned arrays and drops the
+/// mapping reference.
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+pub fn open_mapped<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    use crate::error::GraphError;
+    use crate::storage::{Buf as Storage, MappedRegion};
+    use std::sync::Arc;
+
+    let file = std::fs::File::open(path)?;
+    let have = file.metadata()?.len();
+    if have < 24 {
+        return Err(GraphError::Truncated {
+            what: "GFX1 header",
+            need: 24,
+            have,
+        }
+        .into());
+    }
+    let region = Arc::new(MappedRegion::map_file(&file)?);
+    let bytes = region.bytes();
+    if &bytes[0..4] != MAGIC {
+        return Err(GraphError::BadHeader {
+            what: "magic (not a GFX1 file)",
+        }
+        .into());
+    }
+    let flags = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if flags & !(FLAG_WEIGHTED | FLAG_HOLES) != 0 {
+        return Err(GraphError::BadHeader {
+            what: "unknown flags",
+        }
+        .into());
+    }
+    let n64 = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let m64 = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let has_holes = flags & FLAG_HOLES != 0;
+    if n64 > u32::MAX as u64 {
+        return Err(GraphError::TooManyNodes {
+            nodes: n64 as usize,
+        }
+        .into());
+    }
+    let n = n64 as usize;
+    // Bound m by the payload before sizing anything with it (a hostile
+    // header cannot make `need` overflow: n ≤ 2^32 and m ≤ file/4).
+    if m64 > (have - 24) / 4 {
+        return Err(GraphError::Truncated {
+            what: "GFX1 edge array",
+            need: 24 + m64.saturating_mul(4),
+            have,
+        }
+        .into());
+    }
+    let m = m64 as usize;
+    let need = 24
+        + (n as u64 + 1) * 8
+        + m64 * 4
+        + if weighted { m64 * 4 } else { 0 }
+        + if has_holes { n.div_ceil(8) as u64 } else { 0 };
+    if have < need {
+        return Err(GraphError::Truncated {
+            what: "GFX1 body",
+            need,
+            have,
+        }
+        .into());
+    }
+    // Array windows into the mapping. The base is page-aligned, offsets
+    // start at byte 24 (8-aligned) and edges/weights at 4-aligned byte
+    // positions; `mapped_slice` re-checks both range and alignment.
+    let misaligned = |_| GraphError::BadHeader {
+        what: "misaligned array window",
+    };
+    let offsets_at = 24usize;
+    let edges_at = offsets_at + (n + 1) * 8;
+    let weights_at = edges_at + m * 4;
+    let holes_at = weights_at + if weighted { m * 4 } else { 0 };
+    let offsets: Storage<crate::csr::EdgeId> =
+        Storage::mapped_slice(&region, offsets_at, n + 1).map_err(misaligned)?;
+    let edges: Storage<crate::csr::NodeId> =
+        Storage::mapped_slice(&region, edges_at, m).map_err(misaligned)?;
+    let weights: Storage<u32> = if weighted {
+        Storage::mapped_slice(&region, weights_at, m).map_err(misaligned)?
+    } else {
+        Vec::new().into()
+    };
+    let hole_mask = if has_holes {
+        let packed = &bytes[holes_at..holes_at + n.div_ceil(8)];
+        (0..n)
+            .map(|v| packed[v / 8] & (1 << (v % 8)) != 0)
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Full structural validation (monotone offsets, last == m, edge
+    // targets in range, weight shape, hole degrees) before the graph is
+    // handed out — identical guarantees to the copying loader.
+    let g = Csr::from_checked_buffers(offsets, edges, weights, hole_mask)?;
+    Ok(g)
+}
+
+/// Fallback for targets without the zero-copy mapping path (non-unix,
+/// big-endian, or 32-bit hosts): loads an owned copy with identical
+/// validation semantics.
+#[cfg(not(all(unix, target_endian = "little", target_pointer_width = "64")))]
+pub fn open_mapped<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    load_binary(path)
+}
+
+impl Csr {
+    /// See [`open_mapped`].
+    pub fn open_mapped<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+        open_mapped(path)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +423,103 @@ mod tests {
         let edge_pos = 4 + 4 + 8 + 8 + 4 * 8;
         data[edge_pos..edge_pos + 4].copy_from_slice(&100u32.to_le_bytes());
         assert!(from_bytes(Bytes::from(data)).is_err());
+    }
+
+    fn temp_file(name: &str, data: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("graffix-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}", std::process::id()));
+        std::fs::write(&path, data).unwrap();
+        path
+    }
+
+    #[test]
+    fn open_mapped_matches_copying_loader() {
+        let mut g = GraphSpec::new(GraphKind::Rmat, 300, 4).generate();
+        let mut mask = vec![false; g.num_nodes()];
+        // Mark a few zero-degree slots as holes so the packed mask path
+        // is exercised too.
+        let mut marked = 0;
+        for v in 0..g.num_nodes() as u32 {
+            if g.degree(v) == 0 && g.in_degrees()[v as usize] == 0 {
+                mask[v as usize] = true;
+                marked += 1;
+            }
+        }
+        if marked > 0 {
+            g.set_hole_mask(mask);
+        }
+        let path = temp_file("mapped-roundtrip.gfx", &to_bytes(&g));
+        let m = open_mapped(&path).unwrap();
+        assert_eq!(g.offsets(), m.offsets());
+        assert_eq!(g.edges_raw(), m.edges_raw());
+        assert_eq!(g.weights_raw(), m.weights_raw());
+        assert_eq!(g.num_holes(), m.num_holes());
+        #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+        assert!(m.is_mapped(), "zero-copy path must borrow the mapping");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_mapped_rejects_truncation_with_typed_error() {
+        use crate::error::GraphError;
+        let data = to_bytes(&GraphSpec::new(GraphKind::Random, 50, 2).generate());
+        for cut in [0usize, 3, 20, data.len() / 2, data.len() - 1] {
+            let path = temp_file(&format!("truncated-{cut}.gfx"), &data[..cut]);
+            let err = open_mapped(&path).expect_err("truncated file accepted");
+            assert!(
+                matches!(
+                    GraphError::from_io(&err),
+                    Some(GraphError::Truncated { .. })
+                ),
+                "cut at {cut}: expected typed Truncated, got {err}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn open_mapped_rejects_bit_flips_with_typed_error() {
+        use crate::error::GraphError;
+        let g = {
+            let mut b = GraphBuilder::new(3);
+            b.add_edge(0, 2);
+            b.add_edge(1, 0);
+            b.build()
+        };
+        let base = to_bytes(&g).to_vec();
+
+        // Bad magic.
+        let mut bad = base.clone();
+        bad[0] = b'X';
+        let path = temp_file("badmagic.gfx", &bad);
+        let err = open_mapped(&path).unwrap_err();
+        assert!(matches!(
+            GraphError::from_io(&err),
+            Some(GraphError::BadHeader { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+
+        // Edge destination out of range.
+        let mut bad = base.clone();
+        let edge_pos = 4 + 4 + 8 + 8 + 4 * 8;
+        bad[edge_pos..edge_pos + 4].copy_from_slice(&100u32.to_le_bytes());
+        let path = temp_file("badedge.gfx", &bad);
+        let err = open_mapped(&path).unwrap_err();
+        assert!(matches!(
+            GraphError::from_io(&err),
+            Some(GraphError::EdgeTargetOutOfRange { dest: 100, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+
+        // Non-monotone offsets.
+        let mut bad = base.clone();
+        let off_pos = 4 + 4 + 8 + 8 + 8; // offsets[1]
+        bad[off_pos..off_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let path = temp_file("badoffset.gfx", &bad);
+        let err = open_mapped(&path).unwrap_err();
+        assert!(GraphError::from_io(&err).is_some(), "untyped error: {err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -28,7 +28,7 @@ use graffix_core::{
     auto_tune, prepare_with_cache, CacheConfig, CacheStatus, Pipeline, Prepared, StageRecord,
 };
 use graffix_graph::mutation::{BatchOutcome, EdgeBatch};
-use graffix_graph::Csr;
+use graffix_graph::{Csr, Segmentation};
 use graffix_sim::GpuConfig;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -95,6 +95,9 @@ pub fn pipeline_for_request(g: &Csr, technique: &str, threshold: Option<f64>) ->
 struct PoolEntry {
     original: Arc<Csr>,
     prepared: Arc<Prepared>,
+    /// Cache-sized partition of the prepared graph, built once per entry
+    /// when the pool runs with a segment budget.
+    segments: Option<Arc<Segmentation>>,
     /// LRU clock value at last touch.
     tick: u64,
 }
@@ -130,6 +133,10 @@ pub struct Checkout {
     /// Per-stage records from the memoized query graph (empty on pool or
     /// whole-blob hits).
     pub stages: Vec<StageRecord>,
+    /// Shared segmentation of the prepared graph (present iff the pool was
+    /// built with a segment budget) — workers attach it to their plans for
+    /// segment-major execution.
+    pub segments: Option<Arc<Segmentation>>,
 }
 
 struct Inner {
@@ -147,6 +154,9 @@ pub struct PreparedPool {
     capacity: usize,
     gpu: GpuConfig,
     cache: CacheConfig,
+    /// Segment byte budget; entries carry a shared [`Segmentation`] of
+    /// their prepared graph when set.
+    segment_bytes: Option<usize>,
     inner: Mutex<Inner>,
 }
 
@@ -157,6 +167,7 @@ impl PreparedPool {
             capacity: capacity.max(1),
             gpu,
             cache,
+            segment_bytes: None,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 overlays: HashMap::new(),
@@ -164,6 +175,13 @@ impl PreparedPool {
                 stats: PoolStats::default(),
             }),
         }
+    }
+
+    /// Sets the segment byte budget: every subsequent miss also builds the
+    /// prepared graph's [`Segmentation`] and shares it across checkouts.
+    pub fn with_segment_bytes(mut self, bytes: Option<usize>) -> PreparedPool {
+        self.segment_bytes = bytes;
+        self
     }
 
     pub fn capacity(&self) -> usize {
@@ -208,6 +226,7 @@ impl PreparedPool {
                 cache: "pooled".to_string(),
                 store_warning: None,
                 stages: Vec::new(),
+                segments: entry.segments.clone(),
             };
             inner.stats.hits += 1;
             return Ok(out);
@@ -268,12 +287,16 @@ impl PreparedPool {
                 }
             };
         let prepared = Arc::new(prepared);
+        let segments = self
+            .segment_bytes
+            .map(|bytes| Arc::new(Segmentation::build(&prepared.graph, bytes)));
 
         inner.entries.insert(
             key.clone(),
             PoolEntry {
                 original: Arc::clone(&original),
                 prepared: Arc::clone(&prepared),
+                segments: segments.clone(),
                 tick,
             },
         );
@@ -294,6 +317,7 @@ impl PreparedPool {
             cache,
             store_warning,
             stages,
+            segments,
         })
     }
 
@@ -486,6 +510,27 @@ mod tests {
         assert_eq!(err.kind, ErrorKind::BadMutation);
         assert_eq!(p.len(), 1, "failed mutation must not invalidate");
         assert_eq!(p.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn segment_budget_builds_one_shared_segmentation_per_entry() {
+        let reg = registry(1);
+        let p = PreparedPool::new(2, GpuConfig::k40c(), CacheConfig::disabled())
+            .with_segment_bytes(Some(2048));
+        let key = PoolKey::new("g0", "exact", None);
+        let a = p.checkout(&key, &reg).unwrap();
+        let segs = a.segments.expect("segment budget set");
+        assert!(segs.len() > 1, "2 KiB budget must split a 300-node rmat");
+        assert_eq!(
+            segs.segments().last().unwrap().end as usize,
+            a.prepared.graph.num_nodes()
+        );
+        // A pool hit shares the same Arc — no per-request rebuild.
+        let b = p.checkout(&key, &reg).unwrap();
+        assert!(Arc::ptr_eq(&segs, b.segments.as_ref().unwrap()));
+        // Without a budget, checkouts carry no segmentation.
+        let bare = pool(2).checkout(&key, &reg).unwrap();
+        assert!(bare.segments.is_none());
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Max requests fused into one dequeue batch.
     pub batch_max: usize,
+    /// Segment byte budget for segment-major execution: pool entries carry
+    /// a shared segmentation of their prepared graph, and workers run
+    /// identity-attribute plans segment-major. `None` = flat execution.
+    pub segment_bytes: Option<usize>,
     pub cache: CacheConfig,
     pub gpu: GpuConfig,
     pub graphs: GraphRegistry,
@@ -101,6 +105,7 @@ impl ServeConfig {
             pool_capacity: 8,
             queue_depth: 256,
             batch_max: 16,
+            segment_bytes: None,
             cache: CacheConfig::disabled(),
             gpu: GpuConfig::k40c(),
             graphs,
@@ -241,7 +246,8 @@ impl Server {
                 config.pool_capacity,
                 config.gpu.clone(),
                 config.cache.clone(),
-            ),
+            )
+            .with_segment_bytes(config.segment_bytes),
             registry: config.graphs,
             metrics: ServerMetrics::new(),
             queue: Mutex::new(QueueState {
@@ -650,10 +656,18 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
             return;
         }
     };
-    let plan = head
+    let mut plan = head
         .baseline
         .plan(&checkout.prepared, &shared.gpu)
         .with_direction(head.direction);
+    // Segment-major execution when the pool carries a segmentation and the
+    // plan addresses attributes by identity (results are byte-identical to
+    // flat execution; only the simulated cost model differs).
+    if let Some(segs) = &checkout.segments {
+        if plan.identity_attrs() {
+            plan = plan.with_segments(Arc::clone(segs));
+        }
+    }
 
     // Source-fused traversals: one run per distinct effective source.
     let mut memo: HashMap<Option<NodeId>, Executed> = HashMap::new();

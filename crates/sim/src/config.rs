@@ -20,6 +20,10 @@ pub struct GpuConfig {
     pub lat_global: u64,
     /// Cycles per shared-memory access.
     pub lat_shared: u64,
+    /// Cycles per L2-hit transaction (segment-major execution marks the
+    /// active segment's arrays L2-resident; coalescing rules match global
+    /// memory, latency sits between shared and DRAM).
+    pub lat_l2: u64,
     /// Cycles per atomic operation (multiplied by the largest same-address
     /// collision group inside a warp step).
     pub lat_atomic: u64,
@@ -61,6 +65,9 @@ impl GpuConfig {
             warps_overlap_per_sm: 8,
             lat_global: 64,
             lat_shared: 8,
+            // Kepler L2 microbenchmarks put an L2 hit at roughly a quarter
+            // of a DRAM round trip under the same bandwidth accounting.
+            lat_l2: 16,
             lat_atomic: 128,
             issue_cycles: 24,
             shared_mem_words: 48 * 1024 / 4,
@@ -81,6 +88,7 @@ impl GpuConfig {
             warps_overlap_per_sm: 1,
             lat_global: 100,
             lat_shared: 10,
+            lat_l2: 25,
             lat_atomic: 20,
             issue_cycles: 1,
             shared_mem_words: 64,
@@ -130,5 +138,8 @@ mod tests {
         let c = GpuConfig::k40c();
         assert!(c.lat_global >= 5 * c.lat_shared);
         assert!(c.lat_atomic >= c.lat_global);
+        // The L2 tier must sit strictly between shared and DRAM for the
+        // segment-resident pricing to mean anything.
+        assert!(c.lat_shared < c.lat_l2 && c.lat_l2 < c.lat_global);
     }
 }

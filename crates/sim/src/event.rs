@@ -40,6 +40,10 @@ pub enum AccessKind {
 pub enum Space {
     Global,
     Shared,
+    /// L2-resident: the access hits data pinned by the active cache-sized
+    /// segment (segment-major execution, DESIGN.md §12). Coalesces like
+    /// global memory but at [`crate::GpuConfig::lat_l2`].
+    L2,
 }
 
 /// One recorded lane event.

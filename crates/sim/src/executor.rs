@@ -56,6 +56,7 @@ where
         &[Block {
             assignment: step.assignment,
             resident: step.resident,
+            span: None,
         }],
         kernel,
     )
@@ -67,6 +68,11 @@ where
 pub struct Block<'a> {
     pub assignment: &'a [NodeId],
     pub resident: Option<&'a [bool]>,
+    /// L2 residency window `[lo, hi)` over attribute indices, set by
+    /// segment-major blocks (DESIGN.md §12). Mutually exclusive with
+    /// `resident` in practice: tile blocks carry a mask, segment blocks a
+    /// span; when both are set the mask wins (see [`Lane`]).
+    pub span: Option<(u64, u64)>,
 }
 
 /// Per-chunk partial result of the parallel warp sweep.
@@ -88,13 +94,14 @@ where
     F: Fn(NodeId, &mut Lane) -> bool + Sync,
 {
     // Flatten the launch into per-warp work items (warp slice + its
-    // block's residency mask).
-    let warps: Vec<(&[NodeId], Option<&[bool]>)> = blocks
+    // block's residency mask + L2 span).
+    type WarpItem<'w> = (&'w [NodeId], Option<&'w [bool]>, Option<(u64, u64)>);
+    let warps: Vec<WarpItem<'_>> = blocks
         .iter()
         .flat_map(|b| {
             b.assignment
                 .chunks(cfg.warp_size)
-                .map(move |w| (w, b.resident))
+                .map(move |w| (w, b.resident, b.span))
         })
         .collect();
 
@@ -109,13 +116,14 @@ where
                 activated: Vec::new(),
             };
             let mut lanes: Vec<Lane> = (0..cfg.warp_size).map(|_| Lane::new()).collect();
-            for &(warp_nodes, resident) in ws {
+            for &(warp_nodes, resident, span) in ws {
                 for (i, &v) in warp_nodes.iter().enumerate() {
                     lanes[i].reset();
                     if v == INVALID_NODE {
                         continue;
                     }
                     lanes[i].set_resident_mask(resident);
+                    lanes[i].set_resident_span(span);
                     out.changed |= kernel(v, &mut lanes[i]);
                 }
                 let traces: Vec<&[_]> = lanes[..warp_nodes.len()]

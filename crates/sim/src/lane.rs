@@ -14,6 +14,12 @@ pub struct Lane {
     /// attribute accesses whose index is resident are recorded as
     /// [`Space::Shared`].
     resident: Option<*const [bool]>,
+    /// L2 residency window installed by segment-major execution: with no
+    /// shared-memory mask, node-attribute accesses inside `[lo, hi)` (and
+    /// all CSR-slice accesses, which segment execution streams through L2)
+    /// are recorded as [`Space::L2`]. A shared-memory mask takes precedence
+    /// — tile blocks keep their mask and never carry a span.
+    resident_span: Option<(u64, u64)>,
     /// Vertices this lane asked to enqueue for the next frontier. Collected
     /// by the executor in lane order so frontier construction stays
     /// deterministic under parallel warp execution.
@@ -33,6 +39,10 @@ impl Lane {
         self.resident = mask.map(|m| m as *const [bool]);
     }
 
+    pub(crate) fn set_resident_span(&mut self, span: Option<(u64, u64)>) {
+        self.resident_span = span;
+    }
+
     #[inline]
     fn space_for(&self, array: ArrayId, index: u64) -> Space {
         // Inside a tile block (paper §3) the whole tile subgraph — its CSR
@@ -43,6 +53,20 @@ impl Lane {
         // EXPERIMENTS.md for how this staging model relates to the paper's
         // Figure 8 shape.)
         let Some(ptr) = self.resident else {
+            // Segment-major blocks (DESIGN.md §12): the active segment's
+            // attribute window and its CSR slice are L2-resident; attribute
+            // accesses escaping the window (cross-segment destinations) pay
+            // full DRAM latency.
+            if let Some((lo, hi)) = self.resident_span {
+                if matches!(array, ArrayId::NODE_ATTR | ArrayId::NODE_ATTR_AUX) {
+                    return if index >= lo && index < hi {
+                        Space::L2
+                    } else {
+                        Space::Global
+                    };
+                }
+                return Space::L2;
+            }
             return Space::Global;
         };
         if matches!(array, ArrayId::NODE_ATTR | ArrayId::NODE_ATTR_AUX) {
@@ -127,6 +151,7 @@ impl Lane {
     pub(crate) fn reset(&mut self) {
         self.trace.clear();
         self.resident = None;
+        self.resident_span = None;
         self.activations.clear();
     }
 }
@@ -183,6 +208,45 @@ mod tests {
         let mut lane = Lane::new();
         lane.set_resident_mask(Some(&mask));
         lane.read(ArrayId::NODE_ATTR, 5);
+        assert_eq!(lane.trace()[0].space, Space::Global);
+    }
+
+    #[test]
+    fn resident_span_marks_l2() {
+        let mut lane = Lane::new();
+        lane.set_resident_span(Some((4, 8)));
+        // In-window attribute access hits L2.
+        lane.read(ArrayId::NODE_ATTR, 5);
+        // Out-of-window attribute access (cross-segment destination)
+        // escapes to global memory.
+        lane.atomic(ArrayId::NODE_ATTR, 9);
+        // The segment's CSR slice streams through L2.
+        lane.read(ArrayId::EDGES, 100);
+        assert_eq!(lane.trace()[0].space, Space::L2);
+        assert_eq!(lane.trace()[1].space, Space::Global);
+        assert_eq!(lane.trace()[2].space, Space::L2);
+    }
+
+    #[test]
+    fn mask_takes_precedence_over_span() {
+        let mask = vec![false, true];
+        let mut lane = Lane::new();
+        lane.set_resident_mask(Some(&mask));
+        lane.set_resident_span(Some((0, 2)));
+        lane.read(ArrayId::NODE_ATTR, 1);
+        lane.read(ArrayId::NODE_ATTR, 0);
+        assert_eq!(lane.trace()[0].space, Space::Shared);
+        assert_eq!(lane.trace()[1].space, Space::Global);
+    }
+
+    #[test]
+    fn reset_clears_span() {
+        let mut lane = Lane::new();
+        lane.set_resident_span(Some((0, 4)));
+        lane.read(ArrayId::NODE_ATTR, 1);
+        assert_eq!(lane.trace()[0].space, Space::L2);
+        lane.reset();
+        lane.read(ArrayId::NODE_ATTR, 1);
         assert_eq!(lane.trace()[0].space, Space::Global);
     }
 }

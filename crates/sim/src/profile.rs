@@ -14,6 +14,9 @@ pub struct CostBreakdown {
     pub issue_cycles: u64,
     /// Global read/write transaction cycles.
     pub global_cycles: u64,
+    /// L2-priced transaction cycles (segment-resident accesses of the
+    /// segment-major execution path).
+    pub l2_cycles: u64,
     /// Shared-memory cycles (including bank-conflict serialization).
     pub shared_cycles: u64,
     /// Atomic cycles (segment round trips + collision serialization).
@@ -36,6 +39,7 @@ impl CostBreakdown {
         CostBreakdown {
             issue_cycles: stats.issue_cycles,
             global_cycles: stats.global_cycles,
+            l2_cycles: stats.l2_cycles,
             shared_cycles: stats.shared_cycles,
             atomic_cycles: stats.atomic_cycles,
             total_warp_cycles: stats.warp_cycles,
@@ -43,16 +47,21 @@ impl CostBreakdown {
         }
     }
 
-    /// Fraction of the modeled cycles spent in global memory traffic.
+    /// Fraction of the modeled cycles spent in memory traffic (global,
+    /// L2, and atomic round trips).
     pub fn memory_bound_fraction(&self) -> f64 {
         let modeled = self.modeled_total().max(1);
-        (self.global_cycles + self.atomic_cycles) as f64 / modeled as f64
+        (self.global_cycles + self.l2_cycles + self.atomic_cycles) as f64 / modeled as f64
     }
 
-    /// Sum of the four components; equals `total_warp_cycles` exactly for
+    /// Sum of the five components; equals `total_warp_cycles` exactly for
     /// any stats produced by the replay.
     pub fn modeled_total(&self) -> u64 {
-        self.issue_cycles + self.global_cycles + self.shared_cycles + self.atomic_cycles
+        self.issue_cycles
+            + self.global_cycles
+            + self.l2_cycles
+            + self.shared_cycles
+            + self.atomic_cycles
     }
 }
 
@@ -75,6 +84,7 @@ impl fmt::Display for CostBreakdown {
         };
         row("issue/ALU", self.issue_cycles)?;
         row("global memory", self.global_cycles)?;
+        row("L2 memory", self.l2_cycles)?;
         row("shared memory", self.shared_cycles)?;
         row("atomics", self.atomic_cycles)?;
         writeln!(
@@ -91,7 +101,7 @@ mod tests {
 
     fn sample_stats() -> KernelStats {
         KernelStats {
-            warp_cycles: 24_000 + 21_760 + 1_680 + 4_160,
+            warp_cycles: 24_000 + 21_760 + 800 + 1_680 + 4_160,
             steps: 1_000,
             global_accesses: 500,
             global_transactions: 400,
@@ -103,6 +113,7 @@ mod tests {
             launches: 2,
             issue_cycles: 24_000,
             global_cycles: 21_760,
+            l2_cycles: 800,
             shared_cycles: 1_680,
             atomic_cycles: 4_160,
             ..Default::default()
@@ -115,9 +126,10 @@ mod tests {
         let b = CostBreakdown::attribute(&sample_stats(), &cfg);
         assert!(b.issue_cycles > 0);
         assert!(b.global_cycles > 0);
+        assert!(b.l2_cycles > 0);
         assert!(b.shared_cycles > 0);
         assert!(b.atomic_cycles > 0);
-        assert_eq!(b.total_warp_cycles, 51_600);
+        assert_eq!(b.total_warp_cycles, 52_400);
         assert_eq!(b.modeled_total(), b.total_warp_cycles);
     }
 
@@ -136,6 +148,7 @@ mod tests {
         let s = b.to_string();
         assert!(s.contains("issue/ALU"));
         assert!(s.contains("global memory"));
+        assert!(s.contains("L2 memory"));
         assert!(s.contains("shared memory"));
         assert!(s.contains("atomics"));
         assert!(s.contains('%'));

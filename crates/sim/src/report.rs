@@ -289,6 +289,7 @@ impl RunReport {
         }
         let parts = self.totals.issue_cycles
             + self.totals.global_cycles
+            + self.totals.l2_cycles
             + self.totals.shared_cycles
             + self.totals.atomic_cycles;
         if parts != self.totals.warp_cycles {
@@ -503,6 +504,7 @@ fn gpu_json(gpu: &GpuConfig) -> Json {
     );
     o.set("lat_global", Json::U64(gpu.lat_global));
     o.set("lat_shared", Json::U64(gpu.lat_shared));
+    o.set("lat_l2", Json::U64(gpu.lat_l2));
     o.set("lat_atomic", Json::U64(gpu.lat_atomic));
     o.set("issue_cycles", Json::U64(gpu.issue_cycles));
     o.set("shared_mem_words", Json::U64(gpu.shared_mem_words as u64));
@@ -523,6 +525,7 @@ fn breakdown_json(b: &CostBreakdown) -> Json {
     let mut o = Json::obj();
     o.set("issue_cycles", Json::U64(b.issue_cycles));
     o.set("global_cycles", Json::U64(b.global_cycles));
+    o.set("l2_cycles", Json::U64(b.l2_cycles));
     o.set("shared_cycles", Json::U64(b.shared_cycles));
     o.set("atomic_cycles", Json::U64(b.atomic_cycles));
     o.set("total_warp_cycles", Json::U64(b.total_warp_cycles));
@@ -648,6 +651,12 @@ fn gpu_from_json(doc: &Json) -> Result<GpuConfig, String> {
         warps_overlap_per_sm: req_u64(doc, "warps_overlap_per_sm")? as usize,
         lat_global: req_u64(doc, "lat_global")?,
         lat_shared: req_u64(doc, "lat_shared")?,
+        // Reports written before the L2 tier existed lack this field;
+        // fall back to the K40C default so they still verify.
+        lat_l2: doc
+            .get("lat_l2")
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| GpuConfig::k40c().lat_l2),
         lat_atomic: req_u64(doc, "lat_atomic")?,
         issue_cycles: req_u64(doc, "issue_cycles")?,
         shared_mem_words: req_u64(doc, "shared_mem_words")? as usize,

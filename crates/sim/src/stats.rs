@@ -42,6 +42,18 @@ pub struct KernelStats {
     /// Warp cycles spent on atomic round trips and collision serialization
     /// (exact).
     pub atomic_cycles: u64,
+    /// Individual L2-resident accesses issued by lanes (segment-major
+    /// execution marks the active segment's data L2-resident).
+    pub l2_accesses: u64,
+    /// Coalesced L2 transactions actually paid for.
+    pub l2_transactions: u64,
+    /// Warp cycles spent on L2-hit transactions (exact).
+    pub l2_cycles: u64,
+    /// Segments processed by segment-major supersteps (0 on the flat
+    /// path). Incremented by the runner, not the replay.
+    pub segments_processed: u64,
+    /// Segments skipped outright because their frontier slice was empty.
+    pub segments_skipped: u64,
 }
 
 impl AddAssign for KernelStats {
@@ -62,6 +74,11 @@ impl AddAssign for KernelStats {
         self.global_cycles += rhs.global_cycles;
         self.shared_cycles += rhs.shared_cycles;
         self.atomic_cycles += rhs.atomic_cycles;
+        self.l2_accesses += rhs.l2_accesses;
+        self.l2_transactions += rhs.l2_transactions;
+        self.l2_cycles += rhs.l2_cycles;
+        self.segments_processed += rhs.segments_processed;
+        self.segments_skipped += rhs.segments_skipped;
     }
 }
 
@@ -102,7 +119,7 @@ impl KernelStats {
     /// Every counter as a `(name, value)` pair, in declaration order. The
     /// single source of truth for serializing stats: report writers iterate
     /// this so adding a counter here automatically flows into JSON output.
-    pub fn field_pairs(&self) -> [(&'static str, u64); 16] {
+    pub fn field_pairs(&self) -> [(&'static str, u64); 21] {
         [
             ("warp_cycles", self.warp_cycles),
             ("steps", self.steps),
@@ -120,6 +137,11 @@ impl KernelStats {
             ("global_cycles", self.global_cycles),
             ("shared_cycles", self.shared_cycles),
             ("atomic_cycles", self.atomic_cycles),
+            ("l2_accesses", self.l2_accesses),
+            ("l2_transactions", self.l2_transactions),
+            ("l2_cycles", self.l2_cycles),
+            ("segments_processed", self.segments_processed),
+            ("segments_skipped", self.segments_skipped),
         ]
     }
 
@@ -144,6 +166,11 @@ impl KernelStats {
             "global_cycles" => &mut self.global_cycles,
             "shared_cycles" => &mut self.shared_cycles,
             "atomic_cycles" => &mut self.atomic_cycles,
+            "l2_accesses" => &mut self.l2_accesses,
+            "l2_transactions" => &mut self.l2_transactions,
+            "l2_cycles" => &mut self.l2_cycles,
+            "segments_processed" => &mut self.segments_processed,
+            "segments_skipped" => &mut self.segments_skipped,
             _ => return false,
         };
         *slot = value;
@@ -154,7 +181,7 @@ impl KernelStats {
         // Every counted access or compute slot was useful; approximate with
         // the sum of access counters (compute slots are not individually
         // counted, so this is a lower bound — fine for relative reporting).
-        self.global_accesses + self.shared_accesses + self.atomic_ops
+        self.global_accesses + self.shared_accesses + self.atomic_ops + self.l2_accesses
     }
 }
 

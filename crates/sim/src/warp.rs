@@ -20,6 +20,7 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
 
     // Scratch buffers reused across steps.
     let mut segments: Vec<u64> = Vec::with_capacity(traces.len());
+    let mut l2_segments: Vec<u64> = Vec::with_capacity(traces.len());
     let mut atomic_addrs: Vec<u64> = Vec::with_capacity(traces.len());
     let mut atomic_segments: Vec<u64> = Vec::with_capacity(traces.len());
     let mut banks: Vec<u64> = Vec::with_capacity(traces.len());
@@ -28,6 +29,7 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
         let mut cycles = cfg.issue_cycles;
         stats.issue_cycles += cfg.issue_cycles;
         segments.clear();
+        l2_segments.clear();
         atomic_addrs.clear();
         atomic_segments.clear();
         banks.clear();
@@ -44,11 +46,14 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
                     atomic_addrs.push(ev.address());
                     banks.push(ev.address() % cfg.shared_banks.max(1));
                 }
-                (AccessKind::Atomic, Space::Global) => {
-                    // Global atomics execute in L2: a warp's atomics to the
-                    // same cache segment batch into one round trip (same
-                    // coalescing rule as plain accesses), while same-address
-                    // collisions serialize (counted below).
+                (AccessKind::Atomic, Space::Global | Space::L2) => {
+                    // Global atomics execute in L2 regardless of data
+                    // residency: a warp's atomics to the same cache segment
+                    // batch into one round trip (same coalescing rule as
+                    // plain accesses), while same-address collisions
+                    // serialize (counted below). Segment residency does not
+                    // change the price — the RMW round trip through the L2
+                    // crossbar is the cost, not the DRAM fetch.
                     stats.atomic_ops += 1;
                     atomic_addrs.push(ev.address());
                     atomic_segments.push(ev.segment(cfg.segment_words));
@@ -56,6 +61,13 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
                 (_, Space::Global) => {
                     stats.global_accesses += 1;
                     segments.push(ev.segment(cfg.segment_words));
+                }
+                (_, Space::L2) => {
+                    // L2-resident data (segment-major execution): coalesces
+                    // exactly like global memory, but a transaction is an
+                    // L2 hit at `lat_l2` instead of a DRAM round trip.
+                    stats.l2_accesses += 1;
+                    l2_segments.push(ev.segment(cfg.segment_words));
                 }
                 (_, Space::Shared) => {
                     stats.shared_accesses += 1;
@@ -76,6 +88,15 @@ pub fn replay_warp(cfg: &GpuConfig, traces: &[&[MemEvent]], stats: &mut KernelSt
             stats.global_transactions += segments.len() as u64;
             let c = cfg.lat_global * segments.len() as u64;
             stats.global_cycles += c;
+            cycles += c;
+        }
+        // L2 hits: same per-segment coalescing, cheaper round trip.
+        if !l2_segments.is_empty() {
+            l2_segments.sort_unstable();
+            l2_segments.dedup();
+            stats.l2_transactions += l2_segments.len() as u64;
+            let c = cfg.lat_l2 * l2_segments.len() as u64;
+            stats.l2_cycles += c;
             cycles += c;
         }
         // Shared memory: base latency plus bank-conflict serialization
@@ -271,9 +292,80 @@ mod tests {
         replay_warp(&cfg(), &traces, &mut stats);
         assert!(stats.warp_cycles > 0);
         assert_eq!(
-            stats.issue_cycles + stats.global_cycles + stats.shared_cycles + stats.atomic_cycles,
+            stats.issue_cycles
+                + stats.global_cycles
+                + stats.shared_cycles
+                + stats.atomic_cycles
+                + stats.l2_cycles,
             stats.warp_cycles
         );
+    }
+
+    fn l2_read(idx: u64) -> MemEvent {
+        MemEvent {
+            array: ArrayId::NODE_ATTR,
+            index: idx,
+            kind: AccessKind::Read,
+            space: Space::L2,
+        }
+    }
+
+    #[test]
+    fn l2_hits_coalesce_like_global_at_l2_latency() {
+        // Four lanes reading one 4-word segment: one L2 transaction.
+        let t0 = [l2_read(0)];
+        let t1 = [l2_read(1)];
+        let t2 = [l2_read(2)];
+        let t3 = [l2_read(3)];
+        let mut stats = KernelStats::default();
+        replay_warp(&cfg(), &[&t0[..], &t1[..], &t2[..], &t3[..]], &mut stats);
+        assert_eq!(stats.l2_accesses, 4);
+        assert_eq!(stats.l2_transactions, 1);
+        assert_eq!(stats.global_transactions, 0);
+        assert_eq!(stats.warp_cycles, 1 + 25); // issue + one lat_l2 hit
+        assert_eq!(stats.l2_cycles, 25);
+
+        // Scattered L2 reads pay per distinct segment, like global.
+        let s0 = [l2_read(0)];
+        let s1 = [l2_read(16)];
+        let mut scattered = KernelStats::default();
+        replay_warp(&cfg(), &[&s0[..], &s1[..]], &mut scattered);
+        assert_eq!(scattered.l2_transactions, 2);
+        assert_eq!(scattered.warp_cycles, 1 + 2 * 25);
+    }
+
+    #[test]
+    fn l2_sits_between_shared_and_global() {
+        let g = [read(0)];
+        let s = [shared_read(0)];
+        let l = [l2_read(0)];
+        let mut gs = KernelStats::default();
+        replay_warp(&cfg(), &[&g[..]], &mut gs);
+        let mut ss = KernelStats::default();
+        replay_warp(&cfg(), &[&s[..]], &mut ss);
+        let mut ls = KernelStats::default();
+        replay_warp(&cfg(), &[&l[..]], &mut ls);
+        assert!(ss.warp_cycles < ls.warp_cycles);
+        assert!(ls.warp_cycles < gs.warp_cycles);
+    }
+
+    #[test]
+    fn l2_atomics_price_like_global_atomics() {
+        let a = [atomic(5)];
+        let b = [MemEvent {
+            array: ArrayId::NODE_ATTR,
+            index: 5,
+            kind: AccessKind::Atomic,
+            space: Space::L2,
+        }];
+        let mut ga = KernelStats::default();
+        replay_warp(&cfg(), &[&a[..]], &mut ga);
+        let mut la = KernelStats::default();
+        replay_warp(&cfg(), &[&b[..]], &mut la);
+        // Residency never discounts the RMW round trip.
+        assert_eq!(ga.warp_cycles, la.warp_cycles);
+        assert_eq!(la.atomic_ops, 1);
+        assert_eq!(la.l2_accesses, 0);
     }
 
     #[test]

@@ -22,13 +22,23 @@ fn tmp(name: &str) -> PathBuf {
 ///
 /// Every bench invocation below pins `--cache-dir` into the harness tmp
 /// dir: the default is relative (`target/graffix-cache`) and would land in
-/// the crate's own cwd when the test launches the binary.
+/// the crate's own cwd when the test launches the binary. `--large-nodes`
+/// is scaled down from its 2^20 default so the v4 large cells stay covered
+/// end to end (saved, re-measured by the gate, judged) at test speed.
 fn saved_baseline(name: &str) -> PathBuf {
     let path = tmp(name);
     let out = bin()
         .args(["bench", "--save-baseline"])
         .arg(&path)
-        .args(["--nodes", "128", "--repeats", "2", "--quiet"])
+        .args([
+            "--nodes",
+            "128",
+            "--repeats",
+            "2",
+            "--large-nodes",
+            "1500",
+            "--quiet",
+        ])
         .arg("--cache-dir")
         .arg(tmp("graffix-cache"))
         .env("GRAFFIX_BENCH_HOST", "test")
